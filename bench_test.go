@@ -1,0 +1,446 @@
+// Package repro_test benchmarks regenerate every table and figure of the
+// paper's evaluation (Section VI) plus the ablations DESIGN.md calls out.
+//
+// Benches run a density-preserving scaled-down population (see
+// experiment.Params.Scaled) so a full -bench=. pass stays laptop-sized;
+// `go run ./cmd/experiments -scale 1` reproduces paper scale. Each bench
+// reports the figure's headline numbers via b.ReportMetric, so the series
+// the paper plots appear directly in the benchmark output.
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/experiment"
+	"nonexposure/internal/geo"
+	"nonexposure/internal/graph"
+	"nonexposure/internal/lbs"
+	"nonexposure/internal/wpg"
+)
+
+// benchScale keeps a -bench=. run in the minutes range on one core.
+const benchScale = 0.05 // ~5,238 users, 100 requests
+
+var (
+	envOnce sync.Once
+	envVal  *experiment.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *experiment.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = experiment.NewEnv(experiment.DefaultParams().Scaled(benchScale))
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return envVal
+}
+
+// --- Table I ------------------------------------------------------------
+
+func BenchmarkTable1Render(b *testing.B) {
+	p := experiment.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		if tb := experiment.Table1(p); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- Fig. 9: degree sweep ------------------------------------------------
+
+func BenchmarkFig09DegreeSweep(b *testing.B) {
+	p := experiment.DefaultParams().Scaled(benchScale)
+	for i := 0; i < b.N; i++ {
+		commT, sizeT, err := experiment.RunDegreeSweep(p, []int{4, 8, 16, 32, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRow(b, commT.Rows[2], "M16_comm_")
+			reportRow(b, sizeT.Rows[2], "M16_size_")
+		}
+	}
+}
+
+// --- Fig. 10: POI payload sweep -------------------------------------------
+
+func BenchmarkFig10POISize(b *testing.B) {
+	p := experiment.DefaultParams().Scaled(benchScale)
+	for i := 0; i < b.N; i++ {
+		tb, err := experiment.RunPOISizeSweep(p, []float64{0, 1, 2, 5, 10, 15, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRow(b, tb.Rows[4], "ratio10_total_")
+		}
+	}
+}
+
+// --- Fig. 11: k sweep ------------------------------------------------------
+
+func BenchmarkFig11KSweep(b *testing.B) {
+	p := experiment.DefaultParams().Scaled(benchScale)
+	for i := 0; i < b.N; i++ {
+		commT, sizeT, err := experiment.RunKSweep(p, []int{5, 10, 20, 30, 40, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRow(b, commT.Rows[1], "k10_comm_")
+			reportRow(b, sizeT.Rows[1], "k10_size_")
+		}
+	}
+}
+
+// --- Fig. 12: request-count sweep ------------------------------------------
+
+func BenchmarkFig12RequestSweep(b *testing.B) {
+	p := experiment.DefaultParams().Scaled(benchScale)
+	ss := []int{p.Requests / 2, p.Requests, p.Requests * 2, p.Requests * 4}
+	for i := 0; i < b.N; i++ {
+		commT, sizeT, err := experiment.RunRequestSweep(p, ss)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRow(b, commT.Rows[3], "S4x_comm_")
+			reportRow(b, sizeT.Rows[3], "S4x_size_")
+		}
+	}
+}
+
+// --- Fig. 13: bounding algorithms -------------------------------------------
+
+func BenchmarkFig13Bounding(b *testing.B) {
+	p := experiment.DefaultParams().Scaled(benchScale)
+	for i := 0; i < b.N; i++ {
+		a13, b13, c13, d13, err := experiment.RunBoundingSweep(p, []int{5, 10, 20, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRow(b, a13.Rows[1], "k10_boundmsg_")
+			reportRow(b, b13.Rows[1], "k10_reqratio_")
+			reportRow(b, c13.Rows[1], "k10_total_")
+			reportRow(b, d13.Rows[1], "k10_cpums_")
+		}
+	}
+}
+
+// reportRow publishes a figure-table row ("k", algo columns...) as custom
+// benchmark metrics named prefix+column.
+func reportRow(b *testing.B, row []string, prefix string) {
+	b.Helper()
+	for i, cell := range row {
+		if i == 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscan(cell, &v); err == nil {
+			b.ReportMetric(v, fmt.Sprintf("%scol%d", prefix, i))
+		}
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// Exact Eq. 3 dynamic program vs the paper's closed-form increments: CPU
+// cost of deriving the policy (the paper's motivation for the closed form).
+func BenchmarkAblationNBoundingClosedForm(b *testing.B) {
+	m := core.CostModel{Cb: 1, Dist: core.UniformDist{U: 1}, Req: core.AreaCost{Cr: 1000}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for n := 1; n <= 50; n++ {
+			if _, err := m.NBoundingIncrement(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationNBoundingExactDP(b *testing.B) {
+	m := core.CostModel{Cb: 1, Dist: core.UniformDist{U: 1}, Req: core.AreaCost{Cr: 1000}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.ExactNBounding(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// kNN expansion variants: the paper-style Prim frontier vs the stronger
+// Dijkstra baseline vs no-relay. Reports resulting mean region area.
+func BenchmarkAblationKNNVariants(b *testing.B) {
+	variants := []struct {
+		name string
+		opt  core.KNNOptions
+	}{
+		{"prim", core.KNNOptions{}},
+		{"dijkstra", core.KNNOptions{Expansion: core.KNNDijkstra}},
+		{"prim-norelay", core.KNNOptions{NoRelay: true}},
+		{"revised", core.KNNOptions{DegreeTieBreak: true}},
+	}
+	env := benchEnv(b)
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reg := core.NewRegistry(env.Graph.NumVertices())
+				var areaSum float64
+				var formed int
+				for host := int32(0); host < 200; host++ {
+					c, _, err := core.KNNCluster(core.GraphSource{G: env.Graph}, host*13, 10, reg, v.opt)
+					if err != nil {
+						continue
+					}
+					r := geo.EmptyRect()
+					for _, m := range c.Members {
+						r = r.ExpandToInclude(env.Points[m])
+					}
+					areaSum += r.Area()
+					formed++
+				}
+				if i == 0 && formed > 0 {
+					b.ReportMetric(areaSum/float64(formed)*1e6, "area_1e-6")
+				}
+			}
+		})
+	}
+}
+
+// Centralized Algorithm 1 (safe removal on the MSF) vs the coalesced
+// dendrogram cut: quality (mean cluster size) and speed of the two
+// partitioning strategies.
+func BenchmarkAblationCentralizedSafeRemoval(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clusters, _ := core.CentralizedTConn(env.Graph, 10)
+		if i == 0 {
+			total := 0
+			for _, c := range clusters {
+				total += c.Size()
+			}
+			b.ReportMetric(float64(total)/float64(len(clusters)), "mean_cluster_size")
+		}
+	}
+}
+
+func BenchmarkAblationCentralizedDendrogramCut(b *testing.B) {
+	env := benchEnv(b)
+	edges := env.Graph.Edges()
+	n := env.Graph.NumVertices()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := graph.BuildDendrogram(n, edges)
+		count, total := 0, 0
+		d.CutMinSize(10, func(node int32) {
+			count++
+			total += int(d.Nodes[node].Size)
+		})
+		if i == 0 && count > 0 {
+			b.ReportMetric(float64(total)/float64(count), "mean_cluster_size")
+		}
+	}
+}
+
+// Privacy loss (Section VII future work): mean exposure-interval width per
+// bounding policy; larger is more private.
+func BenchmarkAblationPrivacyLoss(b *testing.B) {
+	env := benchEnv(b)
+	policies := []core.IncrementPolicy{
+		core.LinearIncrement{Step: 0.1},
+		core.ExpIncrement{Init: 0.25},
+		core.NewSecureIncrementForCluster(1, 1000, 10),
+	}
+	reg := core.NewRegistry(env.Graph.NumVertices())
+	c, _, err := core.DistributedTConn(core.GraphSource{G: env.Graph}, 1, 10, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := core.DefaultRectScale(c.Size(), env.Graph.NumVertices())
+	for _, pol := range policies {
+		b.Run(pol.Name(), func(b *testing.B) {
+			var exposure float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.BoundRect(env.Points, c.Members, env.Points[1], scale, pol, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				exposure = res.MeanExposure
+			}
+			b.ReportMetric(exposure*1e3, "exposure_1e-3")
+		})
+	}
+}
+
+// Dataset sensitivity: the same clustering workload on the three
+// generators.
+func BenchmarkAblationDatasets(b *testing.B) {
+	for _, ds := range []string{"california-like", "uniform", "roadlike"} {
+		b.Run(ds, func(b *testing.B) {
+			p := experiment.DefaultParams().Scaled(benchScale)
+			p.Dataset = ds
+			env, err := experiment.NewEnv(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cm, err := experiment.RunClusteringWorkload(env, p.K, p.Requests, experiment.AlgoTConnDist)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(cm.AvgComm, "avg_comm")
+					b.ReportMetric(cm.AvgArea*1e6, "avg_area_1e-6")
+				}
+			}
+		})
+	}
+}
+
+// Extension: non-exposure vs the exposure-based prior schemes (quadtree,
+// hilbASR) — the related-work comparison the paper motivates but does not
+// plot.
+func BenchmarkExtensionExposureBaselines(b *testing.B) {
+	p := experiment.DefaultParams().Scaled(benchScale)
+	for i := 0; i < b.N; i++ {
+		tb, err := experiment.RunExposureComparison(p, []int{10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRow(b, tb.Rows[0], "k10_area_")
+		}
+	}
+}
+
+// Extension: continuous cloaking under mobility (Section VII) — per-epoch
+// re-cloaking cost and region stability while users wander locally.
+func BenchmarkExtensionMobility(b *testing.B) {
+	p := experiment.DefaultParams().Scaled(benchScale)
+	for i := 0; i < b.N; i++ {
+		tb, err := experiment.RunMobilitySweep(p, 3, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRow(b, tb.Rows[2], "epoch2_")
+		}
+	}
+}
+
+// --- Component micro-benchmarks ----------------------------------------------
+
+func BenchmarkWPGBuild(b *testing.B) {
+	pts := dataset.CaliforniaLike(10000, 1)
+	params := wpg.BuildParams{Delta: 2e-3 * 3.24, MaxPeers: 10} // density-matched
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := wpg.Build(pts, params)
+		if g.NumVertices() != 10000 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+func BenchmarkCentralizedTConn(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clusters, _ := core.CentralizedTConn(env.Graph, 10)
+		if len(clusters) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func BenchmarkDistributedTConnPerRequest(b *testing.B) {
+	env := benchEnv(b)
+	n := env.Graph.NumVertices()
+	b.ReportAllocs()
+	reg := core.NewRegistry(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host := int32(i*37) % int32(n)
+		if _, _, err := core.DistributedTConn(core.GraphSource{G: env.Graph}, host, 10, reg); err != nil {
+			reg = core.NewRegistry(n) // pool exhausted: start a fresh world
+		}
+	}
+}
+
+func BenchmarkKNNPerRequest(b *testing.B) {
+	env := benchEnv(b)
+	n := env.Graph.NumVertices()
+	b.ReportAllocs()
+	reg := core.NewRegistry(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host := int32(i*37) % int32(n)
+		if _, _, err := core.KNNCluster(core.GraphSource{G: env.Graph}, host, 10, reg, core.KNNOptions{}); err != nil {
+			reg = core.NewRegistry(n)
+		}
+	}
+}
+
+func BenchmarkSecureBoundRect(b *testing.B) {
+	env := benchEnv(b)
+	reg := core.NewRegistry(env.Graph.NumVertices())
+	c, _, err := core.DistributedTConn(core.GraphSource{G: env.Graph}, 2, 10, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := core.NewSecureIncrementForCluster(1, 1000, c.Size())
+	scale := core.DefaultRectScale(c.Size(), env.Graph.NumVertices())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BoundRect(env.Points, c.Members, env.Points[2], scale, pol, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLBSRangeQuery(b *testing.B) {
+	env := benchEnv(b)
+	r := geo.Rect{Min: geo.Point{X: 0.4, Y: 0.4}, Max: geo.Point{X: 0.42, Y: 0.42}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.LBS.Index().Range(r)
+	}
+}
+
+func BenchmarkLBSRangeNN(b *testing.B) {
+	pts := dataset.Uniform(20000, 3)
+	idx := lbs.NewGridIndex(pts, 0)
+	r := geo.Rect{Min: geo.Point{X: 0.5, Y: 0.5}, Max: geo.Point{X: 0.51, Y: 0.51}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ids := idx.RangeNN(r, 5); len(ids) < 5 {
+			b.Fatal("candidate set too small")
+		}
+	}
+}
+
+func BenchmarkDendrogramBuild(b *testing.B) {
+	env := benchEnv(b)
+	edges := env.Graph.Edges()
+	n := env.Graph.NumVertices()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := graph.BuildBinaryDendrogram(n, edges); d.NumLeaves != n {
+			b.Fatal("bad dendrogram")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package cloak
+
+import (
+	"testing"
+)
+
+func TestGranularityInflatesSmallRegions(t *testing.T) {
+	users := testUsers(300, 31)
+	cfg := testConfig()
+	cfg.MinArea = 0.01 // far larger than a typical cluster bbox here
+	sys, err := NewSystem(users, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Cloak(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Region.Area() < cfg.MinArea {
+		t.Errorf("area %v below granularity threshold %v", res.Region.Area(), cfg.MinArea)
+	}
+	if !res.Region.Contains(users[3]) {
+		t.Error("inflated region must still contain the host")
+	}
+	// All members still inside (inflation only grows the region).
+	for _, m := range sys.ClusterOf(3) {
+		if !res.Region.Contains(users[m]) {
+			t.Errorf("member %d fell outside the inflated region", m)
+		}
+	}
+}
+
+func TestGranularityNoopWhenSatisfied(t *testing.T) {
+	users := testUsers(300, 32)
+	base := testConfig()
+	sysA, err := NewSystem(users, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := sysA.Cloak(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withTiny := testConfig()
+	withTiny.MinArea = resA.Region.Area() / 10
+	usersB := testUsers(300, 32)
+	sysB, err := NewSystem(usersB, withTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := sysB.Cloak(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Region != resB.Region {
+		t.Errorf("satisfied granularity must not change the region: %+v vs %+v",
+			resA.Region, resB.Region)
+	}
+}
+
+func TestGranularityClampsAtWorld(t *testing.T) {
+	r := Config{MinArea: 5}.applyGranularity(Region{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6})
+	if r.MinX != 0 || r.MinY != 0 || r.MaxX != 1 || r.MaxY != 1 {
+		t.Errorf("impossible threshold should saturate at the unit square, got %+v", r)
+	}
+}
+
+func TestGranularityDegenerateRegion(t *testing.T) {
+	// A zero-area (point) region must still inflate.
+	r := Config{MinArea: 1e-4}.applyGranularity(Region{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5})
+	if r.Area() < 1e-4 {
+		t.Errorf("degenerate region not inflated: %+v (area %v)", r, r.Area())
+	}
+	if !r.Contains(Point{0.5, 0.5}) {
+		t.Error("inflation must keep the original point inside")
+	}
+}

@@ -1,0 +1,113 @@
+package cloak
+
+import (
+	"fmt"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/p2p"
+)
+
+// NetworkConfig enables running the distributed protocols over a
+// simulated peer-to-peer message network (one goroutine per device)
+// instead of in-process calls. Results are identical on a lossless
+// network; with loss injection, requests are retried and the run degrades
+// gracefully — the paper's Section VII robustness concern.
+type NetworkConfig struct {
+	// LossRate is the probability that any single transmission is lost
+	// (0 disables injection; must be < 1).
+	LossRate float64
+	// MaxRetries bounds the retries per request after losses.
+	MaxRetries int
+	// Seed makes loss injection deterministic.
+	Seed int64
+}
+
+// NetworkSystem is a System whose phase-1 and phase-2 protocols run over
+// simulated peer-to-peer messages. Create with NewNetworkSystem and Close
+// when done (it owns one goroutine per user).
+type NetworkSystem struct {
+	*System
+	net *p2p.Network
+}
+
+// NewNetworkSystem builds a message-passing deployment. Only
+// ModeDistributed is meaningful here (an anonymizer would not use p2p
+// messages), so cfg.Mode is forced to ModeDistributed.
+func NewNetworkSystem(users []Point, cfg Config, ncfg NetworkConfig) (*NetworkSystem, error) {
+	cfg.Mode = ModeDistributed
+	sys, err := NewSystem(users, cfg)
+	if err != nil {
+		return nil, err
+	}
+	net, err := p2p.NewNetwork(sys.g, sys.pts, p2p.Config{
+		LossRate:   ncfg.LossRate,
+		MaxRetries: ncfg.MaxRetries,
+		Seed:       ncfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cloak: %w", err)
+	}
+	return &NetworkSystem{System: sys, net: net}, nil
+}
+
+// Close stops the per-device goroutines.
+func (ns *NetworkSystem) Close() { ns.net.Close() }
+
+// MessagesSent returns the total transmissions put on the simulated wire
+// (including retries and lost messages).
+func (ns *NetworkSystem) MessagesSent() uint64 { return ns.net.Sent() }
+
+// MessagesLost returns how many transmissions the loss injection dropped.
+func (ns *NetworkSystem) MessagesLost() uint64 { return ns.net.Lost() }
+
+// Cloak runs the two-phase protocol for host entirely over the message
+// network.
+func (ns *NetworkSystem) Cloak(host int) (Result, error) {
+	if host < 0 || host >= len(ns.pts) {
+		return Result{}, fmt.Errorf("cloak: no such user %d", host)
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+
+	var res Result
+	cluster, stats, err := ns.net.DistributedTConn(int32(host), ns.cfg.K, ns.reg)
+	if err != nil {
+		return Result{}, translateErr(err)
+	}
+	res.ClusterSize = cluster.Size()
+	res.ClusterComm = stats.Involved
+	res.CachedCluster = stats.Cached
+
+	if entry, ok := ns.regions[cluster.ID]; ok {
+		res.Region = entry.region
+		res.BoundRounds = entry.rounds
+		res.CachedRegion = true
+		return res, nil
+	}
+
+	var pol core.IncrementPolicy
+	switch ns.cfg.Bound {
+	case BoundLinear:
+		pol = core.LinearIncrement{Step: ns.cfg.LinearStep}
+	case BoundExponential:
+		pol = core.ExpIncrement{Init: ns.cfg.ExpInit}
+	default: // secure is the network default; optimal would defeat the point
+		pol = core.NewSecureIncrementForCluster(ns.cfg.Cb, ns.cfg.Cr, cluster.Size())
+	}
+	scale := core.DefaultRectScale(cluster.Size(), len(ns.pts))
+	bound, err := ns.net.BoundRect(int32(host), cluster.Members, scale, pol, ns.cfg.Cb)
+	if err != nil {
+		// Transport degradation: the region may be looser but remains
+		// valid for reachable members; surface the error.
+		return Result{}, fmt.Errorf("cloak: bounding over network: %w", err)
+	}
+	region := ns.cfg.applyGranularity(Region{
+		MinX: bound.Rect.Min.X, MinY: bound.Rect.Min.Y,
+		MaxX: bound.Rect.Max.X, MaxY: bound.Rect.Max.Y,
+	})
+	ns.regions[cluster.ID] = regionEntry{region: region, rounds: bound.Rounds}
+	res.Region = region
+	res.BoundMessages = bound.Messages
+	res.BoundRounds = bound.Rounds
+	return res, nil
+}

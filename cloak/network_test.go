@@ -1,0 +1,84 @@
+package cloak
+
+import (
+	"testing"
+)
+
+func TestNetworkSystemMatchesInProcess(t *testing.T) {
+	usersA := testUsers(250, 11)
+	usersB := testUsers(250, 11)
+	cfg := testConfig()
+
+	inproc, err := NewSystem(usersA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsys, err := NewNetworkSystem(usersB, cfg, NetworkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nsys.Close()
+
+	for _, host := range []int{3, 50, 120} {
+		a, errA := inproc.Cloak(host)
+		b, errB := nsys.Cloak(host)
+		if (errA != nil) != (errB != nil) {
+			t.Fatalf("host %d: error mismatch %v vs %v", host, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Region != b.Region {
+			t.Errorf("host %d: network region %+v != in-process %+v", host, b.Region, a.Region)
+		}
+		if a.ClusterComm != b.ClusterComm {
+			t.Errorf("host %d: cluster comm %d vs %d", host, b.ClusterComm, a.ClusterComm)
+		}
+	}
+	if nsys.MessagesSent() == 0 {
+		t.Error("network carried no messages")
+	}
+	if nsys.MessagesLost() != 0 {
+		t.Error("lossless network lost messages")
+	}
+}
+
+func TestNetworkSystemWithLoss(t *testing.T) {
+	users := testUsers(250, 12)
+	sys, err := NewNetworkSystem(users, testConfig(), NetworkConfig{
+		LossRate:   0.2,
+		MaxRetries: 30,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := sys.Cloak(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Region.Contains(users[9]) {
+		t.Errorf("region %+v missing host", res.Region)
+	}
+	if sys.MessagesLost() == 0 {
+		t.Error("loss injection at 20% produced no losses")
+	}
+}
+
+func TestNetworkSystemForcesDistributedMode(t *testing.T) {
+	users := testUsers(250, 13)
+	cfg := testConfig()
+	cfg.Mode = ModeCentralized // should be overridden
+	sys, err := NewNetworkSystem(users, cfg, NetworkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Cloak(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Cloak(-1); err == nil {
+		t.Error("invalid host should error")
+	}
+}

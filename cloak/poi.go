@@ -1,0 +1,70 @@
+package cloak
+
+import (
+	"fmt"
+
+	"nonexposure/internal/geo"
+	"nonexposure/internal/lbs"
+)
+
+// POIDatabase is the location-based-service side of the system: a spatial
+// database that answers queries over cloaked regions instead of points,
+// returning candidate supersets the client refines locally with its
+// private location (the query-processing model of Casper / kRNN that the
+// paper builds on).
+type POIDatabase struct {
+	srv  *lbs.Server
+	pois []geo.Point
+}
+
+// NewPOIDatabase indexes the given POIs. costPerPOI is the communication
+// cost of shipping one POI's content, relative to one protocol message
+// (the paper's Cr = 1000).
+func NewPOIDatabase(pois []Point, costPerPOI float64) (*POIDatabase, error) {
+	pts := make([]geo.Point, len(pois))
+	for i, p := range pois {
+		pts[i] = geo.Point{X: p.X, Y: p.Y}
+	}
+	srv, err := lbs.NewServer(pts, costPerPOI)
+	if err != nil {
+		return nil, fmt.Errorf("cloak: %w", err)
+	}
+	return &POIDatabase{srv: srv, pois: pts}, nil
+}
+
+// Len returns the number of POIs.
+func (db *POIDatabase) Len() int { return len(db.pois) }
+
+// POI returns the location of POI id.
+func (db *POIDatabase) POI(id int32) Point {
+	p := db.pois[id]
+	return Point{X: p.X, Y: p.Y}
+}
+
+func toRect(r Region) geo.Rect {
+	return geo.Rect{
+		Min: geo.Point{X: r.MinX, Y: r.MinY},
+		Max: geo.Point{X: r.MaxX, Y: r.MaxY},
+	}
+}
+
+// RangeQuery returns the ids of all POIs inside the cloaked region and
+// the communication cost of shipping them.
+func (db *POIDatabase) RangeQuery(r Region) (ids []int32, cost float64) {
+	return db.srv.RangeQuery(toRect(r))
+}
+
+// NearestCandidates returns a candidate superset guaranteed to contain
+// the k nearest POIs of *every* point inside the cloaked region, plus the
+// shipping cost. The requesting user then calls ResolveNearest locally —
+// the server never learns where in the region the user actually is.
+func (db *POIDatabase) NearestCandidates(r Region, k int) (ids []int32, cost float64) {
+	return db.srv.RangeNNQuery(toRect(r), k)
+}
+
+// ResolveNearest is the client-side refinement: given the candidate
+// superset and the client's private location, return its true k nearest
+// POIs.
+func (db *POIDatabase) ResolveNearest(candidates []int32, me Point, k int) []int32 {
+	return db.srv.FilterKNN(candidates, geo.Point{X: me.X, Y: me.Y}, k)
+}

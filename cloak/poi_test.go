@@ -1,0 +1,77 @@
+package cloak
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPOIDatabaseRangeQuery(t *testing.T) {
+	pois := []Point{{0.1, 0.1}, {0.5, 0.5}, {0.52, 0.48}, {0.9, 0.9}}
+	db, err := NewPOIDatabase(pois, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 4 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	ids, cost := db.RangeQuery(Region{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6})
+	if len(ids) != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if cost != 2000 {
+		t.Errorf("cost = %v, want 2000", cost)
+	}
+	if p := db.POI(ids[0]); !(Region{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6}).Contains(p) {
+		t.Errorf("returned POI %v outside the region", p)
+	}
+}
+
+func TestPOIDatabaseNearestFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pois := make([]Point, 500)
+	for i := range pois {
+		pois[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	db, err := NewPOIDatabase(pois, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := Point{X: 0.42, Y: 0.58}
+	region := Region{MinX: 0.4, MinY: 0.55, MaxX: 0.45, MaxY: 0.62}
+	cands, cost := db.NearestCandidates(region, 3)
+	if len(cands) < 3 || cost <= 0 {
+		t.Fatalf("candidates = %d, cost = %v", len(cands), cost)
+	}
+	got := db.ResolveNearest(cands, me, 3)
+	if len(got) != 3 {
+		t.Fatalf("resolved = %v", got)
+	}
+	// Cross-check against a brute-force 3NN over all POIs.
+	type cand struct {
+		d  float64
+		id int32
+	}
+	var all []cand
+	for i, p := range pois {
+		dx, dy := p.X-me.X, p.Y-me.Y
+		all = append(all, cand{dx*dx + dy*dy, int32(i)})
+	}
+	for i := 0; i < 3; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d < all[best].d || (all[j].d == all[best].d && all[j].id < all[best].id) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+		if got[i] != all[i].id {
+			t.Fatalf("resolved[%d] = %d, want %d", i, got[i], all[i].id)
+		}
+	}
+}
+
+func TestPOIDatabaseValidation(t *testing.T) {
+	if _, err := NewPOIDatabase(nil, -1); err == nil {
+		t.Error("negative cost should error")
+	}
+}

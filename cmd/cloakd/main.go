@@ -1,0 +1,113 @@
+// Command cloakd runs the anonymizer as a TCP service speaking the
+// line-delimited JSON protocol of internal/service: devices upload
+// proximity rankings, then cloak requests are answered with k-anonymity
+// clusters. With -demo, the command also simulates a device population
+// that uploads, freezes, and issues a few cloaking requests against the
+// freshly started server, so the whole flow can be watched end to end.
+//
+// Usage:
+//
+//	cloakd -addr 127.0.0.1:7464 -n 104770 -k 10
+//	cloakd -demo -n 5000 -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/service"
+	"nonexposure/internal/wpg"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7464", "listen address")
+		n    = flag.Int("n", 104770, "population size the server accepts")
+		k    = flag.Int("k", 10, "anonymity level")
+		demo = flag.Bool("demo", false, "run a self-contained demo population against the server and exit")
+		seed = flag.Int64("seed", 42, "demo dataset seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *n, *k, *demo, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "cloakd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n, k int, demo bool, seed int64) error {
+	srv, err := service.NewServer(n, k)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloakd: anonymizer listening on %s (population %d, k=%d)\n", bound, n, k)
+
+	if !demo {
+		// Serve until interrupted.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Println("cloakd: shutting down")
+		return srv.Close()
+	}
+	defer srv.Close()
+	return runDemo(bound.String(), n, k, seed)
+}
+
+// runDemo simulates the device side: measure proximity, upload, freeze,
+// cloak.
+func runDemo(addr string, n, k int, seed int64) error {
+	fmt.Printf("demo: generating %d devices and measuring proximity\n", n)
+	pts := dataset.CaliforniaLike(n, seed)
+	delta := 2e-3
+	if n != dataset.CaliforniaPOISize {
+		delta *= math.Sqrt(float64(dataset.CaliforniaPOISize) / float64(n))
+	}
+	g := wpg.Build(pts, wpg.BuildParams{Delta: delta, MaxPeers: 10})
+	fmt.Printf("demo: proximity graph has %d mutual edges (avg degree %.1f)\n",
+		g.NumEdges(), g.Stats().AvgDegree)
+
+	c, err := service.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	for v := int32(0); v < int32(n); v++ {
+		var peers []service.PeerRank
+		for _, e := range g.Neighbors(v) {
+			peers = append(peers, service.PeerRank{Peer: e.To, Rank: e.W})
+		}
+		if err := c.Upload(v, peers); err != nil {
+			return fmt.Errorf("upload %d: %w", v, err)
+		}
+	}
+	edges, err := c.Freeze()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demo: server froze the graph with %d edges\n", edges)
+
+	for _, host := range []int32{0, 7, int32(n / 2)} {
+		cluster, cost, err := c.Cloak(host)
+		if err != nil {
+			fmt.Printf("demo: host %d: %v\n", host, err)
+			continue
+		}
+		fmt.Printf("demo: host %d clustered with %d users (request cost %d)\n",
+			host, len(cluster), cost)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demo: server now holds %d clusters for %d users\n", stats.Clusters, stats.Users)
+	return nil
+}

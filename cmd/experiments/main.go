@@ -1,0 +1,179 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section VI).
+//
+// Usage:
+//
+//	experiments [flags] [table1|fig9|fig10|fig11|fig12|fig13|baselines|mobility|all]
+//
+// By default it runs everything at a laptop-friendly 20% scale (the
+// density-preserving scaling of internal/experiment); pass -scale 1 to
+// run the paper's full 104,770-user configuration. With -csvdir set, each
+// table is additionally written as a CSV file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nonexposure/internal/experiment"
+	"nonexposure/internal/metrics"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.2, "population scale factor in (0,1]; 1 = paper scale")
+		seed    = flag.Int64("seed", 42, "random seed")
+		dataset = flag.String("dataset", "california-like", "dataset: california-like|uniform|roadlike|grid")
+		csvdir  = flag.String("csvdir", "", "directory to also write tables as CSV (optional)")
+	)
+	flag.Parse()
+
+	p := experiment.DefaultParams()
+	p.Seed = *seed
+	p.Dataset = *dataset
+	if *scale != 1 {
+		p = p.Scaled(*scale)
+	}
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = strings.ToLower(flag.Arg(0))
+	}
+
+	if err := run(p, which, *csvdir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(p experiment.Params, which, csvdir string) error {
+	emit := func(tables ...*metrics.Table) error {
+		for _, t := range tables {
+			if err := t.Fprint(os.Stdout); err != nil {
+				return err
+			}
+			if csvdir != "" {
+				if err := writeCSV(csvdir, t); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	want := func(name string) bool { return which == "all" || which == name }
+
+	matched := false
+	if want("table1") {
+		matched = true
+		if err := emit(experiment.Table1(p)); err != nil {
+			return err
+		}
+	}
+	if want("fig9") {
+		matched = true
+		a, b, err := experiment.RunDegreeSweep(p, []int{4, 8, 16, 32, 64})
+		if err != nil {
+			return fmt.Errorf("fig9: %w", err)
+		}
+		if err := emit(a, b); err != nil {
+			return err
+		}
+	}
+	if want("fig10") {
+		matched = true
+		t, err := experiment.RunPOISizeSweep(p, []float64{0, 1, 2, 5, 10, 15, 20})
+		if err != nil {
+			return fmt.Errorf("fig10: %w", err)
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("fig11") {
+		matched = true
+		a, b, err := experiment.RunKSweep(p, []int{5, 10, 20, 30, 40, 50})
+		if err != nil {
+			return fmt.Errorf("fig11: %w", err)
+		}
+		if err := emit(a, b); err != nil {
+			return err
+		}
+	}
+	if want("fig12") {
+		matched = true
+		ss := []int{1000, 2000, 4000, 8000}
+		for i := range ss {
+			ss[i] = int(float64(ss[i]) * float64(p.NumUsers) / 104770.0)
+			if ss[i] < 1 {
+				ss[i] = 1
+			}
+		}
+		a, b, err := experiment.RunRequestSweep(p, ss)
+		if err != nil {
+			return fmt.Errorf("fig12: %w", err)
+		}
+		if err := emit(a, b); err != nil {
+			return err
+		}
+	}
+	if want("fig13") {
+		matched = true
+		a, b, c, d, err := experiment.RunBoundingSweep(p, []int{5, 10, 20, 30, 40, 50})
+		if err != nil {
+			return fmt.Errorf("fig13: %w", err)
+		}
+		if err := emit(a, b, c, d); err != nil {
+			return err
+		}
+	}
+	if want("baselines") {
+		matched = true
+		t, err := experiment.RunExposureComparison(p, []int{5, 10, 20, 50})
+		if err != nil {
+			return fmt.Errorf("baselines: %w", err)
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("mobility") {
+		matched = true
+		t, err := experiment.RunMobilitySweep(p, 6, 5)
+		if err != nil {
+			return fmt.Errorf("mobility: %w", err)
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (want table1|fig9|fig10|fig11|fig12|fig13|baselines|mobility|all)", which)
+	}
+	return nil
+}
+
+func writeCSV(dir string, t *metrics.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, t.Title)
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.CSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,65 @@
+// Command wpgstat builds a weighted proximity graph over a synthetic
+// population and prints its topology statistics: the numbers behind the
+// paper's Fig. 9 degree sweep.
+//
+// Usage:
+//
+//	wpgstat -n 104770 -delta 0.002 -m 4,8,16,32,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/wpg"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 104770, "population size")
+		delta = flag.Float64("delta", 2e-3, "radio range")
+		ms    = flag.String("m", "4,8,10,16,32,64", "comma-separated peer caps to sweep")
+		seed  = flag.Int64("seed", 42, "random seed")
+		ds    = flag.String("dataset", "california-like", "dataset: california-like|uniform|roadlike|grid")
+	)
+	flag.Parse()
+	if err := run(*n, *delta, *ms, *seed, *ds); err != nil {
+		fmt.Fprintln(os.Stderr, "wpgstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, delta float64, ms string, seed int64, ds string) error {
+	var pts dataset.Dataset
+	switch ds {
+	case "california-like":
+		pts = dataset.CaliforniaLike(n, seed)
+	case "uniform":
+		pts = dataset.Uniform(n, seed)
+	case "roadlike":
+		pts = dataset.RoadLike(n, 40, 0.002, seed)
+	case "grid":
+		pts = dataset.GridJitter(n, 0.001, seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", ds)
+	}
+
+	table := metrics.NewTable(
+		fmt.Sprintf("WPG topology: n=%d delta=%g dataset=%s", n, delta, ds),
+		"M", "avg degree", "edges", "max degree", "isolated", "max weight")
+	for _, field := range strings.Split(ms, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return fmt.Errorf("bad -m entry %q: %w", field, err)
+		}
+		g := wpg.Build(pts, wpg.BuildParams{Delta: delta, MaxPeers: m})
+		st := g.Stats()
+		table.AddRow(m, st.AvgDegree, st.EdgesCount, st.MaxDegree, st.IsolatedVtxs, int(st.MaxWeight))
+	}
+	return table.Fprint(os.Stdout)
+}

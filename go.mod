@@ -1,0 +1,3 @@
+module nonexposure
+
+go 1.22

@@ -1,0 +1,221 @@
+package repro_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nonexposure/cloak"
+	"nonexposure/internal/core"
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/experiment"
+	"nonexposure/internal/geo"
+	"nonexposure/internal/workload"
+)
+
+// Integration tests exercise the full pipeline — dataset → WPG →
+// clustering → bounding → LBS query — across module boundaries, the way
+// the examples and experiments consume the library.
+
+func integUsers(n int, seed int64) []cloak.Point {
+	pts := dataset.CaliforniaLike(n, seed)
+	users := make([]cloak.Point, n)
+	for i, p := range pts {
+		users[i] = cloak.Point{X: p.X, Y: p.Y}
+	}
+	return users
+}
+
+func integConfig(n int) cloak.Config {
+	cfg := cloak.DefaultConfig()
+	cfg.Delta = 2e-3 * math.Sqrt(float64(dataset.CaliforniaPOISize)/float64(n))
+	return cfg
+}
+
+func TestIntegrationFullPipeline(t *testing.T) {
+	const n = 4000
+	users := integUsers(n, 42)
+	cfg := integConfig(n)
+	sys, err := cloak.NewSystem(users, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cloak.NewPOIDatabase(users, cfg.Cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	served := 0
+	for i := 0; i < 60; i++ {
+		host := rng.Intn(n)
+		res, err := sys.Cloak(host)
+		if errors.Is(err, cloak.ErrNotEnoughUsers) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("host %d: %v", host, err)
+		}
+		served++
+		if !res.Region.Contains(users[host]) {
+			t.Fatalf("host %d outside its region", host)
+		}
+		if res.ClusterSize < cfg.K {
+			t.Fatalf("host %d: cluster %d < K", host, res.ClusterSize)
+		}
+		// k-anonymity is only meaningful if the region really contains
+		// >= K user positions.
+		inside := 0
+		for _, u := range users {
+			if res.Region.Contains(u) {
+				inside++
+			}
+		}
+		if inside < cfg.K {
+			t.Fatalf("host %d: region holds %d < K users", host, inside)
+		}
+		// The LBS flow must return the true nearest POIs.
+		cands, _ := db.NearestCandidates(res.Region, 3)
+		got := db.ResolveNearest(cands, users[host], 3)
+		if len(got) != 3 {
+			t.Fatalf("host %d: resolved %d POIs", host, len(got))
+		}
+	}
+	if served < 40 {
+		t.Fatalf("only %d of 60 requests served; topology too fragmented", served)
+	}
+}
+
+// The same seeded run must produce byte-identical outcomes: the whole
+// stack is deterministic (no map-ordering or scheduling leakage).
+func TestIntegrationDeterminism(t *testing.T) {
+	run := func() []cloak.Region {
+		users := integUsers(3000, 7)
+		sys, err := cloak.NewSystem(users, integConfig(3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var regions []cloak.Region
+		for host := 0; host < 3000; host += 101 {
+			res, err := sys.Cloak(host)
+			if err != nil {
+				regions = append(regions, cloak.Region{})
+				continue
+			}
+			regions = append(regions, res.Region)
+		}
+		return regions
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical seeded runs diverged")
+	}
+}
+
+// Distributed and centralized modes must agree on the anonymity guarantee
+// even where their clusters differ.
+func TestIntegrationModesBothSatisfyK(t *testing.T) {
+	const n = 3000
+	for _, mode := range []cloak.Mode{cloak.ModeDistributed, cloak.ModeCentralized} {
+		users := integUsers(n, 11)
+		cfg := integConfig(n)
+		cfg.Mode = mode
+		sys, err := cloak.NewSystem(users, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for host := 0; host < n; host += 517 {
+			res, err := sys.Cloak(host)
+			if errors.Is(err, cloak.ErrNotEnoughUsers) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("mode %v host %d: %v", mode, host, err)
+			}
+			if res.ClusterSize < cfg.K || !res.Region.Contains(users[host]) {
+				t.Fatalf("mode %v host %d: bad result %+v", mode, host, res)
+			}
+		}
+	}
+}
+
+// Every figure driver must run end to end at a small scale — the
+// regeneration harness itself is part of the product.
+func TestIntegrationExperimentHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep skipped in -short")
+	}
+	p := experiment.DefaultParams().Scaled(0.02)
+	if _, _, err := experiment.RunDegreeSweep(p, []int{8, 16}); err != nil {
+		t.Errorf("fig9: %v", err)
+	}
+	if _, err := experiment.RunPOISizeSweep(p, []float64{0, 10}); err != nil {
+		t.Errorf("fig10: %v", err)
+	}
+	if _, _, err := experiment.RunKSweep(p, []int{5, 10}); err != nil {
+		t.Errorf("fig11: %v", err)
+	}
+	if _, _, err := experiment.RunRequestSweep(p, []int{10, 20}); err != nil {
+		t.Errorf("fig12: %v", err)
+	}
+	if _, _, _, _, err := experiment.RunBoundingSweep(p, []int{5, 10}); err != nil {
+		t.Errorf("fig13: %v", err)
+	}
+	if _, err := experiment.RunExposureComparison(p, []int{5}); err != nil {
+		t.Errorf("baselines: %v", err)
+	}
+}
+
+// Cross-module consistency: the workload metrics the harness reports must
+// be recomputable from first principles with the core API.
+func TestIntegrationHarnessMatchesCoreReplay(t *testing.T) {
+	p := experiment.DefaultParams().Scaled(0.02)
+	env, err := experiment.NewEnv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := experiment.RunClusteringWorkload(env, p.K, p.Requests, experiment.AlgoTConnDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay manually.
+	hosts, err := workload.Hosts(env.Graph.NumVertices(), p.Requests, p.Seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry(env.Graph.NumVertices())
+	var commSum, areaSum float64
+	commCount, areaCount := 0, 0
+	for _, h := range hosts {
+		c, stats, err := core.DistributedTConn(core.GraphSource{G: env.Graph}, h, p.K, reg)
+		if errors.Is(err, core.ErrInsufficientUsers) {
+			// The harness still charges the failed attempt's messages.
+			commSum += float64(stats.Involved)
+			commCount++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		commSum += float64(stats.Involved)
+		commCount++
+		r := geo.EmptyRect()
+		for _, m := range c.Members {
+			r = r.ExpandToInclude(env.Points[m])
+		}
+		areaSum += r.Area()
+		areaCount++
+	}
+	if commCount == 0 || areaCount == 0 {
+		t.Fatal("no requests replayed")
+	}
+	if math.Abs(got.AvgComm-commSum/float64(commCount)) > 1e-9 {
+		t.Errorf("harness comm %v != replay %v", got.AvgComm, commSum/float64(commCount))
+	}
+	if math.Abs(got.AvgArea-areaSum/float64(areaCount)) > 1e-12 {
+		t.Errorf("harness area %v != replay %v", got.AvgArea, areaSum/float64(areaCount))
+	}
+}

@@ -1,0 +1,83 @@
+// Package anonymizer implements the centralized variant of phase-1
+// clustering: a dedicated server that has the complete proximity
+// information submitted by all users (Fig. 3, path ¬).
+//
+// On the first cloaking request it runs the centralized t-connectivity
+// k-clustering over the entire WPG and caches every cluster; all
+// subsequent requests are answered from the cache at no communication
+// cost. The first request therefore costs one proximity-upload message
+// per user — the "upper bound" curve in the paper's Fig. 9/11/12.
+//
+// Note the paper's critique still applies: the anonymizer sees only
+// proximity data, not coordinates, so even this centralized party never
+// learns user locations — that is the whole point of non-exposure
+// cloaking.
+package anonymizer
+
+import (
+	"fmt"
+	"sync"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/wpg"
+)
+
+// Server is the centralized anonymizer.
+type Server struct {
+	g *wpg.Graph
+	k int
+
+	mu        sync.Mutex
+	reg       *core.Registry
+	clustered bool
+	skipped   int
+}
+
+// New returns an anonymizer for the given proximity graph and anonymity
+// level. It panics if k < 1.
+func New(g *wpg.Graph, k int) *Server {
+	if k < 1 {
+		panic(fmt.Sprintf("anonymizer: k must be >= 1, got %d", k))
+	}
+	return &Server{g: g, k: k, reg: core.NewRegistry(g.NumVertices())}
+}
+
+// K returns the configured anonymity level.
+func (s *Server) K() int { return s.k }
+
+// Registry exposes the server's cluster registry (read-only use).
+func (s *Server) Registry() *core.Registry { return s.reg }
+
+// Cloak returns the cluster for host. cost is the number of messages this
+// request caused: the full user population on the very first request
+// (everyone uploads its proximity list), zero afterwards.
+func (s *Server) Cloak(host int32) (cluster *core.Cluster, cost int, err error) {
+	if int(host) < 0 || int(host) >= s.g.NumVertices() {
+		return nil, 0, fmt.Errorf("anonymizer: no such user %d", host)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.clustered {
+		_, skipped, err := core.RegisterCentralized(s.g, s.k, s.reg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("anonymizer: initial clustering: %w", err)
+		}
+		s.skipped = skipped
+		s.clustered = true
+		cost = s.g.NumVertices()
+	}
+	c, ok := s.reg.ClusterOf(host)
+	if !ok {
+		return nil, cost, fmt.Errorf("%w: user %d is in a component smaller than k=%d",
+			core.ErrInsufficientUsers, host, s.k)
+	}
+	return c, cost, nil
+}
+
+// Unclusterable returns how many users ended up in undersized components
+// (0 before the first request).
+func (s *Server) Unclusterable() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}

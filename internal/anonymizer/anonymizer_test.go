@@ -1,0 +1,114 @@
+package anonymizer
+
+import (
+	"errors"
+	"testing"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/graph"
+	"nonexposure/internal/wpg"
+)
+
+func testGraph() *wpg.Graph {
+	// Two components: a 6-chain and an isolated pair.
+	return wpg.MustFromEdges(8, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3},
+		{U: 3, V: 4, W: 1}, {U: 4, V: 5, W: 2},
+		{U: 6, V: 7, W: 1},
+	})
+}
+
+func TestCloakFirstRequestCostsEveryone(t *testing.T) {
+	s := New(testGraph(), 3)
+	c, cost, err := s.Cloak(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 8 {
+		t.Errorf("first request cost = %d, want 8 (all users)", cost)
+	}
+	if !c.Contains(0) || c.Size() < 3 {
+		t.Errorf("cluster = %v", c.Members)
+	}
+	// Second request: free, same registry.
+	c2, cost2, err := s.Cloak(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2 != 0 {
+		t.Errorf("second request cost = %d, want 0", cost2)
+	}
+	if c2.Size() < 3 {
+		t.Errorf("cluster = %v", c2.Members)
+	}
+	if err := s.Registry().CheckReciprocity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloakReciprocityAcrossMembers(t *testing.T) {
+	s := New(testGraph(), 3)
+	c, _, err := s.Cloak(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range c.Members {
+		cm, cost, err := s.Cloak(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cm.ID != c.ID || cost != 0 {
+			t.Errorf("member %d: cluster %d cost %d, want %d / 0", m, cm.ID, cost, c.ID)
+		}
+	}
+}
+
+func TestCloakUndersizedComponent(t *testing.T) {
+	s := New(testGraph(), 3)
+	// Users 6,7 form a 2-component: k=3 impossible.
+	_, _, err := s.Cloak(6)
+	if !errors.Is(err, core.ErrInsufficientUsers) {
+		t.Errorf("err = %v, want ErrInsufficientUsers", err)
+	}
+	if s.Unclusterable() != 2 {
+		t.Errorf("Unclusterable = %d, want 2", s.Unclusterable())
+	}
+}
+
+func TestCloakValidation(t *testing.T) {
+	s := New(testGraph(), 3)
+	if _, _, err := s.Cloak(99); err == nil {
+		t.Error("unknown user should error")
+	}
+	if s.K() != 3 {
+		t.Errorf("K = %d", s.K())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k < 1 should panic")
+		}
+	}()
+	New(testGraph(), 0)
+}
+
+func TestCloakMatchesCentralizedAlgorithm(t *testing.T) {
+	g := testGraph()
+	s := New(g, 2)
+	c, _, err := s.Cloak(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.CentralizedTConn(g, 2)
+	found := false
+	for _, wc := range want {
+		if wc.Contains(4) {
+			found = true
+			if wc.Size() != c.Size() {
+				t.Errorf("anonymizer cluster size %d != algorithm %d", c.Size(), wc.Size())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("reference clustering lost user 4")
+	}
+}

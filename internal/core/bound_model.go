@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements Section V's cost model for secure bounding: the
+// distributions of the overshoot variable x = ξ − X₀, the request-cost
+// functions R(x), the unary optimum of Equation 2, the N-bounding
+// approximation of Equation 5, and the exact bottom-up dynamic program
+// over Equation 3.
+//
+// All model math works in a normalized domain where the expected extent U
+// of the disagreeing users is 1; protocol code rescales increments by its
+// per-direction extent estimate. This keeps the paper's example constants
+// (Cb = 1, Cr = 1000) meaningful regardless of the absolute coordinate
+// scale.
+
+// Distribution models the positive iid overshoot of a disagreeing user's
+// private value beyond the last rejected bound.
+type Distribution interface {
+	// PDF is the probability density p(x) for x > 0.
+	PDF(x float64) float64
+	// CDF is the cumulative probability P(x) = Pr[overshoot <= x].
+	CDF(x float64) float64
+	// Mean returns the expectation, used for sanity checks and DP grids.
+	Mean() float64
+}
+
+// UniformDist is Example 5.1/5.3's model: overshoot uniform on (0, U).
+type UniformDist struct {
+	// U is the domain width; the normalized model uses U = 1.
+	U float64
+}
+
+// PDF implements Distribution.
+func (d UniformDist) PDF(x float64) float64 {
+	if x <= 0 || x >= d.U {
+		return 0
+	}
+	return 1 / d.U
+}
+
+// CDF implements Distribution.
+func (d UniformDist) CDF(x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= d.U:
+		return 1
+	default:
+		return x / d.U
+	}
+}
+
+// Mean implements Distribution.
+func (d UniformDist) Mean() float64 { return d.U / 2 }
+
+// ExpDist is Example 5.2/5.4's model: overshoot exponentially distributed.
+// We use the standard parameterization p(x) = λ·exp(−λx) (the paper's
+// "e^{−λx}/λ" only integrates to one when λ = 1; Section "Algorithmic
+// notes" of DESIGN.md records this correction).
+type ExpDist struct {
+	Lambda float64
+}
+
+// PDF implements Distribution.
+func (d ExpDist) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return d.Lambda * math.Exp(-d.Lambda*x)
+}
+
+// CDF implements Distribution.
+func (d ExpDist) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-d.Lambda*x)
+}
+
+// Mean implements Distribution.
+func (d ExpDist) Mean() float64 { return 1 / d.Lambda }
+
+// RequestCost models R(x): the communication cost of the eventual service
+// request as a function of the bound.
+type RequestCost interface {
+	R(x float64) float64
+	// RPrime is dR/dx, needed by Equations 2 and 5.
+	RPrime(x float64) float64
+}
+
+// AreaCost is R(x) = Cr·x² — request cost proportional to the area of the
+// bound (Examples 5.1 and 5.3; a range query returns content proportional
+// to the region's area).
+type AreaCost struct {
+	Cr float64
+}
+
+// R implements RequestCost.
+func (c AreaCost) R(x float64) float64 { return c.Cr * x * x }
+
+// RPrime implements RequestCost.
+func (c AreaCost) RPrime(x float64) float64 { return 2 * c.Cr * x }
+
+// LengthCost is R(x) = Cr·x — request cost proportional to the length of
+// the bound (Examples 5.2 and 5.4).
+type LengthCost struct {
+	Cr float64
+}
+
+// R implements RequestCost.
+func (c LengthCost) R(x float64) float64 { return c.Cr * x }
+
+// RPrime implements RequestCost.
+func (c LengthCost) RPrime(x float64) float64 { return c.Cr }
+
+// CostModel bundles everything Equations 1–5 need.
+type CostModel struct {
+	// Cb is the fixed cost of one bound-verification round trip per user.
+	Cb float64
+	// Dist is the overshoot distribution.
+	Dist Distribution
+	// Req is the request cost function.
+	Req RequestCost
+	// XMax caps the search domain for numeric solutions; defaults to a
+	// generous multiple of the distribution mean when zero.
+	XMax float64
+}
+
+func (m CostModel) xMax() float64 {
+	if m.XMax > 0 {
+		return m.XMax
+	}
+	return 20 * m.Dist.Mean()
+}
+
+// UnaryOptimum solves Equation 2, P(x)·R'(x) = (Cb + R(x))·p(x), for the
+// optimal unary bound x*, and returns x*, the optimal expected cost
+// C* = (Cb + R(x*)) / P(x*), and R* = R(x*).
+//
+// For the uniform/area instance this reduces to the closed form
+// x* = sqrt(Cb/Cr) of Example 5.1; other instances are solved numerically
+// (bisection with a Newton polish — Example 5.2's transcendental equation).
+// When the unconstrained optimum exceeds the distribution's support, the
+// bound saturates at the support edge where P(x) = 1.
+func (m CostModel) UnaryOptimum() (xStar, cStar, rStar float64, err error) {
+	if m.Cb <= 0 {
+		return 0, 0, 0, fmt.Errorf("core: Cb must be positive, got %v", m.Cb)
+	}
+	g := func(x float64) float64 {
+		return m.Dist.CDF(x)*m.Req.RPrime(x) - (m.Cb+m.Req.R(x))*m.Dist.PDF(x)
+	}
+	lo, hi := 1e-12, m.xMax()
+	// If the distribution has bounded support and g stays negative over
+	// it, the optimum saturates where P reaches 1.
+	if u, ok := m.Dist.(UniformDist); ok {
+		if g(u.U-1e-12) < 0 {
+			xStar = u.U
+			cStar = m.Cb + m.Req.R(xStar) // P(x*) = 1: no failure branch
+			return xStar, cStar, m.Req.R(xStar), nil
+		}
+		hi = u.U - 1e-12
+	}
+	x, solveErr := bisect(g, lo, hi, 1e-12, 200)
+	if solveErr != nil {
+		return 0, 0, 0, fmt.Errorf("core: unary optimum: %w", solveErr)
+	}
+	p := m.Dist.CDF(x)
+	if p <= 0 {
+		return 0, 0, 0, fmt.Errorf("core: unary optimum degenerate at x=%v", x)
+	}
+	return x, (m.Cb + m.Req.R(x)) / p, m.Req.R(x), nil
+}
+
+// NBoundingIncrement solves Equation 5, R'(x) = (C* − R*)·N·p(x), for the
+// approximate optimal increment with N disagreeing users. The uniform/area
+// instance has the closed form x = N(C* − R*)/(2·Cr·U) of Example 5.3; the
+// exponential/length instance has x = ln((C*−R*)·N·λ/Cr)/λ (Example 5.4,
+// with the standard exponential parameterization); anything else is solved
+// numerically. The result is clamped to (0, xMax].
+func (m CostModel) NBoundingIncrement(n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("core: N-bounding needs n >= 1, got %d", n)
+	}
+	xStar, cStar, rStar, err := m.UnaryOptimum()
+	if err != nil {
+		return 0, err
+	}
+	if n == 1 {
+		return xStar, nil
+	}
+	gain := cStar - rStar // (C* − R*): what a failed bound costs beyond the request
+	if gain <= 0 {
+		// Degenerate model (request cost dominates everything): fall back
+		// to the unary optimum.
+		return xStar, nil
+	}
+	switch req := m.Req.(type) {
+	case AreaCost:
+		if u, ok := m.Dist.(UniformDist); ok {
+			x := float64(n) * gain / (2 * req.Cr * u.U)
+			return clampIncrement(x, m.xMax()), nil
+		}
+	case LengthCost:
+		if e, ok := m.Dist.(ExpDist); ok {
+			arg := gain * float64(n) * e.Lambda / req.Cr
+			if arg <= 1 {
+				// The optimum is at the domain edge: even the smallest
+				// increments beat failure costs.
+				return xStar, nil
+			}
+			return clampIncrement(math.Log(arg)/e.Lambda, m.xMax()), nil
+		}
+	}
+	// Generic numeric solution of Equation 5.
+	g := func(x float64) float64 {
+		return m.Req.RPrime(x) - gain*float64(n)*m.Dist.PDF(x)
+	}
+	x, solveErr := bisect(g, 1e-12, m.xMax(), 1e-12, 200)
+	if solveErr != nil {
+		// No sign change: the increment saturates at an end point; pick
+		// whichever end has lower total-cost proxy.
+		return clampIncrement(m.xMax(), m.xMax()), nil
+	}
+	return clampIncrement(x, m.xMax()), nil
+}
+
+func clampIncrement(x, xmax float64) float64 {
+	if x < 1e-12 {
+		return 1e-12
+	}
+	if x > xmax {
+		return xmax
+	}
+	return x
+}
+
+// ExactNBounding computes, by bottom-up dynamic programming over
+// Equation 3, the exact optimal increment x*(N) and expected total cost
+// C*(N) for every N up to maxN:
+//
+//	C(x,N) = N·Cb + R(x) + Σ_{i=1..N} C(N,i)(1−P(x))^i P(x)^{N−i} C*(i)
+//
+// The minimization over x uses a dense grid followed by golden-section
+// refinement. This is the CPU-heavy alternative the paper's closed forms
+// approximate; the ablation bench compares the two.
+func (m CostModel) ExactNBounding(maxN int) (incs, costs []float64, err error) {
+	if maxN < 1 {
+		return nil, nil, fmt.Errorf("core: maxN must be >= 1, got %d", maxN)
+	}
+	incs = make([]float64, maxN+1)
+	costs = make([]float64, maxN+1)
+	x1, c1, _, err := m.UnaryOptimum()
+	if err != nil {
+		return nil, nil, err
+	}
+	incs[1], costs[1] = x1, c1
+
+	// Pascal triangle for binomial coefficients.
+	choose := make([][]float64, maxN+1)
+	for i := range choose {
+		choose[i] = make([]float64, i+1)
+		choose[i][0] = 1
+		for j := 1; j <= i; j++ {
+			if j == i {
+				choose[i][j] = 1
+			} else {
+				choose[i][j] = choose[i-1][j-1] + choose[i-1][j]
+			}
+		}
+	}
+
+	xmax := m.xMax()
+	for n := 2; n <= maxN; n++ {
+		// Equation 3's sum includes i = n: with probability (1−P)^n all n
+		// users disagree again and the process repeats from the same
+		// state, so C*(n) is a fixed point. For a fixed x,
+		//   C = A(x) + (1−P(x))^n · C  ⇒  C = A(x) / (1 − (1−P(x))^n),
+		// where A collects the strictly-progressing terms.
+		total := func(x float64) float64 {
+			p := m.Dist.CDF(x)
+			if p <= 0 {
+				return math.Inf(1) // a bound nobody can accept never progresses
+			}
+			q := 1 - p
+			a := float64(n)*m.Cb + m.Req.R(x)
+			for i := 1; i < n; i++ {
+				a += choose[n][i] * math.Pow(q, float64(i)) * math.Pow(p, float64(n-i)) * costs[i]
+			}
+			return a / (1 - math.Pow(q, float64(n)))
+		}
+		x, c := minimizeOn(total, 1e-9, xmax, 400)
+		incs[n], costs[n] = x, c
+	}
+	return incs, costs, nil
+}
+
+// bisect finds a root of f on [lo, hi]; f(lo) and f(hi) must have opposite
+// signs.
+func bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, fmt.Errorf("no sign change on [%v, %v] (f: %v, %v)", lo, hi, flo, fhi)
+	}
+	for i := 0; i < maxIter && hi-lo > tol; i++ {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (fhi > 0) {
+			hi, fhi = mid, fm
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// minimizeOn grid-scans f on [lo, hi] with `grid` samples and refines the
+// best bracket by golden-section search. Returns argmin and min.
+func minimizeOn(f func(float64) float64, lo, hi float64, grid int) (float64, float64) {
+	bestX, bestF := lo, f(lo)
+	step := (hi - lo) / float64(grid)
+	for i := 1; i <= grid; i++ {
+		x := lo + float64(i)*step
+		if v := f(x); v < bestF {
+			bestX, bestF = x, v
+		}
+	}
+	a := math.Max(lo, bestX-step)
+	b := math.Min(hi, bestX+step)
+	const phi = 0.6180339887498949
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 80 && b-a > 1e-12; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	mid := (a + b) / 2
+	if v := f(mid); v < bestF {
+		return mid, v
+	}
+	return bestX, bestF
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func defaultModel() CostModel {
+	return CostModel{Cb: 1, Dist: UniformDist{U: 1}, Req: AreaCost{Cr: 1000}}
+}
+
+func TestUniformDist(t *testing.T) {
+	d := UniformDist{U: 2}
+	if d.PDF(1) != 0.5 || d.PDF(-1) != 0 || d.PDF(3) != 0 {
+		t.Error("uniform PDF wrong")
+	}
+	if d.CDF(1) != 0.5 || d.CDF(-1) != 0 || d.CDF(3) != 1 {
+		t.Error("uniform CDF wrong")
+	}
+	if d.Mean() != 1 {
+		t.Error("uniform mean wrong")
+	}
+}
+
+func TestExpDist(t *testing.T) {
+	d := ExpDist{Lambda: 2}
+	if math.Abs(d.PDF(0)-2) > 1e-12 {
+		t.Errorf("PDF(0) = %v, want 2", d.PDF(0))
+	}
+	if d.PDF(-1) != 0 || d.CDF(-1) != 0 {
+		t.Error("negative support should be zero")
+	}
+	if math.Abs(d.CDF(1)-(1-math.Exp(-2))) > 1e-12 {
+		t.Error("exp CDF wrong")
+	}
+	if math.Abs(d.Mean()-0.5) > 1e-12 {
+		t.Error("exp mean wrong")
+	}
+	// CDF is the integral of PDF: check numerically.
+	sum := 0.0
+	dx := 1e-4
+	for x := 0.0; x < 1; x += dx {
+		sum += d.PDF(x+dx/2) * dx
+	}
+	if math.Abs(sum-d.CDF(1)) > 1e-3 {
+		t.Errorf("PDF does not integrate to CDF: %v vs %v", sum, d.CDF(1))
+	}
+}
+
+func TestRequestCosts(t *testing.T) {
+	a := AreaCost{Cr: 3}
+	if a.R(2) != 12 || a.RPrime(2) != 12 {
+		t.Errorf("area cost: R=%v R'=%v", a.R(2), a.RPrime(2))
+	}
+	l := LengthCost{Cr: 3}
+	if l.R(2) != 6 || l.RPrime(2) != 3 {
+		t.Errorf("length cost: R=%v R'=%v", l.R(2), l.RPrime(2))
+	}
+}
+
+func TestUnaryOptimumUniformAreaClosedForm(t *testing.T) {
+	// Example 5.1: x* = sqrt(Cb/Cr) independent of U.
+	m := defaultModel()
+	x, c, r, err := m.UnaryOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(1.0 / 1000.0)
+	if math.Abs(x-want) > 1e-6 {
+		t.Errorf("x* = %v, want %v", x, want)
+	}
+	// C* = (Cb + R(x*)) / P(x*) = 2Cb·U/x*.
+	if math.Abs(c-2/want) > 1e-3 {
+		t.Errorf("C* = %v, want %v", c, 2/want)
+	}
+	if math.Abs(r-1) > 1e-6 { // R* = Cr·x*² = Cb = 1
+		t.Errorf("R* = %v, want 1", r)
+	}
+}
+
+func TestUnaryOptimumIndependentOfUWhenInterior(t *testing.T) {
+	// Example 5.1 notes the bound depends only on Cb/Cr, not on U, as long
+	// as it stays inside the support.
+	for _, u := range []float64{0.5, 1, 2, 10} {
+		m := CostModel{Cb: 1, Dist: UniformDist{U: u}, Req: AreaCost{Cr: 1000}}
+		x, _, _, err := m.UnaryOptimum()
+		if err != nil {
+			t.Fatalf("U=%v: %v", u, err)
+		}
+		if math.Abs(x-math.Sqrt(1.0/1000.0)) > 1e-6 {
+			t.Errorf("U=%v: x* = %v should not depend on U", u, x)
+		}
+	}
+}
+
+func TestUnaryOptimumSaturation(t *testing.T) {
+	// When sqrt(Cb/Cr) >= U the optimum saturates at U where P = 1.
+	m := CostModel{Cb: 10, Dist: UniformDist{U: 0.05}, Req: AreaCost{Cr: 1}}
+	x, c, _, err := m.UnaryOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 0.05 {
+		t.Errorf("saturated x* = %v, want U=0.05", x)
+	}
+	if math.Abs(c-(10+0.05*0.05)) > 1e-9 {
+		t.Errorf("saturated C* = %v", c)
+	}
+}
+
+func TestUnaryOptimumExpLengthSatisfiesEquation2(t *testing.T) {
+	// Example 5.2's transcendental instance: verify the numeric solution
+	// satisfies P(x)·R'(x) = (Cb + R(x))·p(x).
+	m := CostModel{Cb: 1, Dist: ExpDist{Lambda: 3}, Req: LengthCost{Cr: 5}}
+	x, c, _, err := m.UnaryOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := m.Dist.CDF(x) * m.Req.RPrime(x)
+	rhs := (m.Cb + m.Req.R(x)) * m.Dist.PDF(x)
+	if math.Abs(lhs-rhs) > 1e-6*(1+math.Abs(lhs)) {
+		t.Errorf("Equation 2 violated at x=%v: %v vs %v", x, lhs, rhs)
+	}
+	if c <= 0 {
+		t.Errorf("C* = %v", c)
+	}
+}
+
+func TestUnaryOptimumRejectsBadCb(t *testing.T) {
+	m := CostModel{Cb: 0, Dist: UniformDist{U: 1}, Req: AreaCost{Cr: 1}}
+	if _, _, _, err := m.UnaryOptimum(); err == nil {
+		t.Error("Cb = 0 should error")
+	}
+}
+
+func TestNBoundingIncrementClosedFormUniformArea(t *testing.T) {
+	// Example 5.3: x = N(C* − R*)/(2·Cr·U).
+	m := defaultModel()
+	_, cStar, rStar, err := m.UnaryOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 5, 10, 20} {
+		got, err := m.NBoundingIncrement(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := float64(n) * (cStar - rStar) / (2 * 1000 * 1)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d: increment %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNBoundingIncrementN1IsUnaryOptimum(t *testing.T) {
+	m := defaultModel()
+	x1, _, _, _ := m.UnaryOptimum()
+	got, err := m.NBoundingIncrement(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-x1) > 1e-12 {
+		t.Errorf("increment(1) = %v, want unary optimum %v", got, x1)
+	}
+	if _, err := m.NBoundingIncrement(0); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestNBoundingIncrementMonotoneInN(t *testing.T) {
+	m := defaultModel()
+	prev := 0.0
+	for n := 1; n <= 30; n++ {
+		inc, err := m.NBoundingIncrement(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 1 && inc < prev-1e-12 {
+			t.Errorf("increment decreased at n=%d: %v < %v", n, inc, prev)
+		}
+		prev = inc
+	}
+}
+
+func TestNBoundingIncrementExpLength(t *testing.T) {
+	// Example 5.4: x = ln((C*−R*)·N·λ/Cr)/λ, and it must satisfy
+	// Equation 5: R'(x) = (C*−R*)·N·p(x).
+	m := CostModel{Cb: 1, Dist: ExpDist{Lambda: 2}, Req: LengthCost{Cr: 0.5}}
+	_, cStar, rStar, err := m.UnaryOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := cStar - rStar
+	for _, n := range []int{2, 5, 12} {
+		x, err := m.NBoundingIncrement(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		lhs := m.Req.RPrime(x)
+		rhs := gain * float64(n) * m.Dist.PDF(x)
+		if math.Abs(lhs-rhs) > 1e-6*(1+math.Abs(lhs)) {
+			t.Errorf("n=%d: Equation 5 violated at x=%v: %v vs %v", n, x, lhs, rhs)
+		}
+	}
+}
+
+func TestNBoundingIncrementGenericNumeric(t *testing.T) {
+	// A mixed instance with no closed form: uniform overshoot with length
+	// cost. Equation 5 becomes Cr = gain·N/U on the support — constant vs
+	// constant, so the solver falls back to a saturated increment; it must
+	// stay positive and finite.
+	m := CostModel{Cb: 1, Dist: UniformDist{U: 1}, Req: LengthCost{Cr: 2}}
+	for _, n := range []int{1, 3, 9} {
+		x, err := m.NBoundingIncrement(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Errorf("n=%d: degenerate increment %v", n, x)
+		}
+	}
+}
+
+func TestExactNBoundingDP(t *testing.T) {
+	m := defaultModel()
+	incs, costs, err := m.ExactNBounding(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, c1, _, _ := m.UnaryOptimum()
+	if math.Abs(incs[1]-x1) > 1e-9 || math.Abs(costs[1]-c1) > 1e-9 {
+		t.Errorf("DP base case: (%v, %v) vs unary (%v, %v)", incs[1], costs[1], x1, c1)
+	}
+	for n := 2; n <= 12; n++ {
+		if incs[n] <= 0 {
+			t.Errorf("DP increment(%d) = %v", n, incs[n])
+		}
+		if costs[n] < costs[n-1]-1e-9 {
+			t.Errorf("DP cost decreased at n=%d: %v < %v", n, costs[n], costs[n-1])
+		}
+		// At minimum, bounding n users costs n verification messages.
+		if costs[n] < float64(n)*m.Cb {
+			t.Errorf("DP cost(%d) = %v below message floor", n, costs[n])
+		}
+	}
+	if _, _, err := m.ExactNBounding(0); err == nil {
+		t.Error("maxN=0 should error")
+	}
+}
+
+func TestExactDPIsNoWorseThanClosedFormPolicy(t *testing.T) {
+	// The DP cost at each N is a true optimum of Equation 3, so evaluating
+	// Equation 3 at the closed-form increment can only be >= it.
+	m := defaultModel()
+	incs, costs, err := m.ExactNBounding(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = incs
+	for n := 2; n <= 10; n++ {
+		approx, err := m.NBoundingIncrement(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evalAt := func(x float64) float64 {
+			// Recompute the fixed-point form of Equation 3 with the DP's
+			// subcosts (see ExactNBounding).
+			p := m.Dist.CDF(x)
+			if p <= 0 {
+				return math.Inf(1)
+			}
+			q := 1 - p
+			a := float64(n)*m.Cb + m.Req.R(x)
+			choose := 1.0
+			for i := 1; i < n; i++ {
+				choose = choose * float64(n-i+1) / float64(i)
+				a += choose * math.Pow(q, float64(i)) * math.Pow(p, float64(n-i)) * costs[i]
+			}
+			return a / (1 - math.Pow(q, float64(n)))
+		}
+		if evalAt(approx) < costs[n]-1e-6 {
+			t.Errorf("n=%d: closed form beats the 'exact' DP: %v < %v — DP minimization broken",
+				n, evalAt(approx), costs[n])
+		}
+	}
+}
+
+func TestBisect(t *testing.T) {
+	x, err := bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-9 {
+		t.Errorf("bisect sqrt(2) = %v", x)
+	}
+	if _, err := bisect(func(x float64) float64 { return 1 }, 0, 1, 1e-12, 10); err == nil {
+		t.Error("no sign change should error")
+	}
+}
+
+func TestMinimizeOn(t *testing.T) {
+	x, v := minimizeOn(func(x float64) float64 { return (x - 0.3) * (x - 0.3) }, 0, 1, 100)
+	if math.Abs(x-0.3) > 1e-6 || v > 1e-10 {
+		t.Errorf("minimizeOn = (%v, %v)", x, v)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any sane uniform/area model, the unary optimum satisfies
+// Equation 2 (or saturates at the support edge), C* >= Cb, and the
+// N-bounding increments are positive and monotone in N.
+func TestQuickUniformAreaModelInvariants(t *testing.T) {
+	f := func(cbSeed, crSeed, uSeed uint16) bool {
+		cb := 0.1 + float64(cbSeed%1000)/100 // (0.1, 10.1)
+		cr := 1 + float64(crSeed%10000)      // [1, 10001)
+		u := 0.1 + float64(uSeed%100)/10     // (0.1, 10.1)
+		m := CostModel{Cb: cb, Dist: UniformDist{U: u}, Req: AreaCost{Cr: cr}}
+		x, c, r, err := m.UnaryOptimum()
+		if err != nil {
+			return false
+		}
+		if x <= 0 || x > u+1e-9 {
+			return false
+		}
+		if c < cb-1e-9 || r < 0 {
+			return false
+		}
+		prev := 0.0
+		for n := 1; n <= 20; n++ {
+			inc, err := m.NBoundingIncrement(n)
+			if err != nil || inc <= 0 || math.IsNaN(inc) || math.IsInf(inc, 0) {
+				return false
+			}
+			if n > 1 && inc < prev-1e-9 {
+				return false
+			}
+			prev = inc
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the exponential/length closed form always satisfies
+// Equation 5 within numerical tolerance.
+func TestQuickExpLengthEquation5(t *testing.T) {
+	f := func(lambdaSeed, crSeed uint16, nSeed uint8) bool {
+		lambda := 0.2 + float64(lambdaSeed%100)/10 // (0.2, 10.2)
+		cr := 0.1 + float64(crSeed%1000)/10        // (0.1, 100.1)
+		n := 1 + int(nSeed%30)
+		m := CostModel{Cb: 1, Dist: ExpDist{Lambda: lambda}, Req: LengthCost{Cr: cr}}
+		_, cStar, rStar, err := m.UnaryOptimum()
+		if err != nil {
+			return false
+		}
+		x, err := m.NBoundingIncrement(n)
+		if err != nil || x <= 0 {
+			return false
+		}
+		if n == 1 {
+			return true // unary optimum, checked elsewhere
+		}
+		gain := cStar - rStar
+		if gain <= 0 {
+			return true // degenerate fallback allowed
+		}
+		lhs := m.Req.RPrime(x)
+		rhs := gain * float64(n) * m.Dist.PDF(x)
+		// Saturated solutions (arg <= 1 branch) fall back to the unary
+		// optimum, where Equation 5 need not hold exactly.
+		if x == mustUnary(m) {
+			return true
+		}
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustUnary(m CostModel) float64 {
+	x, _, _, err := m.UnaryOptimum()
+	if err != nil {
+		return math.NaN()
+	}
+	return x
+}
+
+// Property: across random clusters and policies, the protocol's final
+// rect contains every member, and the message count equals the sum over
+// rounds of remaining disagreeing members (validated via an independent
+// simulation of the round structure).
+func TestQuickProtocolMessageAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(25)
+		offsets := make([]float64, n)
+		for i := range offsets {
+			offsets[i] = rng.Float64()*1.5 - 0.25
+		}
+		step := 0.05 + rng.Float64()*0.3
+		res, err := ProgressiveUpperBound(offsets, 1, LinearIncrement{Step: step}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Independent replay of the round structure.
+		var wantMsgs float64
+		remaining := n
+		for r := 1; remaining > 0; r++ {
+			bound := float64(r) * step
+			wantMsgs += float64(remaining)
+			still := 0
+			for _, o := range offsets {
+				if o > bound {
+					still++
+				}
+			}
+			remaining = still
+			if r > 1<<16 {
+				t.Fatal("replay did not terminate")
+			}
+		}
+		if math.Abs(res.Messages-wantMsgs) > 1e-9 {
+			t.Fatalf("trial %d: messages %v != replay %v", trial, res.Messages, wantMsgs)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nonexposure/internal/graph"
+	"nonexposure/internal/wpg"
+)
+
+// CentralizedTConn is Algorithm 1: it partitions the whole WPG into the
+// smallest valid t-connectivity clusters for anonymity level k.
+//
+// Edges are removed in descending weight order (ties by (U,V), the
+// reverse of the Kruskal insertion order). A removal that would first
+// disconnect a component is accepted only when both resulting sides keep
+// at least k vertices; otherwise the edge is kept and removal continues
+// with the next-lighter edge. This "safe removal" realizes the paper's
+// "the recursive partition continues until a further partition will lead
+// to an invalid cluster" per edge rather than per component — a single
+// pendant vertex hanging off a heavy edge must not freeze its entire
+// component into one giant cluster.
+//
+// Only minimum-spanning-forest edges can ever be first-disconnectors (a
+// non-tree edge always has its cycle intact when its turn comes), so the
+// procedure runs on the MSF with k-bounded side checks: O(V·k) overall.
+//
+// Connected components with fewer than k vertices cannot satisfy
+// k-anonymity; they are returned separately as undersized groups so the
+// caller can reject requests from those users.
+func CentralizedTConn(g *wpg.Graph, k int) (clusters []*Cluster, undersized [][]int32) {
+	if k < 1 {
+		panic(fmt.Sprintf("core: k must be >= 1, got %d", k))
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+
+	// Minimum spanning forest via Kruskal over ascending (W, U, V).
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	uf := graph.NewUnionFind(n)
+	tree := make([]graph.Edge, 0, n-1)
+	for _, e := range edges {
+		if _, merged := uf.Union(e.U, e.V); merged {
+			tree = append(tree, e)
+		}
+	}
+
+	// Mutable forest adjacency over tree edges.
+	type ref struct {
+		to  int32
+		idx int32
+	}
+	adj := make([][]ref, n)
+	for i, e := range tree {
+		adj[e.U] = append(adj[e.U], ref{to: e.V, idx: int32(i)})
+		adj[e.V] = append(adj[e.V], ref{to: e.U, idx: int32(i)})
+	}
+	alive := make([]bool, len(tree))
+	for i := range alive {
+		alive[i] = true
+	}
+
+	// sideAtLeastK reports whether the component of start, with edge skip
+	// removed, holds at least k vertices. The BFS stops after k vertices,
+	// so each check costs O(k).
+	visitedStamp := make([]int32, n)
+	var stamp int32
+	queue := make([]int32, 0, k)
+	sideAtLeastK := func(start int32, skip int32) bool {
+		stamp++
+		queue = queue[:0]
+		queue = append(queue, start)
+		visitedStamp[start] = stamp
+		count := 1
+		if count >= k {
+			return true
+		}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, r := range adj[u] {
+				if r.idx == skip || !alive[r.idx] || visitedStamp[r.to] == stamp {
+					continue
+				}
+				visitedStamp[r.to] = stamp
+				count++
+				if count >= k {
+					return true
+				}
+				queue = append(queue, r.to)
+			}
+		}
+		return false
+	}
+
+	// Descending removal pass (reverse Kruskal order).
+	for i := len(tree) - 1; i >= 0; i-- {
+		e := tree[i]
+		if sideAtLeastK(e.U, int32(i)) && sideAtLeastK(e.V, int32(i)) {
+			alive[i] = false
+		}
+	}
+
+	// Final components of the kept forest are the clusters; each one's
+	// connectivity is the maximum kept edge weight inside it.
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		members := []int32{v}
+		comp[v] = v
+		var maxW int32
+		for head := 0; head < len(members); head++ {
+			u := members[head]
+			for _, r := range adj[u] {
+				if !alive[r.idx] || comp[r.to] >= 0 {
+					continue
+				}
+				comp[r.to] = v
+				members = append(members, r.to)
+				if w := tree[r.idx].W; w > maxW {
+					maxW = w
+				}
+			}
+		}
+		if len(members) < k {
+			undersized = append(undersized, sortedCopy(members))
+			continue
+		}
+		clusters = append(clusters, &Cluster{
+			ID:      int32(len(clusters)),
+			Members: sortedCopy(members),
+			T:       maxW,
+		})
+	}
+	return clusters, undersized
+}
+
+// RegisterCentralized runs CentralizedTConn and records every valid
+// cluster in the registry (the anonymizer does this once, on the first
+// cloaking request). It returns the clusters and the count of users left
+// unclustered because their component is undersized.
+func RegisterCentralized(g *wpg.Graph, k int, reg *Registry) ([]*Cluster, int, error) {
+	clusters, undersized := CentralizedTConn(g, k)
+	memberSets := make([][]int32, len(clusters))
+	ts := make([]int32, len(clusters))
+	for i, c := range clusters {
+		memberSets[i] = c.Members
+		ts[i] = c.T
+	}
+	registered, err := reg.AddBatch(memberSets, ts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: register centralized clusters: %w", err)
+	}
+	skipped := 0
+	for _, u := range undersized {
+		skipped += len(u)
+	}
+	return registered, skipped, nil
+}
+
+func sortedCopy(s []int32) []int32 {
+	out := append([]int32(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,276 @@
+// Package core implements the paper's primary contribution: proximity
+// minimum k-clustering on the weighted proximity graph (Section IV) and
+// secure bounding of cluster coordinates (Section V).
+//
+// Clustering comes in three flavors:
+//
+//   - CentralizedTConn: Algorithm 1, run by a trusted anonymizer over the
+//     whole WPG.
+//   - DistributedTConn: Algorithm 2, run by a host user that discovers the
+//     graph through peer messages; provably cluster-isolated.
+//   - KNN / revised KNN: the local baseline of Fig. 4, which is cheap but
+//     not cluster-isolated.
+//
+// Bounding (see bound*.go) obtains the cloaked rectangle of a cluster
+// without any member revealing coordinates, via progressive
+// hypothesis–verification with cost-optimal increments.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nonexposure/internal/wpg"
+)
+
+// Cluster is one k-anonymity group: an equivalence class of users that
+// share a cloaked region. Members are sorted by id.
+type Cluster struct {
+	// ID is the registry-assigned identifier.
+	ID int32
+	// Members are the user ids in the cluster, sorted ascending.
+	Members []int32
+	// T is the cluster's connectivity: the smallest t for which the
+	// members form a t-connected component (the maximum edge weight the
+	// cluster needs). 0 for singleton clusters.
+	T int32
+}
+
+// Contains reports whether v is a member (binary search).
+func (c *Cluster) Contains(v int32) bool {
+	i := sort.Search(len(c.Members), func(i int) bool { return c.Members[i] >= v })
+	return i < len(c.Members) && c.Members[i] == v
+}
+
+// Size returns the number of members.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Registry tracks which users have been clustered. It enforces the
+// reciprocity property: a user belongs to at most one cluster, and every
+// member of a cluster maps to the same cluster. Safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	assign   []int32 // user -> cluster id, -1 when unassigned
+	clusters []*Cluster
+}
+
+// NewRegistry returns a registry for n users, all unassigned.
+func NewRegistry(n int) *Registry {
+	r := &Registry{assign: make([]int32, n)}
+	for i := range r.assign {
+		r.assign[i] = -1
+	}
+	return r
+}
+
+// Len returns the number of users the registry tracks.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.assign)
+}
+
+// ClusterOf returns the cluster of v, or (nil, false) when v is
+// unassigned.
+func (r *Registry) ClusterOf(v int32) (*Cluster, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id := r.assign[v]
+	if id < 0 {
+		return nil, false
+	}
+	return r.clusters[id], true
+}
+
+// Assigned reports whether v has a cluster.
+func (r *Registry) Assigned(v int32) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.assign[v] >= 0
+}
+
+// NumClusters returns the number of registered clusters.
+func (r *Registry) NumClusters() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.clusters)
+}
+
+// NumAssigned returns the number of users with a cluster.
+func (r *Registry) NumAssigned() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, a := range r.assign {
+		if a >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Add registers a new cluster over the given members (any order; the
+// slice is copied and sorted). It fails if any member is already assigned,
+// which would break reciprocity.
+func (r *Registry) Add(members []int32, t int32) (*Cluster, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addLocked(members, t)
+}
+
+// AddBatch registers several clusters atomically: either all succeed or
+// none are applied. Used when a distributed run partitions its whole
+// spanned set at once.
+func (r *Registry) AddBatch(memberSets [][]int32, ts []int32) ([]*Cluster, error) {
+	if len(memberSets) != len(ts) {
+		return nil, fmt.Errorf("core: AddBatch: %d member sets but %d connectivities", len(memberSets), len(ts))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Validate everything up front so failure leaves no partial state.
+	seen := make(map[int32]bool)
+	for _, ms := range memberSets {
+		for _, v := range ms {
+			if int(v) < 0 || int(v) >= len(r.assign) {
+				return nil, fmt.Errorf("core: user %d out of range", v)
+			}
+			if r.assign[v] >= 0 {
+				return nil, fmt.Errorf("core: user %d already in cluster %d", v, r.assign[v])
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("core: user %d appears in two batch clusters", v)
+			}
+			seen[v] = true
+		}
+	}
+	out := make([]*Cluster, len(memberSets))
+	for i, ms := range memberSets {
+		c, err := r.addLocked(ms, ts[i])
+		if err != nil {
+			// Unreachable after validation, but keep the invariant loud.
+			panic(fmt.Sprintf("core: AddBatch postvalidation failure: %v", err))
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func (r *Registry) addLocked(members []int32, t int32) (*Cluster, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: empty cluster")
+	}
+	ms := append([]int32(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	for i, v := range ms {
+		if int(v) < 0 || int(v) >= len(r.assign) {
+			return nil, fmt.Errorf("core: user %d out of range", v)
+		}
+		if i > 0 && ms[i-1] == v {
+			return nil, fmt.Errorf("core: duplicate member %d", v)
+		}
+		if r.assign[v] >= 0 {
+			return nil, fmt.Errorf("core: user %d already in cluster %d", v, r.assign[v])
+		}
+	}
+	c := &Cluster{ID: int32(len(r.clusters)), Members: ms, T: t}
+	r.clusters = append(r.clusters, c)
+	for _, v := range ms {
+		r.assign[v] = c.ID
+	}
+	return c, nil
+}
+
+// Clusters returns a snapshot of all registered clusters.
+func (r *Registry) Clusters() []*Cluster {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Cluster(nil), r.clusters...)
+}
+
+// CheckReciprocity verifies the reciprocity property (Section IV): every
+// member of every cluster maps back to that cluster and clusters are
+// disjoint. Returns nil when the invariant holds.
+func (r *Registry) CheckReciprocity() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	owner := make(map[int32]int32)
+	for _, c := range r.clusters {
+		for _, v := range c.Members {
+			if prev, dup := owner[v]; dup {
+				return fmt.Errorf("core: user %d in clusters %d and %d", v, prev, c.ID)
+			}
+			owner[v] = c.ID
+			if r.assign[v] != c.ID {
+				return fmt.Errorf("core: user %d assign=%d but member of %d", v, r.assign[v], c.ID)
+			}
+		}
+	}
+	for v, id := range r.assign {
+		if id >= 0 {
+			if own, ok := owner[int32(v)]; !ok || own != id {
+				return fmt.Errorf("core: user %d assigned to %d but not a member", v, id)
+			}
+		}
+	}
+	return nil
+}
+
+// AdjacencySource supplies the adjacency list of a user. It abstracts how
+// a host learns the WPG: directly (in-process graph), or via one peer
+// message per involved user (internal/p2p). Implementations must return
+// adjacency sorted by (weight, id) as *wpg.Graph does.
+type AdjacencySource interface {
+	Adjacency(v int32) []wpg.Edge
+	// NumUsers returns the total number of users in the system.
+	NumUsers() int
+}
+
+// GraphSource adapts *wpg.Graph to AdjacencySource.
+type GraphSource struct {
+	G *wpg.Graph
+}
+
+// Adjacency implements AdjacencySource.
+func (s GraphSource) Adjacency(v int32) []wpg.Edge { return s.G.Neighbors(v) }
+
+// NumUsers implements AdjacencySource.
+func (s GraphSource) NumUsers() int { return s.G.NumVertices() }
+
+// Recorder wraps an AdjacencySource and counts distinct users whose
+// adjacency was fetched. Per the paper's accounting, each such user sends
+// the host exactly one message, so Involved() is the communication cost of
+// a clustering run. The host's own adjacency is free.
+type Recorder struct {
+	src     AdjacencySource
+	host    int32
+	fetched map[int32][]wpg.Edge
+}
+
+// NewRecorder returns a Recorder for a run hosted by host.
+func NewRecorder(src AdjacencySource, host int32) *Recorder {
+	return &Recorder{src: src, host: host, fetched: make(map[int32][]wpg.Edge)}
+}
+
+// Adjacency fetches (and memoizes) v's adjacency.
+func (r *Recorder) Adjacency(v int32) []wpg.Edge {
+	if adj, ok := r.fetched[v]; ok {
+		return adj
+	}
+	adj := r.src.Adjacency(v)
+	r.fetched[v] = adj
+	return adj
+}
+
+// NumUsers implements AdjacencySource.
+func (r *Recorder) NumUsers() int { return r.src.NumUsers() }
+
+// Involved returns the number of distinct users (excluding the host) whose
+// adjacency was fetched — the clustering communication cost.
+func (r *Recorder) Involved() int {
+	n := len(r.fetched)
+	if _, ok := r.fetched[r.host]; ok {
+		n--
+	}
+	return n
+}

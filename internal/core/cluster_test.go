@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"nonexposure/internal/wpg"
+)
+
+func TestClusterContains(t *testing.T) {
+	c := &Cluster{Members: []int32{2, 5, 9}}
+	for _, v := range []int32{2, 5, 9} {
+		if !c.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []int32{0, 3, 10} {
+		if c.Contains(v) {
+			t.Errorf("Contains(%d) = true", v)
+		}
+	}
+	if c.Size() != 3 {
+		t.Errorf("Size = %d", c.Size())
+	}
+}
+
+func TestRegistryAddAndLookup(t *testing.T) {
+	r := NewRegistry(10)
+	if r.Len() != 10 || r.NumClusters() != 0 || r.NumAssigned() != 0 {
+		t.Fatalf("fresh registry: Len=%d clusters=%d assigned=%d", r.Len(), r.NumClusters(), r.NumAssigned())
+	}
+	c, err := r.Add([]int32{3, 1, 2}, 5)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if c.T != 5 {
+		t.Errorf("T = %d", c.T)
+	}
+	if len(c.Members) != 3 || c.Members[0] != 1 || c.Members[2] != 3 {
+		t.Errorf("Members not sorted: %v", c.Members)
+	}
+	for _, v := range []int32{1, 2, 3} {
+		got, ok := r.ClusterOf(v)
+		if !ok || got.ID != c.ID {
+			t.Errorf("ClusterOf(%d) = %v,%v", v, got, ok)
+		}
+		if !r.Assigned(v) {
+			t.Errorf("Assigned(%d) = false", v)
+		}
+	}
+	if _, ok := r.ClusterOf(0); ok {
+		t.Error("ClusterOf(0) should be unassigned")
+	}
+	if r.NumAssigned() != 3 {
+		t.Errorf("NumAssigned = %d", r.NumAssigned())
+	}
+	if err := r.CheckReciprocity(); err != nil {
+		t.Errorf("CheckReciprocity: %v", err)
+	}
+}
+
+func TestRegistryRejectsDoubleAssignment(t *testing.T) {
+	r := NewRegistry(5)
+	if _, err := r.Add([]int32{0, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add([]int32{1, 2}, 1); err == nil {
+		t.Error("overlapping cluster must be rejected (reciprocity)")
+	}
+	if _, err := r.Add([]int32{2, 2}, 1); err == nil {
+		t.Error("duplicate member must be rejected")
+	}
+	if _, err := r.Add(nil, 1); err == nil {
+		t.Error("empty cluster must be rejected")
+	}
+	if _, err := r.Add([]int32{99}, 1); err == nil {
+		t.Error("out-of-range member must be rejected")
+	}
+	// State must be unchanged by the failures above.
+	if r.NumClusters() != 1 || r.NumAssigned() != 2 {
+		t.Errorf("registry mutated by failed adds: clusters=%d assigned=%d", r.NumClusters(), r.NumAssigned())
+	}
+}
+
+func TestRegistryAddBatchAtomic(t *testing.T) {
+	r := NewRegistry(6)
+	_, err := r.AddBatch([][]int32{{0, 1}, {1, 2}}, []int32{1, 1})
+	if err == nil {
+		t.Fatal("batch with overlapping clusters must fail")
+	}
+	if r.NumAssigned() != 0 || r.NumClusters() != 0 {
+		t.Error("failed batch must not leave partial state")
+	}
+	_, err = r.AddBatch([][]int32{{0, 1}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "member sets") {
+		t.Errorf("mismatched lengths: %v", err)
+	}
+	cs, err := r.AddBatch([][]int32{{0, 1}, {2, 3, 4}}, []int32{2, 7})
+	if err != nil {
+		t.Fatalf("valid batch: %v", err)
+	}
+	if len(cs) != 2 || cs[1].T != 7 {
+		t.Errorf("batch result = %v", cs)
+	}
+	if err := r.CheckReciprocity(); err != nil {
+		t.Errorf("CheckReciprocity: %v", err)
+	}
+}
+
+func TestRegistryConcurrentAdds(t *testing.T) {
+	const n = 400
+	r := NewRegistry(n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n/2)
+	for i := 0; i < n; i += 2 {
+		wg.Add(1)
+		go func(i int32) {
+			defer wg.Done()
+			if _, err := r.Add([]int32{i, i + 1}, 1); err != nil {
+				errs <- err
+			}
+		}(int32(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent Add: %v", err)
+	}
+	if r.NumAssigned() != n {
+		t.Errorf("NumAssigned = %d, want %d", r.NumAssigned(), n)
+	}
+	if err := r.CheckReciprocity(); err != nil {
+		t.Errorf("CheckReciprocity: %v", err)
+	}
+}
+
+func TestRecorderAccounting(t *testing.T) {
+	g := wpg.MustFromEdges(4, pathEdges(4))
+	rec := NewRecorder(GraphSource{G: g}, 0)
+	if rec.Involved() != 0 {
+		t.Fatalf("fresh recorder Involved = %d", rec.Involved())
+	}
+	rec.Adjacency(0) // the host is free
+	if rec.Involved() != 0 {
+		t.Errorf("host fetch counted: %d", rec.Involved())
+	}
+	rec.Adjacency(1)
+	rec.Adjacency(2)
+	rec.Adjacency(1) // memoized, not recounted
+	if rec.Involved() != 2 {
+		t.Errorf("Involved = %d, want 2", rec.Involved())
+	}
+	if rec.NumUsers() != 4 {
+		t.Errorf("NumUsers = %d", rec.NumUsers())
+	}
+}
+
+func TestErrInsufficientUsersIsSentinel(t *testing.T) {
+	g := wpg.MustFromEdges(3, pathEdges(2)) // vertex 2 isolated
+	reg := NewRegistry(3)
+	_, _, err := DistributedTConn(GraphSource{G: g}, 2, 2, reg)
+	if !errors.Is(err, ErrInsufficientUsers) {
+		t.Errorf("err = %v, want ErrInsufficientUsers", err)
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"nonexposure/internal/graph"
+	"nonexposure/internal/wpg"
+)
+
+func TestDistributedOnFig6(t *testing.T) {
+	// Per-host distributed 2-clustering on the Fig. 6 graph. As the paper
+	// notes, "in general the result by the distributed algorithm depends
+	// on the host users": hosts 0–2 get the same cluster as the
+	// centralized cut; hosts 3–5 absorb the stranded bridge vertex 2 into
+	// their span {2,3,4,5}, which the step-3 refinement then splits into
+	// {2,3} and {4,5}; hosts 6–7 absorb the stranded vertex 4. These
+	// expectations were derived by hand-executing Algorithm 2 with
+	// safe-removal refinement.
+	want := map[int32][]int32{
+		0: {0, 1, 2}, 1: {0, 1, 2}, 2: {0, 1, 2},
+		3: {2, 3}, 4: {4, 5}, 5: {4, 5},
+		6: {4, 6, 7}, 7: {4, 6, 7},
+	}
+	for host := int32(0); host < 8; host++ {
+		g := fig6Graph()
+		reg := NewRegistry(8)
+		c, stats, err := DistributedTConn(GraphSource{G: g}, host, 2, reg)
+		if err != nil {
+			t.Fatalf("host %d: %v", host, err)
+		}
+		if !reflect.DeepEqual(c.Members, want[host]) {
+			t.Errorf("host %d: cluster %v, want %v", host, c.Members, want[host])
+		}
+		if stats.Cached {
+			t.Errorf("host %d: fresh run reported cached", host)
+		}
+		if stats.Involved <= 0 {
+			t.Errorf("host %d: Involved = %d, want > 0", host, stats.Involved)
+		}
+	}
+}
+
+func TestDistributedCachedSecondRequest(t *testing.T) {
+	g := fig6Graph()
+	reg := NewRegistry(8)
+	c1, _, err := DistributedTConn(GraphSource{G: g}, 0, 2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any member of c1 re-requesting gets the same cluster at zero cost.
+	for _, v := range c1.Members {
+		c2, stats, err := DistributedTConn(GraphSource{G: g}, v, 2, reg)
+		if err != nil {
+			t.Fatalf("member %d: %v", v, err)
+		}
+		if c2.ID != c1.ID {
+			t.Errorf("member %d got cluster %d, want %d (reciprocity)", v, c2.ID, c1.ID)
+		}
+		if !stats.Cached || stats.Involved != 0 {
+			t.Errorf("member %d: stats = %+v, want cached zero-cost", v, stats)
+		}
+	}
+}
+
+func TestDistributedHostInCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(80)
+		g := randomGraph(rng, n, n*3, 8)
+		k := 2 + rng.Intn(5)
+		reg := NewRegistry(n)
+		host := int32(rng.Intn(n))
+		c, stats, err := DistributedTConn(GraphSource{G: g}, host, k, reg)
+		if errors.Is(err, ErrInsufficientUsers) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !c.Contains(host) {
+			t.Fatalf("trial %d: host %d not in its own cluster %v", trial, host, c.Members)
+		}
+		if c.Size() < k {
+			t.Fatalf("trial %d: cluster size %d < k=%d", trial, c.Size(), k)
+		}
+		if stats.SpanSize < c.Size() {
+			t.Fatalf("trial %d: span %d smaller than cluster %d", trial, stats.SpanSize, c.Size())
+		}
+		if err := reg.CheckReciprocity(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// The span C produced by the distributed algorithm must satisfy
+// Theorem 4.4's sufficient condition on the remaining graph — that is the
+// paper's cluster-isolation guarantee.
+func TestDistributedSpanSatisfiesIsolationCondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(80)
+		g := randomGraph(rng, n, n*3, 8)
+		k := 2 + rng.Intn(4)
+		reg := NewRegistry(n)
+		host := int32(rng.Intn(n))
+		_, stats, err := DistributedTConn(GraphSource{G: g}, host, k, reg)
+		if errors.Is(err, ErrInsufficientUsers) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !SatisfiesIsolationCondition(g, stats.Span, stats.T, k) {
+			t.Fatalf("trial %d: span %v (t=%d, k=%d) violates the isolation condition",
+				trial, stats.Span, stats.T, k)
+		}
+	}
+}
+
+// Cluster-isolation end to end (Property 4.1): for any vertex v outside
+// the host's span C, clustering v on G with C's users marked clustered
+// gives the same result as clustering v on the graph with C physically
+// removed.
+func TestDistributedClusterIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 25; trial++ {
+		n := 12 + rng.Intn(60)
+		g := randomGraph(rng, n, n*3, 8)
+		k := 2 + rng.Intn(3)
+		host := int32(rng.Intn(n))
+
+		regU := NewRegistry(n)
+		_, stats, err := DistributedTConn(GraphSource{G: g}, host, k, regU)
+		if errors.Is(err, ErrInsufficientUsers) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: host run: %v", trial, err)
+		}
+
+		// Physically remove the span: build the induced subgraph on the
+		// complement with remapped ids.
+		inSpan := make(map[int32]bool, len(stats.Span))
+		for _, v := range stats.Span {
+			inSpan[v] = true
+		}
+		toLocal := make(map[int32]int32)
+		var toGlobal []int32
+		for v := int32(0); v < int32(n); v++ {
+			if !inSpan[v] {
+				toLocal[v] = int32(len(toGlobal))
+				toGlobal = append(toGlobal, v)
+			}
+		}
+		var subEdges []graph.Edge
+		for _, e := range g.Edges() {
+			lu, okU := toLocal[e.U]
+			lv, okV := toLocal[e.V]
+			if okU && okV {
+				subEdges = append(subEdges, graph.Edge{U: lu, V: lv, W: e.W})
+			}
+		}
+		gMinusC := wpg.MustFromEdges(len(toGlobal), subEdges)
+
+		// Sample a few outside vertices and compare the two worlds.
+		for probe := 0; probe < 5; probe++ {
+			v := int32(rng.Intn(n))
+			if inSpan[v] {
+				continue
+			}
+			// World A: original graph, registry already contains the host's
+			// clusters (this is how the live system runs).
+			clusterA, _, errA := DistributedTConn(GraphSource{G: g}, v, k, cloneRegistry(regU, n))
+			// World B: span physically removed, fresh registry.
+			clusterB, _, errB := DistributedTConn(GraphSource{G: gMinusC}, toLocal[v], k, NewRegistry(len(toGlobal)))
+			if (errA != nil) != (errB != nil) {
+				t.Fatalf("trial %d probe %d: error mismatch: %v vs %v", trial, probe, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			gotB := make([]int32, len(clusterB.Members))
+			for i, lv := range clusterB.Members {
+				gotB[i] = toGlobal[lv]
+			}
+			sort.Slice(gotB, func(i, j int) bool { return gotB[i] < gotB[j] })
+			if !reflect.DeepEqual(clusterA.Members, gotB) {
+				t.Fatalf("trial %d probe %d: isolation violated for v=%d: with-registry %v vs removed %v",
+					trial, probe, v, clusterA.Members, gotB)
+			}
+		}
+	}
+}
+
+// cloneRegistry copies the assignments of reg into a fresh registry so a
+// probe run cannot pollute the shared one.
+func cloneRegistry(reg *Registry, n int) *Registry {
+	out := NewRegistry(n)
+	for _, c := range reg.Clusters() {
+		if _, err := out.Add(c.Members, c.T); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+func TestDistributedSequentialHostsPartitionComponent(t *testing.T) {
+	// Repeatedly clustering random hosts must keep the registry a valid
+	// partition, and every user ends up clustered or in an exhausted
+	// remainder smaller than k.
+	rng := rand.New(rand.NewSource(41))
+	n := 120
+	g := randomGraph(rng, n, n*4, 6)
+	k := 4
+	reg := NewRegistry(n)
+	for i := 0; i < n; i++ {
+		host := int32(rng.Intn(n))
+		_, _, err := DistributedTConn(GraphSource{G: g}, host, k, reg)
+		if err != nil && !errors.Is(err, ErrInsufficientUsers) {
+			t.Fatalf("host %d: %v", host, err)
+		}
+	}
+	if err := reg.CheckReciprocity(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range reg.Clusters() {
+		if c.Size() < k {
+			t.Fatalf("registered cluster %v smaller than k", c.Members)
+		}
+	}
+}
+
+func TestDistributedK1(t *testing.T) {
+	g := fig6Graph()
+	reg := NewRegistry(8)
+	c, _, err := DistributedTConn(GraphSource{G: g}, 3, 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 1 || c.Members[0] != 3 {
+		t.Errorf("k=1 cluster = %v, want singleton {3}", c.Members)
+	}
+}
+
+func TestDistributedBadK(t *testing.T) {
+	g := fig6Graph()
+	if _, _, err := DistributedTConn(GraphSource{G: g}, 0, 0, NewRegistry(8)); err == nil {
+		t.Error("k=0 should error")
+	}
+}

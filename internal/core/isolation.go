@@ -1,0 +1,58 @@
+package core
+
+import "nonexposure/internal/wpg"
+
+// SatisfiesIsolationCondition checks Theorem 4.4's sufficient condition
+// for the vertex set C (with connectivity t) in graph g: every external
+// border vertex of C must be able to form a valid t-connectivity cluster
+// of size >= k in the remaining graph G − C.
+//
+// DistributedTConn enforces this by construction; the function exists so
+// tests (and skeptical users) can verify it independently on any result.
+func SatisfiesIsolationCondition(g *wpg.Graph, members []int32, t int32, k int) bool {
+	inC := make(map[int32]bool, len(members))
+	for _, v := range members {
+		inC[v] = true
+	}
+	border := make(map[int32]bool)
+	for _, v := range members {
+		for _, e := range g.Neighbors(v) {
+			if !inC[e.To] {
+				border[e.To] = true
+			}
+		}
+	}
+	for v := range border {
+		if !canFormTCluster(g, v, t, k, inC) {
+			return false
+		}
+	}
+	return true
+}
+
+// canFormTCluster reports whether v reaches at least k vertices (itself
+// included) via edges of weight <= t while avoiding the excluded set.
+func canFormTCluster(g *wpg.Graph, v int32, t int32, k int, excluded map[int32]bool) bool {
+	if k <= 1 {
+		return true
+	}
+	visited := map[int32]bool{v: true}
+	queue := []int32{v}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(u) {
+			if e.W > t || visited[e.To] || excluded[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			count++
+			if count >= k {
+				return true
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The default (paper-style) Prim expansion follows the minimum-weight
+// frontier edge and therefore snakes along chains of strong links instead
+// of staying centered on the host — the behavior behind the large kNN
+// cloaked regions in Figs. 9, 11 and 12.
+func TestKNNPrimSnakesAlongChains(t *testing.T) {
+	g := fig4Graph()
+	reg := NewRegistry(6)
+	// Host u4 (id 3): the frontier pops u3 (weight 2), then follows u3's
+	// weight-1 edge to u1 (id 0) — closer by link weight than u4's other
+	// direct neighbors at weight 2 — giving {u1, u3, u4}.
+	c, _, err := KNNCluster(GraphSource{G: g}, 3, 3, reg, KNNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Members, []int32{0, 2, 3}) {
+		t.Errorf("Prim kNN cluster = %v, want [0 2 3] (snaked via the weight-1 chain)", c.Members)
+	}
+}
+
+// Dijkstra keeps the host-centric notion of nearest: path sums make the
+// snake expensive, matching the paper's Fig. 4 narrative. Comparing the
+// two on the same graph pins down the ablation.
+func TestKNNPrimVsDijkstraDiffer(t *testing.T) {
+	gP := fig4Graph()
+	gD := fig4Graph()
+	cP, _, err := KNNCluster(GraphSource{G: gP}, 3, 3, NewRegistry(6), KNNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cD, _, err := KNNCluster(GraphSource{G: gD}, 3, 3, NewRegistry(6), KNNOptions{Expansion: KNNDijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(cP.Members, cD.Members) {
+		t.Errorf("expected the expansions to differ on Fig. 4; both gave %v", cP.Members)
+	}
+	if !reflect.DeepEqual(cD.Members, []int32{2, 3, 4}) {
+		t.Errorf("Dijkstra cluster = %v, want the paper's [2 3 4]", cD.Members)
+	}
+}

@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRunExposureComparison(t *testing.T) {
+	tb, err := RunExposureComparison(tinyParams(), []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 || len(tb.Columns) != 4 {
+		t.Fatalf("table shape: %d rows × %d cols", len(tb.Rows), len(tb.Columns))
+	}
+	for _, row := range tb.Rows {
+		for col := 1; col < 4; col++ {
+			var v float64
+			if _, err := fmt.Sscan(row[col], &v); err != nil {
+				t.Fatalf("parse %q: %v", row[col], err)
+			}
+			if v <= 0 {
+				t.Errorf("column %d has non-positive area %v", col, v)
+			}
+		}
+	}
+}
+
+func TestExposurePriceIsBounded(t *testing.T) {
+	// Non-exposure cloaking cannot beat the coordinate-exposing optimum
+	// by much, nor should it be catastrophically worse: sanity-bound the
+	// price ratio.
+	ratio, err := ExposurePriceAtDefaults(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 0 || ratio > 100 {
+		t.Errorf("exposure price ratio = %v, expected a sane positive factor", ratio)
+	}
+	t.Logf("non-exposure/hilbASR area ratio at defaults: %.2f", ratio)
+}

@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/workload"
+)
+
+// BoundAlgo selects a phase-2 bounding algorithm (Section VI-D).
+type BoundAlgo int
+
+// The four algorithms Fig. 13 compares.
+const (
+	BoundLinear BoundAlgo = iota
+	BoundExponential
+	BoundSecure
+	BoundOptimal
+)
+
+// String implements fmt.Stringer.
+func (b BoundAlgo) String() string {
+	switch b {
+	case BoundLinear:
+		return "Linear"
+	case BoundExponential:
+		return "Exponential"
+	case BoundSecure:
+		return "Secure"
+	case BoundOptimal:
+		return "Optimal"
+	default:
+		return fmt.Sprintf("BoundAlgo(%d)", int(b))
+	}
+}
+
+// AllBoundAlgos lists the Fig. 13 competitors in the paper's legend order.
+var AllBoundAlgos = []BoundAlgo{BoundLinear, BoundExponential, BoundSecure, BoundOptimal}
+
+// BoundingMetrics are the Fig. 13 per-request averages for one algorithm.
+type BoundingMetrics struct {
+	Algo BoundAlgo
+	// AvgBoundCost is the mean bounding communication cost per request
+	// (Fig. 13(a)).
+	AvgBoundCost float64
+	// AvgRequestRatio is the mean service-request cost as a ratio of the
+	// optimal bounding's request cost (Fig. 13(b)).
+	AvgRequestRatio float64
+	// AvgTotalCost is the mean total communication cost per request
+	// (Fig. 13(c)): bounding + Cr per POI returned.
+	AvgTotalCost float64
+	// AvgCPUMs is the mean CPU time per request in milliseconds
+	// (Fig. 13(d)).
+	AvgCPUMs float64
+	// AvgExposure is the Section VII privacy-loss extension: mean width
+	// of the interval a user's coordinate is narrowed into (0 for the
+	// optimal algorithm — full exposure).
+	AvgExposure float64
+}
+
+func (env *Env) policy(algo BoundAlgo, clusterSize int) (core.IncrementPolicy, error) {
+	p := env.Params
+	switch algo {
+	case BoundLinear:
+		return core.LinearIncrement{Step: p.LinearStep}, nil
+	case BoundExponential:
+		return core.ExpIncrement{Init: p.ExpInit}, nil
+	case BoundSecure:
+		return core.NewSecureIncrementForCluster(p.Cb, p.Cr, clusterSize), nil
+	default:
+		return nil, fmt.Errorf("experiment: %v has no increment policy", algo)
+	}
+}
+
+// RunBoundingWorkload plays the S-request workload: phase 1 uses the
+// distributed t-Conn clustering (shared across algorithms via identical
+// registries), then each algorithm bounds the same clusters. Per-request
+// averages are returned per algorithm, in AllBoundAlgos order.
+func RunBoundingWorkload(env *Env, k, s int) ([]BoundingMetrics, error) {
+	hosts, err := workload.Hosts(env.Graph.NumVertices(), s, env.Params.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1 once: cluster every request's host.
+	reg := core.NewRegistry(env.Graph.NumVertices())
+	type request struct {
+		host    int32
+		cluster *core.Cluster
+	}
+	var requests []request
+	for _, host := range hosts {
+		c, _, err := core.DistributedTConn(core.GraphSource{G: env.Graph}, host, k, reg)
+		if errors.Is(err, core.ErrInsufficientUsers) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		requests = append(requests, request{host: host, cluster: c})
+	}
+	if len(requests) == 0 {
+		return nil, fmt.Errorf("experiment: no satisfiable requests at k=%d", k)
+	}
+
+	// Optimal request cost per cluster is the Fig. 13(b) denominator.
+	optPOIs := make(map[int32]float64)
+	for _, r := range requests {
+		if _, ok := optPOIs[r.cluster.ID]; ok {
+			continue
+		}
+		opt, err := core.OptimalRect(env.Points, r.cluster.Members, env.Params.Cb)
+		if err != nil {
+			return nil, err
+		}
+		ids := env.LBS.Index().Range(opt.Rect)
+		n := float64(len(ids))
+		if n < 1 {
+			n = 1
+		}
+		optPOIs[r.cluster.ID] = n
+	}
+
+	out := make([]BoundingMetrics, 0, len(AllBoundAlgos))
+	for _, algo := range AllBoundAlgos {
+		var boundCost, reqRatio, totalCost, cpuMs, exposure metrics.Mean
+		// Region cache per cluster for this algorithm: cached requests
+		// reuse the region (zero bounding cost) but still pay the request.
+		type regionInfo struct {
+			pois     float64
+			exposure float64
+		}
+		regions := make(map[int32]regionInfo)
+		for _, r := range requests {
+			info, haveRegion := regions[r.cluster.ID]
+			var cost float64
+			var elapsedMs float64
+			if !haveRegion {
+				start := time.Now()
+				var res core.RectBoundResult
+				var err error
+				if algo == BoundOptimal {
+					res, err = core.OptimalRect(env.Points, r.cluster.Members, env.Params.Cb)
+				} else {
+					pol, perr := env.policy(algo, r.cluster.Size())
+					if perr != nil {
+						return nil, perr
+					}
+					scale := core.DefaultRectScale(r.cluster.Size(), env.Graph.NumVertices())
+					res, err = core.BoundRect(env.Points, r.cluster.Members, env.Points[r.host],
+						scale, pol, env.Params.Cb)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("%v on cluster %d: %w", algo, r.cluster.ID, err)
+				}
+				elapsedMs = float64(time.Since(start).Microseconds()) / 1000
+				ids := env.LBS.Index().Range(res.Rect.Clamp())
+				info = regionInfo{pois: float64(len(ids)), exposure: res.MeanExposure}
+				regions[r.cluster.ID] = info
+				cost = res.Messages
+			}
+			boundCost.Add(cost)
+			reqRatio.Add(info.pois / optPOIs[r.cluster.ID])
+			totalCost.Add(cost + env.Params.Cr*info.pois)
+			cpuMs.Add(elapsedMs)
+			exposure.Add(info.exposure)
+		}
+		out = append(out, BoundingMetrics{
+			Algo:            algo,
+			AvgBoundCost:    boundCost.Value(),
+			AvgRequestRatio: reqRatio.Value(),
+			AvgTotalCost:    totalCost.Value(),
+			AvgCPUMs:        cpuMs.Value(),
+			AvgExposure:     exposure.Value(),
+		})
+	}
+	return out, nil
+}
+
+// RunBoundingSweep reproduces Fig. 13: the four bounding algorithms under
+// varying k. It returns four tables: (a) bounding cost, (b) request cost
+// ratio, (c) total cost, (d) CPU time.
+func RunBoundingSweep(p Params, ks []int) (a, b, c, d *metrics.Table, err error) {
+	env, err := NewEnv(p)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	cols := []string{"k", "Linear", "Exponential", "Secure", "Optimal"}
+	a = metrics.NewTable("Fig. 13(a): Avg. Bounding Cost vs. k", cols...)
+	b = metrics.NewTable("Fig. 13(b): Avg. Request Cost (ratio of optimal) vs. k", cols...)
+	c = metrics.NewTable("Fig. 13(c): Avg. Total Cost vs. k", cols...)
+	d = metrics.NewTable("Fig. 13(d): Avg. CPU Time (ms) vs. k", cols...)
+	for _, k := range ks {
+		ms, err := RunBoundingWorkload(env, k, p.Requests)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("k=%d: %w", k, err)
+		}
+		byAlgo := make(map[BoundAlgo]BoundingMetrics, len(ms))
+		for _, m := range ms {
+			byAlgo[m.Algo] = m
+		}
+		a.AddRow(k, byAlgo[BoundLinear].AvgBoundCost, byAlgo[BoundExponential].AvgBoundCost,
+			byAlgo[BoundSecure].AvgBoundCost, byAlgo[BoundOptimal].AvgBoundCost)
+		b.AddRow(k, byAlgo[BoundLinear].AvgRequestRatio, byAlgo[BoundExponential].AvgRequestRatio,
+			byAlgo[BoundSecure].AvgRequestRatio, byAlgo[BoundOptimal].AvgRequestRatio)
+		c.AddRow(k, byAlgo[BoundLinear].AvgTotalCost, byAlgo[BoundExponential].AvgTotalCost,
+			byAlgo[BoundSecure].AvgTotalCost, byAlgo[BoundOptimal].AvgTotalCost)
+		d.AddRow(k, byAlgo[BoundLinear].AvgCPUMs, byAlgo[BoundExponential].AvgCPUMs,
+			byAlgo[BoundSecure].AvgCPUMs, byAlgo[BoundOptimal].AvgCPUMs)
+	}
+	return a, b, c, d, nil
+}

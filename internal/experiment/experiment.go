@@ -1,0 +1,392 @@
+// Package experiment reproduces Section VI: one driver per table/figure,
+// parameterized so benches can run scaled-down versions while
+// cmd/experiments regenerates paper scale.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/lbs"
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/rss"
+	"nonexposure/internal/workload"
+	"nonexposure/internal/wpg"
+)
+
+// Params are the simulation settings of Table I.
+type Params struct {
+	// NumUsers is the population size (Table I: 104,770 — the California
+	// POI dataset size).
+	NumUsers int
+	// Delta is the radio distance threshold δ (Table I: 2×10⁻³).
+	Delta float64
+	// MaxPeers is M, the per-device peer cap (Table I: 10).
+	MaxPeers int
+	// K is the anonymity requirement (Table I: 10).
+	K int
+	// Cb is the bounding message cost (Table I: 1).
+	Cb float64
+	// Cr is the service-request cost per POI (Table I: 1,000).
+	Cr float64
+	// Requests is S, the number of cloaking requests (Table I: 2,000).
+	Requests int
+	// Seed drives every random choice.
+	Seed int64
+	// Dataset selects the generator: "california-like" (default),
+	// "uniform", "roadlike", or "grid".
+	Dataset string
+	// LinearStep is the linear baseline's normalized increment.
+	LinearStep float64
+	// ExpInit is the exponential baseline's normalized first increment.
+	ExpInit float64
+}
+
+// DefaultParams returns the Table I settings.
+func DefaultParams() Params {
+	return Params{
+		NumUsers:   dataset.CaliforniaPOISize,
+		Delta:      2e-3,
+		MaxPeers:   10,
+		K:          10,
+		Cb:         1,
+		Cr:         1000,
+		Requests:   2000,
+		Seed:       42,
+		Dataset:    "california-like",
+		LinearStep: 0.05,
+		ExpInit:    0.25,
+	}
+}
+
+// Scaled returns a copy with the population and request count scaled by
+// frac (for time-boxed benches). The radio range δ is scaled by 1/√frac
+// so the expected number of radio neighbors per user — the quantity that
+// shapes the WPG — is preserved. frac must be in (0, 1].
+func (p Params) Scaled(frac float64) Params {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("experiment: scale %v out of (0,1]", frac))
+	}
+	p.NumUsers = int(float64(p.NumUsers) * frac)
+	p.Requests = int(float64(p.Requests) * frac)
+	p.Delta /= math.Sqrt(frac)
+	if p.NumUsers < 1 {
+		p.NumUsers = 1
+	}
+	if p.Requests < 1 {
+		p.Requests = 1
+	}
+	return p
+}
+
+// Table1 renders the parameter settings as the paper's Table I.
+func Table1(p Params) *metrics.Table {
+	t := metrics.NewTable("Table I: Simulation Parameter Settings", "Parameter", "Symbol", "Value")
+	t.AddRow("# of users", "", p.NumUsers)
+	t.AddRow("distance threshold", "delta", p.Delta)
+	t.AddRow("max # of connected peers", "M", p.MaxPeers)
+	t.AddRow("k-anonymity", "k", p.K)
+	t.AddRow("bounding cost", "Cb", p.Cb)
+	t.AddRow("service request cost", "Cr", p.Cr)
+	t.AddRow("uniform distribution bound", "U", "N/|D|")
+	t.AddRow("initial bound", "X", "N/|D|")
+	t.AddRow("# of user requests", "S", p.Requests)
+	t.AddRow("dataset", "", p.Dataset)
+	return t
+}
+
+// Env is a built simulation world: users, proximity graph, POI server.
+type Env struct {
+	Params Params
+	Points dataset.Dataset
+	Graph  *wpg.Graph
+	// LBS serves the same points as POIs (the paper's setup: "each POI
+	// represents a user who is standing right at its coordinates", and
+	// service requests are range queries on the same POI dataset).
+	LBS *lbs.Server
+}
+
+// NewEnv generates the dataset and builds the WPG for p.
+func NewEnv(p Params) (*Env, error) {
+	pts, err := generate(p)
+	if err != nil {
+		return nil, err
+	}
+	g := wpg.Build(pts, wpg.BuildParams{
+		Delta:    p.Delta,
+		MaxPeers: p.MaxPeers,
+		Model:    rss.InverseModel{},
+	})
+	srv, err := lbs.NewServer(pts, p.Cr)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Params: p, Points: pts, Graph: g, LBS: srv}, nil
+}
+
+func generate(p Params) (dataset.Dataset, error) {
+	switch p.Dataset {
+	case "", "california-like":
+		return dataset.CaliforniaLike(p.NumUsers, p.Seed), nil
+	case "uniform":
+		return dataset.Uniform(p.NumUsers, p.Seed), nil
+	case "roadlike":
+		return dataset.RoadLike(p.NumUsers, 40, 0.002, p.Seed), nil
+	case "grid":
+		return dataset.GridJitter(p.NumUsers, 0.001, p.Seed), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown dataset %q", p.Dataset)
+	}
+}
+
+// Algo selects a phase-1 clustering algorithm.
+type Algo int
+
+// The three algorithms Section VI compares.
+const (
+	AlgoTConnDist Algo = iota
+	AlgoTConnCentral
+	AlgoKNN
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case AlgoTConnDist:
+		return "t-Conn"
+	case AlgoTConnCentral:
+		return "centralized t-Conn"
+	case AlgoKNN:
+		return "kNN"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// ClusterMetrics are the per-request averages the clustering figures plot.
+type ClusterMetrics struct {
+	// AvgComm is the mean communication cost (messages) per request.
+	AvgComm float64
+	// AvgArea is the mean cloaked-region area per request, using optimal
+	// bounding (the paper isolates clustering quality this way).
+	AvgArea float64
+	// AvgPOIs is the mean number of POIs inside the cloaked region — the
+	// service-request payload size (Fig. 10's ingredient).
+	AvgPOIs float64
+	// Failed counts requests whose component cannot satisfy k.
+	Failed int
+}
+
+// clusterRegionCache memoizes the optimal region + POI count per cluster.
+type clusterRegion struct {
+	area float64
+	pois float64
+}
+
+// RunClusteringWorkload plays the S-request workload against one
+// clustering algorithm and averages the Section VI metrics.
+func RunClusteringWorkload(env *Env, k int, s int, algo Algo) (ClusterMetrics, error) {
+	hosts, err := workload.Hosts(env.Graph.NumVertices(), s, env.Params.Seed+1)
+	if err != nil {
+		return ClusterMetrics{}, err
+	}
+	var (
+		comm, area, pois metrics.Mean
+		failed           int
+		cache            = make(map[int32]clusterRegion)
+	)
+	reg := core.NewRegistry(env.Graph.NumVertices())
+	var centralDone bool
+
+	observe := func(c *core.Cluster, cost int) {
+		comm.Add(float64(cost))
+		cr, ok := cache[c.ID]
+		if !ok {
+			opt, err := core.OptimalRect(env.Points, c.Members, env.Params.Cb)
+			if err != nil {
+				// Clusters are never empty; keep the accounting total.
+				cr = clusterRegion{}
+			} else {
+				ids := env.LBS.Index().Range(opt.Rect)
+				cr = clusterRegion{area: opt.Rect.Area(), pois: float64(len(ids))}
+			}
+			cache[c.ID] = cr
+		}
+		area.Add(cr.area)
+		pois.Add(cr.pois)
+	}
+
+	for _, host := range hosts {
+		var (
+			c    *core.Cluster
+			cost int
+		)
+		switch algo {
+		case AlgoTConnDist:
+			cluster, stats, err := core.DistributedTConn(core.GraphSource{G: env.Graph}, host, k, reg)
+			if errors.Is(err, core.ErrInsufficientUsers) {
+				failed++
+				comm.Add(float64(stats.Involved))
+				continue
+			}
+			if err != nil {
+				return ClusterMetrics{}, err
+			}
+			c, cost = cluster, stats.Involved
+		case AlgoTConnCentral:
+			if cached, ok := reg.ClusterOf(host); ok {
+				c, cost = cached, 0
+				break
+			}
+			if !centralDone {
+				if _, _, err := core.RegisterCentralized(env.Graph, k, reg); err != nil {
+					return ClusterMetrics{}, err
+				}
+				centralDone = true
+				cost = env.Graph.NumVertices()
+			}
+			cached, ok := reg.ClusterOf(host)
+			if !ok {
+				failed++
+				comm.Add(float64(cost))
+				continue
+			}
+			c = cached
+		case AlgoKNN:
+			cluster, stats, err := core.KNNCluster(core.GraphSource{G: env.Graph}, host, k, reg, core.KNNOptions{})
+			if errors.Is(err, core.ErrInsufficientUsers) {
+				failed++
+				comm.Add(float64(stats.Involved))
+				continue
+			}
+			if err != nil {
+				return ClusterMetrics{}, err
+			}
+			c, cost = cluster, stats.Involved
+		default:
+			return ClusterMetrics{}, fmt.Errorf("experiment: unknown algorithm %v", algo)
+		}
+		observe(c, cost)
+	}
+	return ClusterMetrics{
+		AvgComm: comm.Value(),
+		AvgArea: area.Value(),
+		AvgPOIs: pois.Value(),
+		Failed:  failed,
+	}, nil
+}
+
+// RunDegreeSweep reproduces Fig. 9: vary M (the peer cap) and measure the
+// average communication cost (a) and cloaked-region size (b) of the three
+// algorithms. It returns the two tables in that order.
+func RunDegreeSweep(p Params, ms []int) (commT, sizeT *metrics.Table, err error) {
+	commT = metrics.NewTable("Fig. 9(a): Avg. Communication Cost vs. Avg. Degree",
+		"M", "avg degree", "t-Conn", "kNN", "centralized t-Conn")
+	sizeT = metrics.NewTable("Fig. 9(b): Avg. Cloaked Region Size vs. Avg. Degree",
+		"M", "avg degree", "t-Conn", "kNN", "centralized t-Conn")
+	for _, m := range ms {
+		pm := p
+		pm.MaxPeers = m
+		env, err := NewEnv(pm)
+		if err != nil {
+			return nil, nil, err
+		}
+		deg := env.Graph.Stats().AvgDegree
+		var cms [3]ClusterMetrics
+		for i, algo := range []Algo{AlgoTConnDist, AlgoKNN, AlgoTConnCentral} {
+			cm, err := RunClusteringWorkload(env, pm.K, pm.Requests, algo)
+			if err != nil {
+				return nil, nil, fmt.Errorf("M=%d %v: %w", m, algo, err)
+			}
+			cms[i] = cm
+		}
+		commT.AddRow(m, deg, cms[0].AvgComm, cms[1].AvgComm, cms[2].AvgComm)
+		sizeT.AddRow(m, deg, cms[0].AvgArea, cms[1].AvgArea, cms[2].AvgArea)
+	}
+	return commT, sizeT, nil
+}
+
+// RunPOISizeSweep reproduces Fig. 10: total communication cost (clustering
+// + service request) as the POI payload grows relative to a clustering
+// message. ratios are the x-axis values (payload / clustering message).
+func RunPOISizeSweep(p Params, ratios []float64) (*metrics.Table, error) {
+	env, err := NewEnv(p)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Fig. 10: Total Communication Cost vs. POI Data Size",
+		"POI/msg ratio", "t-Conn", "kNN", "centralized t-Conn")
+	var cms [3]ClusterMetrics
+	for i, algo := range []Algo{AlgoTConnDist, AlgoKNN, AlgoTConnCentral} {
+		cm, err := RunClusteringWorkload(env, p.K, p.Requests, algo)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", algo, err)
+		}
+		cms[i] = cm
+	}
+	for _, r := range ratios {
+		t.AddRow(r,
+			cms[0].AvgComm+r*cms[0].AvgPOIs,
+			cms[1].AvgComm+r*cms[1].AvgPOIs,
+			cms[2].AvgComm+r*cms[2].AvgPOIs,
+		)
+	}
+	return t, nil
+}
+
+// RunKSweep reproduces Fig. 11: vary the anonymity requirement k.
+func RunKSweep(p Params, ks []int) (commT, sizeT *metrics.Table, err error) {
+	env, err := NewEnv(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	commT = metrics.NewTable("Fig. 11(a): Avg. Communication Cost vs. k",
+		"k", "t-Conn", "kNN", "centralized t-Conn")
+	sizeT = metrics.NewTable("Fig. 11(b): Avg. Cloaked Region Size vs. k",
+		"k", "t-Conn", "kNN", "centralized t-Conn")
+	for _, k := range ks {
+		var cms [3]ClusterMetrics
+		for i, algo := range []Algo{AlgoTConnDist, AlgoKNN, AlgoTConnCentral} {
+			cm, err := RunClusteringWorkload(env, k, p.Requests, algo)
+			if err != nil {
+				return nil, nil, fmt.Errorf("k=%d %v: %w", k, algo, err)
+			}
+			cms[i] = cm
+		}
+		commT.AddRow(k, cms[0].AvgComm, cms[1].AvgComm, cms[2].AvgComm)
+		sizeT.AddRow(k, cms[0].AvgArea, cms[1].AvgArea, cms[2].AvgArea)
+	}
+	return commT, sizeT, nil
+}
+
+// RunRequestSweep reproduces Fig. 12: vary S, the number of requesting
+// users.
+func RunRequestSweep(p Params, ss []int) (commT, sizeT *metrics.Table, err error) {
+	env, err := NewEnv(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	commT = metrics.NewTable("Fig. 12(a): Avg. Communication Cost vs. # Requesting Users",
+		"S", "t-Conn", "kNN", "centralized t-Conn")
+	sizeT = metrics.NewTable("Fig. 12(b): Avg. Cloaked Region Size vs. # Requesting Users",
+		"S", "t-Conn", "kNN", "centralized t-Conn")
+	for _, s := range ss {
+		if s > env.Graph.NumVertices() {
+			return nil, nil, fmt.Errorf("S=%d exceeds population %d", s, env.Graph.NumVertices())
+		}
+		var cms [3]ClusterMetrics
+		for i, algo := range []Algo{AlgoTConnDist, AlgoKNN, AlgoTConnCentral} {
+			cm, err := RunClusteringWorkload(env, p.K, s, algo)
+			if err != nil {
+				return nil, nil, fmt.Errorf("S=%d %v: %w", s, algo, err)
+			}
+			cms[i] = cm
+		}
+		commT.AddRow(s, cms[0].AvgComm, cms[1].AvgComm, cms[2].AvgComm)
+		sizeT.AddRow(s, cms[0].AvgArea, cms[1].AvgArea, cms[2].AvgArea)
+	}
+	return commT, sizeT, nil
+}

@@ -1,0 +1,250 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tinyParams is a fast configuration preserving the default density.
+func tinyParams() Params {
+	return DefaultParams().Scaled(0.02) // ~2,095 users, 40 requests
+}
+
+func TestScaledPreservesDensity(t *testing.T) {
+	p := DefaultParams()
+	q := p.Scaled(0.25)
+	if q.NumUsers != p.NumUsers/4 {
+		t.Errorf("NumUsers = %d", q.NumUsers)
+	}
+	if q.Requests != p.Requests/4 {
+		t.Errorf("Requests = %d", q.Requests)
+	}
+	// Expected neighbors ∝ NumUsers·Delta²: must be invariant.
+	before := float64(p.NumUsers) * p.Delta * p.Delta
+	after := float64(q.NumUsers) * q.Delta * q.Delta
+	if rel := (after - before) / before; rel > 0.01 || rel < -0.01 {
+		t.Errorf("density drifted by %v", rel)
+	}
+}
+
+func TestScaledPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("scale > 1 should panic")
+		}
+	}()
+	DefaultParams().Scaled(2)
+}
+
+func TestNewEnvDatasets(t *testing.T) {
+	for _, ds := range []string{"california-like", "uniform", "roadlike", "grid", ""} {
+		p := tinyParams()
+		p.Dataset = ds
+		env, err := NewEnv(p)
+		if err != nil {
+			t.Fatalf("%q: %v", ds, err)
+		}
+		if env.Graph.NumVertices() != p.NumUsers {
+			t.Errorf("%q: %d vertices", ds, env.Graph.NumVertices())
+		}
+		if err := env.Graph.Validate(); err != nil {
+			t.Errorf("%q: %v", ds, err)
+		}
+	}
+	p := tinyParams()
+	p.Dataset = "nope"
+	if _, err := NewEnv(p); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tb := Table1(DefaultParams())
+	if len(tb.Rows) != 10 {
+		t.Errorf("Table I rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Title, "Table I") {
+		t.Errorf("title = %q", tb.Title)
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if AlgoTConnDist.String() != "t-Conn" || AlgoKNN.String() != "kNN" ||
+		AlgoTConnCentral.String() != "centralized t-Conn" {
+		t.Error("algo names wrong")
+	}
+	if Algo(99).String() == "" {
+		t.Error("unknown algo should still print")
+	}
+}
+
+func TestBoundAlgoString(t *testing.T) {
+	names := map[BoundAlgo]string{
+		BoundLinear: "Linear", BoundExponential: "Exponential",
+		BoundSecure: "Secure", BoundOptimal: "Optimal",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d: %q", a, a.String())
+		}
+	}
+	if BoundAlgo(42).String() == "" {
+		t.Error("unknown bound algo should still print")
+	}
+}
+
+func TestRunClusteringWorkloadAllAlgorithms(t *testing.T) {
+	env, err := NewEnv(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algo{AlgoTConnDist, AlgoKNN, AlgoTConnCentral} {
+		cm, err := RunClusteringWorkload(env, 5, 40, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if cm.AvgComm < 0 || cm.AvgArea < 0 || cm.AvgPOIs < 0 {
+			t.Errorf("%v: negative metrics %+v", algo, cm)
+		}
+		if cm.Failed+int(cm.AvgPOIs) == 0 && cm.AvgArea == 0 {
+			t.Errorf("%v: workload produced nothing: %+v", algo, cm)
+		}
+	}
+	if _, err := RunClusteringWorkload(env, 5, 40, Algo(99)); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestCentralizedCostIsPopulationOverRequests(t *testing.T) {
+	env, err := NewEnv(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 40
+	cm, err := RunClusteringWorkload(env, 5, s, AlgoTConnCentral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(env.Graph.NumVertices()) / float64(s)
+	if diff := cm.AvgComm - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("centralized avg comm = %v, want N/S = %v", cm.AvgComm, want)
+	}
+}
+
+func TestRunDegreeSweepShape(t *testing.T) {
+	commT, sizeT, err := RunDegreeSweep(tinyParams(), []int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(commT.Rows) != 2 || len(sizeT.Rows) != 2 {
+		t.Fatalf("rows: %d / %d", len(commT.Rows), len(sizeT.Rows))
+	}
+	if len(commT.Columns) != 5 {
+		t.Errorf("columns = %v", commT.Columns)
+	}
+}
+
+func TestRunPOISizeSweepMonotone(t *testing.T) {
+	tb, err := RunPOISizeSweep(tinyParams(), []float64{0, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Total cost must be nondecreasing in the payload ratio for every
+	// algorithm column.
+	for col := 1; col <= 3; col++ {
+		prev := -1.0
+		for _, row := range tb.Rows {
+			var v float64
+			if _, err := fmt.Sscan(row[col], &v); err != nil {
+				t.Fatalf("parse %q: %v", row[col], err)
+			}
+			if v < prev {
+				t.Errorf("column %d not monotone: %v after %v", col, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestRunKSweepAndRequestSweep(t *testing.T) {
+	p := tinyParams()
+	a, b, err := RunKSweep(p, []int{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 2 || len(b.Rows) != 2 {
+		t.Error("k sweep row counts wrong")
+	}
+	c, d, err := RunRequestSweep(p, []int{20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 2 || len(d.Rows) != 2 {
+		t.Error("request sweep row counts wrong")
+	}
+	if _, _, err := RunRequestSweep(p, []int{1 << 30}); err == nil {
+		t.Error("S beyond population should error")
+	}
+}
+
+func TestRunBoundingWorkloadOrdering(t *testing.T) {
+	env, err := NewEnv(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunBoundingWorkload(env, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("algorithms = %d", len(ms))
+	}
+	byAlgo := make(map[BoundAlgo]BoundingMetrics)
+	for _, m := range ms {
+		byAlgo[m.Algo] = m
+	}
+	// Section VI-D's qualitative ordering:
+	lin, exp := byAlgo[BoundLinear], byAlgo[BoundExponential]
+	sec, opt := byAlgo[BoundSecure], byAlgo[BoundOptimal]
+	if lin.AvgBoundCost <= exp.AvgBoundCost {
+		t.Errorf("linear bounding cost %v should exceed exponential %v",
+			lin.AvgBoundCost, exp.AvgBoundCost)
+	}
+	if lin.AvgRequestRatio >= exp.AvgRequestRatio {
+		t.Errorf("linear request ratio %v should beat exponential %v",
+			lin.AvgRequestRatio, exp.AvgRequestRatio)
+	}
+	// Every progressive ratio is >= 1 (optimal is the denominator).
+	for _, m := range ms {
+		if m.AvgRequestRatio < 1-1e-9 {
+			t.Errorf("%v: request ratio %v below optimal", m.Algo, m.AvgRequestRatio)
+		}
+	}
+	// Secure minimizes total cost among progressive algorithms.
+	if sec.AvgTotalCost > lin.AvgTotalCost || sec.AvgTotalCost > exp.AvgTotalCost {
+		t.Errorf("secure total %v should not exceed linear %v or exponential %v",
+			sec.AvgTotalCost, lin.AvgTotalCost, exp.AvgTotalCost)
+	}
+	if opt.AvgTotalCost > sec.AvgTotalCost {
+		t.Errorf("optimal total %v should be the floor (secure %v)",
+			opt.AvgTotalCost, sec.AvgTotalCost)
+	}
+	// Privacy-loss extension: optimal exposes everything.
+	if opt.AvgExposure != 0 {
+		t.Errorf("optimal exposure = %v, want 0", opt.AvgExposure)
+	}
+}
+
+func TestRunBoundingSweepTables(t *testing.T) {
+	a, b, c, d, err := RunBoundingSweep(tinyParams(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 2 || len(b.Rows) != 2 || len(c.Rows) != 2 || len(d.Rows) != 2 {
+		t.Error("bounding sweep row counts wrong")
+	}
+}

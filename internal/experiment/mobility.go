@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/geo"
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/mobility"
+	"nonexposure/internal/rss"
+	"nonexposure/internal/workload"
+	"nonexposure/internal/wpg"
+)
+
+// RunMobilitySweep is the continuous-cloaking extension (Section VII):
+// users wander around their homes; each epoch the proximity graph is
+// rebuilt, all cloaked state expires (a stale region no longer covers its
+// members), and the same hosts re-cloak. The table reports, per epoch:
+//
+//   - the average re-cloaking communication cost (does the amortization
+//     survive movement?),
+//   - the average cloaked-region area (does quality survive?),
+//   - the average Jaccard overlap between a host's region in this epoch
+//     and the previous one (how much does a trace observer see regions
+//     drift? lower overlap = harder trace correlation).
+func RunMobilitySweep(p Params, epochs int, stepPerEpoch float64) (*metrics.Table, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("experiment: epochs %d < 1", epochs)
+	}
+	pts, err := generate(p)
+	if err != nil {
+		return nil, err
+	}
+	// Users wander within ~2 radio ranges of home at walking-ish speed.
+	model, err := mobility.NewLocalWander(pts, 2*p.Delta, p.Delta/10, p.Delta/2, p.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	hosts, err := workload.Hosts(len(pts), p.Requests, p.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable(
+		"Extension: continuous cloaking under mobility",
+		"epoch", "avg comm", "avg area", "avg region overlap (IoU)", "failed")
+	prev := make(map[int32]geo.Rect)
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		if epoch > 0 {
+			model.Step(stepPerEpoch)
+		}
+		positions := model.Positions()
+		g := wpg.Build(positions, wpg.BuildParams{
+			Delta:    p.Delta,
+			MaxPeers: p.MaxPeers,
+			Model:    rss.InverseModel{},
+		})
+		reg := core.NewRegistry(len(positions))
+
+		var comm, area, iou metrics.Mean
+		failed := 0
+		cur := make(map[int32]geo.Rect)
+		regions := make(map[int32]geo.Rect) // cluster ID -> optimal region
+		for _, h := range hosts {
+			c, stats, err := core.DistributedTConn(core.GraphSource{G: g}, h, p.K, reg)
+			if errors.Is(err, core.ErrInsufficientUsers) {
+				failed++
+				comm.Add(float64(stats.Involved))
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			comm.Add(float64(stats.Involved))
+			r, ok := regions[c.ID]
+			if !ok {
+				opt, err := core.OptimalRect(positions, c.Members, p.Cb)
+				if err != nil {
+					return nil, err
+				}
+				r = opt.Rect
+				regions[c.ID] = r
+			}
+			area.Add(r.Area())
+			cur[h] = r
+			if old, ok := prev[h]; ok {
+				iou.Add(jaccard(old, r))
+			}
+		}
+		t.AddRow(epoch, comm.Value(), area.Value(), iou.Value(), failed)
+		prev = cur
+	}
+	return t, nil
+}
+
+// jaccard is the intersection-over-union of two rectangles.
+func jaccard(a, b geo.Rect) float64 {
+	inter := a.Intersection(b).Area()
+	union := a.Area() + b.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}

@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRunMobilitySweep(t *testing.T) {
+	tb, err := RunMobilitySweep(tinyParams(), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 epochs", len(tb.Rows))
+	}
+	// Epoch 0 has no previous regions, so its IoU column is 0; later
+	// epochs should show partial overlap in (0, 1].
+	for i, row := range tb.Rows {
+		var iouVal float64
+		if _, err := fmt.Sscan(row[3], &iouVal); err != nil {
+			t.Fatalf("parse IoU %q: %v", row[3], err)
+		}
+		if i == 0 {
+			if iouVal != 0 {
+				t.Errorf("epoch 0 IoU = %v, want 0 (no history)", iouVal)
+			}
+			continue
+		}
+		if iouVal <= 0 || iouVal > 1 {
+			t.Errorf("epoch %d IoU = %v, want (0,1] (local wander keeps regions overlapping)", i, iouVal)
+		}
+	}
+	if _, err := RunMobilitySweep(tinyParams(), 0, 1); err == nil {
+		t.Error("epochs 0 should error")
+	}
+}

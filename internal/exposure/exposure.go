@@ -1,0 +1,197 @@
+// Package exposure implements the two classic *exposure-based* cloaking
+// baselines the paper positions itself against (Section II): both require
+// a trusted party that knows every user's exact coordinates — precisely
+// the assumption non-exposure cloaking removes. They exist here so the
+// experiments can quantify what giving up coordinates costs.
+//
+//   - Quadtree: Gruteser & Grunwald's spatio-temporal cloaking (MobiSys'03).
+//     A trusted middleware indexes all locations in a quadtree and returns
+//     the smallest quadrant containing the requester and at least k-1
+//     other users.
+//   - HilbASR: Ghinita et al.'s hilbASR (WWW'07). All users are sorted by
+//     Hilbert rank and every k consecutive users form a bucket; a user's
+//     cloaked region is the bounding box of its bucket. Buckets satisfy
+//     reciprocity by construction.
+package exposure
+
+import (
+	"fmt"
+	"sort"
+
+	"nonexposure/internal/geo"
+	"nonexposure/internal/hilbert"
+)
+
+// Quadtree is the Gruteser–Grunwald cloaker: a point-count quadtree over
+// the exact user coordinates.
+type Quadtree struct {
+	root *quadNode
+	pts  []geo.Point
+	// MaxDepth bounds subdivision (default 20).
+	maxDepth int
+}
+
+type quadNode struct {
+	bounds   geo.Rect
+	points   []int32 // user ids at leaves
+	children [4]*quadNode
+	count    int
+}
+
+// NewQuadtree indexes the exact user locations (this is the exposure:
+// a trusted middleware holds everyone's coordinates).
+func NewQuadtree(pts []geo.Point, leafCapacity int) (*Quadtree, error) {
+	if leafCapacity < 1 {
+		return nil, fmt.Errorf("exposure: leaf capacity %d < 1", leafCapacity)
+	}
+	qt := &Quadtree{
+		pts:      pts,
+		maxDepth: 20,
+		root:     &quadNode{bounds: geo.UnitSquare()},
+	}
+	for i, p := range pts {
+		if !qt.root.bounds.Contains(p) {
+			return nil, fmt.Errorf("exposure: point %d = %v outside the unit square", i, p)
+		}
+		qt.insert(qt.root, int32(i), 0, leafCapacity)
+	}
+	return qt, nil
+}
+
+func (qt *Quadtree) insert(n *quadNode, id int32, depth, leafCapacity int) {
+	n.count++
+	if n.children[0] == nil {
+		n.points = append(n.points, id)
+		if len(n.points) > leafCapacity && depth < qt.maxDepth {
+			qt.split(n)
+		}
+		return
+	}
+	qt.insert(n.children[qt.quadrantOf(n, qt.pts[id])], id, depth+1, leafCapacity)
+}
+
+func (qt *Quadtree) split(n *quadNode) {
+	c := n.bounds.Center()
+	quads := [4]geo.Rect{
+		{Min: n.bounds.Min, Max: c}, // SW
+		{Min: geo.Point{X: c.X, Y: n.bounds.Min.Y}, Max: geo.Point{X: n.bounds.Max.X, Y: c.Y}}, // SE
+		{Min: geo.Point{X: n.bounds.Min.X, Y: c.Y}, Max: geo.Point{X: c.X, Y: n.bounds.Max.Y}}, // NW
+		{Min: c, Max: n.bounds.Max}, // NE
+	}
+	for i := range n.children {
+		n.children[i] = &quadNode{bounds: quads[i]}
+	}
+	pts := n.points
+	n.points = nil
+	for _, id := range pts {
+		child := n.children[qt.quadrantOf(n, qt.pts[id])]
+		child.points = append(child.points, id)
+		child.count++
+	}
+}
+
+// quadrantOf picks the child quadrant for p (boundary points go to the
+// higher quadrant so every point lands in exactly one child).
+func (qt *Quadtree) quadrantOf(n *quadNode, p geo.Point) int {
+	c := n.bounds.Center()
+	i := 0
+	if p.X >= c.X {
+		i |= 1
+	}
+	if p.Y >= c.Y {
+		i |= 2
+	}
+	return i
+}
+
+// Cloak returns the smallest quadtree quadrant containing host and at
+// least k users in total, plus the number of users inside it.
+func (qt *Quadtree) Cloak(host int32, k int) (geo.Rect, int, error) {
+	if int(host) < 0 || int(host) >= len(qt.pts) {
+		return geo.Rect{}, 0, fmt.Errorf("exposure: no such user %d", host)
+	}
+	if qt.root.count < k {
+		return geo.Rect{}, 0, fmt.Errorf("exposure: only %d users for k=%d", qt.root.count, k)
+	}
+	n := qt.root
+	p := qt.pts[host]
+	for n.children[0] != nil {
+		child := n.children[qt.quadrantOf(n, p)]
+		if child.count < k {
+			break
+		}
+		n = child
+	}
+	return n.bounds, n.count, nil
+}
+
+// HilbASR is the Hilbert-bucket cloaker: users sorted by Hilbert rank and
+// partitioned into consecutive buckets of >= k users.
+type HilbASR struct {
+	pts     []geo.Point
+	bucket  []int32 // user -> bucket index
+	regions []geo.Rect
+	sizes   []int
+}
+
+// NewHilbASR builds the bucket partition for anonymity level k.
+func NewHilbASR(pts []geo.Point, k int, order uint) (*HilbASR, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("exposure: k must be >= 1, got %d", k)
+	}
+	if len(pts) < k {
+		return nil, fmt.Errorf("exposure: %d users cannot satisfy k=%d", len(pts), k)
+	}
+	curve, err := hilbert.New(order)
+	if err != nil {
+		return nil, err
+	}
+	type ranked struct {
+		rank uint64
+		id   int32
+	}
+	rs := make([]ranked, len(pts))
+	for i, p := range pts {
+		rs[i] = ranked{rank: curve.RankFloat(p.X, p.Y), id: int32(i)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].rank != rs[j].rank {
+			return rs[i].rank < rs[j].rank
+		}
+		return rs[i].id < rs[j].id
+	})
+
+	h := &HilbASR{pts: pts, bucket: make([]int32, len(pts))}
+	numBuckets := len(pts) / k // last bucket absorbs the remainder
+	if numBuckets < 1 {
+		numBuckets = 1
+	}
+	for b := 0; b < numBuckets; b++ {
+		lo := b * k
+		hi := lo + k
+		if b == numBuckets-1 {
+			hi = len(pts)
+		}
+		r := geo.EmptyRect()
+		for _, e := range rs[lo:hi] {
+			h.bucket[e.id] = int32(b)
+			r = r.ExpandToInclude(pts[e.id])
+		}
+		h.regions = append(h.regions, r)
+		h.sizes = append(h.sizes, hi-lo)
+	}
+	return h, nil
+}
+
+// Cloak returns host's bucket region and the bucket size. Reciprocity is
+// structural: every user in the bucket gets the identical region.
+func (h *HilbASR) Cloak(host int32) (geo.Rect, int, error) {
+	if int(host) < 0 || int(host) >= len(h.bucket) {
+		return geo.Rect{}, 0, fmt.Errorf("exposure: no such user %d", host)
+	}
+	b := h.bucket[host]
+	return h.regions[b], h.sizes[b], nil
+}
+
+// NumBuckets returns the number of buckets in the partition.
+func (h *HilbASR) NumBuckets() int { return len(h.regions) }

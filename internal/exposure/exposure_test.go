@@ -1,0 +1,260 @@
+package exposure
+
+import (
+	"math/rand"
+	"testing"
+
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/geo"
+)
+
+func TestQuadtreeCloakContainsKUsers(t *testing.T) {
+	pts := dataset.GaussianClusters(2000, 4, 0.05, 3)
+	qt, err := NewQuadtree(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		host := int32(rng.Intn(len(pts)))
+		k := 2 + rng.Intn(30)
+		region, count, err := qt.Cloak(host, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if count < k {
+			t.Fatalf("trial %d: quadrant holds %d < k=%d", trial, count, k)
+		}
+		if !region.Contains(pts[host]) {
+			t.Fatalf("trial %d: region %v misses host %v", trial, region, pts[host])
+		}
+		// Verify the count against the ground truth.
+		truth := 0
+		for _, p := range pts {
+			if region.Contains(p) {
+				truth++
+			}
+		}
+		// Shared quadrant boundaries can double-count only in the truth
+		// recount (points on an internal boundary belong to exactly one
+		// child): the node count must never exceed the geometric count.
+		if count > truth {
+			t.Fatalf("trial %d: node count %d exceeds geometric count %d", trial, count, truth)
+		}
+	}
+}
+
+func TestQuadtreeMinimality(t *testing.T) {
+	// The returned quadrant's k-satisfying child containing the host, if
+	// any, would have been chosen — so no child quadrant containing the
+	// host may also contain >= k users. We verify via a direct recount on
+	// the four sub-quadrants.
+	pts := dataset.Uniform(1000, 9)
+	qt, err := NewQuadtree(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := int32(17)
+	k := 10
+	region, _, err := qt.Cloak(host, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := region.Center()
+	quads := []geo.Rect{
+		{Min: region.Min, Max: c},
+		{Min: geo.Point{X: c.X, Y: region.Min.Y}, Max: geo.Point{X: region.Max.X, Y: c.Y}},
+		{Min: geo.Point{X: region.Min.X, Y: c.Y}, Max: geo.Point{X: c.X, Y: region.Max.Y}},
+		{Min: c, Max: region.Max},
+	}
+	for _, q := range quads {
+		if !q.Contains(pts[host]) {
+			continue
+		}
+		// The host's child quadrant: counting with the same boundary
+		// convention as the tree (>= on both axes) it must hold < k users,
+		// otherwise the tree would have descended.
+		count := 0
+		for _, p := range pts {
+			if quadrantContains(region, q, p) {
+				count++
+			}
+		}
+		if count >= k {
+			t.Errorf("child quadrant %v holds %d >= k=%d users; tree should have descended", q, count, k)
+		}
+	}
+}
+
+// quadrantContains mimics the tree's child-assignment convention.
+func quadrantContains(parent, child geo.Rect, p geo.Point) bool {
+	if !parent.Contains(p) {
+		return false
+	}
+	c := parent.Center()
+	right := p.X >= c.X
+	top := p.Y >= c.Y
+	childRight := child.Min.X >= c.X
+	childTop := child.Min.Y >= c.Y
+	return right == childRight && top == childTop
+}
+
+func TestQuadtreeValidation(t *testing.T) {
+	if _, err := NewQuadtree([]geo.Point{{X: 2, Y: 0}}, 4); err == nil {
+		t.Error("out-of-square point should error")
+	}
+	if _, err := NewQuadtree(nil, 0); err == nil {
+		t.Error("leaf capacity 0 should error")
+	}
+	qt, err := NewQuadtree([]geo.Point{{X: 0.5, Y: 0.5}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := qt.Cloak(5, 1); err == nil {
+		t.Error("unknown user should error")
+	}
+	if _, _, err := qt.Cloak(0, 2); err == nil {
+		t.Error("k beyond population should error")
+	}
+}
+
+func TestQuadtreeDuplicatePointsDepthBound(t *testing.T) {
+	// 100 identical points cannot be separated; the depth bound must stop
+	// the subdivision rather than recurse forever.
+	pts := make([]geo.Point, 100)
+	for i := range pts {
+		pts[i] = geo.Point{X: 0.25, Y: 0.75}
+	}
+	qt, err := NewQuadtree(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, count, err := qt.Cloak(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count < 50 {
+		t.Errorf("count = %d", count)
+	}
+	if !region.Contains(pts[0]) {
+		t.Error("region misses the stacked point")
+	}
+}
+
+func TestHilbASRBucketsAreValidAndReciprocal(t *testing.T) {
+	pts := dataset.GaussianClusters(1234, 3, 0.08, 7)
+	k := 10
+	h, err := NewHilbASR(pts, k, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBuckets := len(pts) / k
+	if h.NumBuckets() != wantBuckets {
+		t.Errorf("buckets = %d, want %d", h.NumBuckets(), wantBuckets)
+	}
+	regionOf := make(map[int32]geo.Rect)
+	sizeTotal := 0
+	for host := int32(0); host < int32(len(pts)); host++ {
+		region, size, err := h.Cloak(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size < k {
+			t.Fatalf("host %d: bucket size %d < k", host, size)
+		}
+		if !region.Contains(pts[host]) {
+			t.Fatalf("host %d outside its own region", host)
+		}
+		regionOf[host] = region
+	}
+	// Reciprocity: users sharing a bucket share the exact region; count
+	// distinct regions == bucket count.
+	distinct := make(map[geo.Rect]int)
+	for _, r := range regionOf {
+		distinct[r]++
+	}
+	if len(distinct) != h.NumBuckets() {
+		t.Errorf("distinct regions = %d, buckets = %d", len(distinct), h.NumBuckets())
+	}
+	for _, n := range distinct {
+		sizeTotal += n
+	}
+	if sizeTotal != len(pts) {
+		t.Errorf("partition covers %d of %d users", sizeTotal, len(pts))
+	}
+}
+
+func TestHilbASRLastBucketAbsorbsRemainder(t *testing.T) {
+	pts := dataset.Uniform(25, 2) // k=10 -> buckets of 10 and 15
+	h, err := NewHilbASR(pts, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() != 2 {
+		t.Fatalf("buckets = %d", h.NumBuckets())
+	}
+	sizes := map[int]bool{}
+	for host := int32(0); host < 25; host++ {
+		_, size, err := h.Cloak(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[size] = true
+	}
+	if !sizes[10] || !sizes[15] {
+		t.Errorf("bucket sizes = %v, want {10,15}", sizes)
+	}
+}
+
+func TestHilbASRValidation(t *testing.T) {
+	pts := dataset.Uniform(5, 1)
+	if _, err := NewHilbASR(pts, 0, 8); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewHilbASR(pts, 6, 8); err == nil {
+		t.Error("k beyond population should error")
+	}
+	if _, err := NewHilbASR(pts, 2, 0); err == nil {
+		t.Error("bad curve order should error")
+	}
+	h, err := NewHilbASR(pts, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Cloak(99); err == nil {
+		t.Error("unknown user should error")
+	}
+}
+
+// The whole point of Hilbert ordering: buckets should be far more compact
+// than random groups of the same size.
+func TestHilbASRBucketsAreCompact(t *testing.T) {
+	pts := dataset.Uniform(5000, 11)
+	k := 10
+	h, err := NewHilbASR(pts, k, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hilbArea float64
+	for b := 0; b < h.NumBuckets(); b++ {
+		hilbArea += h.regions[b].Area()
+	}
+	hilbArea /= float64(h.NumBuckets())
+
+	rng := rand.New(rand.NewSource(12))
+	perm := rng.Perm(len(pts))
+	var randArea float64
+	groups := 0
+	for lo := 0; lo+k <= len(perm); lo += k {
+		r := geo.EmptyRect()
+		for _, idx := range perm[lo : lo+k] {
+			r = r.ExpandToInclude(pts[idx])
+		}
+		randArea += r.Area()
+		groups++
+	}
+	randArea /= float64(groups)
+	if hilbArea*10 > randArea {
+		t.Errorf("Hilbert buckets not compact: %.3g vs random %.3g", hilbArea, randArea)
+	}
+}

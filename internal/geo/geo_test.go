@@ -1,0 +1,292 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{0.5, 0.5}, Point{0.5, 0.5}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Dist(tc.q); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tc.p, tc.q, got, tc.want)
+			}
+			if got := tc.p.DistSq(tc.q); math.Abs(got-tc.want*tc.want) > 1e-12 {
+				t.Errorf("DistSq(%v, %v) = %v, want %v", tc.p, tc.q, got, tc.want*tc.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p, q := Point{ax, ay}, Point{bx, by}
+		return p.Dist(q) == q.Dist(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectFrom(t *testing.T) {
+	r := RectFrom(Point{0.5, 0.2}, Point{0.1, 0.9}, Point{0.3, 0.3})
+	want := Rect{Min: Point{0.1, 0.2}, Max: Point{0.5, 0.9}}
+	if r != want {
+		t.Errorf("RectFrom = %v, want %v", r, want)
+	}
+}
+
+func TestRectFromSinglePoint(t *testing.T) {
+	p := Point{0.4, 0.7}
+	r := RectFrom(p)
+	if r.Min != p || r.Max != p {
+		t.Errorf("RectFrom(p) = %v, want degenerate rect at %v", r, p)
+	}
+	if r.Area() != 0 {
+		t.Errorf("degenerate rect area = %v, want 0", r.Area())
+	}
+	if !r.Contains(p) {
+		t.Error("degenerate rect must contain its point")
+	}
+}
+
+func TestRectFromPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RectFrom() with no points should panic")
+		}
+	}()
+	RectFrom()
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Error("EmptyRect should be empty")
+	}
+	if e.Area() != 0 || e.Width() != 0 || e.Height() != 0 || e.Perimeter() != 0 {
+		t.Error("empty rect must have zero measurements")
+	}
+	if e.Contains(Point{0, 0}) {
+		t.Error("empty rect contains nothing")
+	}
+	p := Point{0.3, 0.6}
+	got := e.ExpandToInclude(p)
+	if got.Min != p || got.Max != p {
+		t.Errorf("ExpandToInclude on empty = %v, want point rect at %v", got, p)
+	}
+}
+
+func TestRectAreaAndMeasures(t *testing.T) {
+	r := Rect{Min: Point{0.1, 0.2}, Max: Point{0.4, 0.8}}
+	if got, want := r.Width(), 0.3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Width = %v, want %v", got, want)
+	}
+	if got, want := r.Height(), 0.6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Height = %v, want %v", got, want)
+	}
+	if got, want := r.Area(), 0.18; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Area = %v, want %v", got, want)
+	}
+	if got, want := r.Perimeter(), 1.8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Perimeter = %v, want %v", got, want)
+	}
+	if got, want := r.Center(), (Point{0.25, 0.5}); got != want {
+		t.Errorf("Center = %v, want %v", got, want)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{1, 1}}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0.5, 0.5}, true},
+		{Point{0, 0}, true},   // corner is included
+		{Point{1, 1}, true},   // corner is included
+		{Point{1, 0.5}, true}, // edge is included
+		{Point{1.0001, 0.5}, false},
+		{Point{-0.0001, 0.5}, false},
+		{Point{0.5, 2}, false},
+	}
+	for _, tc := range cases {
+		if got := r.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Rect{Min: Point{0, 0}, Max: Point{1, 1}}
+	cases := []struct {
+		name string
+		b    Rect
+		want bool
+	}{
+		{"overlap", Rect{Min: Point{0.5, 0.5}, Max: Point{2, 2}}, true},
+		{"touch edge", Rect{Min: Point{1, 0}, Max: Point{2, 1}}, true},
+		{"touch corner", Rect{Min: Point{1, 1}, Max: Point{2, 2}}, true},
+		{"disjoint x", Rect{Min: Point{1.1, 0}, Max: Point{2, 1}}, false},
+		{"disjoint y", Rect{Min: Point{0, 1.1}, Max: Point{1, 2}}, false},
+		{"contained", Rect{Min: Point{0.2, 0.2}, Max: Point{0.8, 0.8}}, true},
+		{"empty", EmptyRect(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := a.Intersects(tc.b); got != tc.want {
+				t.Errorf("Intersects = %v, want %v", got, tc.want)
+			}
+			if got := tc.b.Intersects(a); got != tc.want {
+				t.Errorf("Intersects (reversed) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := Rect{Min: Point{0, 0}, Max: Point{1, 1}}
+	b := Rect{Min: Point{0.5, 0.25}, Max: Point{2, 0.75}}
+	got := a.Intersection(b)
+	want := Rect{Min: Point{0.5, 0.25}, Max: Point{1, 0.75}}
+	if got != want {
+		t.Errorf("Intersection = %v, want %v", got, want)
+	}
+	if !a.Intersection(EmptyRect()).IsEmpty() {
+		t.Error("intersection with empty should be empty")
+	}
+	disjoint := Rect{Min: Point{5, 5}, Max: Point{6, 6}}
+	if !a.Intersection(disjoint).IsEmpty() {
+		t.Error("intersection of disjoint rects should be empty")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Rect{Min: Point{0, 0}, Max: Point{0.5, 0.5}}
+	b := Rect{Min: Point{0.6, 0.6}, Max: Point{1, 1}}
+	got := a.Union(b)
+	want := Rect{Min: Point{0, 0}, Max: Point{1, 1}}
+	if got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if a.Union(EmptyRect()) != a {
+		t.Error("union with empty should be identity")
+	}
+	if EmptyRect().Union(a) != a {
+		t.Error("union with empty should be identity (reversed)")
+	}
+}
+
+func TestInflate(t *testing.T) {
+	r := Rect{Min: Point{0.4, 0.4}, Max: Point{0.6, 0.6}}
+	grown := r.Inflate(0.1)
+	want := Rect{Min: Point{0.3, 0.3}, Max: Point{0.7, 0.7}}
+	if math.Abs(grown.Min.X-want.Min.X) > 1e-12 || math.Abs(grown.Max.Y-want.Max.Y) > 1e-12 {
+		t.Errorf("Inflate = %v, want %v", grown, want)
+	}
+	if !r.Inflate(-0.2).IsEmpty() {
+		t.Error("over-shrunk rect should be empty")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := Rect{Min: Point{-0.5, 0.5}, Max: Point{0.5, 1.5}}
+	got := r.Clamp()
+	want := Rect{Min: Point{0, 0.5}, Max: Point{0.5, 1}}
+	if got != want {
+		t.Errorf("Clamp = %v, want %v", got, want)
+	}
+}
+
+func TestMinMaxDistSq(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{1, 1}}
+	inside := Point{0.5, 0.5}
+	if d := r.MinDistSq(inside); d != 0 {
+		t.Errorf("MinDistSq(inside) = %v, want 0", d)
+	}
+	outside := Point{2, 0.5}
+	if d := r.MinDistSq(outside); math.Abs(d-1) > 1e-12 {
+		t.Errorf("MinDistSq(outside) = %v, want 1", d)
+	}
+	// Farthest corner from (2, 0.5) is (0, 0) or (0, 1): dist² = 4 + 0.25.
+	if d := r.MaxDistSq(outside); math.Abs(d-4.25) > 1e-12 {
+		t.Errorf("MaxDistSq = %v, want 4.25", d)
+	}
+}
+
+// Property: union contains both operands; intersection is contained in both.
+func TestUnionIntersectionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randRect := func() Rect {
+		p := Point{rng.Float64(), rng.Float64()}
+		q := Point{rng.Float64(), rng.Float64()}
+		return RectFrom(p, q)
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randRect(), randRect()
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatalf("union %v does not contain operands %v, %v", u, a, b)
+		}
+		x := a.Intersection(b)
+		if !a.ContainsRect(x) || !b.ContainsRect(x) {
+			t.Fatalf("intersection %v not contained in operands %v, %v", x, a, b)
+		}
+		// Inclusion-exclusion inequality for rectangles.
+		if u.Area()+1e-12 < a.Area() || u.Area()+1e-12 < b.Area() {
+			t.Fatalf("union area smaller than an operand")
+		}
+	}
+}
+
+// Property: RectFrom(points) contains every input point and is the smallest
+// such rectangle (every edge touches some point).
+func TestRectFromIsTightBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(20)
+		pts := make([]Point, n)
+		for j := range pts {
+			pts[j] = Point{rng.Float64(), rng.Float64()}
+		}
+		r := RectFrom(pts...)
+		var touchMinX, touchMaxX, touchMinY, touchMaxY bool
+		for _, p := range pts {
+			if !r.Contains(p) {
+				t.Fatalf("RectFrom result %v does not contain %v", r, p)
+			}
+			touchMinX = touchMinX || p.X == r.Min.X
+			touchMaxX = touchMaxX || p.X == r.Max.X
+			touchMinY = touchMinY || p.Y == r.Min.Y
+			touchMaxY = touchMaxY || p.Y == r.Max.Y
+		}
+		if !(touchMinX && touchMaxX && touchMinY && touchMaxY) {
+			t.Fatalf("RectFrom result %v is not tight", r)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := (Point{0.5, 0.25}).String(); s == "" {
+		t.Error("Point.String should not be empty")
+	}
+	if s := EmptyRect().String(); s != "Rect(empty)" {
+		t.Errorf("EmptyRect.String = %q", s)
+	}
+	if s := UnitSquare().String(); s == "" || s == "Rect(empty)" {
+		t.Errorf("UnitSquare.String = %q", s)
+	}
+}

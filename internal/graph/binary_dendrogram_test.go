@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBinaryDendrogramIsStrictlyBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(50)
+		var edges []Edge
+		for i := 0; i < 3*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			edges = append(edges, Edge{u, v, int32(1 + rng.Intn(5))})
+		}
+		d := BuildBinaryDendrogram(n, edges)
+		for i, nd := range d.Nodes {
+			if nd.Leaf >= 0 {
+				if len(nd.Children) != 0 {
+					t.Fatalf("trial %d: leaf %d has children", trial, i)
+				}
+				continue
+			}
+			if len(nd.Children) != 2 {
+				t.Fatalf("trial %d: internal node %d has %d children", trial, i, len(nd.Children))
+			}
+			var sum int32
+			for _, c := range nd.Children {
+				sum += d.Nodes[c].Size
+				// Children merged earlier, so at a weight <= parent's.
+				if d.Nodes[c].Leaf < 0 && d.Nodes[c].W > nd.W {
+					t.Fatalf("trial %d: child weight %d above parent %d",
+						trial, d.Nodes[c].W, nd.W)
+				}
+			}
+			if sum != nd.Size {
+				t.Fatalf("trial %d: node %d size %d != child sum %d", trial, i, nd.Size, sum)
+			}
+		}
+	}
+}
+
+func TestBinaryDendrogramLeafPartitionMatchesCoalesced(t *testing.T) {
+	// Both trees must describe the same connected components at the top.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(40)
+		var edges []Edge
+		for i := 0; i < 2*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			edges = append(edges, Edge{u, v, int32(1 + rng.Intn(6))})
+		}
+		bin := BuildBinaryDendrogram(n, edges)
+		coal := BuildDendrogram(n, edges)
+		collect := func(d *Dendrogram) [][]int32 {
+			var out [][]int32
+			for _, r := range d.Roots {
+				out = append(out, d.Leaves(r, nil))
+			}
+			return sortGroups(out)
+		}
+		if !reflect.DeepEqual(collect(bin), collect(coal)) {
+			t.Fatalf("trial %d: component partitions differ", trial)
+		}
+	}
+}
+
+func TestBinaryDendrogramRootWeightIsComponentMEW(t *testing.T) {
+	// The root's weight is the max MST edge = the minimal t at which the
+	// component is t-connected.
+	edges := []Edge{
+		{0, 1, 2}, {1, 2, 7}, {2, 3, 3}, {0, 2, 9},
+	}
+	d := BuildBinaryDendrogram(4, edges)
+	if len(d.Roots) != 1 {
+		t.Fatalf("roots = %d", len(d.Roots))
+	}
+	if w := d.Nodes[d.Roots[0]].W; w != 7 {
+		t.Errorf("root weight = %d, want 7 (MST max edge; the 9-edge is redundant)", w)
+	}
+}
+
+func TestBinaryDendrogramDeterministicUnderPermutation(t *testing.T) {
+	edges := []Edge{
+		{0, 1, 3}, {1, 2, 3}, {2, 3, 3}, {3, 0, 3}, {0, 2, 3},
+	}
+	d1 := BuildBinaryDendrogram(4, edges)
+	rev := make([]Edge, len(edges))
+	for i, e := range edges {
+		rev[len(edges)-1-i] = e
+	}
+	d2 := BuildBinaryDendrogram(4, rev)
+	l1 := d1.Leaves(d1.Roots[0], nil)
+	l2 := d2.Leaves(d2.Roots[0], nil)
+	if !reflect.DeepEqual(l1, l2) {
+		t.Errorf("leaf order differs under edge permutation: %v vs %v", l1, l2)
+	}
+	// Same node count and same per-node weights in creation order.
+	if len(d1.Nodes) != len(d2.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(d1.Nodes), len(d2.Nodes))
+	}
+	for i := range d1.Nodes {
+		if d1.Nodes[i].W != d2.Nodes[i].W || d1.Nodes[i].Size != d2.Nodes[i].Size {
+			t.Fatalf("node %d differs under permutation", i)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package graph
+
+import "sort"
+
+// Edge is an undirected weighted edge between dense vertex ids.
+// Weights are integers because proximity edge weights are RSS ranks.
+type Edge struct {
+	U, V int32
+	W    int32
+}
+
+// Dendrogram is the single-linkage merge tree of a weighted graph: leaves
+// are vertices, and an internal node at weight w is a connected component
+// of the subgraph restricted to edges of weight <= w that is not connected
+// by edges of weight < w alone.
+//
+// Consecutive merges at the same weight are coalesced into one n-ary node,
+// so the components at threshold t are exactly the t-connected equivalence
+// classes of Definition 4.1 in the paper.
+type Dendrogram struct {
+	// Nodes is the flat node arena. Leaves occupy [0, NumLeaves).
+	Nodes []DendroNode
+	// Roots are the top nodes, one per connected component of the graph.
+	Roots []int32
+	// NumLeaves is the number of vertices.
+	NumLeaves int
+}
+
+// DendroNode is one node of a Dendrogram.
+type DendroNode struct {
+	// W is the weight level at which this component becomes connected.
+	// It is 0 for leaves.
+	W int32
+	// Size is the number of leaves underneath.
+	Size int32
+	// Children are node indexes; empty for leaves. In the coalesced tree
+	// every child has a strictly smaller W than its parent; in the binary
+	// tree children merge at a weight <= the parent's.
+	Children []int32
+	// Leaf is the vertex id for leaves and -1 for internal nodes.
+	Leaf int32
+}
+
+// BuildDendrogram constructs the single-linkage dendrogram of the graph
+// with n vertices and the given undirected edges, coalescing merges at
+// equal weights into n-ary nodes: the components at threshold t are
+// exactly the t-connected equivalence classes of Definition 4.1. Edges
+// may appear in any order; duplicates are harmless (later duplicates find
+// the endpoints already merged). Edge weights must be >= 1 so that leaves
+// (weight 0) sort strictly below every merge.
+func BuildDendrogram(n int, edges []Edge) *Dendrogram {
+	return buildDendrogram(n, edges, false)
+}
+
+// BuildBinaryDendrogram constructs the strictly binary merge tree: one
+// node per Kruskal union, equal weights NOT coalesced (ties resolved by
+// ascending (W, U, V) edge order). Cutting this tree top-down replays
+// Algorithm 1 literally — edges removed one at a time in descending
+// order, splitting a component in two at each first disconnection — which
+// is what the centralized k-clustering uses.
+func BuildBinaryDendrogram(n int, edges []Edge) *Dendrogram {
+	return buildDendrogram(n, edges, true)
+}
+
+func buildDendrogram(n int, edges []Edge, binary bool) *Dendrogram {
+	sorted := make([]Edge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+
+	d := &Dendrogram{
+		Nodes:     make([]DendroNode, n, n+len(edges)/2+1),
+		NumLeaves: n,
+	}
+	for i := 0; i < n; i++ {
+		d.Nodes[i] = DendroNode{W: 0, Size: 1, Leaf: int32(i)}
+	}
+
+	uf := NewUnionFind(n)
+	// top[root] is the current dendrogram node of root's component.
+	top := make([]int32, n)
+	for i := range top {
+		top[i] = int32(i)
+	}
+
+	for _, e := range sorted {
+		r1, r2 := uf.Find(e.U), uf.Find(e.V)
+		if r1 == r2 {
+			continue
+		}
+		t1, t2 := top[r1], top[r2]
+		root, _ := uf.Union(r1, r2)
+		if binary {
+			top[root] = d.mergeBinary(t1, t2, e.W)
+		} else {
+			top[root] = d.merge(t1, t2, e.W)
+		}
+	}
+
+	seen := make(map[int32]bool)
+	for v := int32(0); v < int32(n); v++ {
+		r := uf.Find(v)
+		if !seen[r] {
+			seen[r] = true
+			d.Roots = append(d.Roots, top[r])
+		}
+	}
+	return d
+}
+
+// merge combines the components topped by nodes a and b at weight w,
+// coalescing same-weight nodes so each internal node's children all sit at
+// strictly lower weights.
+func (d *Dendrogram) merge(a, b int32, w int32) int32 {
+	na, nb := &d.Nodes[a], &d.Nodes[b]
+	aSame := na.Leaf < 0 && na.W == w
+	bSame := nb.Leaf < 0 && nb.W == w
+	switch {
+	case aSame && bSame:
+		na.Children = append(na.Children, nb.Children...)
+		na.Size += nb.Size
+		nb.Children = nil // node b is dead; release its child list
+		return a
+	case aSame:
+		na.Children = append(na.Children, b)
+		na.Size += nb.Size
+		return a
+	case bSame:
+		nb.Children = append(nb.Children, a)
+		nb.Size += na.Size
+		return b
+	default:
+		d.Nodes = append(d.Nodes, DendroNode{
+			W:        w,
+			Size:     na.Size + nb.Size,
+			Children: []int32{a, b},
+			Leaf:     -1,
+		})
+		return int32(len(d.Nodes) - 1)
+	}
+}
+
+// mergeBinary combines the components topped by nodes a and b at weight w
+// without coalescing equal weights.
+func (d *Dendrogram) mergeBinary(a, b int32, w int32) int32 {
+	d.Nodes = append(d.Nodes, DendroNode{
+		W:        w,
+		Size:     d.Nodes[a].Size + d.Nodes[b].Size,
+		Children: []int32{a, b},
+		Leaf:     -1,
+	})
+	return int32(len(d.Nodes) - 1)
+}
+
+// Leaves appends to dst the vertex ids of all leaves under node and returns
+// the extended slice.
+func (d *Dendrogram) Leaves(node int32, dst []int32) []int32 {
+	nd := &d.Nodes[node]
+	if nd.Leaf >= 0 {
+		return append(dst, nd.Leaf)
+	}
+	for _, c := range nd.Children {
+		dst = d.Leaves(c, dst)
+	}
+	return dst
+}
+
+// CutMinSize performs the top-down cut that yields the smallest valid
+// t-connectivity clusters (Algorithm 1 of the paper): starting from each
+// root, a component is partitioned into its children iff every child has
+// size >= minSize; otherwise the component itself is emitted.
+//
+// Components whose total size is below minSize (undersized connected
+// components of the whole graph) are emitted as-is; callers decide how to
+// treat them.
+//
+// The callback receives the dendrogram node index of each emitted cluster.
+func (d *Dendrogram) CutMinSize(minSize int, emit func(node int32)) {
+	var walk func(node int32)
+	walk = func(node int32) {
+		nd := &d.Nodes[node]
+		if nd.Leaf >= 0 || len(nd.Children) == 0 {
+			emit(node)
+			return
+		}
+		for _, c := range nd.Children {
+			if int(d.Nodes[c].Size) < minSize {
+				emit(node)
+				return
+			}
+		}
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	for _, r := range d.Roots {
+		walk(r)
+	}
+}
+
+// ComponentsAt returns the partition of vertices into t-connected
+// equivalence classes for threshold t: components of the subgraph with
+// edge weights <= t. Used by tests to cross-check the dendrogram.
+func ComponentsAt(n int, edges []Edge, t int32) [][]int32 {
+	uf := NewUnionFind(n)
+	for _, e := range edges {
+		if e.W <= t {
+			uf.Union(e.U, e.V)
+		}
+	}
+	groups := make(map[int32][]int32)
+	for v := int32(0); v < int32(n); v++ {
+		r := uf.Find(v)
+		groups[r] = append(groups[r], v)
+	}
+	out := make([][]int32, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package graph
+
+// Heap is a generic binary min-heap ordered by a caller-supplied less
+// function. The zero value is not usable; construct with NewHeap.
+type Heap[T any] struct {
+	data []T
+	less func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements in the heap.
+func (h *Heap[T]) Len() int { return len(h.data) }
+
+// Push adds x to the heap.
+func (h *Heap[T]) Push(x T) {
+	h.data = append(h.data, x)
+	h.up(len(h.data) - 1)
+}
+
+// Pop removes and returns the minimum element. It panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	if len(h.data) == 0 {
+		panic("graph: Pop from empty heap")
+	}
+	top := h.data[0]
+	last := len(h.data) - 1
+	h.data[0] = h.data[last]
+	var zero T
+	h.data[last] = zero
+	h.data = h.data[:last]
+	if len(h.data) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the minimum element without removing it. It panics on an
+// empty heap.
+func (h *Heap[T]) Peek() T {
+	if len(h.data) == 0 {
+		panic("graph: Peek on empty heap")
+	}
+	return h.data[0]
+}
+
+// Reset removes all elements but keeps the allocated capacity.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.data {
+		h.data[i] = zero
+	}
+	h.data = h.data[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.data[i], h.data[parent]) {
+			break
+		}
+		h.data[i], h.data[parent] = h.data[parent], h.data[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.data[l], h.data[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.data[r], h.data[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.data[i], h.data[smallest] = h.data[smallest], h.data[i]
+		i = smallest
+	}
+}

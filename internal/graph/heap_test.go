@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestHeapBasics(t *testing.T) {
+	h := NewHeap(intLess)
+	if h.Len() != 0 {
+		t.Fatalf("new heap Len = %d", h.Len())
+	}
+	for _, v := range []int{5, 3, 8, 1, 9, 2} {
+		h.Push(v)
+	}
+	if h.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", h.Len())
+	}
+	if got := h.Peek(); got != 1 {
+		t.Fatalf("Peek = %d, want 1", got)
+	}
+	want := []int{1, 2, 3, 5, 8, 9}
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("Pop #%d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not empty after draining")
+	}
+}
+
+func TestHeapPanicsOnEmpty(t *testing.T) {
+	h := NewHeap(intLess)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Pop on empty heap should panic")
+			}
+		}()
+		h.Pop()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Peek on empty heap should panic")
+			}
+		}()
+		h.Peek()
+	}()
+}
+
+func TestHeapReset(t *testing.T) {
+	h := NewHeap(intLess)
+	h.Push(3)
+	h.Push(1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	h.Push(7)
+	if got := h.Pop(); got != 7 {
+		t.Fatalf("Pop after Reset = %d, want 7", got)
+	}
+}
+
+func TestHeapSortsRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(50) // duplicates on purpose
+		}
+		h := NewHeap(intLess)
+		for _, v := range in {
+			h.Push(v)
+		}
+		out := make([]int, 0, n)
+		for h.Len() > 0 {
+			out = append(out, h.Pop())
+		}
+		if !sort.IntsAreSorted(out) {
+			t.Fatalf("trial %d: heap output not sorted: %v", trial, out)
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("trial %d: heap output multiset differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := NewHeap(intLess)
+	var mirror []int
+	for op := 0; op < 2000; op++ {
+		if h.Len() == 0 || rng.Intn(3) > 0 {
+			v := rng.Intn(1000)
+			h.Push(v)
+			mirror = append(mirror, v)
+			sort.Ints(mirror)
+		} else {
+			got := h.Pop()
+			if got != mirror[0] {
+				t.Fatalf("op %d: Pop = %d, want %d", op, got, mirror[0])
+			}
+			mirror = mirror[1:]
+		}
+	}
+}
+
+func TestHeapCustomOrdering(t *testing.T) {
+	type item struct {
+		w    int32
+		node int32
+	}
+	// Order by weight, tie-break by node id — the ordering the clustering
+	// frontier uses.
+	h := NewHeap(func(a, b item) bool {
+		if a.w != b.w {
+			return a.w < b.w
+		}
+		return a.node < b.node
+	})
+	h.Push(item{2, 9})
+	h.Push(item{2, 3})
+	h.Push(item{1, 100})
+	if got := h.Pop(); got != (item{1, 100}) {
+		t.Fatalf("Pop = %+v, want {1 100}", got)
+	}
+	if got := h.Pop(); got != (item{2, 3}) {
+		t.Fatalf("tie-break Pop = %+v, want {2 3}", got)
+	}
+}

@@ -1,0 +1,72 @@
+// Package graph provides the generic graph machinery underneath the
+// clustering algorithms: a union-find (disjoint set) structure, a generic
+// binary heap, and the single-linkage dendrogram used to cut weighted
+// proximity graphs into t-connectivity clusters.
+package graph
+
+// UnionFind is a disjoint-set forest with union by size and path
+// compression. Element identifiers are dense ints in [0, n).
+type UnionFind struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// NewUnionFind returns a union-find over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Len returns the number of elements.
+func (uf *UnionFind) Len() int { return len(uf.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Find returns the canonical representative of x's set.
+func (uf *UnionFind) Find(x int32) int32 {
+	root := x
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	for uf.parent[x] != root {
+		uf.parent[x], x = root, uf.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing x and y. It returns the representative
+// of the merged set and whether a merge actually happened (false when x and
+// y were already in the same set).
+func (uf *UnionFind) Union(x, y int32) (root int32, merged bool) {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return rx, false
+	}
+	if uf.size[rx] < uf.size[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	uf.size[rx] += uf.size[ry]
+	uf.sets--
+	return rx, true
+}
+
+// SetSize returns the size of the set containing x.
+func (uf *UnionFind) SetSize(x int32) int32 {
+	return uf.size[uf.Find(x)]
+}
+
+// Same reports whether x and y are in the same set.
+func (uf *UnionFind) Same(x, y int32) bool {
+	return uf.Find(x) == uf.Find(y)
+}

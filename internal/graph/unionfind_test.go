@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Len() != 5 || uf.Sets() != 5 {
+		t.Fatalf("new union-find: Len=%d Sets=%d, want 5/5", uf.Len(), uf.Sets())
+	}
+	for i := int32(0); i < 5; i++ {
+		if uf.Find(i) != i {
+			t.Errorf("Find(%d) = %d before any union", i, uf.Find(i))
+		}
+		if uf.SetSize(i) != 1 {
+			t.Errorf("SetSize(%d) = %d, want 1", i, uf.SetSize(i))
+		}
+	}
+
+	if _, merged := uf.Union(0, 1); !merged {
+		t.Error("Union(0,1) should merge")
+	}
+	if _, merged := uf.Union(0, 1); merged {
+		t.Error("repeated Union(0,1) should not merge")
+	}
+	if !uf.Same(0, 1) {
+		t.Error("0 and 1 should be in the same set")
+	}
+	if uf.Same(0, 2) {
+		t.Error("0 and 2 should be in different sets")
+	}
+	if uf.Sets() != 4 {
+		t.Errorf("Sets = %d, want 4", uf.Sets())
+	}
+	if uf.SetSize(1) != 2 {
+		t.Errorf("SetSize(1) = %d, want 2", uf.SetSize(1))
+	}
+}
+
+func TestUnionFindTransitivity(t *testing.T) {
+	uf := NewUnionFind(10)
+	uf.Union(0, 1)
+	uf.Union(1, 2)
+	uf.Union(3, 4)
+	if !uf.Same(0, 2) {
+		t.Error("transitivity violated: 0~1, 1~2 but 0 !~ 2")
+	}
+	if uf.Same(0, 3) {
+		t.Error("separate chains should stay separate")
+	}
+	uf.Union(2, 3)
+	if !uf.Same(0, 4) {
+		t.Error("after joining chains, 0 ~ 4 expected")
+	}
+	if uf.SetSize(0) != 5 {
+		t.Errorf("merged set size = %d, want 5", uf.SetSize(0))
+	}
+}
+
+// Property test against a naive reference implementation.
+func TestUnionFindAgainstReference(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		uf := NewUnionFind(n)
+		ref := make([]int, n) // ref[i] = group label
+		for i := range ref {
+			ref[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range ref {
+				if ref[i] == from {
+					ref[i] = to
+				}
+			}
+		}
+		for op := 0; op < 200; op++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			uf.Union(a, b)
+			if ref[a] != ref[b] {
+				relabel(ref[b], ref[a])
+			}
+		}
+		refSets := make(map[int]int)
+		for i := 0; i < n; i++ {
+			refSets[ref[i]]++
+			for j := 0; j < n; j++ {
+				if (ref[i] == ref[j]) != uf.Same(int32(i), int32(j)) {
+					t.Fatalf("trial %d: Same(%d,%d) disagrees with reference", trial, i, j)
+				}
+			}
+		}
+		if uf.Sets() != len(refSets) {
+			t.Fatalf("trial %d: Sets=%d, reference=%d", trial, uf.Sets(), len(refSets))
+		}
+		for i := 0; i < n; i++ {
+			if int(uf.SetSize(int32(i))) != refSets[ref[i]] {
+				t.Fatalf("trial %d: SetSize(%d)=%d, reference=%d", trial, i, uf.SetSize(int32(i)), refSets[ref[i]])
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package hilbert implements the 2-D Hilbert space-filling curve used by
+// the hilbASR baseline (Ghinita et al., WWW'07): exposure-based cloaking
+// schemes sort users by Hilbert rank and group every k consecutive ones.
+//
+// The curve maps the [0, 2^order) × [0, 2^order) integer grid to ranks in
+// [0, 4^order) such that consecutive ranks are adjacent cells — which is
+// what makes rank-contiguous groups spatially compact.
+package hilbert
+
+import "fmt"
+
+// Curve is a Hilbert curve of a fixed order over a 2^order × 2^order grid.
+type Curve struct {
+	order uint
+	side  uint32
+}
+
+// New returns a curve of the given order (1..16).
+func New(order uint) (*Curve, error) {
+	if order < 1 || order > 16 {
+		return nil, fmt.Errorf("hilbert: order %d out of [1,16]", order)
+	}
+	return &Curve{order: order, side: 1 << order}, nil
+}
+
+// Side returns the grid side length 2^order.
+func (c *Curve) Side() uint32 { return c.side }
+
+// Rank maps grid cell (x, y) to its position along the curve. x and y
+// must be < Side().
+func (c *Curve) Rank(x, y uint32) (uint64, error) {
+	if x >= c.side || y >= c.side {
+		return 0, fmt.Errorf("hilbert: cell (%d,%d) outside %d×%d grid", x, y, c.side, c.side)
+	}
+	var rank uint64
+	for s := c.side / 2; s > 0; s /= 2 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		rank += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return rank, nil
+}
+
+// Cell maps a curve position back to its grid cell — the inverse of Rank.
+func (c *Curve) Cell(rank uint64) (x, y uint32, err error) {
+	max := uint64(c.side) * uint64(c.side)
+	if rank >= max {
+		return 0, 0, fmt.Errorf("hilbert: rank %d outside curve of length %d", rank, max)
+	}
+	t := rank
+	for s := uint32(1); s < c.side; s *= 2 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y, nil
+}
+
+// rot rotates/flips the quadrant appropriately (the standard Hilbert
+// transform step).
+func rot(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// RankFloat maps a point in the unit square to its Hilbert rank on this
+// curve (coordinates are clamped to [0,1]).
+func (c *Curve) RankFloat(fx, fy float64) uint64 {
+	toCell := func(f float64) uint32 {
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		cell := uint32(f * float64(c.side))
+		if cell >= c.side {
+			cell = c.side - 1
+		}
+		return cell
+	}
+	rank, err := c.Rank(toCell(fx), toCell(fy))
+	if err != nil {
+		// Unreachable: cells are clamped into range.
+		panic(err)
+	}
+	return rank
+}

@@ -1,0 +1,166 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("order 0 should error")
+	}
+	if _, err := New(17); err == nil {
+		t.Error("order 17 should error")
+	}
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Side() != 16 {
+		t.Errorf("Side = %d", c.Side())
+	}
+}
+
+func TestOrder1Layout(t *testing.T) {
+	// The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]uint32{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for rank, cell := range want {
+		r, err := c.Rank(cell[0], cell[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != uint64(rank) {
+			t.Errorf("Rank(%d,%d) = %d, want %d", cell[0], cell[1], r, rank)
+		}
+	}
+}
+
+func TestRankCellRoundTrip(t *testing.T) {
+	for _, order := range []uint{1, 2, 3, 5, 8} {
+		c, err := New(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := uint64(c.Side()) * uint64(c.Side())
+		step := n/1024 + 1
+		for rank := uint64(0); rank < n; rank += step {
+			x, y, err := c.Cell(rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := c.Rank(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != rank {
+				t.Fatalf("order %d: rank %d -> (%d,%d) -> %d", order, rank, x, y, back)
+			}
+		}
+	}
+}
+
+func TestRankIsBijection(t *testing.T) {
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < c.Side(); x++ {
+		for y := uint32(0); y < c.Side(); y++ {
+			r, err := c.Rank(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[r] {
+				t.Fatalf("rank %d assigned twice", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != 256 {
+		t.Errorf("covered %d ranks, want 256", len(seen))
+	}
+}
+
+// The defining property: consecutive ranks are 4-adjacent grid cells.
+func TestConsecutiveRanksAreAdjacent(t *testing.T) {
+	c, err := New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(c.Side()) * uint64(c.Side())
+	px, py, err := c.Cell(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := uint64(1); rank < n; rank++ {
+		x, y, err := c.Cell(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dx := int64(x) - int64(px)
+		dy := int64(y) - int64(py)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("ranks %d and %d map to non-adjacent cells (%d,%d) and (%d,%d)",
+				rank-1, rank, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Rank(8, 0); err == nil {
+		t.Error("x out of range should error")
+	}
+	if _, err := c.Rank(0, 8); err == nil {
+		t.Error("y out of range should error")
+	}
+	if _, _, err := c.Cell(64); err == nil {
+		t.Error("rank out of range should error")
+	}
+}
+
+func TestRankFloatClampsAndLocalizes(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamping.
+	if r := c.RankFloat(-0.5, 2.0); r >= uint64(c.Side())*uint64(c.Side()) {
+		t.Errorf("clamped rank %d out of range", r)
+	}
+	// Locality (statistical): nearby points should usually have closer
+	// ranks than far-apart points.
+	rng := rand.New(rand.NewSource(2))
+	closer := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		x, y := rng.Float64()*0.9, rng.Float64()*0.9
+		near := c.RankFloat(x+0.002, y)
+		far := c.RankFloat(1-x, 1-y)
+		base := c.RankFloat(x, y)
+		dNear := absDiff(base, near)
+		dFar := absDiff(base, far)
+		if dNear < dFar {
+			closer++
+		}
+	}
+	if closer < trials*3/4 {
+		t.Errorf("Hilbert locality too weak: %d/%d", closer, trials)
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

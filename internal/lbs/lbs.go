@@ -1,0 +1,262 @@
+// Package lbs implements the location-based-service side of the system:
+// a POI database with a grid spatial index and a query processor that
+// evaluates queries over cloaked rectangles instead of points, returning
+// candidate supersets the client filters locally (the Casper / kRNN
+// processing model the paper builds on).
+//
+// The communication cost of a request is proportional to the amount of
+// content returned: CostPerPOI (the paper's Cr, "the content of a POI is
+// 1,000 times larger than a bounding message") times the number of POIs.
+package lbs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nonexposure/internal/geo"
+)
+
+// GridIndex is a uniform grid over the unit square bucketing POI ids.
+type GridIndex struct {
+	pts   []geo.Point
+	side  int
+	cell  float64
+	cells [][]int32
+}
+
+// NewGridIndex indexes pts (which must lie in the unit square) with
+// side×side cells. A zero or negative side picks √n cells per axis.
+func NewGridIndex(pts []geo.Point, side int) *GridIndex {
+	if side <= 0 {
+		side = int(math.Sqrt(float64(len(pts)))) + 1
+	}
+	idx := &GridIndex{
+		pts:   pts,
+		side:  side,
+		cell:  1.0 / float64(side),
+		cells: make([][]int32, side*side),
+	}
+	for i, p := range pts {
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx
+}
+
+// Len returns the number of indexed POIs.
+func (idx *GridIndex) Len() int { return len(idx.pts) }
+
+func (idx *GridIndex) clampCoord(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= idx.side {
+		return idx.side - 1
+	}
+	return c
+}
+
+func (idx *GridIndex) cellOf(p geo.Point) int {
+	cx := idx.clampCoord(int(p.X / idx.cell))
+	cy := idx.clampCoord(int(p.Y / idx.cell))
+	return cy*idx.side + cx
+}
+
+// Range returns the ids of all POIs inside r (boundaries included),
+// sorted ascending.
+func (idx *GridIndex) Range(r geo.Rect) []int32 {
+	if r.IsEmpty() {
+		return nil
+	}
+	loX := idx.clampCoord(int(r.Min.X / idx.cell))
+	hiX := idx.clampCoord(int(r.Max.X / idx.cell))
+	loY := idx.clampCoord(int(r.Min.Y / idx.cell))
+	hiY := idx.clampCoord(int(r.Max.Y / idx.cell))
+	var out []int32
+	for cy := loY; cy <= hiY; cy++ {
+		for cx := loX; cx <= hiX; cx++ {
+			for _, id := range idx.cells[cy*idx.side+cx] {
+				if r.Contains(idx.pts[id]) {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KNN returns the ids of the k POIs nearest to q (ties broken by id),
+// using an expanding ring of grid cells. It returns fewer than k ids only
+// when the index holds fewer than k POIs.
+func (idx *GridIndex) KNN(q geo.Point, k int) []int32 {
+	if k <= 0 || len(idx.pts) == 0 {
+		return nil
+	}
+	if k > len(idx.pts) {
+		k = len(idx.pts)
+	}
+	type cand struct {
+		d  float64
+		id int32
+	}
+	var best []cand
+	worst := math.Inf(1)
+	consider := func(id int32) {
+		d := q.DistSq(idx.pts[id])
+		if len(best) < k || d < worst || (d == worst && len(best) < k) {
+			best = append(best, cand{d, id})
+			sort.Slice(best, func(i, j int) bool {
+				if best[i].d != best[j].d {
+					return best[i].d < best[j].d
+				}
+				return best[i].id < best[j].id
+			})
+			if len(best) > k {
+				best = best[:k]
+			}
+			worst = best[len(best)-1].d
+		}
+	}
+	cx := idx.clampCoord(int(q.X / idx.cell))
+	cy := idx.clampCoord(int(q.Y / idx.cell))
+	for ring := 0; ring < idx.side; ring++ {
+		// Once we have k candidates and the next ring cannot contain
+		// anything closer, stop.
+		if len(best) == k {
+			ringDist := float64(ring-1) * idx.cell // conservative
+			if ringDist > 0 && ringDist*ringDist > worst {
+				break
+			}
+		}
+		scanned := false
+		for cyy := cy - ring; cyy <= cy+ring; cyy++ {
+			for cxx := cx - ring; cxx <= cx+ring; cxx++ {
+				if cxx < 0 || cyy < 0 || cxx >= idx.side || cyy >= idx.side {
+					continue
+				}
+				// Only the ring's border cells are new.
+				if ring > 0 && cxx != cx-ring && cxx != cx+ring && cyy != cy-ring && cyy != cy+ring {
+					continue
+				}
+				scanned = true
+				for _, id := range idx.cells[cyy*idx.side+cxx] {
+					consider(id)
+				}
+			}
+		}
+		if !scanned && len(best) == k {
+			break
+		}
+	}
+	out := make([]int32, len(best))
+	for i, c := range best {
+		out[i] = c.id
+	}
+	return out
+}
+
+// RangeNN returns a candidate superset for the "k nearest neighbors of an
+// unknown point inside r" query (the kRNN of Hu & Lee; Casper's cloaked
+// query processing). The guarantee: for every point q in r, all of q's
+// true k nearest POIs are in the returned set. The client filters locally
+// with its private location.
+//
+// Construction: take the k nearest POIs of each rectangle corner, let d be
+// the largest such corner-to-kth-NN distance plus the rectangle diagonal,
+// and return every POI within d of the rectangle. This is conservative but
+// correct: for q ∈ r and any corner c, dist(q, kNN_k(q)) <= dist(q, c) +
+// dist(c, kNN_k(c)) <= diag + max_c r_k(c).
+func (idx *GridIndex) RangeNN(r geo.Rect, k int) []int32 {
+	if r.IsEmpty() || k <= 0 || len(idx.pts) == 0 {
+		return nil
+	}
+	corners := []geo.Point{
+		r.Min,
+		{X: r.Max.X, Y: r.Min.Y},
+		{X: r.Min.X, Y: r.Max.Y},
+		r.Max,
+	}
+	maxR := 0.0
+	for _, c := range corners {
+		nn := idx.KNN(c, k)
+		if len(nn) > 0 {
+			d := c.Dist(idx.pts[nn[len(nn)-1]])
+			if d > maxR {
+				maxR = d
+			}
+		}
+	}
+	diag := math.Sqrt(r.Width()*r.Width() + r.Height()*r.Height())
+	reach := maxR + diag
+	expanded := r.Inflate(reach)
+	var out []int32
+	for _, id := range idx.Range(expanded) {
+		if r.MinDistSq(idx.pts[id]) <= reach*reach {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Server is the LBS query processor with cost accounting.
+type Server struct {
+	idx *GridIndex
+	// CostPerPOI is the communication cost of returning one POI's content
+	// (the paper's Cr relative to one bounding message).
+	CostPerPOI float64
+}
+
+// NewServer builds a server over the POI set.
+func NewServer(pois []geo.Point, costPerPOI float64) (*Server, error) {
+	if costPerPOI < 0 {
+		return nil, fmt.Errorf("lbs: negative cost per POI")
+	}
+	return &Server{idx: NewGridIndex(pois, 0), CostPerPOI: costPerPOI}, nil
+}
+
+// Index exposes the underlying spatial index.
+func (s *Server) Index() *GridIndex { return s.idx }
+
+// RangeQuery returns the POIs inside the cloaked region and the
+// communication cost of shipping them.
+func (s *Server) RangeQuery(r geo.Rect) (ids []int32, cost float64) {
+	ids = s.idx.Range(r)
+	return ids, float64(len(ids)) * s.CostPerPOI
+}
+
+// RangeNNQuery returns the kNN candidate superset for the cloaked region
+// and its shipping cost.
+func (s *Server) RangeNNQuery(r geo.Rect, k int) (ids []int32, cost float64) {
+	ids = s.idx.RangeNN(r, k)
+	return ids, float64(len(ids)) * s.CostPerPOI
+}
+
+// FilterKNN is the client-side refinement step: given a candidate
+// superset and the client's private location, return its true k nearest
+// POIs (by id) from the candidates.
+func (s *Server) FilterKNN(candidates []int32, q geo.Point, k int) []int32 {
+	type cand struct {
+		d  float64
+		id int32
+	}
+	cs := make([]cand, 0, len(candidates))
+	for _, id := range candidates {
+		cs = append(cs, cand{q.DistSq(s.idx.pts[id]), id})
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].d != cs[j].d {
+			return cs[i].d < cs[j].d
+		}
+		return cs[i].id < cs[j].id
+	})
+	if k > len(cs) {
+		k = len(cs)
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = cs[i].id
+	}
+	return out
+}

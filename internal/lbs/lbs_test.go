@@ -1,0 +1,211 @@
+package lbs
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/geo"
+)
+
+func bruteRange(pts []geo.Point, r geo.Rect) []int32 {
+	var out []int32
+	for i, p := range pts {
+		if r.Contains(p) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func bruteKNN(pts []geo.Point, q geo.Point, k int) []int32 {
+	ids := make([]int32, len(pts))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := q.DistSq(pts[ids[a]]), q.DistSq(pts[ids[b]])
+		if da != db {
+			return da < db
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	pts := dataset.GaussianClusters(800, 5, 0.08, 3)
+	idx := NewGridIndex(pts, 0)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		a := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		b := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		r := geo.RectFrom(a, b)
+		got := idx.Range(r)
+		want := bruteRange(pts, r)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: range %v: got %d ids, want %d", trial, r, len(got), len(want))
+		}
+	}
+}
+
+func TestRangeEdgeCases(t *testing.T) {
+	pts := []geo.Point{{X: 0.5, Y: 0.5}, {X: 0, Y: 0}, {X: 1, Y: 1}}
+	idx := NewGridIndex(pts, 4)
+	if got := idx.Range(geo.EmptyRect()); got != nil {
+		t.Errorf("empty rect: %v", got)
+	}
+	// Whole unit square catches everything, including boundary points.
+	if got := idx.Range(geo.UnitSquare()); len(got) != 3 {
+		t.Errorf("unit square: %v", got)
+	}
+	// Degenerate rect exactly on a point.
+	r := geo.Rect{Min: geo.Point{X: 0.5, Y: 0.5}, Max: geo.Point{X: 0.5, Y: 0.5}}
+	if got := idx.Range(r); len(got) != 1 || got[0] != 0 {
+		t.Errorf("degenerate rect: %v", got)
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	pts := dataset.GaussianClusters(600, 4, 0.1, 9)
+	idx := NewGridIndex(pts, 0)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		q := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		k := 1 + rng.Intn(20)
+		got := idx.KNN(q, k)
+		want := bruteKNN(pts, q, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: KNN(%v, %d): got %v, want %v", trial, q, k, got, want)
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	pts := []geo.Point{{X: 0.2, Y: 0.2}, {X: 0.8, Y: 0.8}}
+	idx := NewGridIndex(pts, 3)
+	if got := idx.KNN(geo.Point{X: 0.1, Y: 0.1}, 0); got != nil {
+		t.Errorf("k=0: %v", got)
+	}
+	if got := idx.KNN(geo.Point{X: 0.1, Y: 0.1}, 10); len(got) != 2 {
+		t.Errorf("k > n should return all: %v", got)
+	}
+	empty := NewGridIndex(nil, 2)
+	if got := empty.KNN(geo.Point{X: 0.5, Y: 0.5}, 3); got != nil {
+		t.Errorf("empty index: %v", got)
+	}
+	if empty.Len() != 0 || idx.Len() != 2 {
+		t.Error("Len wrong")
+	}
+}
+
+// The kRNN guarantee: for every point q inside the cloaked rectangle, all
+// of q's true k nearest POIs must be inside the returned candidate set.
+func TestRangeNNIsSupersetForInteriorPoints(t *testing.T) {
+	pts := dataset.GaussianClusters(700, 6, 0.07, 21)
+	idx := NewGridIndex(pts, 0)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		c := geo.Point{X: 0.1 + 0.8*rng.Float64(), Y: 0.1 + 0.8*rng.Float64()}
+		r := geo.Rect{
+			Min: geo.Point{X: c.X - 0.02, Y: c.Y - 0.03},
+			Max: geo.Point{X: c.X + 0.04, Y: c.Y + 0.01},
+		}
+		k := 1 + rng.Intn(8)
+		cands := idx.RangeNN(r, k)
+		inCand := make(map[int32]bool, len(cands))
+		for _, id := range cands {
+			inCand[id] = true
+		}
+		// Probe interior points, including the corners.
+		probes := []geo.Point{
+			r.Min, r.Max, r.Center(),
+			{X: r.Min.X, Y: r.Max.Y}, {X: r.Max.X, Y: r.Min.Y},
+		}
+		for p := 0; p < 10; p++ {
+			probes = append(probes, geo.Point{
+				X: r.Min.X + rng.Float64()*r.Width(),
+				Y: r.Min.Y + rng.Float64()*r.Height(),
+			})
+		}
+		for _, q := range probes {
+			for _, id := range bruteKNN(pts, q, k) {
+				if !inCand[id] {
+					t.Fatalf("trial %d: true %d-NN %d of %v missing from candidates", trial, k, id, q)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeNNEdgeCases(t *testing.T) {
+	idx := NewGridIndex([]geo.Point{{X: 0.5, Y: 0.5}}, 2)
+	if got := idx.RangeNN(geo.EmptyRect(), 3); got != nil {
+		t.Errorf("empty rect: %v", got)
+	}
+	if got := idx.RangeNN(geo.UnitSquare(), 0); got != nil {
+		t.Errorf("k=0: %v", got)
+	}
+}
+
+func TestServerCosts(t *testing.T) {
+	pts := dataset.Uniform(500, 5)
+	s, err := NewServer(pts, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := geo.Rect{Min: geo.Point{X: 0.2, Y: 0.2}, Max: geo.Point{X: 0.4, Y: 0.4}}
+	ids, cost := s.RangeQuery(r)
+	if cost != float64(len(ids))*1000 {
+		t.Errorf("range cost = %v for %d POIs", cost, len(ids))
+	}
+	ids2, cost2 := s.RangeNNQuery(r, 3)
+	if cost2 != float64(len(ids2))*1000 {
+		t.Errorf("rangeNN cost = %v for %d POIs", cost2, len(ids2))
+	}
+	if len(ids2) < 3 {
+		t.Errorf("candidate set too small: %d", len(ids2))
+	}
+	if _, err := NewServer(pts, -1); err == nil {
+		t.Error("negative cost should error")
+	}
+}
+
+func TestFilterKNNRefinesCandidates(t *testing.T) {
+	pts := dataset.GaussianClusters(400, 3, 0.1, 31)
+	s, err := NewServer(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 30; trial++ {
+		q := geo.Point{X: 0.2 + 0.6*rng.Float64(), Y: 0.2 + 0.6*rng.Float64()}
+		r := geo.Rect{
+			Min: geo.Point{X: q.X - 0.03, Y: q.Y - 0.03},
+			Max: geo.Point{X: q.X + 0.03, Y: q.Y + 0.03},
+		}
+		k := 1 + rng.Intn(5)
+		cands, _ := s.RangeNNQuery(r, k)
+		got := s.FilterKNN(cands, q, k)
+		want := bruteKNN(pts, q, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: filtered kNN %v != true kNN %v", trial, got, want)
+		}
+	}
+}
+
+func TestFilterKNNSmallCandidateSet(t *testing.T) {
+	s, err := NewServer([]geo.Point{{X: 0.1, Y: 0.1}, {X: 0.9, Y: 0.9}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.FilterKNN([]int32{0}, geo.Point{X: 0, Y: 0}, 5)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("FilterKNN = %v", got)
+	}
+}

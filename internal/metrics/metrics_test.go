@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 || m.Std() != 0 {
+		t.Error("zero Mean should report zeros")
+	}
+	for _, x := range []float64{2, 4, 6} {
+		m.Add(x)
+	}
+	if m.N() != 3 {
+		t.Errorf("N = %d", m.N())
+	}
+	if math.Abs(m.Value()-4) > 1e-12 {
+		t.Errorf("Value = %v, want 4", m.Value())
+	}
+	if math.Abs(m.Std()-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", m.Std())
+	}
+}
+
+func TestMeanSingleObservation(t *testing.T) {
+	var m Mean
+	m.Add(7)
+	if m.Value() != 7 || m.Std() != 0 {
+		t.Errorf("single obs: value=%v std=%v", m.Value(), m.Std())
+	}
+}
+
+func TestMeanNumericalStability(t *testing.T) {
+	var m Mean
+	base := 1e9
+	for i := 0; i < 1000; i++ {
+		m.Add(base + float64(i%2)) // values 1e9 and 1e9+1
+	}
+	if math.Abs(m.Value()-(base+0.5)) > 1e-6 {
+		t.Errorf("Value = %v", m.Value())
+	}
+	if math.Abs(m.Std()-0.50025) > 1e-3 {
+		t.Errorf("Std = %v", m.Std())
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("a-much-longer-name", 42)
+	var buf bytes.Buffer
+	if err := tb.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "My Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("missing row")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Errorf("line count = %d: %q", len(lines), out)
+	}
+	// Columns aligned: header "value" starts at same offset in all rows.
+	header := lines[2]
+	col := strings.Index(header, "value")
+	row := lines[5]
+	if len(row) <= col {
+		t.Fatalf("row too short: %q", row)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	tb.AddRow(1.0, 2)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n1.0000,2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.23456789, "1.2346"},
+		{1234567, "1.235e+06"},
+		{0.0000123, "1.23e-05"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

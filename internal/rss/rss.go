@@ -1,0 +1,125 @@
+// Package rss simulates the proximity measurements a wireless-enabled
+// mobile device makes about its peers: received signal strength (RSS) and
+// the ranking of peers by RSS.
+//
+// The paper's non-exposure cloaking never consumes coordinates directly;
+// it consumes the *ranking* of peers by signal strength, which every
+// omnidirectional antenna can measure. This package provides the signal
+// models that turn (simulated) physical distance into RSS, and the ranking
+// logic that turns RSS into the integer edge weights of the weighted
+// proximity graph.
+package rss
+
+import (
+	"math"
+	"sort"
+)
+
+// Model converts a device-to-device distance into a received signal
+// strength. Larger return values mean stronger signals (closer peers).
+// Models must be monotonically non-increasing in distance so that RSS
+// ranking reflects proximity ranking, which is the paper's assumption
+// ("a simple RSS model that is reversely correlated to the distance").
+type Model interface {
+	// Signal returns the RSS measured between two devices dist apart.
+	// dist must be > 0.
+	Signal(dist float64) float64
+}
+
+// InverseModel is the paper's experimental model: RSS inversely
+// proportional to distance.
+type InverseModel struct{}
+
+// Signal implements Model as 1/dist.
+func (InverseModel) Signal(dist float64) float64 {
+	if dist <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / dist
+}
+
+// LogDistanceModel is the standard log-distance path-loss model:
+//
+//	RSS(d) = TxPower - 10 * Exponent * log10(d / RefDist) - shadow(d)
+//
+// with an optional deterministic pseudo-shadowing term so that two devices
+// always agree on their mutual RSS (the paper requires the proximity
+// measure to be symmetric).
+type LogDistanceModel struct {
+	// TxPower is the RSS at RefDist, in dB.
+	TxPower float64
+	// Exponent is the path-loss exponent (2 = free space, 3-4 = urban).
+	Exponent float64
+	// RefDist is the reference distance; must be > 0.
+	RefDist float64
+	// ShadowDB, when non-zero, adds a deterministic distance-keyed
+	// perturbation with amplitude ShadowDB. Because it is a pure function
+	// of distance, symmetry is preserved.
+	ShadowDB float64
+}
+
+// DefaultLogDistance returns a log-distance model with urban-ish defaults
+// tuned for unit-square coordinates.
+func DefaultLogDistance() LogDistanceModel {
+	return LogDistanceModel{TxPower: -40, Exponent: 3.0, RefDist: 1e-4}
+}
+
+// Signal implements Model.
+func (m LogDistanceModel) Signal(dist float64) float64 {
+	if dist <= 0 {
+		return math.Inf(1)
+	}
+	ref := m.RefDist
+	if ref <= 0 {
+		ref = 1e-4
+	}
+	rss := m.TxPower - 10*m.Exponent*math.Log10(dist/ref)
+	if m.ShadowDB != 0 {
+		// Deterministic pseudo-noise keyed on distance: symmetric by
+		// construction and reproducible across runs.
+		rss -= m.ShadowDB * 0.5 * (1 + math.Sin(dist*1e6))
+	}
+	return rss
+}
+
+// Measurement is one peer observation: the peer's identifier and the RSS
+// measured for it.
+type Measurement struct {
+	Peer int32
+	RSS  float64
+}
+
+// Rank sorts measurements by decreasing RSS (strongest first) and returns
+// the 1-based rank of each peer: rank[peer] == 1 means the closest peer.
+// Ties are broken by peer id so ranking is deterministic. The input slice
+// is reordered in place.
+func Rank(ms []Measurement) map[int32]int {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].RSS != ms[j].RSS {
+			return ms[i].RSS > ms[j].RSS
+		}
+		return ms[i].Peer < ms[j].Peer
+	})
+	ranks := make(map[int32]int, len(ms))
+	for i, m := range ms {
+		ranks[m.Peer] = i + 1
+	}
+	return ranks
+}
+
+// TopM keeps only the m strongest measurements (after sorting strongest
+// first, ties broken by peer id) and returns the truncated slice. It
+// models the paper's per-device resource cap: "each user can connect to
+// at most M peers".
+func TopM(ms []Measurement, m int) []Measurement {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].RSS != ms[j].RSS {
+			return ms[i].RSS > ms[j].RSS
+		}
+		return ms[i].Peer < ms[j].Peer
+	})
+	if m >= 0 && len(ms) > m {
+		ms = ms[:m]
+	}
+	return ms
+}

@@ -1,0 +1,172 @@
+package rss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInverseModelMonotone(t *testing.T) {
+	m := InverseModel{}
+	prev := math.Inf(1)
+	for d := 0.001; d < 1; d += 0.001 {
+		s := m.Signal(d)
+		if s >= prev {
+			t.Fatalf("inverse model not strictly decreasing at d=%v", d)
+		}
+		prev = s
+	}
+}
+
+func TestInverseModelZeroDistance(t *testing.T) {
+	m := InverseModel{}
+	if s := m.Signal(0); !math.IsInf(s, 1) {
+		t.Errorf("Signal(0) = %v, want +Inf", s)
+	}
+	if s := m.Signal(-1); !math.IsInf(s, 1) {
+		t.Errorf("Signal(-1) = %v, want +Inf", s)
+	}
+}
+
+func TestLogDistanceModelMonotone(t *testing.T) {
+	m := DefaultLogDistance()
+	prev := math.Inf(1)
+	for d := 1e-5; d < 1; d *= 1.1 {
+		s := m.Signal(d)
+		if s >= prev {
+			t.Fatalf("log-distance model not strictly decreasing at d=%v", d)
+		}
+		prev = s
+	}
+}
+
+func TestLogDistanceRefDistDefaulting(t *testing.T) {
+	m := LogDistanceModel{TxPower: -40, Exponent: 2} // RefDist unset
+	if s := m.Signal(0.01); math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Errorf("Signal with defaulted RefDist = %v", s)
+	}
+}
+
+func TestLogDistanceShadowingIsSymmetricAndBounded(t *testing.T) {
+	base := LogDistanceModel{TxPower: -40, Exponent: 3, RefDist: 1e-4}
+	shadowed := base
+	shadowed.ShadowDB = 6
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		d := 1e-4 + rng.Float64()*0.01
+		a, b := shadowed.Signal(d), shadowed.Signal(d)
+		if a != b {
+			t.Fatalf("shadowed signal not deterministic at d=%v", d)
+		}
+		diff := base.Signal(d) - shadowed.Signal(d)
+		if diff < -1e-9 || diff > 6+1e-9 {
+			t.Fatalf("shadowing at d=%v out of [0, ShadowDB]: %v", d, diff)
+		}
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	ms := []Measurement{
+		{Peer: 10, RSS: -50},
+		{Peer: 20, RSS: -30}, // strongest -> rank 1
+		{Peer: 30, RSS: -70},
+	}
+	ranks := Rank(ms)
+	if ranks[20] != 1 || ranks[10] != 2 || ranks[30] != 3 {
+		t.Errorf("ranks = %v, want 20:1 10:2 30:3", ranks)
+	}
+}
+
+func TestRankTieBreakByPeerID(t *testing.T) {
+	ms := []Measurement{
+		{Peer: 7, RSS: -40},
+		{Peer: 3, RSS: -40},
+		{Peer: 5, RSS: -40},
+	}
+	ranks := Rank(ms)
+	if ranks[3] != 1 || ranks[5] != 2 || ranks[7] != 3 {
+		t.Errorf("tie ranks = %v, want by ascending peer id", ranks)
+	}
+}
+
+func TestRankEmpty(t *testing.T) {
+	if ranks := Rank(nil); len(ranks) != 0 {
+		t.Errorf("Rank(nil) = %v, want empty", ranks)
+	}
+}
+
+func TestTopM(t *testing.T) {
+	ms := []Measurement{
+		{Peer: 1, RSS: -10},
+		{Peer: 2, RSS: -20},
+		{Peer: 3, RSS: -30},
+		{Peer: 4, RSS: -40},
+	}
+	got := TopM(ms, 2)
+	if len(got) != 2 || got[0].Peer != 1 || got[1].Peer != 2 {
+		t.Errorf("TopM = %v, want peers 1,2", got)
+	}
+	if got = TopM(got, 10); len(got) != 2 {
+		t.Errorf("TopM with m > len should keep all, got %v", got)
+	}
+	if got = TopM(got, 0); len(got) != 0 {
+		t.Errorf("TopM(0) = %v, want empty", got)
+	}
+}
+
+// Property: ranking RSS from a monotone model reproduces the distance
+// ordering — the core assumption that makes proximity ranks a valid
+// stand-in for distances.
+func TestRankMatchesDistanceOrder(t *testing.T) {
+	models := map[string]Model{
+		"inverse": InverseModel{},
+		"logdist": DefaultLogDistance(),
+	}
+	rng := rand.New(rand.NewSource(77))
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 100; trial++ {
+				n := 2 + rng.Intn(20)
+				dists := make(map[int32]float64, n)
+				ms := make([]Measurement, 0, n)
+				for i := 0; i < n; i++ {
+					d := 1e-4 + rng.Float64()
+					dists[int32(i)] = d
+					ms = append(ms, Measurement{Peer: int32(i), RSS: m.Signal(d)})
+				}
+				ranks := Rank(ms)
+				for a, da := range dists {
+					for b, db := range dists {
+						if da < db && ranks[a] > ranks[b] {
+							t.Fatalf("trial %d: dist %v < %v but rank %d > %d",
+								trial, da, db, ranks[a], ranks[b])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Property: ranks are a permutation of 1..n.
+func TestRankIsPermutation(t *testing.T) {
+	f := func(rssVals []float64) bool {
+		ms := make([]Measurement, len(rssVals))
+		for i, v := range rssVals {
+			ms[i] = Measurement{Peer: int32(i), RSS: v}
+		}
+		ranks := Rank(ms)
+		seen := make(map[int]bool)
+		for _, r := range ranks {
+			if r < 1 || r > len(rssVals) || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(ranks) == len(rssVals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

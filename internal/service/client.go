@@ -1,0 +1,84 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a device-side connection to the anonymizer service.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to the anonymizer at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("service: send %s: %w", req.Op, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("service: receive %s: %w", req.Op, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("service: %s: %s", req.Op, resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Op: OpPing})
+	return err
+}
+
+// Upload submits this user's ranked peer list.
+func (c *Client) Upload(user int32, peers []PeerRank) error {
+	_, err := c.roundTrip(Request{Op: OpUpload, User: user, Peers: peers})
+	return err
+}
+
+// Freeze builds the proximity graph from all uploads; cloaking becomes
+// available afterwards. Returns the number of mutual edges formed.
+func (c *Client) Freeze() (int, error) {
+	resp, err := c.roundTrip(Request{Op: OpFreeze})
+	if err != nil {
+		return 0, err
+	}
+	return resp.EdgeCount, nil
+}
+
+// Cloak requests the k-anonymity cluster for user. cost is the number of
+// messages this request caused on the server side (population size for
+// the first request, zero after).
+func (c *Client) Cloak(user int32) (cluster []int32, cost int, err error) {
+	resp, err := c.roundTrip(Request{Op: OpCloak, User: user})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Cluster, resp.Cost, nil
+}
+
+// Stats fetches server state.
+func (c *Client) Stats() (Response, error) {
+	return c.roundTrip(Request{Op: OpStats})
+}

@@ -1,0 +1,111 @@
+// Package service exposes the centralized anonymizer (Fig. 3, path ¬) as
+// a real network service: devices upload their proximity rankings over
+// TCP, and cloaking requests are answered with k-anonymous clusters. The
+// wire protocol is line-delimited JSON — one request object per line, one
+// response object per line — so it is trivially scriptable and
+// inspectable.
+//
+// Privacy note: exactly like the paper's anonymizer, the server only ever
+// sees *proximity ranks*, never coordinates. Phase 2 (secure bounding)
+// still runs peer-to-peer among the cluster members.
+package service
+
+import (
+	"nonexposure/internal/graph"
+	"nonexposure/internal/wpg"
+)
+
+// Op names the request operations.
+type Op string
+
+// The protocol operations.
+const (
+	// OpUpload submits one user's ranked peer list.
+	OpUpload Op = "upload"
+	// OpFreeze builds the WPG from all uploads and enables cloaking.
+	OpFreeze Op = "freeze"
+	// OpCloak asks for the k-anonymity cluster of a user.
+	OpCloak Op = "cloak"
+	// OpStats reports server state.
+	OpStats Op = "stats"
+	// OpPing is a liveness check.
+	OpPing Op = "ping"
+)
+
+// PeerRank is one entry of a device's proximity measurement: the peer's
+// id and its RSS rank (1 = strongest signal).
+type PeerRank struct {
+	Peer int32 `json:"peer"`
+	Rank int32 `json:"rank"`
+}
+
+// Request is one protocol request. Fields are used per Op:
+// Upload: User + Peers; Cloak: User; Freeze/Stats/Ping: none.
+type Request struct {
+	Op    Op         `json:"op"`
+	User  int32      `json:"user,omitempty"`
+	Peers []PeerRank `json:"peers,omitempty"`
+}
+
+// Response is one protocol response. Error is empty on success.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// Cloak results.
+	Cluster []int32 `json:"cluster,omitempty"`
+	Cost    int     `json:"cost,omitempty"`
+
+	// Stats results.
+	Users     int  `json:"users,omitempty"`
+	Uploads   int  `json:"uploads,omitempty"`
+	Frozen    bool `json:"frozen,omitempty"`
+	Clusters  int  `json:"clusters,omitempty"`
+	EdgeCount int  `json:"edges,omitempty"`
+}
+
+// buildGraph assembles the WPG from per-user rank uploads exactly like
+// wpg.Build does from raw measurements: an undirected edge (a,b) exists
+// iff both users uploaded each other, with weight min(rank_a(b),
+// rank_b(a)).
+func buildGraph(n int, uploads map[int32][]PeerRank) (*wpg.Graph, error) {
+	type key struct{ a, b int32 }
+	weights := make(map[key]int32)
+	for user, peers := range uploads {
+		for _, pr := range peers {
+			if pr.Peer == user {
+				continue
+			}
+			other, ok := uploads[pr.Peer]
+			if !ok {
+				continue
+			}
+			var reverse int32
+			for _, rp := range other {
+				if rp.Peer == user {
+					reverse = rp.Rank
+					break
+				}
+			}
+			if reverse == 0 {
+				continue // not mutual
+			}
+			w := pr.Rank
+			if reverse < w {
+				w = reverse
+			}
+			k := key{user, pr.Peer}
+			if k.a > k.b {
+				k.a, k.b = k.b, k.a
+			}
+			if old, seen := weights[k]; !seen || w < old {
+				weights[k] = w
+			}
+		}
+	}
+	edges := make([]graph.Edge, 0, len(weights))
+	for k, w := range weights {
+		edges = append(edges, graph.Edge{U: k.a, V: k.b, W: w})
+	}
+	return wpg.FromEdges(n, edges)
+}

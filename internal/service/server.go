@@ -1,0 +1,226 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"nonexposure/internal/anonymizer"
+)
+
+// Server is the network-facing anonymizer. Lifecycle: clients upload
+// proximity rankings, someone freezes the graph, then cloak requests are
+// served. Safe for concurrent connections.
+type Server struct {
+	k        int
+	numUsers int
+
+	mu      sync.Mutex
+	uploads map[int32][]PeerRank
+	anon    *anonymizer.Server
+	edges   int
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer creates a server for a population of numUsers devices and
+// anonymity level k.
+func NewServer(numUsers, k int) (*Server, error) {
+	if numUsers < 1 {
+		return nil, fmt.Errorf("service: population %d < 1", numUsers)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("service: k %d < 1", k)
+	}
+	return &Server{
+		k:        k,
+		numUsers: numUsers,
+		uploads:  make(map[int32][]PeerRank),
+		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen: %w", err)
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+// Close stops accepting, closes open connections (a blocked read on an
+// idle client must not stall shutdown), and waits for the handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client: JSON request per line, JSON response per
+// line.
+func (s *Server) serveConn(conn net.Conn) {
+	s.track(conn)
+	defer s.untrack(conn)
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // client hung up or sent garbage; drop the connection
+		}
+		resp := s.Handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Handle processes one request; exported so tests (and alternative
+// transports) can bypass TCP.
+func (s *Server) Handle(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+	case OpUpload:
+		return s.handleUpload(req)
+	case OpFreeze:
+		return s.handleFreeze()
+	case OpCloak:
+		return s.handleCloak(req)
+	case OpStats:
+		return s.handleStats()
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) handleUpload(req Request) Response {
+	if int(req.User) < 0 || int(req.User) >= s.numUsers {
+		return Response{Error: fmt.Sprintf("user %d out of range [0,%d)", req.User, s.numUsers)}
+	}
+	for _, pr := range req.Peers {
+		if int(pr.Peer) < 0 || int(pr.Peer) >= s.numUsers {
+			return Response{Error: fmt.Sprintf("peer %d out of range", pr.Peer)}
+		}
+		if pr.Rank < 1 {
+			return Response{Error: fmt.Sprintf("rank %d < 1 for peer %d", pr.Rank, pr.Peer)}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.anon != nil {
+		return Response{Error: "graph already frozen"}
+	}
+	s.uploads[req.User] = append([]PeerRank(nil), req.Peers...)
+	return Response{OK: true}
+}
+
+func (s *Server) handleFreeze() Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.anon != nil {
+		return Response{Error: "already frozen"}
+	}
+	g, err := buildGraph(s.numUsers, s.uploads)
+	if err != nil {
+		return Response{Error: fmt.Sprintf("build graph: %v", err)}
+	}
+	s.edges = g.NumEdges()
+	s.anon = anonymizer.New(g, s.k)
+	return Response{OK: true, EdgeCount: s.edges}
+}
+
+func (s *Server) handleCloak(req Request) Response {
+	s.mu.Lock()
+	anon := s.anon
+	s.mu.Unlock()
+	if anon == nil {
+		return Response{Error: "graph not frozen yet"}
+	}
+	cluster, cost, err := anon.Cloak(req.User)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Cluster: cluster.Members, Cost: cost}
+}
+
+func (s *Server) handleStats() Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := Response{
+		OK:        true,
+		Users:     s.numUsers,
+		Uploads:   len(s.uploads),
+		Frozen:    s.anon != nil,
+		EdgeCount: s.edges,
+	}
+	if s.anon != nil {
+		resp.Clusters = s.anon.Registry().NumClusters()
+	}
+	return resp
+}

@@ -1,0 +1,285 @@
+package service
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/rss"
+	"nonexposure/internal/wpg"
+)
+
+// uploadsFor derives each user's ranked peer list from a built WPG so the
+// server-side reconstruction can be compared against the original graph.
+func uploadsFor(g *wpg.Graph) map[int32][]PeerRank {
+	out := make(map[int32][]PeerRank, g.NumVertices())
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		var prs []PeerRank
+		for _, e := range g.Neighbors(v) {
+			prs = append(prs, PeerRank{Peer: e.To, Rank: e.W})
+		}
+		out[v] = prs
+	}
+	return out
+}
+
+func TestBuildGraphReconstructsWPG(t *testing.T) {
+	pts := dataset.GaussianClusters(300, 3, 0.05, 4)
+	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.05, MaxPeers: 6, Model: rss.InverseModel{}})
+	rebuilt, err := buildGraph(g.NumVertices(), uploadsFor(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d != %d", rebuilt.NumEdges(), g.NumEdges())
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if !reflect.DeepEqual(rebuilt.Neighbors(v), g.Neighbors(v)) {
+			t.Fatalf("adjacency of %d differs after reconstruction", v)
+		}
+	}
+}
+
+func TestBuildGraphMutualityAndSelfLoops(t *testing.T) {
+	uploads := map[int32][]PeerRank{
+		0: {{Peer: 1, Rank: 1}, {Peer: 0, Rank: 2}, {Peer: 2, Rank: 3}},
+		1: {{Peer: 0, Rank: 2}},
+		2: {}, // 2 never ranked 0 back: no edge
+	}
+	g, err := buildGraph(3, uploads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1 (only the mutual pair)", g.NumEdges())
+	}
+	w, ok := g.Weight(0, 1)
+	if !ok || w != 1 {
+		t.Errorf("weight(0,1) = %d,%v want 1 (min of 1 and 2)", w, ok)
+	}
+}
+
+func TestServerLifecycleOverTCP(t *testing.T) {
+	pts := dataset.GaussianClusters(200, 2, 0.04, 9)
+	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.05, MaxPeers: 8})
+
+	srv, err := NewServer(g.NumVertices(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cloak before freeze must fail.
+	if _, _, err := c.Cloak(0); err == nil || !strings.Contains(err.Error(), "not frozen") {
+		t.Fatalf("cloak before freeze: %v", err)
+	}
+
+	for user, peers := range uploadsFor(g) {
+		if err := c.Upload(user, peers); err != nil {
+			t.Fatalf("upload %d: %v", user, err)
+		}
+	}
+	edges, err := c.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != g.NumEdges() {
+		t.Errorf("frozen edges = %d, want %d", edges, g.NumEdges())
+	}
+
+	// First cloak costs the whole population; a member's repeat is free.
+	cluster, cost, err := c.Cloak(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != g.NumVertices() {
+		t.Errorf("first cloak cost = %d, want %d", cost, g.NumVertices())
+	}
+	if len(cluster) < 4 {
+		t.Errorf("cluster = %v, want >= k members", cluster)
+	}
+	again, cost2, err := c.Cloak(cluster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2 != 0 || !reflect.DeepEqual(again, cluster) {
+		t.Errorf("member repeat: cost=%d cluster=%v", cost2, again)
+	}
+
+	// The served clusters must match an in-process anonymizer run.
+	reg := core.NewRegistry(g.NumVertices())
+	if _, _, err := core.RegisterCentralized(g, 4, reg); err != nil {
+		t.Fatal(err)
+	}
+	want, ok := reg.ClusterOf(5)
+	if !ok {
+		t.Fatal("reference registry missing user 5")
+	}
+	if !reflect.DeepEqual(cluster, want.Members) {
+		t.Errorf("served cluster %v != reference %v", cluster, want.Members)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Frozen || stats.Users != g.NumVertices() || stats.Clusters == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Uploads after freeze are rejected.
+	if err := c.Upload(0, nil); err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Errorf("upload after freeze: %v", err)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	pts := dataset.GaussianClusters(300, 3, 0.04, 15)
+	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.05, MaxPeers: 8})
+	srv, err := NewServer(g.NumVertices(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Concurrent uploads from many clients.
+	uploads := uploadsFor(g)
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(uploads))
+	sem := make(chan struct{}, 16)
+	for user, peers := range uploads {
+		wg.Add(1)
+		go func(user int32, peers []PeerRank) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := Dial(addr.String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Upload(user, peers); err != nil {
+				errCh <- err
+			}
+		}(user, peers)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent cloak requests.
+	results := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		go func(u int32) {
+			_, _, err := c2Cloak(addr.String(), u)
+			results <- err
+		}(int32(i * 7 % g.NumVertices()))
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-results; err != nil && !strings.Contains(err.Error(), "not enough") {
+			t.Fatal(err)
+		}
+	}
+}
+
+func c2Cloak(addr string, user int32) ([]int32, int, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer c.Close()
+	return c.Cloak(user)
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(0, 1); err == nil {
+		t.Error("population 0 should error")
+	}
+	if _, err := NewServer(10, 0); err == nil {
+		t.Error("k 0 should error")
+	}
+	srv, err := NewServer(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := srv.Handle(Request{Op: "bogus"}); resp.OK || resp.Error == "" {
+		t.Errorf("unknown op: %+v", resp)
+	}
+	if resp := srv.Handle(Request{Op: OpUpload, User: 99}); resp.OK {
+		t.Error("out-of-range user accepted")
+	}
+	if resp := srv.Handle(Request{Op: OpUpload, User: 1, Peers: []PeerRank{{Peer: 99, Rank: 1}}}); resp.OK {
+		t.Error("out-of-range peer accepted")
+	}
+	if resp := srv.Handle(Request{Op: OpUpload, User: 1, Peers: []PeerRank{{Peer: 2, Rank: 0}}}); resp.OK {
+		t.Error("rank 0 accepted")
+	}
+	if resp := srv.Handle(Request{Op: OpFreeze}); !resp.OK {
+		t.Errorf("freeze: %+v", resp)
+	}
+	if resp := srv.Handle(Request{Op: OpFreeze}); resp.OK {
+		t.Error("double freeze accepted")
+	}
+}
+
+func TestServerCloseWithIdleClient(t *testing.T) {
+	srv, err := NewServer(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// The client now sits idle with an open connection; Close must not
+	// hang waiting for it.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an idle connection")
+	}
+}

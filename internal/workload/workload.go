@@ -1,0 +1,54 @@
+// Package workload builds the request workloads of Section VI: S distinct
+// users, drawn deterministically, who invoke location cloaking.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Hosts returns s distinct user ids sampled uniformly without replacement
+// from [0, n), in request order, deterministically from seed.
+func Hosts(n, s int, seed int64) ([]int32, error) {
+	if s < 0 || n < 0 {
+		return nil, fmt.Errorf("workload: negative sizes n=%d s=%d", n, s)
+	}
+	if s > n {
+		return nil, fmt.Errorf("workload: cannot draw %d distinct hosts from %d users", s, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	hosts := make([]int32, s)
+	for i := 0; i < s; i++ {
+		hosts[i] = int32(perm[i])
+	}
+	return hosts, nil
+}
+
+// HotspotHosts returns s user ids where a fraction hot of the requests is
+// concentrated on a small pool of users (requests may repeat — modeling
+// users who re-request and should hit the cluster cache). Used by
+// robustness experiments; the paper's main workloads use Hosts.
+func HotspotHosts(n, s int, hot float64, seed int64) ([]int32, error) {
+	if n <= 0 || s < 0 {
+		return nil, fmt.Errorf("workload: bad sizes n=%d s=%d", n, s)
+	}
+	if hot < 0 || hot > 1 {
+		return nil, fmt.Errorf("workload: hot fraction %v out of [0,1]", hot)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	poolSize := n / 100
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	pool := rng.Perm(n)[:poolSize]
+	hosts := make([]int32, s)
+	for i := range hosts {
+		if rng.Float64() < hot {
+			hosts[i] = int32(pool[rng.Intn(poolSize)])
+		} else {
+			hosts[i] = int32(rng.Intn(n))
+		}
+	}
+	return hosts, nil
+}

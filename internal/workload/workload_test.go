@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHostsDistinctAndDeterministic(t *testing.T) {
+	a, err := Hosts(1000, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 200 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := make(map[int32]bool)
+	for _, h := range a {
+		if h < 0 || h >= 1000 {
+			t.Fatalf("host %d out of range", h)
+		}
+		if seen[h] {
+			t.Fatalf("duplicate host %d", h)
+		}
+		seen[h] = true
+	}
+	b, err := Hosts(1000, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed should reproduce the same workload")
+	}
+	c, err := Hosts(1000, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestHostsEdgeCases(t *testing.T) {
+	if _, err := Hosts(10, 11, 1); err == nil {
+		t.Error("s > n should error")
+	}
+	if _, err := Hosts(-1, 0, 1); err == nil {
+		t.Error("negative n should error")
+	}
+	if _, err := Hosts(10, -1, 1); err == nil {
+		t.Error("negative s should error")
+	}
+	hs, err := Hosts(10, 0, 1)
+	if err != nil || len(hs) != 0 {
+		t.Errorf("s=0: %v %v", hs, err)
+	}
+	hs, err = Hosts(5, 5, 1)
+	if err != nil || len(hs) != 5 {
+		t.Errorf("s=n: %v %v", hs, err)
+	}
+}
+
+func TestHotspotHosts(t *testing.T) {
+	hs, err := HotspotHosts(10000, 5000, 0.8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 5000 {
+		t.Fatalf("len = %d", len(hs))
+	}
+	counts := make(map[int32]int)
+	for _, h := range hs {
+		if h < 0 || h >= 10000 {
+			t.Fatalf("host %d out of range", h)
+		}
+		counts[h]++
+	}
+	// With 80% of 5000 requests on a 100-user pool, the pool users must
+	// repeat heavily: distinct hosts far below 5000.
+	if len(counts) > 2000 {
+		t.Errorf("hotspot workload too spread: %d distinct hosts", len(counts))
+	}
+}
+
+func TestHotspotHostsValidation(t *testing.T) {
+	if _, err := HotspotHosts(0, 10, 0.5, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := HotspotHosts(10, 10, 1.5, 1); err == nil {
+		t.Error("hot > 1 should error")
+	}
+	if _, err := HotspotHosts(10, 10, -0.1, 1); err == nil {
+		t.Error("hot < 0 should error")
+	}
+	// Tiny n exercises the pool floor.
+	hs, err := HotspotHosts(3, 10, 1.0, 1)
+	if err != nil || len(hs) != 10 {
+		t.Errorf("tiny n: %v %v", hs, err)
+	}
+}

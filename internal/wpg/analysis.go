@@ -1,0 +1,94 @@
+package wpg
+
+import (
+	"math"
+
+	"nonexposure/internal/graph"
+)
+
+// DiameterOf returns the weighted diameter of the subgraph induced by
+// members: the maximum over all member pairs of the shortest-path weight
+// sum using only member-internal edges. ok is false when the induced
+// subgraph is disconnected (infinite diameter) or members is empty.
+//
+// This is the quantity Corollary 4.2 bounds by the maximum edge weight:
+// the paper replaces the (expensive) diameter with the MEW during
+// clustering and justifies it with the regular-graph bound; this function
+// exists so tests and analyses can check that substitution.
+func (g *Graph) DiameterOf(members []int32) (diameter int64, ok bool) {
+	if len(members) == 0 {
+		return 0, false
+	}
+	if len(members) == 1 {
+		return 0, true
+	}
+	in := make(map[int32]int, len(members))
+	for i, v := range members {
+		in[v] = i
+	}
+	// All-pairs via repeated Dijkstra over the induced subgraph; cluster
+	// sizes are small (≈ k), so this stays cheap.
+	type item struct {
+		d int64
+		v int32
+	}
+	less := func(a, b item) bool {
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		return a.v < b.v
+	}
+	var diam int64
+	dist := make([]int64, len(members))
+	for _, src := range members {
+		for i := range dist {
+			dist[i] = math.MaxInt64
+		}
+		dist[in[src]] = 0
+		h := graph.NewHeap(less)
+		h.Push(item{0, src})
+		for h.Len() > 0 {
+			it := h.Pop()
+			if it.d > dist[in[it.v]] {
+				continue
+			}
+			for _, e := range g.adj[it.v] {
+				j, isMember := in[e.To]
+				if !isMember {
+					continue
+				}
+				if nd := it.d + int64(e.W); nd < dist[j] {
+					dist[j] = nd
+					h.Push(item{nd, e.To})
+				}
+			}
+		}
+		for _, d := range dist {
+			if d == math.MaxInt64 {
+				return 0, false
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam, true
+}
+
+// Corollary42Bound evaluates the paper's Corollary 4.2 diameter bound for
+// a cluster of k vertices with degree d and maximum edge weight w:
+//
+//	w · (1 + ⌈log_{d-1}((2+ε)·d·k·log k)⌉)
+//
+// It returns +Inf when the bound does not apply (d <= 2 makes the
+// logarithm base degenerate, or k < 2).
+func Corollary42Bound(w int32, d float64, k int, eps float64) float64 {
+	if d <= 2 || k < 2 || w < 1 {
+		return math.Inf(1)
+	}
+	arg := (2 + eps) * d * float64(k) * math.Log(float64(k))
+	if arg <= 1 {
+		return float64(w)
+	}
+	return float64(w) * (1 + math.Ceil(math.Log(arg)/math.Log(d-1)))
+}

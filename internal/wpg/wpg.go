@@ -1,0 +1,344 @@
+// Package wpg builds and represents the weighted proximity graph (WPG) of
+// Section IV: an undirected graph whose vertices are users and whose edge
+// weights are relative proximity ranks derived from received signal
+// strength.
+//
+// A Graph deliberately carries no coordinates — it is exactly the
+// information a device learns through its antenna, which is the paper's
+// non-exposure premise. Coordinates only reappear in the secure-bounding
+// phase, where each user privately compares its own coordinate against
+// proposed bounds.
+package wpg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nonexposure/internal/geo"
+	"nonexposure/internal/graph"
+	"nonexposure/internal/rss"
+)
+
+// Edge is one directed half of an undirected WPG edge, stored in the
+// adjacency list of its origin vertex.
+type Edge struct {
+	To int32
+	// W is the symmetric rank weight: min(rank_a(b), rank_b(a)), so
+	// smaller means closer. Weights start at 1.
+	W int32
+}
+
+// Graph is an undirected weighted proximity graph over vertices 0..n-1.
+// Adjacency lists are sorted by (W, To), which the clustering algorithms
+// rely on for deterministic tie-breaking.
+type Graph struct {
+	adj [][]Edge
+}
+
+// BuildParams configures WPG construction.
+type BuildParams struct {
+	// Delta is the radio range: users farther apart than Delta cannot
+	// hear each other (Table I default: 2×10⁻³).
+	Delta float64
+	// MaxPeers is M, the per-device connection cap (Table I default: 10).
+	// Zero or negative means unlimited.
+	MaxPeers int
+	// Model converts distance to RSS. Nil defaults to rss.InverseModel,
+	// the paper's experimental model.
+	Model rss.Model
+}
+
+// DefaultBuildParams returns the Table I settings.
+func DefaultBuildParams() BuildParams {
+	return BuildParams{Delta: 2e-3, MaxPeers: 10, Model: rss.InverseModel{}}
+}
+
+// Build constructs the WPG of the given user positions:
+//
+//  1. every user measures RSS to all peers within Delta (grid-bucket
+//     neighbor search);
+//  2. every user keeps only its MaxPeers strongest peers;
+//  3. an undirected edge (a,b) exists iff a and b keep each other, and its
+//     weight is min(rank_a(b), rank_b(a)) — the paper's symmetric,
+//     mutually-agreed relative distance.
+func Build(points []geo.Point, p BuildParams) *Graph {
+	if p.Model == nil {
+		p.Model = rss.InverseModel{}
+	}
+	if p.Delta <= 0 {
+		panic("wpg: Delta must be positive")
+	}
+	n := len(points)
+	g := &Graph{adj: make([][]Edge, n)}
+	if n == 0 {
+		return g
+	}
+
+	idx := newGridIndex(points, p.Delta)
+	deltaSq := p.Delta * p.Delta
+
+	// Per-vertex kept peers and their ranks.
+	ranks := make([]map[int32]int, n)
+	meas := make([]rss.Measurement, 0, 64)
+	for v := 0; v < n; v++ {
+		meas = meas[:0]
+		idx.forNeighbors(points, int32(v), deltaSq, func(u int32) {
+			d := points[v].Dist(points[u])
+			meas = append(meas, rss.Measurement{Peer: u, RSS: p.Model.Signal(d)})
+		})
+		kept := meas
+		if p.MaxPeers > 0 {
+			kept = rss.TopM(kept, p.MaxPeers)
+		}
+		ranks[v] = rss.Rank(kept)
+	}
+
+	// Materialize mutual edges.
+	for v := 0; v < n; v++ {
+		for u, rv := range ranks[v] {
+			if int32(v) < u { // handle each unordered pair once
+				if ru, ok := ranks[u][int32(v)]; ok {
+					w := int32(rv)
+					if int32(ru) < w {
+						w = int32(ru)
+					}
+					g.adj[v] = append(g.adj[v], Edge{To: u, W: w})
+					g.adj[u] = append(g.adj[u], Edge{To: int32(v), W: w})
+				}
+			}
+		}
+	}
+	g.sortAdj()
+	return g
+}
+
+// FromEdges constructs a graph directly from undirected edges; used by
+// tests and by the distributed algorithm's local refinement step. Edges
+// must have weights >= 1; duplicate pairs are rejected.
+func FromEdges(n int, edges []graph.Edge) (*Graph, error) {
+	g := &Graph{adj: make([][]Edge, n)}
+	seen := make(map[[2]int32]bool, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("wpg: self loop on vertex %d", e.U)
+		}
+		if e.U < 0 || e.V < 0 || int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("wpg: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.W < 1 {
+			return nil, fmt.Errorf("wpg: edge (%d,%d) weight %d < 1", e.U, e.V, e.W)
+		}
+		key := [2]int32{e.U, e.V}
+		if e.U > e.V {
+			key = [2]int32{e.V, e.U}
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("wpg: duplicate edge (%d,%d)", e.U, e.V)
+		}
+		seen[key] = true
+		g.adj[e.U] = append(g.adj[e.U], Edge{To: e.V, W: e.W})
+		g.adj[e.V] = append(g.adj[e.V], Edge{To: e.U, W: e.W})
+	}
+	g.sortAdj()
+	return g, nil
+}
+
+// MustFromEdges is FromEdges that panics on error; for tests and examples
+// with literal edge sets.
+func MustFromEdges(n int, edges []graph.Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) sortAdj() {
+	for _, a := range g.adj {
+		sort.Slice(a, func(i, j int) bool {
+			if a[i].W != a[j].W {
+				return a[i].W < a[j].W
+			}
+			return a[i].To < a[j].To
+		})
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// Neighbors returns v's adjacency list, sorted by (weight, id). Callers
+// must not modify the returned slice.
+func (g *Graph) Neighbors(v int32) []Edge { return g.adj[v] }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Edges returns all undirected edges (each pair once, U < V).
+func (g *Graph) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, g.NumEdges())
+	for v, a := range g.adj {
+		for _, e := range a {
+			if int32(v) < e.To {
+				out = append(out, graph.Edge{U: int32(v), V: e.To, W: e.W})
+			}
+		}
+	}
+	return out
+}
+
+// Weight returns the weight of edge (u,v) and whether it exists.
+func (g *Graph) Weight(u, v int32) (int32, bool) {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return e.W, true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks structural invariants: symmetry, matching weights, no
+// self loops, weights >= 1, sorted adjacency.
+func (g *Graph) Validate() error {
+	for v, a := range g.adj {
+		for i, e := range a {
+			if e.To == int32(v) {
+				return fmt.Errorf("wpg: self loop on %d", v)
+			}
+			if e.W < 1 {
+				return fmt.Errorf("wpg: edge (%d,%d) weight %d < 1", v, e.To, e.W)
+			}
+			if i > 0 && (a[i-1].W > e.W || (a[i-1].W == e.W && a[i-1].To >= e.To)) {
+				return fmt.Errorf("wpg: adjacency of %d not sorted at index %d", v, i)
+			}
+			w, ok := g.Weight(e.To, int32(v))
+			if !ok {
+				return fmt.Errorf("wpg: edge (%d,%d) missing reverse", v, e.To)
+			}
+			if w != e.W {
+				return fmt.Errorf("wpg: edge (%d,%d) weight mismatch %d vs %d", v, e.To, e.W, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the topology; the experiments report AvgDegree, which
+// the paper's Fig. 9 sweep varies via M.
+type Stats struct {
+	Vertices     int
+	EdgesCount   int
+	AvgDegree    float64
+	MaxDegree    int
+	MinDegree    int
+	MaxWeight    int32
+	IsolatedVtxs int
+}
+
+// Stats computes topology statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{Vertices: len(g.adj), MinDegree: math.MaxInt}
+	var degSum int
+	for _, a := range g.adj {
+		d := len(a)
+		degSum += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d == 0 {
+			s.IsolatedVtxs++
+		}
+		for _, e := range a {
+			if e.W > s.MaxWeight {
+				s.MaxWeight = e.W
+			}
+		}
+	}
+	if len(g.adj) == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	s.EdgesCount = degSum / 2
+	s.AvgDegree = float64(degSum) / float64(len(g.adj))
+	return s
+}
+
+// gridIndex buckets points into square cells of side = delta so that all
+// neighbors within delta of a point lie in the 3×3 cell block around it.
+type gridIndex struct {
+	cell    float64
+	cols    int
+	rows    int
+	origin  geo.Point
+	buckets [][]int32
+}
+
+func newGridIndex(points []geo.Point, cell float64) *gridIndex {
+	b := geo.RectFrom(points...)
+	cols := int(b.Width()/cell) + 1
+	rows := int(b.Height()/cell) + 1
+	gi := &gridIndex{
+		cell:    cell,
+		cols:    cols,
+		rows:    rows,
+		origin:  b.Min,
+		buckets: make([][]int32, cols*rows),
+	}
+	for i, p := range points {
+		bk := gi.bucketOf(p)
+		gi.buckets[bk] = append(gi.buckets[bk], int32(i))
+	}
+	return gi
+}
+
+func (gi *gridIndex) bucketOf(p geo.Point) int {
+	cx := int((p.X - gi.origin.X) / gi.cell)
+	cy := int((p.Y - gi.origin.Y) / gi.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= gi.cols {
+		cx = gi.cols - 1
+	}
+	if cy >= gi.rows {
+		cy = gi.rows - 1
+	}
+	return cy*gi.cols + cx
+}
+
+// forNeighbors calls fn for every point within sqrt(deltaSq) of points[v],
+// excluding v itself.
+func (gi *gridIndex) forNeighbors(points []geo.Point, v int32, deltaSq float64, fn func(u int32)) {
+	p := points[v]
+	cx := int((p.X - gi.origin.X) / gi.cell)
+	cy := int((p.Y - gi.origin.Y) / gi.cell)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, y := cx+dx, cy+dy
+			if x < 0 || y < 0 || x >= gi.cols || y >= gi.rows {
+				continue
+			}
+			for _, u := range gi.buckets[y*gi.cols+x] {
+				if u != v && p.DistSq(points[u]) <= deltaSq {
+					fn(u)
+				}
+			}
+		}
+	}
+}
