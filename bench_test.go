@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"nonexposure/internal/anonymizer"
 	"nonexposure/internal/core"
 	"nonexposure/internal/dataset"
 	"nonexposure/internal/experiment"
@@ -336,6 +337,92 @@ func BenchmarkExtensionMobility(b *testing.B) {
 			reportRow(b, tb.Rows[2], "epoch2_")
 		}
 	}
+}
+
+// --- Concurrent cloak serving -------------------------------------------------
+
+var (
+	cloakGraphOnce sync.Once
+	cloakGraphVal  *wpg.Graph
+)
+
+// concurrentCloakGraph is a multi-component WPG (well-separated Gaussian
+// blobs) so component-parallel clustering has independent work per core.
+func concurrentCloakGraph(b *testing.B) *wpg.Graph {
+	b.Helper()
+	cloakGraphOnce.Do(func() {
+		pts := dataset.GaussianClusters(24000, 32, 0.012, 7)
+		cloakGraphVal = wpg.Build(pts, wpg.BuildParams{Delta: 0.016, MaxPeers: 10})
+	})
+	return cloakGraphVal
+}
+
+// BenchmarkConcurrentCloakFirstRequest measures the one-time whole-graph
+// clustering a fresh anonymizer performs on its first request: the serial
+// baseline vs the component-parallel build (workers = GOMAXPROCS).
+func BenchmarkConcurrentCloakFirstRequest(b *testing.B) {
+	g := concurrentCloakGraph(b)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := anonymizer.NewParallel(g, 10, bench.workers)
+				if _, cost, err := s.Cloak(0); err != nil || cost == 0 {
+					b.Fatalf("first request: cost=%d err=%v", cost, err)
+				}
+			}
+			if comps := len(g.Components()); b.N > 0 {
+				b.ReportMetric(float64(comps), "components")
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentCloakSteadyState measures post-build Cloak
+// throughput. "locked" serializes every request behind one mutex — the
+// seed's original serving path — while "shared" is the current design
+// where requests ride the registry's RWMutex read path.
+func BenchmarkConcurrentCloakSteadyState(b *testing.B) {
+	g := concurrentCloakGraph(b)
+	n := int32(g.NumVertices())
+	newBuilt := func() *anonymizer.Server {
+		s := anonymizer.New(g, 10)
+		if _, _, err := s.Cloak(0); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("locked", func(b *testing.B) {
+		s := newBuilt()
+		var mu sync.Mutex
+		b.SetParallelism(8) // oversubscribe so lock handoff shows on any core count
+		b.RunParallel(func(pb *testing.PB) {
+			host := int32(1)
+			for pb.Next() {
+				host = (host*48271 + 1) % n
+				mu.Lock()
+				s.Cloak(host) // undersized hosts still exercise the path
+				mu.Unlock()
+			}
+		})
+	})
+	b.Run("shared", func(b *testing.B) {
+		s := newBuilt()
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			host := int32(1)
+			for pb.Next() {
+				host = (host*48271 + 1) % n
+				s.Cloak(host)
+			}
+		})
+	})
 }
 
 // --- Component micro-benchmarks ----------------------------------------------

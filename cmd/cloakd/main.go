@@ -55,9 +55,14 @@ func run(addr string, n, k int, demo bool, seed int64) error {
 		signal.Notify(sig, os.Interrupt)
 		<-sig
 		fmt.Println("cloakd: shutting down")
-		return srv.Close()
+		err := srv.Close()
+		fmt.Printf("cloakd: final request metrics: %s\n", srv.Metrics().Snapshot())
+		return err
 	}
-	defer srv.Close()
+	defer func() {
+		srv.Close()
+		fmt.Printf("cloakd: final request metrics: %s\n", srv.Metrics().Snapshot())
+	}()
 	return runDemo(bound.String(), n, k, seed)
 }
 
@@ -109,5 +114,7 @@ func runDemo(addr string, n, k int, seed int64) error {
 		return err
 	}
 	fmt.Printf("demo: server now holds %d clusters for %d users\n", stats.Clusters, stats.Users)
+	fmt.Printf("demo: server handled %d requests (%d errors, p50 %.0fµs, p95 %.0fµs, p99 %.0fµs)\n",
+		stats.Requests, stats.ReqErrors, stats.LatP50us, stats.LatP95us, stats.LatP99us)
 	return nil
 }

@@ -2,9 +2,15 @@
 // synthetic population and prints what happened: the cluster, the cloaked
 // region, and the two phases' communication costs.
 //
+// With -load it instead acts as a load generator: -workers concurrent
+// clients hammer an in-process centralized anonymizer with -load cloak
+// requests and the run reports throughput and latency percentiles —
+// the harness behind the serving-concurrency numbers in CHANGES.md.
+//
 // Usage:
 //
 //	cloaksim -n 5000 -k 10 -host 42 -bound secure -mode distributed
+//	cloaksim -n 20000 -k 10 -load 100000 -workers 32
 package main
 
 import (
@@ -12,29 +18,112 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
+	"time"
 
 	"nonexposure/cloak"
+	"nonexposure/internal/anonymizer"
 	"nonexposure/internal/dataset"
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/wpg"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 5000, "population size")
-		k      = flag.Int("k", 10, "anonymity level")
-		host   = flag.Int("host", 0, "requesting user id")
-		seed   = flag.Int64("seed", 42, "random seed")
-		mode   = flag.String("mode", "distributed", "clustering mode: distributed|centralized")
-		bound  = flag.String("bound", "secure", "bounding: secure|linear|exponential|optimal")
-		delta  = flag.Float64("delta", 0, "radio range (0 = auto for the population size)")
-		net    = flag.Bool("network", false, "run the protocols over a simulated p2p message network")
-		loss   = flag.Float64("loss", 0, "message loss rate for -network")
-		nearby = flag.Int("nearby", 3, "after cloaking, fetch this many nearest POIs (0 = skip)")
+		n       = flag.Int("n", 5000, "population size")
+		k       = flag.Int("k", 10, "anonymity level")
+		host    = flag.Int("host", 0, "requesting user id")
+		seed    = flag.Int64("seed", 42, "random seed")
+		mode    = flag.String("mode", "distributed", "clustering mode: distributed|centralized")
+		bound   = flag.String("bound", "secure", "bounding: secure|linear|exponential|optimal")
+		delta   = flag.Float64("delta", 0, "radio range (0 = auto for the population size)")
+		net     = flag.Bool("network", false, "run the protocols over a simulated p2p message network")
+		loss    = flag.Float64("loss", 0, "message loss rate for -network")
+		nearby  = flag.Int("nearby", 3, "after cloaking, fetch this many nearest POIs (0 = skip)")
+		load    = flag.Int("load", 0, "load-generator mode: issue this many concurrent cloak requests (0 = off)")
+		workers = flag.Int("workers", 16, "concurrent clients for -load")
 	)
 	flag.Parse()
-	if err := run(*n, *k, *host, *seed, *mode, *bound, *delta, *net, *loss, *nearby); err != nil {
+	var err error
+	if *load > 0 {
+		err = runLoad(*n, *k, *seed, *delta, *load, *workers)
+	} else {
+		err = run(*n, *k, *host, *seed, *mode, *bound, *delta, *net, *loss, *nearby)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cloaksim:", err)
 		os.Exit(1)
 	}
+}
+
+// runLoad is the load-generator mode: a centralized anonymizer serving
+// `requests` cloak calls from `workers` concurrent clients. The very
+// first request triggers the component-parallel whole-graph clustering;
+// everything after rides the registry read path.
+func runLoad(n, k int, seed int64, delta float64, requests, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if delta == 0 {
+		delta = 2e-3 * math.Sqrt(104770.0/float64(n))
+	}
+	pts := dataset.CaliforniaLike(n, seed)
+	g := wpg.Build(pts, wpg.BuildParams{Delta: delta, MaxPeers: 10})
+	fmt.Printf("load: %d users, %d proximity edges, %d components\n",
+		g.NumVertices(), g.NumEdges(), len(g.Components()))
+
+	anon := anonymizer.New(g, k)
+	m := metrics.NewRequestMetrics()
+
+	buildStart := time.Now()
+	if _, cost, err := anon.Cloak(0); err == nil {
+		fmt.Printf("load: first request clustered the graph in %v (billed %d messages)\n",
+			time.Since(buildStart), cost)
+	} else {
+		fmt.Printf("load: first request: %v\n", err)
+	}
+
+	var (
+		wg     sync.WaitGroup
+		failMu sync.Mutex
+		fails  int
+	)
+	start := time.Now()
+	per := requests / workers
+	extra := requests % workers
+	for w := 0; w < workers; w++ {
+		count := per
+		if w < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			host := int32(w * 2654435761 % n)
+			for i := 0; i < count; i++ {
+				host = (host*48271 + 1) % int32(n)
+				t0 := time.Now()
+				_, _, err := anon.Cloak(host)
+				m.Observe("cloak", time.Since(t0), err == nil)
+				if err != nil {
+					failMu.Lock()
+					fails++
+					failMu.Unlock()
+				}
+			}
+		}(w, count)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := m.Snapshot()
+	fmt.Printf("load: %d requests from %d workers in %v (%.0f req/s)\n",
+		snap.Total, workers, elapsed.Round(time.Millisecond), float64(snap.Total)/elapsed.Seconds())
+	fmt.Printf("load: %d unclusterable hosts (undersized components)\n", fails)
+	fmt.Printf("load: latency p50=%v p95=%v p99=%v\n", snap.P50, snap.P95, snap.P99)
+	fmt.Printf("load: %d clusters cover %d of %d users\n",
+		anon.Registry().NumClusters(), anon.Registry().NumAssigned(), n)
+	return nil
 }
 
 func run(n, k, host int, seed int64, mode, bound string, delta float64, overNet bool, loss float64, nearby int) error {

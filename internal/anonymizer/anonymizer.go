@@ -8,6 +8,14 @@
 // cost. The first request therefore costs one proximity-upload message
 // per user — the "upper bound" curve in the paper's Fig. 9/11/12.
 //
+// The server is built for concurrent request traffic: the one-time
+// clustering runs behind a sync.Once latch (concurrent first requests
+// block until it finishes, and exactly one of them is billed the
+// population cost), fanned out across the WPG's connected components on
+// a bounded worker pool. Every later Cloak call touches only the
+// Registry's RWMutex read path, so steady-state requests never contend
+// on a build lock.
+//
 // Note the paper's critique still applies: the anonymizer sees only
 // proximity data, not coordinates, so even this centralized party never
 // learns user locations — that is the whole point of non-exposure
@@ -17,29 +25,39 @@ package anonymizer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nonexposure/internal/core"
 	"nonexposure/internal/wpg"
 )
 
-// Server is the centralized anonymizer.
+// Server is the centralized anonymizer. Safe for concurrent use.
 type Server struct {
-	g *wpg.Graph
-	k int
+	g       *wpg.Graph
+	k       int
+	workers int
 
-	mu        sync.Mutex
 	reg       *core.Registry
-	clustered bool
-	skipped   int
+	buildOnce sync.Once
+	buildErr  error
+	skipped   atomic.Int64
+	built     atomic.Bool
 }
 
 // New returns an anonymizer for the given proximity graph and anonymity
-// level. It panics if k < 1.
+// level, clustering with one worker per CPU on the first request. It
+// panics if k < 1.
 func New(g *wpg.Graph, k int) *Server {
+	return NewParallel(g, k, 0)
+}
+
+// NewParallel is New with an explicit clustering worker count
+// (<= 0 selects GOMAXPROCS; 1 reproduces the serial build).
+func NewParallel(g *wpg.Graph, k, workers int) *Server {
 	if k < 1 {
 		panic(fmt.Sprintf("anonymizer: k must be >= 1, got %d", k))
 	}
-	return &Server{g: g, k: k, reg: core.NewRegistry(g.NumVertices())}
+	return &Server{g: g, k: k, workers: workers, reg: core.NewRegistry(g.NumVertices())}
 }
 
 // K returns the configured anonymity level.
@@ -50,21 +68,25 @@ func (s *Server) Registry() *core.Registry { return s.reg }
 
 // Cloak returns the cluster for host. cost is the number of messages this
 // request caused: the full user population on the very first request
-// (everyone uploads its proximity list), zero afterwards.
+// (everyone uploads its proximity list), zero afterwards. Under
+// concurrent first requests exactly one caller is billed; the others
+// wait for the build and are served from the cache for free.
 func (s *Server) Cloak(host int32) (cluster *core.Cluster, cost int, err error) {
 	if int(host) < 0 || int(host) >= s.g.NumVertices() {
 		return nil, 0, fmt.Errorf("anonymizer: no such user %d", host)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.clustered {
-		_, skipped, err := core.RegisterCentralized(s.g, s.k, s.reg)
-		if err != nil {
-			return nil, 0, fmt.Errorf("anonymizer: initial clustering: %w", err)
+	s.buildOnce.Do(func() {
+		_, skipped, berr := core.RegisterCentralizedParallel(s.g, s.k, s.reg, s.workers)
+		if berr != nil {
+			s.buildErr = fmt.Errorf("anonymizer: initial clustering: %w", berr)
+			return
 		}
-		s.skipped = skipped
-		s.clustered = true
+		s.skipped.Store(int64(skipped))
+		s.built.Store(true)
 		cost = s.g.NumVertices()
+	})
+	if s.buildErr != nil {
+		return nil, cost, s.buildErr
 	}
 	c, ok := s.reg.ClusterOf(host)
 	if !ok {
@@ -77,7 +99,8 @@ func (s *Server) Cloak(host int32) (cluster *core.Cluster, cost int, err error) 
 // Unclusterable returns how many users ended up in undersized components
 // (0 before the first request).
 func (s *Server) Unclusterable() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.skipped
+	return int(s.skipped.Load())
 }
+
+// Built reports whether the one-time clustering has completed.
+func (s *Server) Built() bool { return s.built.Load() }

@@ -2,9 +2,12 @@ package anonymizer
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"nonexposure/internal/core"
+	"nonexposure/internal/dataset"
 	"nonexposure/internal/graph"
 	"nonexposure/internal/wpg"
 )
@@ -89,6 +92,98 @@ func TestCloakValidation(t *testing.T) {
 		}
 	}()
 	New(testGraph(), 0)
+}
+
+// TestCloakConcurrentFirstRequests hammers a fresh server with parallel
+// first requests (run under -race): every caller must see the same
+// cluster, the one-time clustering must run exactly once, and exactly one
+// request is billed the population cost.
+func TestCloakConcurrentFirstRequests(t *testing.T) {
+	pts := dataset.GaussianClusters(400, 8, 0.02, 21)
+	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.03, MaxPeers: 8})
+	s := New(g, 4)
+
+	const callers = 32
+	var (
+		wg        sync.WaitGroup
+		billed    atomic.Int64
+		costTotal atomic.Int64
+	)
+	clusters := make([]*core.Cluster, callers)
+	errs := make([]error, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			c, cost, err := s.Cloak(0)
+			clusters[i], errs[i] = c, err
+			if cost > 0 {
+				billed.Add(1)
+				costTotal.Add(int64(cost))
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if clusters[i] != clusters[0] {
+			t.Fatalf("caller %d got cluster %v, caller 0 got %v", i, clusters[i], clusters[0])
+		}
+	}
+	if billed.Load() != 1 {
+		t.Errorf("%d callers were billed, want exactly 1", billed.Load())
+	}
+	if costTotal.Load() != int64(g.NumVertices()) {
+		t.Errorf("total billed cost = %d, want %d (one population upload)", costTotal.Load(), g.NumVertices())
+	}
+	if !s.Built() {
+		t.Error("Built() = false after a successful first request")
+	}
+	if err := s.Registry().CheckReciprocity(); err != nil {
+		t.Fatal(err)
+	}
+	// A late request stays free and cache-served.
+	if _, cost, err := s.Cloak(clusters[0].Members[1]); err != nil || cost != 0 {
+		t.Errorf("post-build request: cost=%d err=%v, want 0/nil", cost, err)
+	}
+}
+
+// TestCloakParallelMatchesSerialBuild checks the component-parallel first
+// build yields the same registry as a worker-count-1 build.
+func TestCloakParallelMatchesSerialBuild(t *testing.T) {
+	pts := dataset.GaussianClusters(300, 6, 0.02, 5)
+	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.03, MaxPeers: 8})
+	serial := NewParallel(g, 3, 1)
+	parallel := NewParallel(g, 3, 8)
+	if _, _, err := serial.Cloak(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := parallel.Cloak(0); err != nil {
+		t.Fatal(err)
+	}
+	sc, pc := serial.Registry().Clusters(), parallel.Registry().Clusters()
+	if len(sc) != len(pc) {
+		t.Fatalf("clusters: serial %d, parallel %d", len(sc), len(pc))
+	}
+	for i := range sc {
+		if sc[i].T != pc[i].T || len(sc[i].Members) != len(pc[i].Members) {
+			t.Fatalf("cluster %d differs", i)
+		}
+		for j := range sc[i].Members {
+			if sc[i].Members[j] != pc[i].Members[j] {
+				t.Fatalf("cluster %d member %d differs", i, j)
+			}
+		}
+	}
+	if serial.Unclusterable() != parallel.Unclusterable() {
+		t.Errorf("unclusterable: serial %d, parallel %d", serial.Unclusterable(), parallel.Unclusterable())
+	}
 }
 
 func TestCloakMatchesCentralizedAlgorithm(t *testing.T) {

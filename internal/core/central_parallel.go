@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"nonexposure/internal/graph"
+	"nonexposure/internal/wpg"
+)
+
+// CentralizedTConnParallel is CentralizedTConn fanned out across the
+// connected components of the WPG with a bounded worker pool. Safe
+// removal never crosses a component boundary, so each component can be
+// partitioned independently; the wall-clock cost of whole-graph
+// clustering drops to roughly the largest component on multi-core.
+//
+// workers <= 0 selects GOMAXPROCS. The result is deterministic and
+// identical to the serial algorithm: within a component the induced
+// subgraph preserves the global edge ordering (local ids are assigned in
+// ascending global order, so (W, U, V) ties break the same way), and the
+// merged clusters are renumbered in discovery order — ascending smallest
+// member — exactly as the serial full-graph scan emits them.
+func CentralizedTConnParallel(g *wpg.Graph, k, workers int) (clusters []*Cluster, undersized [][]int32) {
+	if k < 1 {
+		panic(fmt.Sprintf("core: k must be >= 1, got %d", k))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	comps := g.Components()
+	if len(comps) == 0 {
+		return nil, nil
+	}
+
+	type compResult struct {
+		clusters   []*Cluster
+		undersized [][]int32
+	}
+	results := make([]compResult, len(comps))
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = clusterComponent(g, comps[i], k)
+			}
+		}()
+	}
+	for i := range comps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// The serial scan discovers every group at its smallest member while
+	// walking vertices in ascending order, so its emission order is
+	// "ascending smallest member" — restore that across components before
+	// renumbering, making the parallel result bit-identical to the serial
+	// one.
+	for _, r := range results {
+		clusters = append(clusters, r.clusters...)
+		undersized = append(undersized, r.undersized...)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].Members[0] < clusters[j].Members[0] })
+	sort.Slice(undersized, func(i, j int) bool { return undersized[i][0] < undersized[j][0] })
+	for i, c := range clusters {
+		c.ID = int32(i)
+	}
+	return clusters, undersized
+}
+
+// clusterComponent runs the serial safe-removal partition on the subgraph
+// induced by one connected component and maps the result back to global
+// vertex ids. members must be sorted ascending.
+func clusterComponent(g *wpg.Graph, members []int32, k int) (res struct {
+	clusters   []*Cluster
+	undersized [][]int32
+}) {
+	// A whole component smaller than k can never satisfy k-anonymity; no
+	// need to run the partition at all.
+	if len(members) < k {
+		res.undersized = [][]int32{append([]int32(nil), members...)}
+		return res
+	}
+
+	local := make(map[int32]int32, len(members))
+	for i, v := range members {
+		local[v] = int32(i)
+	}
+	var edges []graph.Edge
+	for _, v := range members {
+		lv := local[v]
+		for _, e := range g.Neighbors(v) {
+			lu, ok := local[e.To]
+			if !ok || lv >= lu {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: lv, V: lu, W: e.W})
+		}
+	}
+	sub, err := wpg.FromEdges(len(members), edges)
+	if err != nil {
+		// The induced subgraph of a valid WPG is always a valid WPG.
+		panic(fmt.Sprintf("core: induced component subgraph: %v", err))
+	}
+	clusters, undersized := CentralizedTConn(sub, k)
+	for _, c := range clusters {
+		for j, lv := range c.Members {
+			c.Members[j] = members[lv]
+		}
+		res.clusters = append(res.clusters, c)
+	}
+	for _, u := range undersized {
+		gu := make([]int32, len(u))
+		for j, lv := range u {
+			gu[j] = members[lv]
+		}
+		res.undersized = append(res.undersized, gu)
+	}
+	return res
+}
+
+// RegisterCentralizedParallel is RegisterCentralized on top of
+// CentralizedTConnParallel: it clusters the whole WPG component-parallel
+// and records every valid cluster atomically via Registry.AddBatch.
+func RegisterCentralizedParallel(g *wpg.Graph, k int, reg *Registry, workers int) ([]*Cluster, int, error) {
+	clusters, undersized := CentralizedTConnParallel(g, k, workers)
+	memberSets := make([][]int32, len(clusters))
+	ts := make([]int32, len(clusters))
+	for i, c := range clusters {
+		memberSets[i] = c.Members
+		ts[i] = c.T
+	}
+	registered, err := reg.AddBatch(memberSets, ts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: register centralized clusters: %w", err)
+	}
+	skipped := 0
+	for _, u := range undersized {
+		skipped += len(u)
+	}
+	return registered, skipped, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/graph"
+	"nonexposure/internal/wpg"
+)
+
+// multiComponentGraph builds a WPG with many well-separated components:
+// isolated Gaussian blobs with a radio range far below the blob spacing.
+func multiComponentGraph(t testing.TB, n int, seed int64) *wpg.Graph {
+	t.Helper()
+	pts := dataset.GaussianClusters(n, 12, 0.015, seed)
+	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.02, MaxPeers: 8})
+	if len(g.Components()) < 4 {
+		t.Fatalf("test graph has only %d components, want a multi-component WPG", len(g.Components()))
+	}
+	return g
+}
+
+func TestCentralizedTConnParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *wpg.Graph
+		k    int
+	}{
+		{"fig6-k2", fig6Graph(), 2},
+		{"fig6-k5", fig6Graph(), 5},
+		{"fig6-k1", fig6Graph(), 1},
+		{"blobs-k4", multiComponentGraph(t, 600, 7), 4},
+		{"blobs-k10", multiComponentGraph(t, 900, 11), 10},
+		{"empty", wpg.MustFromEdges(0, nil), 3},
+		{"isolated", wpg.MustFromEdges(5, nil), 2},
+	} {
+		for _, workers := range []int{0, 1, 2, 7} {
+			wantC, wantU := CentralizedTConn(tc.g, tc.k)
+			gotC, gotU := CentralizedTConnParallel(tc.g, tc.k, workers)
+			if !reflect.DeepEqual(gotC, wantC) {
+				t.Errorf("%s workers=%d: clusters differ: got %d, want %d",
+					tc.name, workers, len(gotC), len(wantC))
+			}
+			if !reflect.DeepEqual(gotU, wantU) {
+				t.Errorf("%s workers=%d: undersized differ: got %v, want %v",
+					tc.name, workers, gotU, wantU)
+			}
+		}
+	}
+}
+
+func TestCentralizedTConnParallelDeterministic(t *testing.T) {
+	g := multiComponentGraph(t, 800, 3)
+	first, firstU := CentralizedTConnParallel(g, 5, 4)
+	for i := 0; i < 5; i++ {
+		again, againU := CentralizedTConnParallel(g, 5, 4)
+		if !reflect.DeepEqual(again, first) || !reflect.DeepEqual(againU, firstU) {
+			t.Fatalf("run %d differs from first run", i)
+		}
+	}
+}
+
+func TestRegisterCentralizedParallel(t *testing.T) {
+	g := multiComponentGraph(t, 700, 5)
+	serialReg := NewRegistry(g.NumVertices())
+	serialC, serialSkipped, err := RegisterCentralized(g, 6, serialReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parReg := NewRegistry(g.NumVertices())
+	parC, parSkipped, err := RegisterCentralizedParallel(g, 6, parReg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parSkipped != serialSkipped {
+		t.Errorf("skipped = %d, want %d", parSkipped, serialSkipped)
+	}
+	if len(parC) != len(serialC) {
+		t.Fatalf("clusters = %d, want %d", len(parC), len(serialC))
+	}
+	for i := range parC {
+		if !reflect.DeepEqual(parC[i].Members, serialC[i].Members) || parC[i].T != serialC[i].T {
+			t.Errorf("cluster %d differs from serial registration", i)
+		}
+	}
+	if err := parReg.CheckReciprocity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentralizedTConnParallelPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k = 0 should panic")
+		}
+	}()
+	CentralizedTConnParallel(fig6Graph(), 0, 2)
+}
+
+func TestCentralizedTConnParallelSingleComponent(t *testing.T) {
+	// One chain: a single worker job; must still match the serial cut.
+	g := wpg.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 5}, {U: 2, V: 3, W: 2},
+		{U: 3, V: 4, W: 4}, {U: 4, V: 5, W: 3},
+	})
+	wantC, wantU := CentralizedTConn(g, 2)
+	gotC, gotU := CentralizedTConnParallel(g, 2, 8)
+	if !reflect.DeepEqual(gotC, wantC) || !reflect.DeepEqual(gotU, wantU) {
+		t.Errorf("single-component result differs: got %+v, want %+v", gotC, wantC)
+	}
+}

@@ -241,9 +241,16 @@ func (s GraphSource) NumUsers() int { return s.G.NumVertices() }
 // adjacency was fetched. Per the paper's accounting, each such user sends
 // the host exactly one message, so Involved() is the communication cost of
 // a clustering run. The host's own adjacency is free.
+//
+// The memoization map is mutex-protected: a Recorder created inside one
+// clustering run is owned by that goroutine, but concurrent cloak serving
+// can share a Recorder across request goroutines (and race-enabled tests
+// exercise exactly that).
 type Recorder struct {
-	src     AdjacencySource
-	host    int32
+	src  AdjacencySource
+	host int32
+
+	mu      sync.Mutex
 	fetched map[int32][]wpg.Edge
 }
 
@@ -254,10 +261,20 @@ func NewRecorder(src AdjacencySource, host int32) *Recorder {
 
 // Adjacency fetches (and memoizes) v's adjacency.
 func (r *Recorder) Adjacency(v int32) []wpg.Edge {
+	r.mu.Lock()
 	if adj, ok := r.fetched[v]; ok {
+		r.mu.Unlock()
 		return adj
 	}
+	r.mu.Unlock()
+	// Fetch outside the lock: the underlying source may be a network
+	// round-trip (internal/p2p) and must not serialize the whole run.
 	adj := r.src.Adjacency(v)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.fetched[v]; ok {
+		return prev // a concurrent fetch won; keep one canonical slice
+	}
 	r.fetched[v] = adj
 	return adj
 }
@@ -268,6 +285,8 @@ func (r *Recorder) NumUsers() int { return r.src.NumUsers() }
 // Involved returns the number of distinct users (excluding the host) whose
 // adjacency was fetched — the clustering communication cost.
 func (r *Recorder) Involved() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n := len(r.fetched)
 	if _, ok := r.fetched[r.host]; ok {
 		n--

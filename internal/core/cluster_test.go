@@ -157,6 +157,34 @@ func TestRecorderAccounting(t *testing.T) {
 	}
 }
 
+// TestRecorderConcurrentAdjacency shares one Recorder across goroutines
+// (the shape concurrent cloak serving produces) and relies on -race to
+// catch unguarded map access; it also checks the memoized slices stay
+// canonical and the accounting exact.
+func TestRecorderConcurrentAdjacency(t *testing.T) {
+	g := wpg.MustFromEdges(64, pathEdges(64))
+	rec := NewRecorder(GraphSource{G: g}, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := int32((w*31 + i) % 64)
+				adj := rec.Adjacency(v)
+				if len(adj) == 0 {
+					t.Errorf("vertex %d: empty adjacency", v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rec.Involved() != 63 { // all vertices touched, host free
+		t.Errorf("Involved = %d, want 63", rec.Involved())
+	}
+}
+
 func TestErrInsufficientUsersIsSentinel(t *testing.T) {
 	g := wpg.MustFromEdges(3, pathEdges(2)) // vertex 2 isolated
 	reg := NewRegistry(3)

@@ -125,10 +125,15 @@ func KNNCluster(src AdjacencySource, host int32, k int, reg *Registry, opt KNNOp
 	}
 
 	// The cluster's reported connectivity is the largest edge weight
-	// between two members — what keeps the members mutually reachable.
+	// between two members — what keeps the members mutually reachable. A
+	// member set keeps this pass O(k·deg) instead of O(k²·deg).
+	memberSet := make(map[int32]bool, len(members))
+	for _, v := range members {
+		memberSet[v] = true
+	}
 	for _, v := range members {
 		for _, e := range rec.Adjacency(v) {
-			if e.W > maxEdge && containsID(members, e.To) {
+			if e.W > maxEdge && memberSet[e.To] {
 				maxEdge = e.W
 			}
 		}
@@ -144,13 +149,4 @@ func KNNCluster(src AdjacencySource, host int32, k int, reg *Registry, opt KNNOp
 		T:           maxEdge,
 		NewClusters: 1,
 	}, nil
-}
-
-func containsID(s []int32, v int32) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }

@@ -45,6 +45,33 @@ func TestKNNPlainPaperFig4a(t *testing.T) {
 	}
 }
 
+// TestKNNConnectivityIsMaxMemberEdge pins the reported T to the true
+// maximum intra-member edge weight — the regression test for replacing
+// the linear containsID scan with a member set in the max-edge pass.
+func TestKNNConnectivityIsMaxMemberEdge(t *testing.T) {
+	g := fig4Graph()
+	reg := NewRegistry(6)
+	c, stats, err := KNNCluster(GraphSource{G: g}, 3, 3, reg, KNNOptions{Expansion: KNNDijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the max weight between members by brute force.
+	var want int32
+	for i, u := range c.Members {
+		for _, v := range c.Members[i+1:] {
+			if w, ok := g.Weight(u, v); ok && w > want {
+				want = w
+			}
+		}
+	}
+	if c.T != want || stats.T != want {
+		t.Errorf("connectivity T = %d (stats %d), brute force says %d", c.T, stats.T, want)
+	}
+	if want == 0 {
+		t.Fatal("degenerate test: no intra-member edges")
+	}
+}
+
 func TestKNNRevisedPaperFig4b(t *testing.T) {
 	// Degree tie-break: u3 (id 2) has degree 3; u5 and u6 (ids 4, 5) have
 	// degree 2, so the revised algorithm clusters {u4, u5, u6} = {3, 4, 5}.

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two histogram buckets; bucket
+// i covers [2^i, 2^(i+1)) nanoseconds, which spans sub-microsecond to
+// multi-hour latencies.
+const latencyBuckets = 48
+
+// LatencyHistogram is a log-scale histogram of durations. The hot path
+// (Observe) is a single atomic increment per call, so it is safe — and
+// cheap — under heavy concurrent request traffic.
+type LatencyHistogram struct {
+	counts [latencyBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+// Observe folds one duration in.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.total.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *LatencyHistogram) Count() uint64 { return h.total.Load() }
+
+// Mean returns the mean observed duration (0 with no observations).
+func (h *LatencyHistogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / int64(n))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) with linear interpolation
+// inside the matched bucket. With no observations it returns 0.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	var counts [latencyBuckets]uint64
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return quantileOf(counts[:], total, q)
+}
+
+func quantileOf(counts []uint64, total uint64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			lo := math.Exp2(float64(i))
+			hi := math.Exp2(float64(i + 1))
+			frac := (rank - seen) / float64(c)
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		seen += float64(c)
+	}
+	return time.Duration(math.Exp2(float64(len(counts))))
+}
+
+// OpSnapshot is a point-in-time view of one operation's counters.
+type OpSnapshot struct {
+	Op     string
+	Count  uint64
+	Errors uint64
+	Mean   time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+}
+
+// RequestSnapshot is a point-in-time view of a RequestMetrics: aggregate
+// counters plus one OpSnapshot per observed operation, sorted by name.
+type RequestSnapshot struct {
+	Total  uint64
+	Errors uint64
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Ops    []OpSnapshot
+}
+
+// String renders a compact one-line-per-op report for shutdown logs.
+func (s RequestSnapshot) String() string {
+	out := fmt.Sprintf("requests=%d errors=%d p50=%v p95=%v p99=%v",
+		s.Total, s.Errors, s.P50, s.P95, s.P99)
+	for _, op := range s.Ops {
+		out += fmt.Sprintf("\n  %-8s count=%d errors=%d mean=%v p50=%v p95=%v p99=%v",
+			op.Op, op.Count, op.Errors, op.Mean, op.P50, op.P95, op.P99)
+	}
+	return out
+}
+
+// RequestMetrics tracks per-operation request counts, error counts, and a
+// latency histogram. Safe for concurrent use; Observe on an already-seen
+// operation is lock-free apart from a read-lock on the op map.
+type RequestMetrics struct {
+	mu  sync.RWMutex
+	ops map[string]*opMetrics
+}
+
+type opMetrics struct {
+	count  atomic.Uint64
+	errors atomic.Uint64
+	lat    LatencyHistogram
+}
+
+// NewRequestMetrics returns an empty metrics set.
+func NewRequestMetrics() *RequestMetrics {
+	return &RequestMetrics{ops: make(map[string]*opMetrics)}
+}
+
+// Observe records one completed request for op.
+func (m *RequestMetrics) Observe(op string, d time.Duration, ok bool) {
+	m.mu.RLock()
+	o := m.ops[op]
+	m.mu.RUnlock()
+	if o == nil {
+		m.mu.Lock()
+		if o = m.ops[op]; o == nil {
+			o = &opMetrics{}
+			m.ops[op] = o
+		}
+		m.mu.Unlock()
+	}
+	o.count.Add(1)
+	if !ok {
+		o.errors.Add(1)
+	}
+	o.lat.Observe(d)
+}
+
+// Snapshot captures the current counters. Aggregate percentiles are
+// computed over the merged per-op histograms.
+func (m *RequestMetrics) Snapshot() RequestSnapshot {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.ops))
+	for name := range m.ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ops := make([]*opMetrics, len(names))
+	for i, name := range names {
+		ops[i] = m.ops[name]
+	}
+	m.mu.RUnlock()
+
+	var s RequestSnapshot
+	var merged [latencyBuckets]uint64
+	var mergedTotal uint64
+	for i, o := range ops {
+		snap := OpSnapshot{
+			Op:     names[i],
+			Count:  o.count.Load(),
+			Errors: o.errors.Load(),
+			Mean:   o.lat.Mean(),
+			P50:    o.lat.Quantile(0.50),
+			P95:    o.lat.Quantile(0.95),
+			P99:    o.lat.Quantile(0.99),
+		}
+		s.Ops = append(s.Ops, snap)
+		s.Total += snap.Count
+		s.Errors += snap.Errors
+		for b := range merged {
+			c := o.lat.counts[b].Load()
+			merged[b] += c
+			mergedTotal += c
+		}
+	}
+	s.P50 = quantileOf(merged[:], mergedTotal, 0.50)
+	s.P95 = quantileOf(merged[:], mergedTotal, 0.95)
+	s.P99 = quantileOf(merged[:], mergedTotal, 0.99)
+	return s
+}

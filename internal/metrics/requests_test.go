@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	var h LatencyHistogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	// 90 fast observations around 1µs, 10 slow around 1ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 500*time.Nanosecond || p50 > 4*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 500*time.Microsecond || p99 > 4*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms", p99)
+	}
+	if p95 := h.Quantile(0.95); p95 > p99 {
+		t.Errorf("p95 %v > p99 %v", p95, p99)
+	}
+	// Quantile bounds clamp rather than panic.
+	if h.Quantile(-1) == 0 || h.Quantile(2) == 0 {
+		t.Error("clamped quantiles should still resolve to a bucket")
+	}
+}
+
+func TestLatencyHistogramExtremes(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(0)               // clamped up to 1ns
+	h.Observe(100 * time.Hour) // clamped into the last bucket
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(1); q <= 0 {
+		t.Errorf("max quantile = %v", q)
+	}
+}
+
+func TestRequestMetricsSnapshot(t *testing.T) {
+	m := NewRequestMetrics()
+	m.Observe("cloak", 2*time.Millisecond, true)
+	m.Observe("cloak", 3*time.Millisecond, false)
+	m.Observe("ping", 10*time.Microsecond, true)
+
+	s := m.Snapshot()
+	if s.Total != 3 || s.Errors != 1 {
+		t.Fatalf("Total=%d Errors=%d", s.Total, s.Errors)
+	}
+	if len(s.Ops) != 2 || s.Ops[0].Op != "cloak" || s.Ops[1].Op != "ping" {
+		t.Fatalf("Ops = %+v", s.Ops)
+	}
+	if s.Ops[0].Count != 2 || s.Ops[0].Errors != 1 {
+		t.Errorf("cloak op = %+v", s.Ops[0])
+	}
+	if s.P99 < s.P50 {
+		t.Errorf("p99 %v < p50 %v", s.P99, s.P50)
+	}
+	if !strings.Contains(s.String(), "cloak") || !strings.Contains(s.String(), "requests=3") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+// TestRequestMetricsConcurrent hammers Observe and Snapshot from many
+// goroutines; run under -race this is the thread-safety regression test.
+func TestRequestMetricsConcurrent(t *testing.T) {
+	m := NewRequestMetrics()
+	ops := []string{"cloak", "upload", "stats", "ping"}
+	var wg sync.WaitGroup
+	const perWorker = 500
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Observe(ops[(w+i)%len(ops)], time.Duration(i)*time.Microsecond, i%7 != 0)
+				if i%100 == 0 {
+					m.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Total != 8*perWorker {
+		t.Errorf("Total = %d, want %d", s.Total, 8*perWorker)
+	}
+	var opSum uint64
+	for _, op := range s.Ops {
+		opSum += op.Count
+	}
+	if opSum != s.Total {
+		t.Errorf("per-op sum %d != total %d", opSum, s.Total)
+	}
+}

@@ -62,6 +62,15 @@ type Response struct {
 	Frozen    bool `json:"frozen,omitempty"`
 	Clusters  int  `json:"clusters,omitempty"`
 	EdgeCount int  `json:"edges,omitempty"`
+
+	// Request-metrics results (OpStats): totals across all operations and
+	// aggregate latency percentiles in microseconds.
+	Requests  uint64            `json:"requests,omitempty"`
+	ReqErrors uint64            `json:"req_errors,omitempty"`
+	LatP50us  float64           `json:"lat_p50_us,omitempty"`
+	LatP95us  float64           `json:"lat_p95_us,omitempty"`
+	LatP99us  float64           `json:"lat_p99_us,omitempty"`
+	OpCounts  map[string]uint64 `json:"op_counts,omitempty"`
 }
 
 // buildGraph assembles the WPG from per-user rank uploads exactly like

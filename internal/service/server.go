@@ -7,13 +7,25 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"nonexposure/internal/anonymizer"
+	"nonexposure/internal/metrics"
+)
+
+// Accept-error backoff bounds: a persistent Accept failure (EMFILE, for
+// example) must not busy-spin the accept loop, but recovery should be
+// quick once the condition clears.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
 )
 
 // Server is the network-facing anonymizer. Lifecycle: clients upload
 // proximity rankings, someone freezes the graph, then cloak requests are
-// served. Safe for concurrent connections.
+// served. Safe for concurrent connections: cloak traffic after the freeze
+// runs entirely on the anonymizer's lock-free read path, and every
+// request is folded into the server's request metrics.
 type Server struct {
 	k        int
 	numUsers int
@@ -23,9 +35,14 @@ type Server struct {
 	anon    *anonymizer.Server
 	edges   int
 
+	reqMetrics *metrics.RequestMetrics
+
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -41,11 +58,12 @@ func NewServer(numUsers, k int) (*Server, error) {
 		return nil, fmt.Errorf("service: k %d < 1", k)
 	}
 	return &Server{
-		k:        k,
-		numUsers: numUsers,
-		uploads:  make(map[int32][]PeerRank),
-		closed:   make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
+		k:          k,
+		numUsers:   numUsers,
+		uploads:    make(map[int32][]PeerRank),
+		reqMetrics: metrics.NewRequestMetrics(),
+		closed:     make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -64,21 +82,27 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 
 // Close stops accepting, closes open connections (a blocked read on an
 // idle client must not stall shutdown), and waits for the handler
-// goroutines to finish.
+// goroutines to finish. It is idempotent: repeated calls return the
+// first call's error.
 func (s *Server) Close() error {
-	close(s.closed)
-	var err error
-	if s.listener != nil {
-		err = s.listener.Close()
-	}
-	s.connMu.Lock()
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.connMu.Unlock()
-	s.wg.Wait()
-	return err
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.listener != nil {
+			s.closeErr = s.listener.Close()
+		}
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
+	return s.closeErr
 }
+
+// Metrics returns the server's request metrics (counts, error counts,
+// latency percentiles per operation).
+func (s *Server) Metrics() *metrics.RequestMetrics { return s.reqMetrics }
 
 func (s *Server) track(conn net.Conn) {
 	s.connMu.Lock()
@@ -94,6 +118,7 @@ func (s *Server) untrack(conn net.Conn) {
 
 func (s *Server) acceptLoop(l net.Listener) {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -105,8 +130,23 @@ func (s *Server) acceptLoop(l net.Listener) {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			// Persistent failures (EMFILE and friends) would otherwise spin
+			// this loop at 100% CPU; back off exponentially and retry.
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			timer := time.NewTimer(backoff)
+			select {
+			case <-s.closed:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
 			continue
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -141,8 +181,16 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // Handle processes one request; exported so tests (and alternative
-// transports) can bypass TCP.
+// transports) can bypass TCP. Every request is timed and counted in the
+// server's metrics.
 func (s *Server) Handle(req Request) Response {
+	start := time.Now()
+	resp := s.dispatch(req)
+	s.reqMetrics.Observe(string(req.Op), time.Since(start), resp.Error == "")
+	return resp
+}
+
+func (s *Server) dispatch(req Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
@@ -211,16 +259,29 @@ func (s *Server) handleCloak(req Request) Response {
 
 func (s *Server) handleStats() Response {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	anon := s.anon
 	resp := Response{
 		OK:        true,
 		Users:     s.numUsers,
 		Uploads:   len(s.uploads),
-		Frozen:    s.anon != nil,
+		Frozen:    anon != nil,
 		EdgeCount: s.edges,
 	}
-	if s.anon != nil {
-		resp.Clusters = s.anon.Registry().NumClusters()
+	s.mu.Unlock()
+	if anon != nil {
+		resp.Clusters = anon.Registry().NumClusters()
+	}
+	snap := s.reqMetrics.Snapshot()
+	resp.Requests = snap.Total
+	resp.ReqErrors = snap.Errors
+	resp.LatP50us = float64(snap.P50) / float64(time.Microsecond)
+	resp.LatP95us = float64(snap.P95) / float64(time.Microsecond)
+	resp.LatP99us = float64(snap.P99) / float64(time.Microsecond)
+	if len(snap.Ops) > 0 {
+		resp.OpCounts = make(map[string]uint64, len(snap.Ops))
+		for _, op := range snap.Ops {
+			resp.OpCounts[op.Op] = op.Count
+		}
 	}
 	return resp
 }

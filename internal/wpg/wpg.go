@@ -197,6 +197,35 @@ func (g *Graph) Edges() []graph.Edge {
 	return out
 }
 
+// Components returns the connected components of the graph as vertex
+// lists. Each component's members are sorted ascending, and the
+// components themselves are ordered by their smallest member — the same
+// order in which a full-graph scan from vertex 0 discovers them, so
+// component-parallel clustering can reproduce the serial result exactly.
+func (g *Graph) Components() [][]int32 {
+	n := len(g.adj)
+	visited := make([]bool, n)
+	var comps [][]int32
+	for v := 0; v < n; v++ {
+		if visited[v] {
+			continue
+		}
+		members := []int32{int32(v)}
+		visited[v] = true
+		for head := 0; head < len(members); head++ {
+			for _, e := range g.adj[members[head]] {
+				if !visited[e.To] {
+					visited[e.To] = true
+					members = append(members, e.To)
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		comps = append(comps, members)
+	}
+	return comps
+}
+
 // Weight returns the weight of edge (u,v) and whether it exists.
 func (g *Graph) Weight(u, v int32) (int32, bool) {
 	for _, e := range g.adj[u] {
