@@ -250,7 +250,8 @@ func OptimalUpperBound(offsets []float64, cb float64) (ScalarBoundResult, error)
 // RectBoundResult aggregates the four scalar runs that bound a cluster's
 // rectangle.
 type RectBoundResult struct {
-	// Rect is the cloaked region; it contains every member location.
+	// Rect is the cloaked region; it contains every member location that
+	// participated in all four directions (see Degraded).
 	Rect geo.Rect
 	// Rounds is the total iteration count across the four directions.
 	Rounds int
@@ -260,6 +261,12 @@ type RectBoundResult struct {
 	// users and directions (+Inf entries — users bounded in round one —
 	// are excluded). Zero means coordinates fully exposed (OPT).
 	MeanExposure float64
+	// Degraded lists member ids whose probes went unanswered in at least
+	// one direction: the protocol assumed agreement to terminate, so the
+	// rectangle is NOT guaranteed to contain them. Empty (nil) for local,
+	// fault-free runs; populated by transports that can lose peers
+	// (internal/p2p), sorted ascending.
+	Degraded []int32
 }
 
 // BoundRect obtains the cloaked rectangle of the member locations without

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBoundVotes drives Algorithm 4 with arbitrary honest participants
+// (monotone voters derived from fuzz bytes) across every increment
+// policy, asserting the protocol's contract: it terminates, the final
+// bound dominates every offset, per-round accounting is sane, exposure
+// intervals are positive, and the run is deterministic.
+func FuzzBoundVotes(f *testing.F) {
+	f.Add([]byte{0x80, 0x10, 0xff}, int32(1000), byte(0), uint8(10))
+	f.Add([]byte{0x00}, int32(1), byte(1), uint8(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, int32(50), byte(2), uint8(255))
+	f.Add([]byte{0x20, 0x40}, int32(-5), byte(0), uint8(50))
+	f.Add([]byte{0x01, 0x02, 0x03}, int32(2000000), byte(1), uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, scaleMil int32, polKind byte, stepCenti uint8) {
+		// Up to 8 participants with offsets in [-2, ~6): negative offsets
+		// agree with the very first hypothesis, large ones force rounds.
+		n := len(data)
+		if n == 0 {
+			return
+		}
+		if n > 8 {
+			n = 8
+		}
+		offsets := make([]float64, n)
+		maxOff := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			offsets[i] = float64(data[i])/32 - 2
+			maxOff = math.Max(maxOff, offsets[i])
+		}
+
+		scale := float64(scaleMil) / 1000
+		// Keep the rounds bounded: min normalized step 0.01 at min scale
+		// 0.001 needs < 1<<20 rounds to pass the largest offset.
+		step := math.Max(0.01, float64(stepCenti)/100)
+		var pol IncrementPolicy
+		switch polKind % 3 {
+		case 0:
+			pol = NewSecureIncrementForCluster(1, 1000, n)
+		case 1:
+			pol = LinearIncrement{Step: step}
+		default:
+			pol = ExpIncrement{Init: step}
+		}
+
+		cb := 1.0
+		agree := func(i int, bound float64) bool { return offsets[i] <= bound }
+		res, err := ProgressiveUpperBoundVotes(n, scale, pol, cb, agree)
+		if scale <= 0 {
+			if err == nil {
+				t.Fatalf("scale %v accepted", scale)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("honest monotone voters must terminate: %v", err)
+		}
+		if res.Bound < maxOff {
+			t.Fatalf("bound %v below max offset %v", res.Bound, maxOff)
+		}
+		if res.Rounds < 1 {
+			t.Fatalf("terminated in %d rounds", res.Rounds)
+		}
+		if res.Messages < float64(n)*cb {
+			t.Fatalf("messages %v below the first full round %v", res.Messages, float64(n)*cb)
+		}
+		if len(res.Exposure) != n {
+			t.Fatalf("exposure for %d of %d participants", len(res.Exposure), n)
+		}
+		for i, e := range res.Exposure {
+			if math.IsNaN(e) || e <= 0 {
+				t.Fatalf("participant %d: exposure interval %v", i, e)
+			}
+		}
+
+		again, err := ProgressiveUpperBoundVotes(n, scale, pol, cb, agree)
+		if err != nil || again.Bound != res.Bound || again.Rounds != res.Rounds || again.Messages != res.Messages {
+			t.Fatalf("protocol not deterministic: %+v vs %+v (err %v)", res, again, err)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package exposure
+
+import (
+	"testing"
+
+	"nonexposure/internal/geo"
+)
+
+// Edge-case table for both exposure baselines: k=1 degenerates to
+// single-user regions, duplicate points force zero-area buckets, and
+// hosts sitting exactly on quadrant boundaries or world corners must
+// still land inside their cloak.
+func TestCloakEdgeCases(t *testing.T) {
+	corners := []geo.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1},
+	}
+	samePoint := make([]geo.Point, 6)
+	for i := range samePoint {
+		samePoint[i] = geo.Point{X: 0.375, Y: 0.625}
+	}
+	boundary := []geo.Point{
+		{X: 0.5, Y: 0.5}, // root center: every split boundary at once
+		{X: 0.5, Y: 0.25},
+		{X: 0.25, Y: 0.5},
+		{X: 0.75, Y: 0.75},
+		{X: 0.25, Y: 0.25},
+	}
+
+	tests := []struct {
+		name  string
+		pts   []geo.Point
+		k     int
+		hosts []int32
+	}{
+		{"k=1 corners", corners, 1, []int32{0, 1, 2, 3}},
+		{"k=n corners", corners, 4, []int32{0, 3}},
+		{"all duplicate points", samePoint, 3, []int32{0, 5}},
+		{"duplicates k=1", samePoint, 1, []int32{2}},
+		{"hosts on split boundaries", boundary, 2, []int32{0, 1, 2}},
+		{"boundary k=1", boundary, 1, []int32{0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			qt, err := NewQuadtree(tc.pts, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hb, err := NewHilbASR(tc.pts, tc.k, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, host := range tc.hosts {
+				r, n, err := qt.Cloak(host, tc.k)
+				if err != nil {
+					t.Fatalf("quadtree host %d: %v", host, err)
+				}
+				if n < tc.k {
+					t.Errorf("quadtree host %d: %d users < k=%d", host, n, tc.k)
+				}
+				if !r.Contains(tc.pts[host]) {
+					t.Errorf("quadtree host %d: region %v misses host at %v", host, r, tc.pts[host])
+				}
+
+				r, n, err = hb.Cloak(host)
+				if err != nil {
+					t.Fatalf("hilbASR host %d: %v", host, err)
+				}
+				if n < tc.k {
+					t.Errorf("hilbASR host %d: bucket of %d < k=%d", host, n, tc.k)
+				}
+				if !r.Contains(tc.pts[host]) {
+					t.Errorf("hilbASR host %d: region %v misses host at %v", host, r, tc.pts[host])
+				}
+			}
+		})
+	}
+}
+
+// With k=1 every hilbASR bucket is a single user: n buckets, each a
+// zero-area rectangle pinned to that user's exact position — maximal
+// exposure, which is the point of the baseline comparison.
+func TestHilbASRKOneBucketsAreZeroArea(t *testing.T) {
+	pts := []geo.Point{
+		{X: 0.1, Y: 0.2}, {X: 0.9, Y: 0.8}, {X: 0.4, Y: 0.6}, {X: 0.7, Y: 0.1},
+	}
+	hb, err := NewHilbASR(pts, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.NumBuckets() != len(pts) {
+		t.Fatalf("k=1: %d buckets for %d users", hb.NumBuckets(), len(pts))
+	}
+	for host := int32(0); int(host) < len(pts); host++ {
+		r, n, err := hb.Cloak(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Errorf("host %d: bucket size %d, want 1", host, n)
+		}
+		if r.Area() != 0 {
+			t.Errorf("host %d: singleton bucket has area %v", host, r.Area())
+		}
+		if r.Min != pts[host] || r.Max != pts[host] {
+			t.Errorf("host %d: bucket %v, want the exact position %v", host, r, pts[host])
+		}
+	}
+}
+
+// Duplicate points collapse a quadtree branch: with every user at one
+// coordinate the tree cannot separate them, the depth bound stops the
+// recursion, and any k up to n is served from the shared leaf.
+func TestQuadtreeDuplicatePointsServeAllK(t *testing.T) {
+	pts := make([]geo.Point, 5)
+	for i := range pts {
+		pts[i] = geo.Point{X: 0.5, Y: 0.5}
+	}
+	qt, err := NewQuadtree(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= len(pts); k++ {
+		r, n, err := qt.Cloak(2, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if n < k || !r.Contains(pts[2]) {
+			t.Errorf("k=%d: count=%d rect=%v", k, n, r)
+		}
+	}
+	if _, _, err := qt.Cloak(2, len(pts)+1); err == nil {
+		t.Error("k beyond the population should fail")
+	}
+}

@@ -1,0 +1,271 @@
+package p2p
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/geo"
+	"nonexposure/internal/graph"
+	"nonexposure/internal/wpg"
+)
+
+// lineWorld builds a 6-node path graph with nodes spread along y=0.5,
+// spacing 0.1 in x — a fixed topology for deterministic fault tests.
+func lineWorld(t *testing.T) (*wpg.Graph, []geo.Point) {
+	t.Helper()
+	g := wpg.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+		{U: 3, V: 4, W: 1}, {U: 4, V: 5, W: 1},
+	})
+	locs := make([]geo.Point, 6)
+	for i := range locs {
+		locs[i] = geo.Point{X: 0.2 + float64(i)/10, Y: 0.5}
+	}
+	return g, locs
+}
+
+// The uniform LossRate path must stay bit-identical whether or not an
+// empty FaultPlan is attached: same Seed, same draws, same wire counters.
+func TestUniformLossBitIdenticalWithEmptyFaultPlan(t *testing.T) {
+	g, locs := testGraphAndLocs(150, 13)
+	run := func(faults *FaultPlan) (members []int32, sent, lost uint64) {
+		net, err := NewNetwork(g, locs, Config{LossRate: 0.3, MaxRetries: 40, Seed: 77, Faults: faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net.Close()
+		reg := core.NewRegistry(g.NumVertices())
+		c, _, err := net.DistributedTConn(40, 5, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Members, net.Sent(), net.Lost()
+	}
+	mA, sentA, lostA := run(nil)
+	mB, sentB, lostB := run(&FaultPlan{})
+	if sentA != sentB || lostA != lostB {
+		t.Errorf("empty fault plan changed the wire: sent %d vs %d, lost %d vs %d", sentA, sentB, lostA, lostB)
+	}
+	if len(mA) != len(mB) {
+		t.Errorf("cluster diverged: %v vs %v", mA, mB)
+	}
+	if lostA == 0 {
+		t.Error("loss rate 0.3 produced no losses")
+	}
+}
+
+func TestDeliveredAccountingBalances(t *testing.T) {
+	g, locs := testGraphAndLocs(120, 5)
+	net, err := NewNetwork(g, locs, Config{LossRate: 0.25, MaxRetries: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	reg := core.NewRegistry(g.NumVertices())
+	if _, _, err := net.DistributedTConn(7, 6, reg); err != nil {
+		t.Fatal(err)
+	}
+	if net.Sent() != net.Delivered()+net.Lost() {
+		t.Errorf("sent=%d != delivered=%d + lost=%d", net.Sent(), net.Delivered(), net.Lost())
+	}
+	if net.Delivered() == 0 || net.Lost() == 0 {
+		t.Errorf("expected both delivered (%d) and lost (%d) transmissions", net.Delivered(), net.Lost())
+	}
+}
+
+// NetSource.Err must accumulate every transport failure, not just the
+// first: with two crashed peers both must be reported.
+func TestNetSourceErrAccumulatesAllFailures(t *testing.T) {
+	g, locs := lineWorld(t)
+	net, err := NewNetwork(g, locs, Config{
+		MaxRetries: 1,
+		Faults:     &FaultPlan{CrashAfter: map[int32]int{2: 0, 4: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	src := net.Source(0)
+	if adj := src.Adjacency(1); adj == nil {
+		t.Fatal("healthy peer 1 should answer")
+	}
+	if adj := src.Adjacency(2); adj != nil {
+		t.Fatal("crashed peer 2 should not answer")
+	}
+	if adj := src.Adjacency(4); adj != nil {
+		t.Fatal("crashed peer 4 should not answer")
+	}
+	e := src.Err()
+	if e == nil {
+		t.Fatal("Err() should report the failures")
+	}
+	if !errors.Is(e, ErrUnreachable) {
+		t.Errorf("Err() = %v, want ErrUnreachable", e)
+	}
+	msg := e.Error()
+	if !strings.Contains(msg, "node 2") || !strings.Contains(msg, "node 4") {
+		t.Errorf("Err() = %q, want both node 2 and node 4 reported", msg)
+	}
+}
+
+// Regression for the silent-degradation bug: a crashed cluster member is
+// assumed to agree with every probe, so the rectangle may not contain it.
+// The result must disclose the member in Degraded instead of silently
+// claiming full containment.
+func TestBoundRectRecordsDegradedCrashedMember(t *testing.T) {
+	g, locs := lineWorld(t)
+	locs[5] = geo.Point{X: 0.9, Y: 0.5} // far member, beyond the first bound
+	net, err := NewNetwork(g, locs, Config{
+		MaxRetries: 2,
+		Faults:     &FaultPlan{CrashAfter: map[int32]int{5: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	members := []int32{0, 1, 5}
+	res, err := net.BoundRect(0, members, 1, core.LinearIncrement{Step: 0.11}, 1)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable degradation", err)
+	}
+	if len(res.Degraded) != 1 || res.Degraded[0] != 5 {
+		t.Fatalf("Degraded = %v, want [5]", res.Degraded)
+	}
+	// Reachable members are contained...
+	for _, m := range []int32{0, 1} {
+		if !res.Rect.Contains(locs[m]) {
+			t.Errorf("rect %v misses answering member %d at %v", res.Rect, m, locs[m])
+		}
+	}
+	// ...but the crashed one is not: that is exactly the degradation the
+	// old code hid (it returned this rect with no indication).
+	if res.Rect.Contains(locs[5]) {
+		t.Errorf("rect %v unexpectedly contains the crashed member; the regression fixture is broken", res.Rect)
+	}
+}
+
+func TestCrashMidProtocolStopsAnswering(t *testing.T) {
+	g, locs := lineWorld(t)
+	net, err := NewNetwork(g, locs, Config{
+		MaxRetries: 1,
+		Faults:     &FaultPlan{CrashAfter: map[int32]int{3: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := net.Request(3, Message{From: 0, Kind: KindAdjRequest}); err != nil {
+			t.Fatalf("request %d before crash: %v", i, err)
+		}
+	}
+	if _, err := net.Request(3, Message{From: 0, Kind: KindAdjRequest}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("request after crash budget: err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestPartitionBlocksCrossGroupTraffic(t *testing.T) {
+	g, locs := lineWorld(t)
+	net, err := NewNetwork(g, locs, Config{
+		MaxRetries: 1,
+		Faults: &FaultPlan{Groups: map[int32]int{
+			0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if _, err := net.Request(2, Message{From: 0, Kind: KindAdjRequest}); err != nil {
+		t.Fatalf("same-group request failed: %v", err)
+	}
+	if _, err := net.Request(3, Message{From: 0, Kind: KindAdjRequest}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cross-group request: err = %v, want ErrUnreachable", err)
+	}
+	if net.Lost() == 0 {
+		t.Error("partition drops should be counted as lost")
+	}
+}
+
+func TestPerLinkLossOnlyAffectsThatLink(t *testing.T) {
+	g, locs := lineWorld(t)
+	net, err := NewNetwork(g, locs, Config{
+		MaxRetries: 0,
+		Seed:       9,
+		Faults:     &FaultPlan{LinkLoss: map[Link]float64{{From: 0, To: 1}: 0.999999}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if _, err := net.Request(1, Message{From: 0, Kind: KindAdjRequest}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("lossy link: err = %v, want ErrUnreachable", err)
+	}
+	// Every other link is clean and must work first try.
+	for peer := int32(2); peer < 6; peer++ {
+		if _, err := net.Request(peer, Message{From: 0, Kind: KindAdjRequest}); err != nil {
+			t.Fatalf("clean link to %d failed: %v", peer, err)
+		}
+	}
+}
+
+// Bursts force consecutive drops: every lost:burst event must sit in a
+// chain of at most BurstLen burst drops, started by a random loss.
+func TestBurstLossIsCorrelated(t *testing.T) {
+	g, locs := testGraphAndLocs(100, 17)
+	var events []TraceEvent
+	const burstLen = 4
+	net, err := NewNetwork(g, locs, Config{
+		LossRate:   0.2,
+		MaxRetries: 80,
+		Seed:       5,
+		Faults:     &FaultPlan{BurstProb: 0.9, BurstLen: burstLen},
+		Trace:      func(ev TraceEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	reg := core.NewRegistry(g.NumVertices())
+	if _, _, err := net.DistributedTConn(11, 6, reg); err != nil {
+		t.Fatal(err)
+	}
+	bursts := 0
+	chain := 0
+	for _, ev := range events {
+		switch ev.Reason {
+		case DropBurst:
+			bursts++
+			chain++
+			if chain > burstLen {
+				t.Fatalf("burst chain of %d exceeds BurstLen=%d", chain, burstLen)
+			}
+		default:
+			chain = 0
+		}
+	}
+	if bursts == 0 {
+		t.Error("no burst drops at BurstProb=0.9; the burst model is dead")
+	}
+	if net.Sent() != net.Delivered()+net.Lost() {
+		t.Errorf("sent=%d != delivered=%d + lost=%d", net.Sent(), net.Delivered(), net.Lost())
+	}
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	g, locs := lineWorld(t)
+	bad := []*FaultPlan{
+		{LinkLoss: map[Link]float64{{From: 0, To: 1}: 1.5}},
+		{BurstProb: -0.1},
+		{BurstProb: 0.5, BurstLen: -1},
+		{CrashAfter: map[int32]int{1: -2}},
+	}
+	for i, f := range bad {
+		if _, err := NewNetwork(g, locs, Config{Faults: f}); err == nil {
+			t.Errorf("plan %d should be rejected", i)
+		}
+	}
+}

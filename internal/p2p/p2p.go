@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -76,6 +77,16 @@ type Config struct {
 	Seed int64
 	// InboxSize is the per-node inbox buffer (default 16).
 	InboxSize int
+	// Faults optionally layers the richer fault model (per-link loss,
+	// bursts, crashes, partitions) on top of LossRate. Nil keeps the
+	// uniform model, bit-identical to Seed-equal runs of the original
+	// transport.
+	Faults *FaultPlan
+	// Trace, when non-nil, receives one event per transmission put on
+	// the wire (delivered or dropped), in wire order. The callback runs
+	// on the requester's goroutine; it must not call back into the
+	// network.
+	Trace func(TraceEvent)
 }
 
 // ErrUnreachable is returned when a peer did not answer within the retry
@@ -87,10 +98,13 @@ type Network struct {
 	cfg   Config
 	nodes []*node
 
-	mu  sync.Mutex // guards rng
-	rng *rand.Rand
+	mu        sync.Mutex // guards rng, burstLeft, served
+	rng       *rand.Rand
+	burstLeft int           // forced losses remaining in the current burst
+	served    map[int32]int // answered requests per node (crash accounting)
 
 	sent       atomic.Uint64 // transmissions put on the wire, retries included
+	delivered  atomic.Uint64 // transmissions that survived injection
 	lost       atomic.Uint64 // transmissions dropped by injection
 	roundTrips atomic.Uint64 // completed request/reply exchanges
 
@@ -121,9 +135,15 @@ func NewNetwork(g *wpg.Graph, locs []geo.Point, cfg Config) (*Network, error) {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = 16
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(); err != nil {
+			return nil, err
+		}
+	}
 	n := &Network{
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		served: make(map[int32]int),
 		closed: make(chan struct{}),
 	}
 	n.nodes = make([]*node, g.NumVertices())
@@ -153,6 +173,10 @@ func (n *Network) NumUsers() int { return len(n.nodes) }
 // Sent returns total transmissions attempted (requests + replies,
 // including lost ones and retries).
 func (n *Network) Sent() uint64 { return n.sent.Load() }
+
+// Delivered returns transmissions that survived failure injection. The
+// wire accounting always balances: Sent() == Delivered() + Lost().
+func (n *Network) Delivered() uint64 { return n.delivered.Load() }
 
 // Lost returns transmissions dropped by failure injection.
 func (n *Network) Lost() uint64 { return n.lost.Load() }
@@ -206,17 +230,9 @@ func offsetOf(loc, anchor geo.Point, dir Direction) float64 {
 	}
 }
 
-func (n *Network) dropped() bool {
-	if n.cfg.LossRate == 0 {
-		return false
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.rng.Float64() < n.cfg.LossRate
-}
-
 // Request performs one request/reply exchange with retries. Every
-// transmission (request or reply) can be lost independently; a lost
+// transmission (request or reply) can be lost independently (randomly,
+// by burst, by partition, or because the peer crashed); a lost
 // transmission consumes one retry.
 func (n *Network) Request(to int32, msg Message) (Message, error) {
 	if int(to) < 0 || int(to) >= len(n.nodes) {
@@ -225,10 +241,13 @@ func (n *Network) Request(to int32, msg Message) (Message, error) {
 	nd := n.nodes[to]
 	for attempt := 0; attempt <= n.cfg.MaxRetries; attempt++ {
 		n.sent.Add(1)
-		if n.dropped() {
+		if reason := n.dropTx(msg.From, to, false); reason != DropNone {
 			n.lost.Add(1)
+			n.trace(msg.From, to, msg.Kind, false, attempt, reason, msg.Dir, msg.Bound, false)
 			continue // request lost in flight
 		}
+		n.delivered.Add(1)
+		n.trace(msg.From, to, msg.Kind, false, attempt, DropNone, msg.Dir, msg.Bound, false)
 		m := msg
 		m.To = to
 		m.reply = make(chan Message, 1)
@@ -245,11 +264,15 @@ func (n *Network) Request(to int32, msg Message) (Message, error) {
 			// queued; don't deadlock on a reply that will never come.
 			return Message{}, errors.New("p2p: network closed")
 		}
+		n.recordServed(to)
 		n.sent.Add(1)
-		if n.dropped() {
+		if reason := n.dropTx(to, msg.From, true); reason != DropNone {
 			n.lost.Add(1)
+			n.trace(to, msg.From, rep.Kind, true, attempt, reason, rep.Dir, rep.Bound, rep.Agree)
 			continue // reply lost in flight
 		}
+		n.delivered.Add(1)
+		n.trace(to, msg.From, rep.Kind, true, attempt, DropNone, rep.Dir, rep.Bound, rep.Agree)
 		n.roundTrips.Add(1)
 		return rep, nil
 	}
@@ -279,9 +302,7 @@ func (s *NetSource) Adjacency(v int32) []wpg.Edge {
 	}
 	rep, err := s.net.Request(v, Message{From: s.host, Kind: KindAdjRequest})
 	if err != nil {
-		if s.err == nil {
-			s.err = err
-		}
+		s.err = errors.Join(s.err, err)
 		return nil
 	}
 	return rep.Adjacency
@@ -290,7 +311,9 @@ func (s *NetSource) Adjacency(v int32) []wpg.Edge {
 // NumUsers implements core.AdjacencySource.
 func (s *NetSource) NumUsers() int { return s.net.NumUsers() }
 
-// Err reports the first transport failure seen by Adjacency, if any.
+// Err reports every transport failure seen by Adjacency, joined with
+// errors.Join (nil when all fetches succeeded). errors.Is(err,
+// ErrUnreachable) matches when any peer was unreachable.
 func (s *NetSource) Err() error { return s.err }
 
 // DistributedTConn runs the phase-1 distributed clustering entirely over
@@ -311,13 +334,16 @@ func (n *Network) DistributedTConn(host int32, k int, reg *core.Registry) (*core
 // four scalar directions, one bound-probe round trip per disagreeing
 // member per round. The anchor is the host's own (local, private)
 // location. Unreachable members are treated as agreeing so the protocol
-// terminates; the error reports the degradation.
+// terminates; the returned result records them in Degraded (the rectangle
+// is not guaranteed to contain them) and the error reports the
+// degradation.
 func (n *Network) BoundRect(host int32, members []int32, scale float64, pol core.IncrementPolicy, cb float64) (core.RectBoundResult, error) {
 	if int(host) < 0 || int(host) >= len(n.nodes) {
 		return core.RectBoundResult{}, fmt.Errorf("p2p: no such host %d", host)
 	}
 	anchor := n.nodes[host].loc
 	var transportErr error
+	degraded := make(map[int32]bool)
 	voteFor := func(dir Direction) core.AgreeFunc {
 		return func(i int, bound float64) bool {
 			m := members[i]
@@ -329,9 +355,8 @@ func (n *Network) BoundRect(host int32, members []int32, scale float64, pol core
 				Dir: dir, Anchor: anchor, Bound: bound,
 			})
 			if err != nil {
-				if transportErr == nil {
-					transportErr = err
-				}
+				transportErr = errors.Join(transportErr, err)
+				degraded[m] = true
 				return true // unreachable: assume agreement, surface the error
 			}
 			return rep.Agree
@@ -348,6 +373,13 @@ func (n *Network) BoundRect(host int32, members []int32, scale float64, pol core
 		bounds[dir] = r.Bound
 		res.Rounds += r.Rounds
 		res.Messages += r.Messages
+	}
+	if len(degraded) > 0 {
+		res.Degraded = make([]int32, 0, len(degraded))
+		for m := range degraded {
+			res.Degraded = append(res.Degraded, m)
+		}
+		sort.Slice(res.Degraded, func(i, j int) bool { return res.Degraded[i] < res.Degraded[j] })
 	}
 	res.Rect = geo.Rect{
 		Min: geo.Point{X: anchor.X - bounds[DirXMinus], Y: anchor.Y - bounds[DirYMinus]},

@@ -1,0 +1,140 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/geo"
+)
+
+// Edge-case table for the transcript analysis: single-member clusters,
+// every member at the anchor (zero-area offsets), and anchors on world
+// corners where two directions terminate in the very first round.
+func TestTranscriptEdgeCases(t *testing.T) {
+	pol := core.LinearIncrement{Step: 0.1}
+	tests := []struct {
+		name    string
+		pts     []geo.Point
+		members []int32
+		anchor  geo.Point
+	}{
+		{
+			"single member at anchor",
+			[]geo.Point{{X: 0.5, Y: 0.5}},
+			[]int32{0},
+			geo.Point{X: 0.5, Y: 0.5},
+		},
+		{
+			"single member off anchor",
+			[]geo.Point{{X: 0.8, Y: 0.3}},
+			[]int32{0},
+			geo.Point{X: 0.2, Y: 0.6},
+		},
+		{
+			"all members on one point",
+			[]geo.Point{{X: 0.4, Y: 0.4}, {X: 0.4, Y: 0.4}, {X: 0.4, Y: 0.4}},
+			[]int32{0, 1, 2},
+			geo.Point{X: 0.4, Y: 0.4},
+		},
+		{
+			"anchor at origin corner",
+			[]geo.Point{{X: 0, Y: 0}, {X: 0.3, Y: 0.1}, {X: 0.05, Y: 0.4}},
+			[]int32{0, 1, 2},
+			geo.Point{X: 0, Y: 0},
+		},
+		{
+			"anchor at far corner",
+			[]geo.Point{{X: 1, Y: 1}, {X: 0.7, Y: 0.95}, {X: 0.9, Y: 0.6}},
+			[]int32{0, 1, 2},
+			geo.Point{X: 1, Y: 1},
+		},
+		{
+			"members on rect boundary",
+			[]geo.Point{{X: 0.5, Y: 0.5}, {X: 0.6, Y: 0.5}, {X: 0.5, Y: 0.7}},
+			[]int32{0, 1, 2},
+			geo.Point{X: 0.5, Y: 0.5},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, res, err := Record(tc.pts, tc.members, tc.anchor, 1, pol, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The recorded run must be bit-identical to the plain protocol.
+			ref, err := core.BoundRect(tc.pts, tc.members, tc.anchor, 1, pol, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rect != ref.Rect || res.Rounds != ref.Rounds || res.Messages != ref.Messages {
+				t.Fatalf("Record diverged from BoundRect: %+v vs %+v", res, ref)
+			}
+			for i, m := range tc.members {
+				if !res.Rect.Contains(tc.pts[m]) {
+					t.Errorf("rect %v misses member %d at %v", res.Rect, m, tc.pts[m])
+				}
+				kr := tr.Knowledge(i)
+				if !kr.Contains(tc.pts[m]) {
+					t.Errorf("knowledge rect %v excludes member %d's true position %v", kr, m, tc.pts[m])
+				}
+				if a := tr.KnowledgeArea(i); math.IsNaN(a) || a < 0 {
+					t.Errorf("member %d: knowledge area %v", m, a)
+				}
+				// The member always hides at least among itself.
+				if n := tr.AnonymitySetSize(i, tc.pts); n < 1 {
+					t.Errorf("member %d: anonymity set %d < 1", m, n)
+				}
+			}
+			if a := tr.MeanKnowledgeArea(); math.IsNaN(a) || a < 0 {
+				t.Errorf("mean knowledge area %v", a)
+			}
+		})
+	}
+}
+
+// A member exactly at the anchor agrees with the first hypothesis in all
+// four directions, so the observer learns only one-round intervals: the
+// knowledge rect is the first-bound box around the anchor (clamped), not
+// a point — the protocol never exposes the exact position.
+func TestKnowledgeAtAnchorIsNotAPoint(t *testing.T) {
+	pts := []geo.Point{{X: 0.5, Y: 0.5}, {X: 0.62, Y: 0.5}}
+	tr, _, err := Record(pts, []int32{0, 1}, pts[0], 1, core.LinearIncrement{Step: 0.05}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := tr.Knowledge(0)
+	if kr.Area() <= 0 {
+		t.Fatalf("anchor member's knowledge collapsed to area %v", kr.Area())
+	}
+	// First-round agreement in every direction: the box is bound-sized.
+	want := geo.Rect{
+		Min: geo.Point{X: 0.5 - 0.05, Y: 0.5 - 0.05},
+		Max: geo.Point{X: 0.5 + 0.05, Y: 0.5 + 0.05},
+	}
+	if kr != want {
+		t.Errorf("knowledge %v, want the first-bound box %v", kr, want)
+	}
+}
+
+// Out-of-range knowledge queries are answered with the empty rect, and a
+// zero-member transcript has zero mean area — no panics, no NaNs.
+func TestKnowledgeOutOfRange(t *testing.T) {
+	pts := []geo.Point{{X: 0.5, Y: 0.5}}
+	tr, _, err := Record(pts, []int32{0}, pts[0], 1, core.LinearIncrement{Step: 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 1, 99} {
+		if kr := tr.Knowledge(i); !kr.IsEmpty() {
+			t.Errorf("Knowledge(%d) = %v, want empty", i, kr)
+		}
+		if n := tr.AnonymitySetSize(i, pts); n != 0 {
+			t.Errorf("AnonymitySetSize(%d) = %d, want 0", i, n)
+		}
+	}
+	empty := &Transcript{}
+	if a := empty.MeanKnowledgeArea(); a != 0 {
+		t.Errorf("empty transcript mean area %v", a)
+	}
+}

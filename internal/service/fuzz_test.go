@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzProtocolDecode throws arbitrary bytes at the wire codec and the
+// request dispatcher: ParseRequest must never panic, accepted requests
+// must survive a marshal/re-parse round trip unchanged, and Handle must
+// return a well-formed response for anything the codec lets through.
+func FuzzProtocolDecode(f *testing.F) {
+	f.Add([]byte(`{"op":"ping"}`))
+	f.Add([]byte(`{"op":"upload","user":3,"peers":[{"peer":1,"rank":1},{"peer":2,"rank":2}]}`))
+	f.Add([]byte(`{"op":"cloak","user":0}`))
+	f.Add([]byte(`{"op":"freeze"}`))
+	f.Add([]byte(`{"op":"stats"}`))
+	f.Add([]byte(`{"op":"ping"}{"op":"ping"}`))
+	f.Add([]byte(`  {"op":"ping"}  `))
+	f.Add([]byte(`{"op":"upload","user":-9,"peers":[{"peer":99,"rank":-1}]}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte("{\"op\":\"ping\"}\n"))
+
+	srv, err := NewServer(16, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, err := ParseRequest(line)
+		if err != nil {
+			// Rejected input: the error must carry the reason, and the
+			// zero Request must not leak partial state.
+			if err.Error() == "" {
+				t.Fatal("rejection without a reason")
+			}
+			return
+		}
+
+		// Round trip: a request the codec accepts must re-encode to a
+		// line the codec accepts, decoding to the identical request.
+		encoded, merr := json.Marshal(req)
+		if merr != nil {
+			t.Fatalf("accepted request does not marshal: %v", merr)
+		}
+		again, perr := ParseRequest(encoded)
+		if perr != nil {
+			t.Fatalf("re-encoded request rejected: %v\nline: %s", perr, encoded)
+		}
+		// Normalize the one lossy spot in the codec: omitempty drops an
+		// empty peers array, so it re-decodes as nil — same request.
+		if len(req.Peers) == 0 {
+			req.Peers = nil
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip changed the request:\n  first: %+v\n  again: %+v", req, again)
+		}
+
+		// The dispatcher must answer anything the codec accepts without
+		// panicking, and its response must itself encode.
+		resp := srv.Handle(req)
+		if _, merr := json.Marshal(resp); merr != nil {
+			t.Fatalf("response does not marshal: %v", merr)
+		}
+		if resp.OK && resp.Error != "" {
+			t.Fatalf("response both OK and errored: %+v", resp)
+		}
+	})
+}
+
+func TestParseRequestStrictness(t *testing.T) {
+	tests := []struct {
+		name string
+		line string
+		ok   bool
+	}{
+		{"simple", `{"op":"ping"}`, true},
+		{"surrounding space", "  {\"op\":\"stats\"} \t", true},
+		{"upload", `{"op":"upload","user":1,"peers":[{"peer":2,"rank":1}]}`, true},
+		{"unknown fields tolerated", `{"op":"ping","future":true}`, true},
+		{"empty", ``, false},
+		{"whitespace only", " \t ", false},
+		{"garbage", `ping please`, false},
+		{"truncated", `{"op":"pi`, false},
+		{"two values", `{"op":"ping"}{"op":"stats"}`, false},
+		{"trailing garbage", `{"op":"ping"} trailing`, false},
+		{"wrong type", `{"op":"upload","user":"three"}`, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseRequest([]byte(tc.line))
+			if tc.ok && err != nil {
+				t.Fatalf("ParseRequest(%q) = %v, want ok", tc.line, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("ParseRequest(%q) accepted, want error", tc.line)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -156,24 +157,34 @@ func (s *Server) acceptLoop(l net.Listener) {
 }
 
 // serveConn handles one client: JSON request per line, JSON response per
-// line.
+// line. Malformed lines get an error response instead of a dropped
+// connection, so one bad request does not kill a pipelined client; an
+// over-long line is unrecoverable (the framing is lost) and does.
 func (s *Server) serveConn(conn net.Conn) {
 	s.track(conn)
 	defer s.untrack(conn)
 	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), MaxLineBytes)
 	enc := json.NewEncoder(conn)
-	for {
+	for sc.Scan() {
 		select {
 		case <-s.closed:
 			return
 		default:
 		}
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // client hung up or sent garbage; drop the connection
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
 		}
-		resp := s.Handle(req)
+		req, err := ParseRequest(line)
+		var resp Response
+		if err != nil {
+			resp = Response{Error: err.Error()}
+			s.reqMetrics.Observe("malformed", 0, false)
+		} else {
+			resp = s.Handle(req)
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}

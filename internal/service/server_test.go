@@ -1,6 +1,8 @@
 package service
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
 	"net"
 	"sync"
@@ -245,5 +247,68 @@ func TestHandleRecordsMetrics(t *testing.T) {
 	snap := srv.Metrics().Snapshot()
 	if snap.Total != 3 { // the stats request is counted once it finishes
 		t.Errorf("snapshot total = %d, want 3", snap.Total)
+	}
+}
+
+// A malformed line must produce an error response on the same
+// connection — and the connection must survive to serve the next
+// well-formed request.
+func TestMalformedLineGetsErrorResponseKeepsConnection(t *testing.T) {
+	srv, err := NewServer(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rd := bufio.NewReader(conn)
+
+	send := func(line string) Response {
+		t.Helper()
+		if _, err := conn.Write([]byte(line + "\n")); err != nil {
+			t.Fatalf("write %q: %v", line, err)
+		}
+		raw, err := rd.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("read response to %q: %v", line, err)
+		}
+		var resp Response
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatalf("bad response %q: %v", raw, err)
+		}
+		return resp
+	}
+
+	if resp := send(`this is not json`); resp.OK || resp.Error == "" {
+		t.Fatalf("malformed line: got %+v, want error response", resp)
+	}
+	if resp := send(`{"op":"ping"}{"op":"stats"}`); resp.OK || resp.Error == "" {
+		t.Fatalf("two values on one line: got %+v, want error response", resp)
+	}
+	// The connection is still alive and serves real requests.
+	if resp := send(`{"op":"ping"}`); !resp.OK {
+		t.Fatalf("ping after malformed lines: %+v", resp)
+	}
+	// Malformed traffic is visible in the metrics.
+	snap := srv.Metrics().Snapshot()
+	found := false
+	for _, op := range snap.Ops {
+		if op.Op == "malformed" && op.Count >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("malformed requests not counted in metrics: %+v", snap.Ops)
 	}
 }

@@ -1,0 +1,358 @@
+// Package sim is a seeded, fully deterministic fault-injection harness
+// for the distributed cloaking protocols: it drives end-to-end cloaking
+// (phase-1 distributed clustering, Algorithms 1–2, plus phase-2 secure
+// bounding, Algorithms 3–4) over the internal/p2p message network under a
+// rich fault model — uniform and per-link loss, correlated loss bursts,
+// node crashes (pre- and mid-protocol), and network partitions — and
+// checks a registry of safety invariants after every run.
+//
+// Everything a scenario does is a pure function of its seed: the
+// population, the proximity graph, the fault plan, the hosts, and every
+// loss decision on the wire. Running the same scenario twice produces the
+// identical wire transcript, which is what makes degraded runs
+// reproducible and debuggable (the paper's Section VII robustness concern,
+// made testable).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/geo"
+	"nonexposure/internal/p2p"
+	"nonexposure/internal/wpg"
+)
+
+// Bounding cost constants (the paper's Table I defaults, matching the
+// cloak package): one unit per verification message, 1000 per POI of
+// request payload.
+const (
+	cbCost = 1
+	crCost = 1000
+)
+
+// WPG construction parameters for scenario populations: dense enough that
+// mid-size Gaussian populations form components larger than k.
+const (
+	scenarioDelta    = 0.08
+	scenarioMaxPeers = 8
+)
+
+// FaultKind names the failure mode a scenario injects.
+type FaultKind uint8
+
+// The fault kinds, cycled by Generate so any contiguous seed range covers
+// all of them.
+const (
+	// FaultNone: lossless network; the differential invariant checks the
+	// run is bit-identical to the local in-process protocols.
+	FaultNone FaultKind = iota
+	// FaultLoss: uniform random transmission loss.
+	FaultLoss
+	// FaultLinkLoss: elevated loss on specific directed host<->peer links.
+	FaultLinkLoss
+	// FaultBurst: background loss where each loss can start a correlated
+	// burst of forced consecutive losses.
+	FaultBurst
+	// FaultCrash: some nodes crash, either before the protocol starts or
+	// after answering a few requests.
+	FaultCrash
+	// FaultPartition: the population splits into non-communicating groups.
+	FaultPartition
+
+	numFaultKinds
+)
+
+// NumFaultKinds returns the number of distinct fault kinds, for callers
+// iterating FaultNone..NumFaultKinds()-1.
+func NumFaultKinds() FaultKind { return numFaultKinds }
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultLoss:
+		return "loss"
+	case FaultLinkLoss:
+		return "linkloss"
+	case FaultBurst:
+		return "burst"
+	case FaultCrash:
+		return "crash"
+	case FaultPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(k))
+	}
+}
+
+// Scenario is one fully specified simulation: population, anonymity
+// level, request sequence, and fault model. Build one with Generate (or
+// by hand for regression tests) and execute it with Run.
+type Scenario struct {
+	Name     string
+	Seed     int64
+	NumUsers int
+	K        int
+	// Hosts are the users that request cloaking, in order.
+	Hosts []int32
+	Kind  FaultKind
+
+	// Transport fault parameters (see p2p.Config / p2p.FaultPlan).
+	LossRate   float64
+	MaxRetries int
+	LinkLoss   map[p2p.Link]float64
+	BurstProb  float64
+	BurstLen   int
+	CrashAfter map[int32]int
+	Groups     map[int32]int
+}
+
+// faultPlan assembles the p2p.FaultPlan for the scenario, or nil when the
+// scenario only uses the uniform LossRate (keeping the legacy, bit-stable
+// single-draw-per-transmission path).
+func (sc *Scenario) faultPlan() *p2p.FaultPlan {
+	if len(sc.LinkLoss) == 0 && sc.BurstProb == 0 && len(sc.CrashAfter) == 0 && len(sc.Groups) == 0 {
+		return nil
+	}
+	return &p2p.FaultPlan{
+		LinkLoss:   sc.LinkLoss,
+		BurstProb:  sc.BurstProb,
+		BurstLen:   sc.BurstLen,
+		CrashAfter: sc.CrashAfter,
+		Groups:     sc.Groups,
+	}
+}
+
+// Generate derives a complete scenario deterministically from seed. The
+// fault kind cycles with the seed so 500 consecutive seeds exercise every
+// mode; all sizes and probabilities come from a seed-keyed generator.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 1))
+	kind := FaultKind(((seed % int64(numFaultKinds)) + int64(numFaultKinds)) % int64(numFaultKinds))
+	sc := Scenario{
+		Seed:       seed,
+		NumUsers:   40 + rng.Intn(100),
+		K:          2 + rng.Intn(6),
+		Kind:       kind,
+		MaxRetries: 40,
+	}
+	sc.Name = fmt.Sprintf("seed%d-%s", seed, kind)
+
+	numHosts := 3 + rng.Intn(4)
+	seen := make(map[int32]bool, numHosts)
+	for len(sc.Hosts) < numHosts {
+		h := int32(rng.Intn(sc.NumUsers))
+		if !seen[h] {
+			seen[h] = true
+			sc.Hosts = append(sc.Hosts, h)
+		}
+	}
+
+	switch kind {
+	case FaultLoss:
+		sc.LossRate = 0.05 + 0.40*rng.Float64()
+	case FaultLinkLoss:
+		// Elevated loss on a handful of directed links touching the
+		// hosts, so the faulty links actually carry protocol traffic.
+		sc.LinkLoss = make(map[p2p.Link]float64)
+		for _, h := range sc.Hosts {
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				peer := int32(rng.Intn(sc.NumUsers))
+				if peer == h {
+					continue
+				}
+				p := 0.3 + 0.6*rng.Float64()
+				sc.LinkLoss[p2p.Link{From: h, To: peer}] = p
+				sc.LinkLoss[p2p.Link{From: peer, To: h}] = p
+			}
+		}
+	case FaultBurst:
+		sc.LossRate = 0.10 + 0.20*rng.Float64()
+		sc.BurstProb = 0.3 + 0.5*rng.Float64()
+		sc.BurstLen = 2 + rng.Intn(6)
+		sc.MaxRetries = 60
+	case FaultCrash:
+		// Crash 1–3 nodes; roughly half pre-protocol (budget 0), the
+		// rest mid-protocol after a few answers. Retries are kept low so
+		// crashed peers are declared unreachable quickly.
+		sc.CrashAfter = make(map[int32]int)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			victim := int32(rng.Intn(sc.NumUsers))
+			budget := 0
+			if rng.Intn(2) == 1 {
+				budget = 1 + rng.Intn(24)
+			}
+			sc.CrashAfter[victim] = budget
+		}
+		sc.MaxRetries = 5
+	case FaultPartition:
+		groups := 2 + rng.Intn(2)
+		sc.Groups = make(map[int32]int, sc.NumUsers)
+		for v := 0; v < sc.NumUsers; v++ {
+			sc.Groups[int32(v)] = rng.Intn(groups)
+		}
+		sc.MaxRetries = 4
+	}
+	return sc
+}
+
+// HostRun records one cloaking request inside a scenario.
+type HostRun struct {
+	Host int32
+
+	// Phase 1 (distributed clustering).
+	Cluster    *core.Cluster // nil when clustering failed outright
+	Stats      core.DistStats
+	ClusterErr error
+	// AssignedBefore snapshots which users were already clustered when
+	// this run started (the isolation invariant is relative to the
+	// remaining graph).
+	AssignedBefore map[int32]bool
+
+	// Phase 2 (secure bounding). HasRect reports that Bound.Rect is a
+	// completed protocol result (possibly degraded — see Bound.Degraded).
+	Bound    core.RectBoundResult
+	BoundErr error
+	HasRect  bool
+
+	// ProbeBounds are the bound values probed on the wire per direction,
+	// in transmission order (retries included) — the raw material for the
+	// monotone-growth invariant.
+	ProbeBounds [4][]float64
+}
+
+// Degraded reports whether this run saw any transport degradation.
+func (hr *HostRun) Degraded() bool {
+	return hr.ClusterErr != nil || hr.BoundErr != nil || len(hr.Bound.Degraded) > 0
+}
+
+// Report is everything one scenario execution produced: the world, the
+// per-host results, the wire accounting, and the full deterministic
+// transcript.
+type Report struct {
+	Scenario Scenario
+	Locs     []geo.Point
+	Graph    *wpg.Graph
+	Registry *core.Registry
+	Runs     []HostRun
+
+	// Wire accounting (Sent == Delivered + Lost must always hold).
+	Sent, Delivered, Lost, RoundTrips uint64
+
+	// Transcript is one line per transmission, in wire order. Two runs of
+	// the same scenario produce identical transcripts.
+	Transcript []string
+
+	cur *HostRun // run currently receiving trace events
+}
+
+// onTrace turns a transport event into a transcript line and feeds the
+// bound-probe log of the current host run.
+func (r *Report) onTrace(ev p2p.TraceEvent) {
+	r.Transcript = append(r.Transcript, formatEvent(len(r.Runs), ev))
+	if r.cur != nil && ev.Kind == p2p.KindBoundProbe && !ev.Reply {
+		r.cur.ProbeBounds[ev.Dir] = append(r.cur.ProbeBounds[ev.Dir], ev.Bound)
+	}
+}
+
+func formatEvent(run int, ev p2p.TraceEvent) string {
+	var kind string
+	switch ev.Kind {
+	case p2p.KindAdjRequest:
+		kind = "adj-req"
+	case p2p.KindAdjReply:
+		kind = "adj-rep"
+	case p2p.KindBoundProbe:
+		kind = "probe"
+	case p2p.KindBoundVote:
+		kind = "vote"
+	default:
+		kind = fmt.Sprintf("kind%d", ev.Kind)
+	}
+	line := fmt.Sprintf("run=%d %s %d->%d a%d %s", run, kind, ev.From, ev.To, ev.Attempt, ev.Reason)
+	if ev.Kind == p2p.KindBoundProbe || ev.Kind == p2p.KindBoundVote {
+		line += " dir=" + strconv.Itoa(int(ev.Dir)) + " bound=" + strconv.FormatFloat(ev.Bound, 'g', -1, 64)
+		if ev.Kind == p2p.KindBoundVote {
+			line += " agree=" + strconv.FormatBool(ev.Agree)
+		}
+	}
+	return line
+}
+
+// Run executes the scenario: build the seeded world, spawn the p2p
+// network with the scenario's fault plan, cloak every host in order
+// (phase-1 clustering then phase-2 bounding), and collect results plus
+// the wire transcript. Errors from degraded runs are recorded in the
+// report, not returned; Run only fails on scenario construction problems.
+func Run(sc Scenario) (*Report, error) {
+	if sc.NumUsers < 1 {
+		return nil, fmt.Errorf("sim: scenario needs users, got %d", sc.NumUsers)
+	}
+	if sc.K < 1 {
+		return nil, fmt.Errorf("sim: k must be >= 1, got %d", sc.K)
+	}
+	locs := dataset.GaussianClusters(sc.NumUsers, 3, 0.05, sc.Seed)
+	g := wpg.Build(locs, wpg.BuildParams{Delta: scenarioDelta, MaxPeers: scenarioMaxPeers})
+	rep := &Report{
+		Scenario: sc,
+		Locs:     locs,
+		Graph:    g,
+		Registry: core.NewRegistry(sc.NumUsers),
+	}
+	net, err := p2p.NewNetwork(g, locs, p2p.Config{
+		LossRate:   sc.LossRate,
+		MaxRetries: sc.MaxRetries,
+		Seed:       sc.Seed,
+		Faults:     sc.faultPlan(),
+		Trace:      rep.onTrace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	defer net.Close()
+
+	for _, host := range sc.Hosts {
+		if int(host) < 0 || int(host) >= sc.NumUsers {
+			return nil, fmt.Errorf("sim: host %d out of range [0,%d)", host, sc.NumUsers)
+		}
+		run := HostRun{Host: host, AssignedBefore: assignedSnapshot(rep.Registry)}
+		rep.cur = &run
+
+		run.Cluster, run.Stats, run.ClusterErr = net.DistributedTConn(host, sc.K, rep.Registry)
+		if run.Cluster != nil {
+			// Proceed to bounding even under degraded clustering — that is
+			// what a deployed host does; the invariants know the difference.
+			pol := core.NewSecureIncrementForCluster(cbCost, crCost, run.Cluster.Size())
+			scale := core.DefaultRectScale(run.Cluster.Size(), sc.NumUsers)
+			run.Bound, run.BoundErr = net.BoundRect(host, run.Cluster.Members, scale, pol, cbCost)
+			// A transport-degraded bounding still yields a completed
+			// rectangle (unreachable members recorded in Degraded); only a
+			// protocol failure leaves no usable rect.
+			run.HasRect = run.BoundErr == nil || errors.Is(run.BoundErr, p2p.ErrUnreachable)
+		}
+		rep.cur = nil
+		rep.Runs = append(rep.Runs, run)
+	}
+
+	rep.Sent = net.Sent()
+	rep.Delivered = net.Delivered()
+	rep.Lost = net.Lost()
+	rep.RoundTrips = net.RoundTrips()
+	return rep, nil
+}
+
+func assignedSnapshot(reg *core.Registry) map[int32]bool {
+	out := make(map[int32]bool)
+	for _, c := range reg.Clusters() {
+		for _, v := range c.Members {
+			out[v] = true
+		}
+	}
+	return out
+}

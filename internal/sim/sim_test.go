@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"nonexposure/internal/p2p"
+)
+
+// The acceptance gate: 500 seeded scenarios across every fault kind
+// (lossless, uniform loss, per-link loss, bursts, crashes, partitions)
+// must complete with zero invariant violations.
+func TestScenarios500(t *testing.T) {
+	kindCount := make(map[FaultKind]int)
+	degradedRuns, boundedRuns, degradedBounds := 0, 0, 0
+	for seed := int64(1); seed <= 500; seed++ {
+		sc := Generate(seed)
+		kindCount[sc.Kind]++
+		rep, err := Run(sc)
+		if err != nil {
+			t.Fatalf("scenario %s: %v", sc.Name, err)
+		}
+		if v := rep.Violations(); len(v) > 0 {
+			t.Errorf("scenario %s violated invariants: %v", sc.Name, v)
+		}
+		if len(rep.Transcript) == 0 {
+			t.Errorf("scenario %s produced an empty transcript", sc.Name)
+		}
+		for i := range rep.Runs {
+			if rep.Runs[i].Degraded() {
+				degradedRuns++
+			}
+			if rep.Runs[i].HasRect {
+				boundedRuns++
+				if len(rep.Runs[i].Bound.Degraded) > 0 {
+					degradedBounds++
+				}
+			}
+		}
+	}
+	for kind := FaultNone; kind < numFaultKinds; kind++ {
+		if kindCount[kind] == 0 {
+			t.Errorf("no scenario exercised fault kind %s", kind)
+		}
+	}
+	// The sweep must actually stress the protocols: some runs degrade,
+	// most still complete bounding.
+	if degradedRuns == 0 {
+		t.Error("500 fault scenarios produced zero degraded runs; the fault model is dead")
+	}
+	if boundedRuns == 0 {
+		t.Error("no run completed bounding")
+	}
+	if degradedBounds == 0 {
+		t.Error("no bounding run recorded degraded members; crash/partition injection is not reaching phase 2")
+	}
+	t.Logf("500 scenarios: kinds=%v, degraded runs=%d, bounded runs=%d (degraded bounds=%d)",
+		kindCount, degradedRuns, boundedRuns, degradedBounds)
+}
+
+// Same seed, same scenario, same transcript — twice. This is the
+// reproducibility contract that makes degraded runs debuggable.
+func TestSameSeedReproducesIdenticalTranscript(t *testing.T) {
+	for seed := int64(1); seed <= 2*int64(numFaultKinds); seed++ {
+		sc := Generate(seed)
+		a, err := Run(sc)
+		if err != nil {
+			t.Fatalf("scenario %s first run: %v", sc.Name, err)
+		}
+		b, err := Run(sc)
+		if err != nil {
+			t.Fatalf("scenario %s second run: %v", sc.Name, err)
+		}
+		if !reflect.DeepEqual(a.Transcript, b.Transcript) {
+			t.Fatalf("scenario %s: transcripts diverge (%d vs %d events)",
+				sc.Name, len(a.Transcript), len(b.Transcript))
+		}
+		if a.Sent != b.Sent || a.Lost != b.Lost || a.Delivered != b.Delivered {
+			t.Fatalf("scenario %s: wire counters diverge", sc.Name)
+		}
+		for i := range a.Runs {
+			ra, rb := &a.Runs[i], &b.Runs[i]
+			if (ra.Cluster == nil) != (rb.Cluster == nil) {
+				t.Fatalf("scenario %s run %d: cluster presence diverges", sc.Name, i)
+			}
+			if ra.Cluster != nil && !reflect.DeepEqual(ra.Cluster.Members, rb.Cluster.Members) {
+				t.Fatalf("scenario %s run %d: members diverge", sc.Name, i)
+			}
+			if ra.HasRect != rb.HasRect || ra.Bound.Rect != rb.Bound.Rect {
+				t.Fatalf("scenario %s run %d: rects diverge", sc.Name, i)
+			}
+			if !reflect.DeepEqual(ra.Bound.Degraded, rb.Bound.Degraded) {
+				t.Fatalf("scenario %s run %d: degraded sets diverge", sc.Name, i)
+			}
+		}
+	}
+}
+
+func TestGenerateIsDeterministicAndCyclesKinds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Generate(%d) not deterministic", seed)
+		}
+		if want := FaultKind(seed % int64(numFaultKinds)); a.Kind != want {
+			t.Errorf("Generate(%d).Kind = %s, want %s", seed, a.Kind, want)
+		}
+	}
+}
+
+// losslessScenarioWithCluster scans FaultNone seeds for a scenario whose
+// first request clusters successfully with at least one non-host member —
+// deterministic scaffolding for the degradation tests below.
+func losslessScenarioWithCluster(t *testing.T) (Scenario, *Report) {
+	t.Helper()
+	for seed := int64(0); seed < 120; seed += int64(numFaultKinds) {
+		sc := Generate(seed)
+		if sc.Kind != FaultNone {
+			t.Fatalf("seed %d should be FaultNone, got %s", seed, sc.Kind)
+		}
+		sc.Hosts = sc.Hosts[:1]
+		rep, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := &rep.Runs[0]
+		if run.ClusterErr == nil && run.Cluster != nil && run.Cluster.Size() >= 2 {
+			return sc, rep
+		}
+	}
+	t.Fatal("no lossless seed below 120 produced a usable cluster")
+	return Scenario{}, nil
+}
+
+// Crashing a cluster member mid-protocol (after it served its one
+// clustering fetch) must leave clustering untouched, mark the member
+// degraded in the bounding result, and still satisfy every invariant —
+// the containment invariant exempts exactly the degraded member.
+func TestCrashedMemberDegradesBoundingNotSafety(t *testing.T) {
+	base, baseRep := losslessScenarioWithCluster(t)
+	baseRun := &baseRep.Runs[0]
+	var victim int32 = -1
+	for _, m := range baseRun.Cluster.Members {
+		if m != baseRun.Host {
+			victim = m
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no non-host member to crash")
+	}
+
+	crashed := base
+	crashed.Kind = FaultCrash
+	crashed.MaxRetries = 3
+	// Budget 1: the victim answers its single clustering adjacency fetch,
+	// then crashes before phase 2.
+	crashed.CrashAfter = map[int32]int{victim: 1}
+	rep, err := Run(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &rep.Runs[0]
+	if run.ClusterErr != nil {
+		t.Fatalf("clustering should survive a post-fetch crash, got %v", run.ClusterErr)
+	}
+	if !reflect.DeepEqual(run.Cluster.Members, baseRun.Cluster.Members) {
+		t.Fatalf("cluster changed under mid-protocol crash: %v vs %v",
+			run.Cluster.Members, baseRun.Cluster.Members)
+	}
+	if !run.HasRect {
+		t.Fatalf("bounding should complete degraded, got err %v", run.BoundErr)
+	}
+	if !errors.Is(run.BoundErr, p2p.ErrUnreachable) {
+		t.Errorf("BoundErr = %v, want ErrUnreachable", run.BoundErr)
+	}
+	found := false
+	for _, m := range run.Bound.Degraded {
+		if m == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("victim %d missing from Degraded %v", victim, run.Bound.Degraded)
+	}
+	if v := rep.Violations(); len(v) > 0 {
+		t.Errorf("degraded-but-honest run should satisfy invariants, got %v", v)
+	}
+}
+
+// The invariant checkers must actually bite: tampering with a report has
+// to surface as a violation.
+func TestInvariantsCatchTampering(t *testing.T) {
+	_, rep := losslessScenarioWithCluster(t)
+	if v := rep.Violations(); len(v) > 0 {
+		t.Fatalf("untampered report should be clean, got %v", v)
+	}
+
+	// Shrink the rectangle to a point: containment must fail.
+	run := &rep.Runs[0]
+	origRect := run.Bound.Rect
+	run.Bound.Rect.Max = run.Bound.Rect.Min
+	if err := checkContainment(rep); err == nil {
+		t.Error("containment check missed a shrunken rect")
+	}
+	run.Bound.Rect = origRect
+
+	// Shrink a probe-bound sequence: monotonicity must fail.
+	for dir := range run.ProbeBounds {
+		if bs := run.ProbeBounds[dir]; len(bs) >= 2 {
+			orig := bs[len(bs)-1]
+			bs[len(bs)-1] = bs[0] - 1
+			if err := checkMonotoneBounds(rep); err == nil {
+				t.Error("monotone-bounds check missed a shrinking bound")
+			}
+			bs[len(bs)-1] = orig
+			break
+		}
+	}
+
+	// Unbalance the accounting.
+	rep.Lost++
+	if err := checkAccounting(rep); err == nil {
+		t.Error("accounting check missed an unbalanced wire")
+	}
+	rep.Lost--
+}
+
+// A partitioned scenario where the host's group is too small must fail
+// loudly (unreachable / insufficient users), never return an undersized
+// cluster.
+func TestPartitionNeverYieldsUndersizedCluster(t *testing.T) {
+	sc := Scenario{
+		Name:       "hand-partition",
+		Seed:       4242,
+		NumUsers:   80,
+		K:          5,
+		Hosts:      []int32{0, 17, 33},
+		Kind:       FaultPartition,
+		MaxRetries: 3,
+		Groups:     make(map[int32]int, 80),
+	}
+	// Tiny group {0..2} around host 0; everyone else in group 1.
+	for v := 0; v < 80; v++ {
+		g := 1
+		if v < 3 {
+			g = 0
+		}
+		sc.Groups[int32(v)] = g
+	}
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) > 0 {
+		t.Errorf("violations: %v", v)
+	}
+	if rep.Runs[0].ClusterErr == nil {
+		t.Error("host 0 is cut off from k=5 users; clustering should have failed")
+	}
+}

@@ -21,4 +21,16 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> go test -shuffle=on ./..."
+go test -shuffle=on ./...
+
+# Short fuzz smoke passes: ten seconds of coverage-guided input per
+# target on top of the checked-in seed corpora ('-run ^$' skips the unit
+# tests, which already ran above).
+echo "==> go test -fuzz=FuzzProtocolDecode (10s)"
+go test -fuzz='^FuzzProtocolDecode$' -fuzztime=10s -run '^$' ./internal/service
+
+echo "==> go test -fuzz=FuzzBoundVotes (10s)"
+go test -fuzz='^FuzzBoundVotes$' -fuzztime=10s -run '^$' ./internal/core
+
 echo "OK"
