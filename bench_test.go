@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"nonexposure/internal/anonymizer"
 	"nonexposure/internal/core"
 	"nonexposure/internal/dataset"
+	"nonexposure/internal/epoch"
 	"nonexposure/internal/experiment"
 	"nonexposure/internal/geo"
 	"nonexposure/internal/graph"
@@ -372,8 +374,8 @@ func BenchmarkConcurrentCloakFirstRequest(b *testing.B) {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				s := anonymizer.NewParallel(g, 10, bench.workers)
-				if _, cost, err := s.Cloak(0); err != nil || cost == 0 {
+				s := anonymizer.NewServer(g, anonymizer.WithK(10), anonymizer.WithWorkers(bench.workers))
+				if _, cost, err := s.Cloak(context.Background(), 0); err != nil || cost == 0 {
 					b.Fatalf("first request: cost=%d err=%v", cost, err)
 				}
 			}
@@ -392,8 +394,8 @@ func BenchmarkConcurrentCloakSteadyState(b *testing.B) {
 	g := concurrentCloakGraph(b)
 	n := int32(g.NumVertices())
 	newBuilt := func() *anonymizer.Server {
-		s := anonymizer.New(g, 10)
-		if _, _, err := s.Cloak(0); err != nil {
+		s := anonymizer.NewServer(g, anonymizer.WithK(10))
+		if _, _, err := s.Cloak(context.Background(), 0); err != nil {
 			b.Fatal(err)
 		}
 		return s
@@ -407,7 +409,7 @@ func BenchmarkConcurrentCloakSteadyState(b *testing.B) {
 			for pb.Next() {
 				host = (host*48271 + 1) % n
 				mu.Lock()
-				s.Cloak(host) // undersized hosts still exercise the path
+				s.Cloak(context.Background(), host) // undersized hosts still exercise the path
 				mu.Unlock()
 			}
 		})
@@ -419,9 +421,99 @@ func BenchmarkConcurrentCloakSteadyState(b *testing.B) {
 			host := int32(1)
 			for pb.Next() {
 				host = (host*48271 + 1) % n
-				s.Cloak(host)
+				s.Cloak(context.Background(), host)
 			}
 		})
+	})
+}
+
+// BenchmarkEpochCloakDuringRebuild measures the epoch pipeline's
+// serving path: "quiet" is steady-state cloaking against a published
+// generation, "rebuilding" runs the same load while a background
+// uploader keeps triggering fresh epoch builds. The two must stay close
+// (the atomic-pointer swap is the whole point: rebuilds never block the
+// read path).
+func BenchmarkEpochCloakDuringRebuild(b *testing.B) {
+	g := concurrentCloakGraph(b)
+	n := int32(g.NumVertices())
+	uploads := func() map[int32][]epoch.RankedPeer {
+		out := make(map[int32][]epoch.RankedPeer, n)
+		for v := int32(0); v < n; v++ {
+			var peers []epoch.RankedPeer
+			for _, e := range g.Neighbors(v) {
+				peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
+			}
+			out[v] = peers
+		}
+		return out
+	}()
+	newLive := func(b *testing.B) *epoch.Manager {
+		b.Helper()
+		m, err := epoch.New(int(n), epoch.WithK(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for v, peers := range uploads {
+			if err := m.Upload(v, peers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := m.Rotate(); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Sync(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	run := func(b *testing.B, m *epoch.Manager) {
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			host := int32(1)
+			for pb.Next() {
+				host = (host*48271 + 1) % n
+				m.Cloak(context.Background(), host)
+			}
+		})
+	}
+	b.Run("quiet", func(b *testing.B) {
+		m := newLive(b)
+		defer m.Close()
+		run(b, m)
+	})
+	b.Run("rebuilding", func(b *testing.B) {
+		m := newLive(b)
+		defer m.Close()
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			// Keep a build in flight: nudge one user and rotate, serially.
+			defer close(done)
+			rank := int32(2)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rank++
+				peers := append([]epoch.RankedPeer(nil), uploads[0]...)
+				if len(peers) > 0 {
+					peers[0].Rank = 1 + rank%7
+				}
+				if err := m.Upload(0, peers); err != nil {
+					return
+				}
+				if _, err := m.Rotate(); err != nil {
+					return
+				}
+				m.Sync(context.Background())
+			}
+		}()
+		run(b, m)
+		close(stop)
+		<-done
+		b.ReportMetric(float64(m.Status().Builds), "rebuilds")
 	})
 }
 

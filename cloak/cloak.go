@@ -25,6 +25,7 @@
 package cloak
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -243,7 +244,7 @@ func (s *System) Cloak(host int) (Result, error) {
 	var cluster *core.Cluster
 	switch s.cfg.Mode {
 	case ModeCentralized:
-		c, cost, err := s.anon.Cloak(int32(host))
+		c, cost, err := s.anon.Cloak(context.Background(), int32(host))
 		if err != nil {
 			return Result{}, translateErr(err)
 		}

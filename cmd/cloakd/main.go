@@ -1,17 +1,21 @@
 // Command cloakd runs the anonymizer as a TCP service speaking the
-// line-delimited JSON protocol of internal/service: devices upload
-// proximity rankings, then cloak requests are answered with k-anonymity
-// clusters. With -demo, the command also simulates a device population
+// line-delimited JSON protocol of internal/service (see PROTOCOL.md):
+// devices upload proximity rankings, epochs rebuild in the background
+// per the configured policy (or on explicit freeze/rotate), and cloak
+// requests are answered with k-anonymity clusters from the current
+// epoch. With -demo, the command also simulates a device population
 // that uploads, freezes, and issues a few cloaking requests against the
 // freshly started server, so the whole flow can be watched end to end.
 //
 // Usage:
 //
 //	cloakd -addr 127.0.0.1:7464 -n 104770 -k 10
+//	cloakd -addr 127.0.0.1:7464 -n 50000 -rebuild-uploads 10000
 //	cloakd -demo -n 5000 -k 10
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -19,49 +23,67 @@ import (
 	"os/signal"
 
 	"nonexposure/internal/dataset"
+	"nonexposure/internal/epoch"
+	"nonexposure/internal/metrics"
 	"nonexposure/internal/service"
 	"nonexposure/internal/wpg"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7464", "listen address")
-		n    = flag.Int("n", 104770, "population size the server accepts")
-		k    = flag.Int("k", 10, "anonymity level")
-		demo = flag.Bool("demo", false, "run a self-contained demo population against the server and exit")
-		seed = flag.Int64("seed", 42, "demo dataset seed")
+		addr    = flag.String("addr", "127.0.0.1:7464", "listen address")
+		n       = flag.Int("n", 104770, "population size the server accepts")
+		k       = flag.Int("k", 10, "anonymity level")
+		workers = flag.Int("workers", 0, "clustering workers per rebuild (0 = GOMAXPROCS)")
+		everyN  = flag.Int("rebuild-uploads", 0, "rebuild after this many uploads (0 = disabled)")
+		frac    = flag.Float64("rebuild-frac", 0, "rebuild once this fraction of users changed (0 = disabled)")
+		demo    = flag.Bool("demo", false, "run a self-contained demo population against the server and exit")
+		seed    = flag.Int64("seed", 42, "demo dataset seed")
 	)
 	flag.Parse()
-	if err := run(*addr, *n, *k, *demo, *seed); err != nil {
+	policy := epoch.Policy{EveryUploads: *everyN, ChangedFrac: *frac}
+	if err := run(*addr, *n, *k, *workers, policy, *demo, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "cloakd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n, k int, demo bool, seed int64) error {
-	srv, err := service.NewServer(n, k)
+func run(addr string, n, k, workers int, policy epoch.Policy, demo bool, seed int64) error {
+	em := metrics.NewEpochMetrics()
+	srv, err := service.New(
+		service.WithNumUsers(n),
+		service.WithK(k),
+		service.WithWorkers(workers),
+		service.WithRebuildPolicy(policy),
+		service.WithMetrics(em),
+	)
 	if err != nil {
 		return err
 	}
-	bound, err := srv.Listen(addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	bound, err := srv.Listen(ctx, addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cloakd: anonymizer listening on %s (population %d, k=%d)\n", bound, n, k)
+	fmt.Printf("cloakd: anonymizer listening on %s (population %d, k=%d, rebuild policy %s)\n",
+		bound, n, k, policy)
 
+	report := func() {
+		fmt.Printf("cloakd: final request metrics: %s\n", srv.Metrics().Snapshot())
+		fmt.Printf("cloakd: final epoch metrics: %s\n", em.Snapshot())
+	}
 	if !demo {
 		// Serve until interrupted.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		<-ctx.Done()
 		fmt.Println("cloakd: shutting down")
 		err := srv.Close()
-		fmt.Printf("cloakd: final request metrics: %s\n", srv.Metrics().Snapshot())
+		report()
 		return err
 	}
 	defer func() {
 		srv.Close()
-		fmt.Printf("cloakd: final request metrics: %s\n", srv.Metrics().Snapshot())
+		report()
 	}()
 	return runDemo(bound.String(), n, k, seed)
 }
@@ -98,22 +120,23 @@ func runDemo(addr string, n, k int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("demo: server froze the graph with %d edges\n", edges)
+	fmt.Printf("demo: server built epoch 1 with %d edges\n", edges)
 
 	for _, host := range []int32{0, 7, int32(n / 2)} {
-		cluster, cost, err := c.Cloak(host)
+		cp, err := c.CloakV1(host)
 		if err != nil {
 			fmt.Printf("demo: host %d: %v\n", host, err)
 			continue
 		}
-		fmt.Printf("demo: host %d clustered with %d users (request cost %d)\n",
-			host, len(cluster), cost)
+		fmt.Printf("demo: host %d clustered with %d users (request cost %d, epoch %d)\n",
+			host, len(cp.Cluster), cp.Cost, cp.Epoch)
 	}
-	stats, err := c.Stats()
+	stats, err := c.StatsV1()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("demo: server now holds %d clusters for %d users\n", stats.Clusters, stats.Users)
+	fmt.Printf("demo: server now holds %d clusters for %d users (epoch %d)\n",
+		stats.Clusters, stats.Users, stats.Epoch)
 	fmt.Printf("demo: server handled %d requests (%d errors, p50 %.0fµs, p95 %.0fµs, p99 %.0fµs)\n",
 		stats.Requests, stats.ReqErrors, stats.LatP50us, stats.LatP95us, stats.LatP99us)
 	return nil

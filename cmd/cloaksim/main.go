@@ -7,6 +7,12 @@
 // requests and the run reports throughput and latency percentiles —
 // the harness behind the serving-concurrency numbers in CHANGES.md.
 //
+// With -churn it drives the epoch re-clustering pipeline under a mobile
+// population: each tick a fraction of the users move (local-wander
+// mobility) and re-upload their proximity rankings, the pipeline
+// rotates a new epoch in the background, and concurrent cloak clients
+// measure availability across the generation swaps.
+//
 // With -faults it runs the deterministic fault-injection harness: N
 // seeded scenarios (message loss, lossy links, loss bursts, node
 // crashes, partitions) drive the full two-phase protocol over the
@@ -17,21 +23,28 @@
 //
 //	cloaksim -n 5000 -k 10 -host 42 -bound secure -mode distributed
 //	cloaksim -n 20000 -k 10 -load 100000 -workers 32
+//	cloaksim -n 5000 -k 10 -churn 20 -churnfrac 0.2
 //	cloaksim -faults 500 -faultseed 1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nonexposure/cloak"
 	"nonexposure/internal/anonymizer"
 	"nonexposure/internal/dataset"
+	"nonexposure/internal/epoch"
 	"nonexposure/internal/metrics"
+	"nonexposure/internal/mobility"
 	"nonexposure/internal/sim"
 	"nonexposure/internal/wpg"
 )
@@ -49,7 +62,9 @@ func main() {
 		loss    = flag.Float64("loss", 0, "message loss rate for -network")
 		nearby  = flag.Int("nearby", 3, "after cloaking, fetch this many nearest POIs (0 = skip)")
 		load    = flag.Int("load", 0, "load-generator mode: issue this many concurrent cloak requests (0 = off)")
-		workers = flag.Int("workers", 16, "concurrent clients for -load")
+		workers = flag.Int("workers", 16, "concurrent clients for -load and -churn")
+		churn   = flag.Int("churn", 0, "churn mode: run this many mobility ticks through the epoch pipeline (0 = off)")
+		cfrac   = flag.Float64("churnfrac", 0.2, "fraction of users re-uploading per churn tick")
 		faults  = flag.Int("faults", 0, "fault-injection mode: run this many seeded fault scenarios (0 = off)")
 		fseed   = flag.Int64("faultseed", 1, "first scenario seed for -faults")
 	)
@@ -57,6 +72,8 @@ func main() {
 	var err error
 	if *faults > 0 {
 		err = runFaults(*faults, *fseed)
+	} else if *churn > 0 {
+		err = runChurn(*n, *k, *seed, *delta, *churn, *cfrac, *workers)
 	} else if *load > 0 {
 		err = runLoad(*n, *k, *seed, *delta, *load, *workers)
 	} else {
@@ -66,6 +83,148 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cloaksim:", err)
 		os.Exit(1)
 	}
+}
+
+// runChurn is the epoch-pipeline workload: a mobile population keeps
+// re-uploading while concurrent clients cloak, and the report shows how
+// availability held up across the background generation swaps.
+func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if frac <= 0 || frac > 1 {
+		return fmt.Errorf("churnfrac %v outside (0,1]", frac)
+	}
+	if delta == 0 {
+		delta = 2e-3 * math.Sqrt(104770.0/float64(n))
+	}
+	pts := dataset.CaliforniaLike(n, seed)
+	model, err := mobility.NewLocalWander(pts, delta, delta/4, delta/2, seed)
+	if err != nil {
+		return err
+	}
+	em := metrics.NewEpochMetrics()
+	mgr, err := epoch.New(n, epoch.WithK(k), epoch.WithMetrics(em))
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	// uploadAll derives every listed user's ranked peer list from the WPG
+	// over the current positions and feeds it to the pipeline.
+	uploadFrom := func(g *wpg.Graph, users []int32) error {
+		for _, v := range users {
+			var peers []epoch.RankedPeer
+			for _, e := range g.Neighbors(v) {
+				peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
+			}
+			if err := mgr.Upload(v, peers); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	g := wpg.Build(model.Positions(), wpg.BuildParams{Delta: delta, MaxPeers: 10})
+	if err := uploadFrom(g, all); err != nil {
+		return err
+	}
+	if _, err := mgr.Rotate(); err != nil {
+		return err
+	}
+	if err := mgr.Sync(context.Background()); err != nil {
+		return err
+	}
+	fmt.Printf("churn: epoch 1 live (%d users, %d edges); %d ticks re-uploading %.0f%% per tick\n",
+		n, mgr.Current().Edges, ticks, frac*100)
+
+	// The cloak hammer runs for the whole churn, counting availability.
+	var (
+		wg                   sync.WaitGroup
+		served, unclust, bad atomic.Int64
+		minEp, maxEp         atomic.Uint64
+	)
+	minEp.Store(^uint64(0))
+	reqm := metrics.NewRequestMetrics()
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			host := int32(w * 2654435761 % n)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				host = (host*48271 + 1) % int32(n)
+				t0 := time.Now()
+				_, _, ep, err := mgr.Cloak(context.Background(), host)
+				reqm.Observe("cloak", time.Since(t0), err == nil)
+				switch {
+				case err == nil:
+					served.Add(1)
+					for old := minEp.Load(); ep < old && !minEp.CompareAndSwap(old, ep); old = minEp.Load() {
+					}
+					for old := maxEp.Load(); ep > old && !maxEp.CompareAndSwap(old, ep); old = maxEp.Load() {
+					}
+				case strings.Contains(err.Error(), "smaller than k"):
+					unclust.Add(1)
+				default:
+					bad.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	perTick := int(frac * float64(n))
+	if perTick < 1 {
+		perTick = 1
+	}
+	for tick := 0; tick < ticks; tick++ {
+		model.Step(1)
+		g := wpg.Build(model.Positions(), wpg.BuildParams{Delta: delta, MaxPeers: 10})
+		moved := rng.Perm(n)[:perTick]
+		users := make([]int32, perTick)
+		for i, u := range moved {
+			users[i] = int32(u)
+		}
+		if err := uploadFrom(g, users); err != nil {
+			close(stop)
+			wg.Wait()
+			return err
+		}
+		if _, err := mgr.Rotate(); err != nil && err != epoch.ErrNoNewUploads {
+			close(stop)
+			wg.Wait()
+			return err
+		}
+	}
+	if err := mgr.Sync(context.Background()); err != nil {
+		return err
+	}
+	close(stop)
+	wg.Wait()
+
+	total := served.Load() + unclust.Load() + bad.Load()
+	snap := reqm.Snapshot()
+	es := em.Snapshot()
+	fmt.Printf("churn: %d cloaks from %d workers across epochs %d..%d\n",
+		total, workers, minEp.Load(), maxEp.Load())
+	fmt.Printf("churn: availability %.3f%% (%d served, %d unclusterable, %d hard failures)\n",
+		100*float64(served.Load())/float64(total), served.Load(), unclust.Load(), bad.Load())
+	fmt.Printf("churn: cloak latency p50=%v p95=%v p99=%v\n", snap.P50, snap.P95, snap.P99)
+	fmt.Printf("churn: pipeline %s\n", es)
+	if bad.Load() > 0 {
+		return fmt.Errorf("%d cloaks failed hard during swaps", bad.Load())
+	}
+	return nil
 }
 
 // runFaults is the fault-injection mode: `count` generated scenarios
@@ -154,7 +313,7 @@ func runLoad(n, k int, seed int64, delta float64, requests, workers int) error {
 	m := metrics.NewRequestMetrics()
 
 	buildStart := time.Now()
-	if _, cost, err := anon.Cloak(0); err == nil {
+	if _, cost, err := anon.Cloak(context.Background(), 0); err == nil {
 		fmt.Printf("load: first request clustered the graph in %v (billed %d messages)\n",
 			time.Since(buildStart), cost)
 	} else {
@@ -181,7 +340,7 @@ func runLoad(n, k int, seed int64, delta float64, requests, workers int) error {
 			for i := 0; i < count; i++ {
 				host = (host*48271 + 1) % int32(n)
 				t0 := time.Now()
-				_, _, err := anon.Cloak(host)
+				_, _, err := anon.Cloak(context.Background(), host)
 				m.Observe("cloak", time.Since(t0), err == nil)
 				if err != nil {
 					failMu.Lock()

@@ -7,14 +7,17 @@
 // subsequent requests are answered from the cache at no communication
 // cost. The first request therefore costs one proximity-upload message
 // per user — the "upper bound" curve in the paper's Fig. 9/11/12.
+// Alternatively, Build clusters the graph eagerly (the epoch pipeline
+// does this in the background before publishing a generation), after
+// which every Cloak is a pure cache read.
 //
 // The server is built for concurrent request traffic: the one-time
-// clustering runs behind a sync.Once latch (concurrent first requests
-// block until it finishes, and exactly one of them is billed the
-// population cost), fanned out across the WPG's connected components on
-// a bounded worker pool. Every later Cloak call touches only the
-// Registry's RWMutex read path, so steady-state requests never contend
-// on a build lock.
+// clustering runs behind a claim latch (the first caller — Build or
+// Cloak — performs the clustering, fanned out across the WPG's connected
+// components on a bounded worker pool; concurrent callers wait on a done
+// channel and honor context cancellation while waiting). Every later
+// Cloak call touches only the Registry's RWMutex read path, so
+// steady-state requests never contend on a build lock.
 //
 // Note the paper's critique still applies: the anonymizer sees only
 // proximity data, not coordinates, so even this centralized party never
@@ -23,68 +26,135 @@
 package anonymizer
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"nonexposure/internal/core"
 	"nonexposure/internal/wpg"
 )
 
-// Server is the centralized anonymizer. Safe for concurrent use.
+// Server is the centralized anonymizer for one immutable proximity
+// graph. In the epoch pipeline each generation owns its own Server; the
+// Epoch label identifies which generation a cluster was served from.
+// Safe for concurrent use.
 type Server struct {
 	g       *wpg.Graph
 	k       int
 	workers int
+	epoch   uint64
 
-	reg       *core.Registry
-	buildOnce sync.Once
-	buildErr  error
-	skipped   atomic.Int64
-	built     atomic.Bool
+	reg      *core.Registry
+	claimed  atomic.Bool
+	done     chan struct{}
+	buildErr error
+	skipped  atomic.Int64
+	built    atomic.Bool
 }
 
-// New returns an anonymizer for the given proximity graph and anonymity
-// level, clustering with one worker per CPU on the first request. It
-// panics if k < 1.
-func New(g *wpg.Graph, k int) *Server {
-	return NewParallel(g, k, 0)
-}
+// Option configures a Server.
+type Option func(*Server)
 
-// NewParallel is New with an explicit clustering worker count
+// WithK sets the anonymity level. Defaults to 10 (Table I).
+func WithK(k int) Option { return func(s *Server) { s.k = k } }
+
+// WithWorkers sets the clustering worker count for the one-time build
 // (<= 0 selects GOMAXPROCS; 1 reproduces the serial build).
-func NewParallel(g *wpg.Graph, k, workers int) *Server {
-	if k < 1 {
-		panic(fmt.Sprintf("anonymizer: k must be >= 1, got %d", k))
+func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
+
+// WithEpoch labels the server with the generation it serves; Epoch
+// returns it. Zero (the default) means "not part of an epoch pipeline".
+func WithEpoch(e uint64) Option { return func(s *Server) { s.epoch = e } }
+
+// NewServer returns an anonymizer for the given proximity graph,
+// configured by options. It panics if the configured k < 1.
+func NewServer(g *wpg.Graph, opts ...Option) *Server {
+	s := &Server{g: g, k: 10, done: make(chan struct{})}
+	for _, opt := range opts {
+		opt(s)
 	}
-	return &Server{g: g, k: k, workers: workers, reg: core.NewRegistry(g.NumVertices())}
+	if s.k < 1 {
+		panic(fmt.Sprintf("anonymizer: k must be >= 1, got %d", s.k))
+	}
+	s.reg = core.NewRegistry(g.NumVertices())
+	return s
+}
+
+// New returns an anonymizer for the given graph and anonymity level.
+//
+// Deprecated: use NewServer with WithK.
+func New(g *wpg.Graph, k int) *Server {
+	return NewServer(g, WithK(k))
+}
+
+// NewParallel is New with an explicit clustering worker count.
+//
+// Deprecated: use NewServer with WithK and WithWorkers.
+func NewParallel(g *wpg.Graph, k, workers int) *Server {
+	return NewServer(g, WithK(k), WithWorkers(workers))
 }
 
 // K returns the configured anonymity level.
 func (s *Server) K() int { return s.k }
 
+// Epoch returns the generation label this server serves (0 outside an
+// epoch pipeline).
+func (s *Server) Epoch() uint64 { return s.epoch }
+
 // Registry exposes the server's cluster registry (read-only use).
 func (s *Server) Registry() *core.Registry { return s.reg }
 
+// runBuild performs the one-time clustering. Exactly one goroutine —
+// whichever won the claim — calls it; everyone else waits on done.
+func (s *Server) runBuild() {
+	defer close(s.done)
+	_, skipped, err := core.RegisterCentralizedParallel(s.g, s.k, s.reg, s.workers)
+	if err != nil {
+		s.buildErr = fmt.Errorf("anonymizer: initial clustering: %w", err)
+		return
+	}
+	s.skipped.Store(int64(skipped))
+	s.built.Store(true)
+}
+
+// Build clusters the whole graph now (idempotent; concurrent calls
+// coalesce onto one clustering run). A caller that arrives while another
+// build is in flight waits for it, honoring ctx cancellation; the build
+// itself always runs to completion once started. After a successful
+// Build, every Cloak is a zero-cost cache read.
+func (s *Server) Build(ctx context.Context) error {
+	if s.claimed.CompareAndSwap(false, true) {
+		s.runBuild()
+		return s.buildErr
+	}
+	select {
+	case <-s.done:
+		return s.buildErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Cloak returns the cluster for host. cost is the number of messages this
-// request caused: the full user population on the very first request
-// (everyone uploads its proximity list), zero afterwards. Under
-// concurrent first requests exactly one caller is billed; the others
-// wait for the build and are served from the cache for free.
-func (s *Server) Cloak(host int32) (cluster *core.Cluster, cost int, err error) {
+// request caused: the full user population when this request performed
+// the one-time clustering (everyone uploads its proximity list), zero
+// afterwards — and always zero when Build already ran. Under concurrent
+// first requests exactly one caller is billed; the others wait for the
+// build (honoring ctx) and are served from the cache for free.
+func (s *Server) Cloak(ctx context.Context, host int32) (cluster *core.Cluster, cost int, err error) {
 	if int(host) < 0 || int(host) >= s.g.NumVertices() {
 		return nil, 0, fmt.Errorf("anonymizer: no such user %d", host)
 	}
-	s.buildOnce.Do(func() {
-		_, skipped, berr := core.RegisterCentralizedParallel(s.g, s.k, s.reg, s.workers)
-		if berr != nil {
-			s.buildErr = fmt.Errorf("anonymizer: initial clustering: %w", berr)
-			return
-		}
-		s.skipped.Store(int64(skipped))
-		s.built.Store(true)
+	if s.claimed.CompareAndSwap(false, true) {
+		s.runBuild()
 		cost = s.g.NumVertices()
-	})
+	} else {
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
 	if s.buildErr != nil {
 		return nil, cost, s.buildErr
 	}
@@ -97,7 +167,7 @@ func (s *Server) Cloak(host int32) (cluster *core.Cluster, cost int, err error) 
 }
 
 // Unclusterable returns how many users ended up in undersized components
-// (0 before the first request).
+// (0 before the clustering ran).
 func (s *Server) Unclusterable() int {
 	return int(s.skipped.Load())
 }

@@ -1,6 +1,7 @@
 package anonymizer
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -21,9 +22,11 @@ func testGraph() *wpg.Graph {
 	})
 }
 
+var bg = context.Background()
+
 func TestCloakFirstRequestCostsEveryone(t *testing.T) {
 	s := New(testGraph(), 3)
-	c, cost, err := s.Cloak(0)
+	c, cost, err := s.Cloak(bg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +37,7 @@ func TestCloakFirstRequestCostsEveryone(t *testing.T) {
 		t.Errorf("cluster = %v", c.Members)
 	}
 	// Second request: free, same registry.
-	c2, cost2, err := s.Cloak(1)
+	c2, cost2, err := s.Cloak(bg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,14 +52,67 @@ func TestCloakFirstRequestCostsEveryone(t *testing.T) {
 	}
 }
 
+// TestBuildMakesCloakFree is the epoch-pipeline contract: an explicit
+// Build (what the background rebuild does before publishing a
+// generation) leaves every subsequent Cloak a zero-cost cache read.
+func TestBuildMakesCloakFree(t *testing.T) {
+	s := NewServer(testGraph(), WithK(3), WithEpoch(7))
+	if s.Epoch() != 7 {
+		t.Errorf("Epoch = %d, want 7", s.Epoch())
+	}
+	if err := s.Build(bg); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Built() {
+		t.Fatal("Built() = false after Build")
+	}
+	// Build is idempotent.
+	if err := s.Build(bg); err != nil {
+		t.Fatal(err)
+	}
+	c, cost, err := s.Cloak(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("post-Build cloak cost = %d, want 0", cost)
+	}
+	if !c.Contains(0) || c.Size() < 3 {
+		t.Errorf("cluster = %v", c.Members)
+	}
+}
+
+// TestCloakCanceledContextWhileWaiting: a caller waiting for an in-flight
+// build must return ctx.Err() when its context dies first.
+func TestCloakCanceledContextWhileWaiting(t *testing.T) {
+	s := NewServer(testGraph(), WithK(3))
+	// Claim the build without running it, so waiters block forever.
+	if !s.claimed.CompareAndSwap(false, true) {
+		t.Fatal("fresh server already claimed")
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, _, err := s.Cloak(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Cloak with dead ctx = %v, want context.Canceled", err)
+	}
+	if err := s.Build(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Build with dead ctx = %v, want context.Canceled", err)
+	}
+	// Unblock the latch for cleanliness.
+	s.runBuild()
+	if _, _, err := s.Cloak(bg, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCloakReciprocityAcrossMembers(t *testing.T) {
 	s := New(testGraph(), 3)
-	c, _, err := s.Cloak(2)
+	c, _, err := s.Cloak(bg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, m := range c.Members {
-		cm, cost, err := s.Cloak(m)
+		cm, cost, err := s.Cloak(bg, m)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +125,7 @@ func TestCloakReciprocityAcrossMembers(t *testing.T) {
 func TestCloakUndersizedComponent(t *testing.T) {
 	s := New(testGraph(), 3)
 	// Users 6,7 form a 2-component: k=3 impossible.
-	_, _, err := s.Cloak(6)
+	_, _, err := s.Cloak(bg, 6)
 	if !errors.Is(err, core.ErrInsufficientUsers) {
 		t.Errorf("err = %v, want ErrInsufficientUsers", err)
 	}
@@ -80,7 +136,7 @@ func TestCloakUndersizedComponent(t *testing.T) {
 
 func TestCloakValidation(t *testing.T) {
 	s := New(testGraph(), 3)
-	if _, _, err := s.Cloak(99); err == nil {
+	if _, _, err := s.Cloak(bg, 99); err == nil {
 		t.Error("unknown user should error")
 	}
 	if s.K() != 3 {
@@ -117,7 +173,7 @@ func TestCloakConcurrentFirstRequests(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			c, cost, err := s.Cloak(0)
+			c, cost, err := s.Cloak(bg, 0)
 			clusters[i], errs[i] = c, err
 			if cost > 0 {
 				billed.Add(1)
@@ -149,7 +205,7 @@ func TestCloakConcurrentFirstRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A late request stays free and cache-served.
-	if _, cost, err := s.Cloak(clusters[0].Members[1]); err != nil || cost != 0 {
+	if _, cost, err := s.Cloak(bg, clusters[0].Members[1]); err != nil || cost != 0 {
 		t.Errorf("post-build request: cost=%d err=%v, want 0/nil", cost, err)
 	}
 }
@@ -161,10 +217,10 @@ func TestCloakParallelMatchesSerialBuild(t *testing.T) {
 	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.03, MaxPeers: 8})
 	serial := NewParallel(g, 3, 1)
 	parallel := NewParallel(g, 3, 8)
-	if _, _, err := serial.Cloak(0); err != nil {
+	if _, _, err := serial.Cloak(bg, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := parallel.Cloak(0); err != nil {
+	if _, _, err := parallel.Cloak(bg, 0); err != nil {
 		t.Fatal(err)
 	}
 	sc, pc := serial.Registry().Clusters(), parallel.Registry().Clusters()
@@ -189,7 +245,7 @@ func TestCloakParallelMatchesSerialBuild(t *testing.T) {
 func TestCloakMatchesCentralizedAlgorithm(t *testing.T) {
 	g := testGraph()
 	s := New(g, 2)
-	c, _, err := s.Cloak(4)
+	c, _, err := s.Cloak(bg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,571 @@
+// Package epoch is the live re-clustering pipeline that replaces the
+// freeze-once anonymizer lifecycle: uploads are accepted continuously,
+// a configurable rebuild policy (upload count, fraction of users
+// changed, or an explicit rotate) triggers background rebuilds — WPG
+// construction, component-parallel centralized clustering, registry
+// registration — and each completed rebuild is published as an
+// immutable generation behind an atomic pointer. Cloak requests always
+// read the current generation lock-free while the next one builds, so
+// rebuilds never stall the hot path.
+//
+// Determinism contract: the epoch transcript (which epochs were
+// triggered, why, and what each one built) is a pure function of the
+// accepted upload sequence and the policy. Triggers are decided and
+// snapshotted synchronously inside Upload/Rotate, builds drain a serial
+// queue in trigger order, and the transcript carries no wall-clock
+// values — so a fixed upload sequence plus policy produces a
+// byte-identical transcript on every run, which is what lets the
+// internal/sim invariant harness drive the pipeline.
+package epoch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nonexposure/internal/anonymizer"
+	"nonexposure/internal/core"
+	"nonexposure/internal/graph"
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/wpg"
+)
+
+// RankedPeer is one entry of a device's proximity measurement: the
+// peer's id and its RSS rank (1 = strongest signal). The JSON tags make
+// the type usable directly on the service wire (internal/service
+// aliases it as PeerRank).
+type RankedPeer struct {
+	Peer int32 `json:"peer"`
+	Rank int32 `json:"rank"`
+}
+
+// Policy decides when a new epoch is triggered. Both conditions are
+// checked after every accepted upload; a zero value disables that
+// condition. The zero Policy never auto-triggers — only explicit
+// Rotate calls start rebuilds, which reproduces the legacy freeze-once
+// lifecycle.
+type Policy struct {
+	// EveryUploads triggers after this many accepted uploads since the
+	// previous trigger.
+	EveryUploads int
+	// ChangedFrac triggers once the fraction of the population whose
+	// ranking actually changed since the previous trigger reaches this
+	// value (0 < ChangedFrac <= 1).
+	ChangedFrac float64
+}
+
+// String renders the policy for logs and the epoch status payload.
+func (p Policy) String() string {
+	switch {
+	case p.EveryUploads > 0 && p.ChangedFrac > 0:
+		return fmt.Sprintf("uploads>=%d|changed>=%.3f", p.EveryUploads, p.ChangedFrac)
+	case p.EveryUploads > 0:
+		return fmt.Sprintf("uploads>=%d", p.EveryUploads)
+	case p.ChangedFrac > 0:
+		return fmt.Sprintf("changed>=%.3f", p.ChangedFrac)
+	default:
+		return "manual"
+	}
+}
+
+// Trigger reasons recorded in each generation and its transcript line.
+const (
+	TriggerCount  = "count"  // Policy.EveryUploads fired
+	TriggerFrac   = "frac"   // Policy.ChangedFrac fired
+	TriggerRotate = "rotate" // explicit Rotate (or legacy freeze)
+)
+
+// Generation is one immutable published epoch: the proximity graph
+// built from the uploads snapshotted at trigger time, a fully built
+// anonymizer over it, and the bookkeeping that went into the
+// deterministic transcript.
+type Generation struct {
+	// Epoch is the 1-based generation number, assigned at trigger time.
+	Epoch uint64
+	// Trigger records why this epoch was started (Trigger* constants).
+	Trigger string
+	// Seq is the total number of accepted uploads when the trigger
+	// fired; the generation reflects exactly that upload prefix.
+	Seq uint64
+	// UploadsIn is how many uploads arrived since the previous trigger —
+	// the epoch's build cost in the paper's message accounting (each
+	// upload is one proximity message). Billed to the first Cloak served
+	// from this generation.
+	UploadsIn int
+	// Changed is how many distinct users' rankings actually changed
+	// since the previous trigger.
+	Changed int
+
+	// Build results (zero/nil when BuildErr != nil).
+	Graph    *wpg.Graph
+	Anon     *anonymizer.Server
+	Edges    int
+	Clusters int
+	Skipped  int
+	BuildErr error
+
+	// BuildDuration is wall-clock observability only; it never enters
+	// the transcript (which must stay deterministic).
+	BuildDuration time.Duration
+
+	billed atomic.Bool
+}
+
+// transcriptLine renders the generation's deterministic transcript
+// entry. No durations, no timestamps.
+func (g *Generation) transcriptLine() string {
+	if g.BuildErr != nil {
+		return fmt.Sprintf("epoch=%d trigger=%s seq=%d uploads=%d changed=%d err=%v",
+			g.Epoch, g.Trigger, g.Seq, g.UploadsIn, g.Changed, g.BuildErr)
+	}
+	return fmt.Sprintf("epoch=%d trigger=%s seq=%d uploads=%d changed=%d edges=%d clusters=%d skipped=%d",
+		g.Epoch, g.Trigger, g.Seq, g.UploadsIn, g.Changed, g.Edges, g.Clusters, g.Skipped)
+}
+
+// Sentinel errors.
+var (
+	// ErrNotReady: no generation has been published yet. The message
+	// deliberately contains "not frozen" for v0 protocol compatibility.
+	ErrNotReady = errors.New("epoch: graph not frozen yet (no epoch published; upload then freeze or rotate)")
+	// ErrNoNewUploads: a rotate was requested but nothing changed since
+	// the previous trigger, so the rebuild would reproduce the serving
+	// generation exactly.
+	ErrNoNewUploads = errors.New("epoch: no new uploads since the last rebuild")
+	// ErrClosed: the manager was shut down.
+	ErrClosed = errors.New("epoch: manager closed")
+)
+
+// Manager runs the pipeline. Safe for concurrent use: uploads and
+// rotates serialize on one mutex, builds run on a background goroutine
+// draining a serial queue, and Cloak reads the published generation
+// through an atomic pointer without taking any lock.
+type Manager struct {
+	numUsers int
+	k        int
+	workers  int
+	policy   Policy
+	histCap  int
+	em       *metrics.EpochMetrics
+
+	mu           sync.Mutex
+	uploads      map[int32][]RankedPeer
+	changed      map[int32]struct{}
+	uploadsSince int
+	seq          uint64
+	nextEpoch    uint64
+	queue        []buildJob
+	building     bool
+	closed       bool
+	idle         *sync.Cond // broadcast when the queue drains (or on close)
+	history      []*Generation
+	transcript   []string
+	builds       uint64
+	swaps        uint64
+	lastBuildDur time.Duration
+
+	cur atomic.Pointer[Generation]
+}
+
+type buildJob struct {
+	gen     *Generation
+	uploads map[int32][]RankedPeer
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithK sets the anonymity level (default 10, Table I).
+func WithK(k int) Option { return func(m *Manager) { m.k = k } }
+
+// WithWorkers sets the clustering worker count per rebuild (<= 0
+// selects GOMAXPROCS).
+func WithWorkers(n int) Option { return func(m *Manager) { m.workers = n } }
+
+// WithPolicy sets the automatic rebuild policy (default: manual only).
+func WithPolicy(p Policy) Option { return func(m *Manager) { m.policy = p } }
+
+// WithMetrics attaches epoch metrics (nil is fine — all hooks are
+// nil-safe).
+func WithMetrics(em *metrics.EpochMetrics) Option { return func(m *Manager) { m.em = em } }
+
+// WithHistoryLimit caps how many completed generations History retains
+// (default 128; the transcript is never truncated).
+func WithHistoryLimit(n int) Option { return func(m *Manager) { m.histCap = n } }
+
+// New returns a Manager for a population of numUsers devices.
+func New(numUsers int, opts ...Option) (*Manager, error) {
+	if numUsers < 1 {
+		return nil, fmt.Errorf("epoch: population %d < 1", numUsers)
+	}
+	m := &Manager{
+		numUsers: numUsers,
+		k:        10,
+		histCap:  128,
+		uploads:  make(map[int32][]RankedPeer),
+		changed:  make(map[int32]struct{}),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.k < 1 {
+		return nil, fmt.Errorf("epoch: k %d < 1", m.k)
+	}
+	if m.policy.ChangedFrac < 0 || m.policy.ChangedFrac > 1 {
+		return nil, fmt.Errorf("epoch: ChangedFrac %v outside [0,1]", m.policy.ChangedFrac)
+	}
+	if m.histCap < 1 {
+		m.histCap = 1
+	}
+	m.idle = sync.NewCond(&m.mu)
+	return m, nil
+}
+
+// K returns the configured anonymity level.
+func (m *Manager) K() int { return m.k }
+
+// NumUsers returns the population size.
+func (m *Manager) NumUsers() int { return m.numUsers }
+
+// Policy returns the rebuild policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// Upload folds one user's ranked peer list into the next epoch's input
+// and fires the rebuild policy if its threshold is reached. A re-upload
+// identical to the user's stored ranking counts toward EveryUploads but
+// not toward ChangedFrac.
+func (m *Manager) Upload(user int32, peers []RankedPeer) error {
+	if int(user) < 0 || int(user) >= m.numUsers {
+		return fmt.Errorf("epoch: user %d out of range [0,%d)", user, m.numUsers)
+	}
+	for _, pr := range peers {
+		if int(pr.Peer) < 0 || int(pr.Peer) >= m.numUsers {
+			return fmt.Errorf("epoch: peer %d out of range [0,%d)", pr.Peer, m.numUsers)
+		}
+		if pr.Rank < 1 {
+			return fmt.Errorf("epoch: rank %d < 1 for peer %d", pr.Rank, pr.Peer)
+		}
+	}
+	cp := append([]RankedPeer(nil), peers...)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if !equalRanks(m.uploads[user], cp) {
+		m.changed[user] = struct{}{}
+	}
+	m.uploads[user] = cp
+	m.seq++
+	m.uploadsSince++
+	if reason := m.policyFiredLocked(); reason != "" {
+		m.triggerLocked(reason)
+	}
+	return nil
+}
+
+func (m *Manager) policyFiredLocked() string {
+	if m.policy.EveryUploads > 0 && m.uploadsSince >= m.policy.EveryUploads {
+		return TriggerCount
+	}
+	if m.policy.ChangedFrac > 0 &&
+		float64(len(m.changed)) >= m.policy.ChangedFrac*float64(m.numUsers) {
+		return TriggerFrac
+	}
+	return ""
+}
+
+// triggerLocked assigns the next epoch number, snapshots the upload
+// state, resets the since-trigger counters, and enqueues the build.
+// Callers hold m.mu.
+func (m *Manager) triggerLocked(reason string) *Generation {
+	m.nextEpoch++
+	gen := &Generation{
+		Epoch:     m.nextEpoch,
+		Trigger:   reason,
+		Seq:       m.seq,
+		UploadsIn: m.uploadsSince,
+		Changed:   len(m.changed),
+	}
+	// Shallow copy: upload slices are copied on write and never mutated
+	// afterwards, so the snapshot shares them safely.
+	snap := make(map[int32][]RankedPeer, len(m.uploads))
+	for u, p := range m.uploads {
+		snap[u] = p
+	}
+	m.uploadsSince = 0
+	m.changed = make(map[int32]struct{})
+	m.queue = append(m.queue, buildJob{gen: gen, uploads: snap})
+	m.em.SetPending(len(m.queue))
+	if !m.building {
+		m.building = true
+		go m.builderLoop()
+	}
+	return gen
+}
+
+// Rotate forces a new epoch now, regardless of policy. It returns the
+// assigned epoch number; the build itself completes in the background
+// (use Sync to wait for publication). Rotating when nothing changed
+// since the previous trigger returns ErrNoNewUploads — except for the
+// very first epoch, which may legitimately be empty (the legacy "freeze
+// with no uploads" case).
+func (m *Manager) Rotate() (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	if m.nextEpoch > 0 && m.uploadsSince == 0 {
+		return 0, ErrNoNewUploads
+	}
+	return m.triggerLocked(TriggerRotate).Epoch, nil
+}
+
+// builderLoop drains the build queue serially (publication order ==
+// trigger order, which the determinism contract requires), then exits;
+// the next trigger restarts it.
+func (m *Manager) builderLoop() {
+	for {
+		m.mu.Lock()
+		if len(m.queue) == 0 || m.closed {
+			m.building = false
+			m.em.SetPending(0)
+			m.idle.Broadcast()
+			m.mu.Unlock()
+			return
+		}
+		job := m.queue[0]
+		m.queue = m.queue[1:]
+		m.em.SetPending(len(m.queue) + 1) // the job itself still counts
+		m.mu.Unlock()
+		m.build(job)
+	}
+}
+
+// build constructs one generation from its snapshot and publishes it.
+func (m *Manager) build(job buildJob) {
+	gen := job.gen
+	start := time.Now()
+	g, err := BuildGraph(m.numUsers, job.uploads)
+	if err == nil {
+		anon := anonymizer.NewServer(g,
+			anonymizer.WithK(m.k),
+			anonymizer.WithWorkers(m.workers),
+			anonymizer.WithEpoch(gen.Epoch))
+		if err = anon.Build(context.Background()); err == nil {
+			gen.Graph = g
+			gen.Anon = anon
+			gen.Edges = g.NumEdges()
+			gen.Clusters = anon.Registry().NumClusters()
+			gen.Skipped = anon.Unclusterable()
+		}
+	}
+	gen.BuildErr = err
+	gen.BuildDuration = time.Since(start)
+	m.em.ObserveBuild(gen.BuildDuration, err == nil)
+
+	m.mu.Lock()
+	m.builds++
+	m.lastBuildDur = gen.BuildDuration
+	m.transcript = append(m.transcript, gen.transcriptLine())
+	m.history = append(m.history, gen)
+	if len(m.history) > m.histCap {
+		m.history = m.history[len(m.history)-m.histCap:]
+	}
+	if err == nil {
+		m.swaps++
+	}
+	m.mu.Unlock()
+
+	if err == nil {
+		// Publish: from here on every Cloak reads this generation.
+		m.cur.Store(gen)
+		m.em.ObserveSwap()
+	}
+}
+
+// Cloak serves a request from the current generation, lock-free with
+// respect to any in-flight rebuild. cost follows the paper's
+// accounting: the first request served from each generation is billed
+// the uploads that went into its build, every other request is free.
+// epoch reports which generation answered.
+func (m *Manager) Cloak(ctx context.Context, host int32) (cluster *core.Cluster, cost int, epoch uint64, err error) {
+	gen := m.cur.Load()
+	if gen == nil {
+		return nil, 0, 0, ErrNotReady
+	}
+	cluster, _, err = gen.Anon.Cloak(ctx, host)
+	if err != nil {
+		return nil, 0, gen.Epoch, err
+	}
+	if gen.billed.CompareAndSwap(false, true) {
+		cost = gen.UploadsIn
+	}
+	return cluster, cost, gen.Epoch, nil
+}
+
+// Current returns the serving generation (nil before the first
+// publish).
+func (m *Manager) Current() *Generation { return m.cur.Load() }
+
+// Sync blocks until every epoch triggered so far has been built and
+// published (or ctx dies). A freeze-style caller rotates and then syncs
+// so the reply only goes out once cloaking is live.
+func (m *Manager) Sync(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		m.mu.Lock()
+		for (len(m.queue) > 0 || m.building) && !m.closed {
+			m.idle.Wait()
+		}
+		m.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting uploads and rotates and drops any queued (not
+// yet started) builds. An in-flight build finishes and publishes.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.queue = nil
+	m.idle.Broadcast()
+	m.mu.Unlock()
+}
+
+// History returns the completed generations in epoch order (capped by
+// WithHistoryLimit).
+func (m *Manager) History() []*Generation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Generation(nil), m.history...)
+}
+
+// Transcript returns the deterministic epoch transcript: one line per
+// completed build, in epoch order. Call Sync first for a complete view.
+func (m *Manager) Transcript() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.transcript...)
+}
+
+// Status is a point-in-time view of the pipeline for stats/epoch
+// protocol payloads.
+type Status struct {
+	// Epoch and Published describe the serving generation (Epoch 0 and
+	// Published false before the first publish).
+	Epoch     uint64
+	Published bool
+	Edges     int
+	Clusters  int
+	Skipped   int
+
+	Users               int
+	Uploads             int    // distinct users with a stored upload
+	UploadsSeen         uint64 // total accepted uploads
+	SinceTrigger        int    // uploads since the last trigger
+	ChangedSinceTrigger int    // distinct users changed since the last trigger
+	Pending             int    // triggered epochs not yet published
+	Builds              uint64
+	Swaps               uint64
+	LastBuildDuration   time.Duration
+	Policy              Policy
+}
+
+// Status captures the pipeline state.
+func (m *Manager) Status() Status {
+	gen := m.cur.Load()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{
+		Users:               m.numUsers,
+		Uploads:             len(m.uploads),
+		UploadsSeen:         m.seq,
+		SinceTrigger:        m.uploadsSince,
+		ChangedSinceTrigger: len(m.changed),
+		Pending:             len(m.queue),
+		Builds:              m.builds,
+		Swaps:               m.swaps,
+		LastBuildDuration:   m.lastBuildDur,
+		Policy:              m.policy,
+	}
+	if m.building {
+		st.Pending++
+	}
+	if gen != nil {
+		st.Epoch = gen.Epoch
+		st.Published = true
+		st.Edges = gen.Edges
+		st.Clusters = gen.Clusters
+		st.Skipped = gen.Skipped
+	}
+	return st
+}
+
+func equalRanks(a, b []RankedPeer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildGraph assembles the WPG from per-user rank uploads exactly like
+// wpg.Build does from raw measurements: an undirected edge (a,b) exists
+// iff both users uploaded each other, with weight min(rank_a(b),
+// rank_b(a)). The result is independent of map iteration order, which
+// the determinism contract relies on.
+func BuildGraph(n int, uploads map[int32][]RankedPeer) (*wpg.Graph, error) {
+	type key struct{ a, b int32 }
+	weights := make(map[key]int32)
+	for user, peers := range uploads {
+		for _, pr := range peers {
+			if pr.Peer == user {
+				continue
+			}
+			other, ok := uploads[pr.Peer]
+			if !ok {
+				continue
+			}
+			var reverse int32
+			for _, rp := range other {
+				if rp.Peer == user {
+					reverse = rp.Rank
+					break
+				}
+			}
+			if reverse == 0 {
+				continue // not mutual
+			}
+			w := pr.Rank
+			if reverse < w {
+				w = reverse
+			}
+			k := key{user, pr.Peer}
+			if k.a > k.b {
+				k.a, k.b = k.b, k.a
+			}
+			if old, seen := weights[k]; !seen || w < old {
+				weights[k] = w
+			}
+		}
+	}
+	edges := make([]graph.Edge, 0, len(weights))
+	for k, w := range weights {
+		edges = append(edges, graph.Edge{U: k.a, V: k.b, W: w})
+	}
+	return wpg.FromEdges(n, edges)
+}

@@ -1,0 +1,521 @@
+package epoch
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nonexposure/internal/metrics"
+)
+
+var bg = context.Background()
+
+// ringUploads returns each user's ranked peers on a ring: nearest
+// neighbor at rank 1, the other side at rank 2. Every adjacent pair is
+// mutual, so BuildGraph yields an n-cycle.
+func ringUploads(n int) map[int32][]RankedPeer {
+	out := make(map[int32][]RankedPeer, n)
+	for i := 0; i < n; i++ {
+		out[int32(i)] = []RankedPeer{
+			{Peer: int32((i + 1) % n), Rank: 1},
+			{Peer: int32((i - 1 + n) % n), Rank: 2},
+		}
+	}
+	return out
+}
+
+// uploadRing pushes a full ring population into the manager.
+func uploadRing(t *testing.T, m *Manager, n int) {
+	t.Helper()
+	for u, peers := range ringUploads(n) {
+		if err := m.Upload(u, peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBuildGraphMutualEdges(t *testing.T) {
+	g, err := BuildGraph(6, ringUploads(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 6 {
+		t.Errorf("ring of 6: %d edges, want 6", g.NumEdges())
+	}
+	// Non-mutual claims produce no edge.
+	g, err = BuildGraph(3, map[int32][]RankedPeer{
+		0: {{Peer: 1, Rank: 1}},
+		2: {{Peer: 0, Rank: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("one-sided uploads: %d edges, want 0", g.NumEdges())
+	}
+	// Self-references are ignored, mutual weight is the min rank.
+	g, err = BuildGraph(2, map[int32][]RankedPeer{
+		0: {{Peer: 0, Rank: 1}, {Peer: 1, Rank: 3}},
+		1: {{Peer: 1, Rank: 2}, {Peer: 0, Rank: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.Weight(0, 1); !ok || w != 1 {
+		t.Errorf("weight(0,1) = %d,%v, want 1,true", w, ok)
+	}
+}
+
+func TestRotatePublishesGeneration(t *testing.T) {
+	em := metrics.NewEpochMetrics()
+	m, err := New(12, WithK(3), WithMetrics(em))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Nothing published yet: v0 clients must still see "not frozen".
+	if _, _, _, err := m.Cloak(bg, 0); !errors.Is(err, ErrNotReady) ||
+		!strings.Contains(err.Error(), "not frozen") {
+		t.Fatalf("cloak before publish = %v", err)
+	}
+
+	uploadRing(t, m, 12)
+	ep, err := m.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != 1 {
+		t.Errorf("first epoch = %d, want 1", ep)
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	gen := m.Current()
+	if gen == nil || gen.Epoch != 1 || gen.BuildErr != nil {
+		t.Fatalf("current generation = %+v", gen)
+	}
+	if gen.Trigger != TriggerRotate || gen.UploadsIn != 12 || gen.Changed != 12 {
+		t.Errorf("generation bookkeeping = %+v", gen)
+	}
+	if gen.Edges != 12 {
+		t.Errorf("ring edges = %d, want 12", gen.Edges)
+	}
+
+	c, cost, servedBy, err := m.Cloak(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if servedBy != 1 {
+		t.Errorf("served by epoch %d, want 1", servedBy)
+	}
+	if cost != 12 {
+		t.Errorf("first cloak cost = %d, want 12 (uploads in the epoch)", cost)
+	}
+	if !c.Contains(0) || c.Size() < 3 {
+		t.Errorf("cluster = %v", c.Members)
+	}
+	// Only the first request per generation is billed.
+	if _, cost, _, err := m.Cloak(bg, 1); err != nil || cost != 0 {
+		t.Errorf("second cloak cost=%d err=%v, want 0/nil", cost, err)
+	}
+
+	if s := em.Snapshot(); s.Builds != 1 || s.Swaps != 1 || s.BuildFails != 0 {
+		t.Errorf("metrics = %+v", s)
+	}
+}
+
+func TestRotateSemantics(t *testing.T) {
+	m, err := New(8, WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// The first rotate is always allowed, even with zero uploads (the
+	// legacy "freeze an empty server" case).
+	if _, err := m.Rotate(); err != nil {
+		t.Fatalf("empty first rotate: %v", err)
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	// A second rotate with nothing new is pointless and rejected.
+	if _, err := m.Rotate(); !errors.Is(err, ErrNoNewUploads) {
+		t.Fatalf("idle rotate = %v, want ErrNoNewUploads", err)
+	}
+	// New uploads re-arm it.
+	uploadRing(t, m, 8)
+	ep, err := m.Rotate()
+	if err != nil || ep != 2 {
+		t.Fatalf("rotate after uploads = %d, %v", ep, err)
+	}
+}
+
+func TestPolicyCountTrigger(t *testing.T) {
+	m, err := New(10, WithK(2), WithPolicy(Policy{EveryUploads: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	uploadRing(t, m, 10) // exactly 10 uploads → auto-trigger
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	gen := m.Current()
+	if gen == nil || gen.Trigger != TriggerCount || gen.Epoch != 1 {
+		t.Fatalf("generation = %+v", gen)
+	}
+	if st := m.Status(); st.SinceTrigger != 0 || !st.Published {
+		t.Errorf("status after trigger = %+v", st)
+	}
+}
+
+func TestPolicyFracTriggerIgnoresUnchangedReuploads(t *testing.T) {
+	const n = 10
+	m, err := New(n, WithK(2), WithPolicy(Policy{ChangedFrac: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ring := ringUploads(n)
+	// Four distinct changed users: below the 50% threshold.
+	for i := int32(0); i < 4; i++ {
+		if err := m.Upload(i, ring[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-uploading identical rankings must not count as change.
+	for i := int32(0); i < 4; i++ {
+		if err := m.Upload(i, ring[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Status(); st.ChangedSinceTrigger != 4 || st.UploadsSeen != 8 {
+		t.Fatalf("status = %+v", st)
+	}
+	if m.Current() != nil {
+		t.Fatal("triggered below threshold")
+	}
+	// The fifth distinct user tips 5/10 >= 0.5.
+	if err := m.Upload(4, ring[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	gen := m.Current()
+	if gen == nil || gen.Trigger != TriggerFrac || gen.Changed != 5 {
+		t.Fatalf("generation = %+v", gen)
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	m, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Upload(4, nil); err == nil {
+		t.Error("out-of-range user accepted")
+	}
+	if err := m.Upload(0, []RankedPeer{{Peer: 9, Rank: 1}}); err == nil {
+		t.Error("out-of-range peer accepted")
+	}
+	if err := m.Upload(0, []RankedPeer{{Peer: 1, Rank: 0}}); err == nil {
+		t.Error("zero rank accepted")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("empty population accepted")
+	}
+	if _, err := New(4, WithK(0)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(4, WithPolicy(Policy{ChangedFrac: 1.5})); err == nil {
+		t.Error("ChangedFrac > 1 accepted")
+	}
+}
+
+func TestCloseRejectsFurtherWork(t *testing.T) {
+	m, err := New(6, WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploadRing(t, m, 6)
+	if _, err := m.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if err := m.Upload(0, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("upload after close = %v", err)
+	}
+	if _, err := m.Rotate(); !errors.Is(err, ErrClosed) {
+		t.Errorf("rotate after close = %v", err)
+	}
+	// The published generation keeps serving.
+	if _, _, _, err := m.Cloak(bg, 0); err != nil {
+		t.Errorf("cloak after close = %v", err)
+	}
+}
+
+func TestSyncHonorsContext(t *testing.T) {
+	m, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	// Nothing pending: returns immediately even with a dead ctx or not —
+	// either way it must not hang. With pending work and a dead ctx it
+	// must return ctx.Err(); simulate by enqueuing manually.
+	m.mu.Lock()
+	m.queue = append(m.queue, buildJob{}) // never drained: builderLoop not started
+	m.mu.Unlock()
+	if err := m.Sync(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("sync with dead ctx and pending work = %v", err)
+	}
+	m.mu.Lock()
+	m.queue = nil
+	m.mu.Unlock()
+}
+
+// scripted is a deterministic upload script: a fixed sequence of
+// (user, peers) derived from a seeded PRNG, with churn that re-ranks a
+// user's view of the ring.
+type scriptedUpload struct {
+	user  int32
+	peers []RankedPeer
+}
+
+func uploadScript(seed int64, n, steps int) []scriptedUpload {
+	rng := rand.New(rand.NewSource(seed))
+	base := ringUploads(n)
+	script := make([]scriptedUpload, 0, n+steps)
+	for i := 0; i < n; i++ {
+		script = append(script, scriptedUpload{int32(i), base[int32(i)]})
+	}
+	for s := 0; s < steps; s++ {
+		u := int32(rng.Intn(n))
+		peers := append([]RankedPeer(nil), base[u]...)
+		if rng.Intn(2) == 0 { // swap the two ranks: a real change
+			peers[0].Rank, peers[1].Rank = peers[1].Rank, peers[0].Rank
+		}
+		script = append(script, scriptedUpload{u, peers})
+	}
+	return script
+}
+
+func runScript(t *testing.T, script []scriptedUpload, n int, opts ...Option) []string {
+	t.Helper()
+	m, err := New(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, su := range script {
+		if err := m.Upload(su.user, su.peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Rotate(); err != nil && !errors.Is(err, ErrNoNewUploads) {
+		t.Fatal(err)
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	return m.Transcript()
+}
+
+// TestTranscriptDeterministic is the acceptance gate: the same upload
+// sequence under the same policy must produce a byte-identical epoch
+// transcript on every run, even though builds happen on a background
+// goroutine.
+func TestTranscriptDeterministic(t *testing.T) {
+	const n = 40
+	script := uploadScript(7, n, 300)
+	opts := []Option{WithK(3), WithWorkers(4), WithPolicy(Policy{EveryUploads: 60, ChangedFrac: 0.4})}
+	a := runScript(t, script, n, opts...)
+	b := runScript(t, script, n, opts...)
+	if len(a) == 0 {
+		t.Fatal("empty transcript")
+	}
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("transcripts differ:\nrun A:\n%s\nrun B:\n%s",
+			strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+	// Epoch numbers are sequential and triggers recorded.
+	for i, line := range a {
+		if !strings.Contains(line, "epoch=") || !strings.Contains(line, "trigger=") {
+			t.Errorf("transcript line %d malformed: %q", i, line)
+		}
+	}
+	t.Logf("deterministic transcript of %d epochs, last: %s", len(a), a[len(a)-1])
+}
+
+// TestConcurrentUploadsAndCloaksAcrossSwaps hammers the manager with
+// parallel uploaders and cloakers while generations swap underneath
+// (run under -race). Invariants: cloaks never fail once the first
+// generation publishes, the observed epoch never goes backwards per
+// reader, and every served cluster satisfies k-anonymity.
+func TestConcurrentUploadsAndCloaksAcrossSwaps(t *testing.T) {
+	const n = 60
+	m, err := New(n, WithK(3), WithWorkers(2), WithPolicy(Policy{EveryUploads: n}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Publish a first generation so cloakers have something to read.
+	uploadRing(t, m, n)
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		uploaders sync.WaitGroup
+		cloakers  sync.WaitGroup
+		served    atomic.Int64
+		failures  atomic.Int64
+		maxEpoch  atomic.Uint64
+	)
+	stop := make(chan struct{})
+
+	// Uploaders: a bounded number of rank-churn rounds, each round worth
+	// one policy trigger across the four goroutines.
+	const rounds = 10
+	for w := 0; w < 4; w++ {
+		uploaders.Add(1)
+		go func(w int) {
+			defer uploaders.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < rounds*n/4; i++ {
+				u := int32(rng.Intn(n))
+				peers := []RankedPeer{
+					{Peer: (u + 1) % n, Rank: int32(1 + rng.Intn(3))},
+					{Peer: (u - 1 + n) % n, Rank: int32(1 + rng.Intn(3))},
+				}
+				if err := m.Upload(u, peers); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("upload: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Cloakers: epoch must be monotone per goroutine, clusters valid.
+	for w := 0; w < 4; w++ {
+		cloakers.Add(1)
+		go func(w int) {
+			defer cloakers.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				host := int32(rng.Intn(n))
+				c, _, ep, err := m.Cloak(bg, host)
+				if err != nil {
+					// Undersized components can appear as churn splits the
+					// ring; that error is legitimate. Anything else is not.
+					if !strings.Contains(err.Error(), "smaller than k") {
+						failures.Add(1)
+						t.Errorf("cloak(%d): %v", host, err)
+						return
+					}
+					continue
+				}
+				if ep < last {
+					t.Errorf("epoch went backwards: %d after %d", ep, last)
+					return
+				}
+				last = ep
+				served.Add(1)
+				if c.Size() < 3 || !c.Contains(host) {
+					t.Errorf("epoch %d: bad cluster %v for %d", ep, c.Members, host)
+					return
+				}
+				if ep > maxEpoch.Load() {
+					maxEpoch.Store(ep)
+				}
+			}
+		}(w)
+	}
+
+	uploaders.Wait()
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	// Every triggered epoch has published; the cloakers are still
+	// hammering, so the final generation must now be visible to them.
+	final := m.Current().Epoch
+	deadline := time.Now().Add(5 * time.Second)
+	for maxEpoch.Load() < final && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	cloakers.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d cloak failures", failures.Load())
+	}
+	if got := maxEpoch.Load(); got < 2 || got < final {
+		t.Errorf("cloakers reached epoch %d, want the final epoch %d (>= 2)", got, final)
+	}
+	if served.Load() == 0 {
+		t.Error("no cloak was served during the churn")
+	}
+	st := m.Status()
+	if st.Builds < 2 || st.Swaps < 2 {
+		t.Errorf("status after hammer = %+v", st)
+	}
+	t.Logf("%d cloaks served across %d epochs (%d builds)", served.Load(), maxEpoch.Load(), st.Builds)
+}
+
+func TestHistoryCapAndStatus(t *testing.T) {
+	const n = 6
+	m, err := New(n, WithK(2), WithHistoryLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ring := ringUploads(n)
+	for round := 0; round < 4; round++ {
+		for i := int32(0); i < n; i++ {
+			peers := append([]RankedPeer(nil), ring[i]...)
+			peers[0].Rank = int32(1 + round) // force a change each round
+			if err := m.Upload(i, peers); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	if h := m.History(); len(h) != 2 || h[1].Epoch != 4 {
+		t.Fatalf("history = %d entries, last %+v", len(h), h[len(h)-1])
+	}
+	// The transcript is never truncated.
+	if tr := m.Transcript(); len(tr) != 4 {
+		t.Fatalf("transcript = %d lines, want 4", len(tr))
+	}
+	st := m.Status()
+	if st.Epoch != 4 || st.Builds != 4 || st.Swaps != 4 || st.Pending != 0 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Policy.String() != "manual" {
+		t.Errorf("policy string = %q", st.Policy.String())
+	}
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// EpochMetrics tracks the health of the live re-clustering pipeline:
+// how many rebuilds ran (and failed), how long they took, how many
+// generation swaps were published, how deep the pending-build queue is,
+// and how stale the serving generation is. All methods are safe for
+// concurrent use and safe on a nil receiver, so instrumentation can be
+// optional at the call sites.
+type EpochMetrics struct {
+	builds     atomic.Uint64
+	buildFails atomic.Uint64
+	swaps      atomic.Uint64
+	pending    atomic.Int64
+	buildDur   LatencyHistogram
+	lastSwapNs atomic.Int64 // unix nanos of the latest publish, 0 = never
+}
+
+// NewEpochMetrics returns an empty epoch metrics set.
+func NewEpochMetrics() *EpochMetrics { return &EpochMetrics{} }
+
+// ObserveBuild folds in one completed rebuild attempt.
+func (m *EpochMetrics) ObserveBuild(d time.Duration, ok bool) {
+	if m == nil {
+		return
+	}
+	m.builds.Add(1)
+	if !ok {
+		m.buildFails.Add(1)
+	}
+	m.buildDur.Observe(d)
+}
+
+// ObserveSwap records that a freshly built generation was published.
+func (m *EpochMetrics) ObserveSwap() {
+	if m == nil {
+		return
+	}
+	m.swaps.Add(1)
+	m.lastSwapNs.Store(time.Now().UnixNano())
+}
+
+// SetPending records the current depth of the build queue (triggered
+// epochs not yet published).
+func (m *EpochMetrics) SetPending(n int) {
+	if m == nil {
+		return
+	}
+	m.pending.Store(int64(n))
+}
+
+// Staleness is the gauge for "how old is what we are serving": the time
+// since the last generation swap, or 0 when nothing was ever published.
+func (m *EpochMetrics) Staleness() time.Duration {
+	if m == nil {
+		return 0
+	}
+	last := m.lastSwapNs.Load()
+	if last == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - last)
+}
+
+// EpochSnapshot is a point-in-time view of an EpochMetrics.
+type EpochSnapshot struct {
+	Builds     uint64
+	BuildFails uint64
+	Swaps      uint64
+	Pending    int
+	BuildMean  time.Duration
+	BuildP50   time.Duration
+	BuildP95   time.Duration
+	Staleness  time.Duration
+}
+
+// Snapshot captures the current counters (zero value on a nil receiver).
+func (m *EpochMetrics) Snapshot() EpochSnapshot {
+	if m == nil {
+		return EpochSnapshot{}
+	}
+	return EpochSnapshot{
+		Builds:     m.builds.Load(),
+		BuildFails: m.buildFails.Load(),
+		Swaps:      m.swaps.Load(),
+		Pending:    int(m.pending.Load()),
+		BuildMean:  m.buildDur.Mean(),
+		BuildP50:   m.buildDur.Quantile(0.50),
+		BuildP95:   m.buildDur.Quantile(0.95),
+		Staleness:  m.Staleness(),
+	}
+}
+
+// String renders a compact one-line report for shutdown logs.
+func (s EpochSnapshot) String() string {
+	return fmt.Sprintf("builds=%d fails=%d swaps=%d pending=%d build_p50=%v build_p95=%v staleness=%v",
+		s.Builds, s.BuildFails, s.Swaps, s.Pending, s.BuildP50, s.BuildP95, s.Staleness)
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEpochMetricsCounters(t *testing.T) {
+	m := NewEpochMetrics()
+	if s := m.Snapshot(); s.Builds != 0 || s.Swaps != 0 || s.Staleness != 0 {
+		t.Fatalf("fresh snapshot = %+v", s)
+	}
+	m.ObserveBuild(5*time.Millisecond, true)
+	m.ObserveBuild(10*time.Millisecond, false)
+	m.ObserveSwap()
+	m.SetPending(3)
+	s := m.Snapshot()
+	if s.Builds != 2 || s.BuildFails != 1 || s.Swaps != 1 || s.Pending != 3 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.BuildP50 <= 0 || s.BuildP95 < s.BuildP50 {
+		t.Errorf("build percentiles: p50=%v p95=%v", s.BuildP50, s.BuildP95)
+	}
+	if s.Staleness < 0 || s.Staleness > time.Minute {
+		t.Errorf("staleness right after a swap = %v", s.Staleness)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestEpochMetricsNilReceiver: every method must be a no-op on nil so
+// instrumentation stays optional.
+func TestEpochMetricsNilReceiver(t *testing.T) {
+	var m *EpochMetrics
+	m.ObserveBuild(time.Second, true)
+	m.ObserveSwap()
+	m.SetPending(1)
+	if m.Staleness() != 0 {
+		t.Error("nil staleness != 0")
+	}
+	if s := m.Snapshot(); s.Builds != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestEpochMetricsConcurrent(t *testing.T) {
+	m := NewEpochMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.ObserveBuild(time.Millisecond, true)
+				m.ObserveSwap()
+				m.SetPending(j)
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := m.Snapshot(); s.Builds != 800 || s.Swaps != 800 {
+		t.Errorf("snapshot after hammer = %+v", s)
+	}
+}

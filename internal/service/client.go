@@ -8,7 +8,9 @@ import (
 	"time"
 )
 
-// Client is a device-side connection to the anonymizer service.
+// Client is a device-side connection to the anonymizer service. The
+// legacy methods (Upload, Freeze, Cloak, Stats) speak v0; the *V1
+// methods and Rotate/EpochStatus speak the v1 envelope protocol.
 type Client struct {
 	conn net.Conn
 	dec  *json.Decoder
@@ -45,20 +47,40 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	return resp, nil
 }
 
+// roundTripV1 sends a version-1 request and decodes the envelope. A
+// server answering a malformed line replies in the v0 shape; that still
+// decodes here (V stays 0, Error carries the reason).
+func (c *Client) roundTripV1(req Request) (Envelope, error) {
+	req.V = ProtocolVersion
+	if err := c.enc.Encode(req); err != nil {
+		return Envelope{}, fmt.Errorf("service: send %s: %w", req.Op, err)
+	}
+	var env Envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("service: receive %s: %w", req.Op, err)
+	}
+	if !env.OK {
+		return env, fmt.Errorf("service: %s: %s", req.Op, env.Error)
+	}
+	return env, nil
+}
+
 // Ping checks liveness.
 func (c *Client) Ping() error {
 	_, err := c.roundTrip(Request{Op: OpPing})
 	return err
 }
 
-// Upload submits this user's ranked peer list.
+// Upload submits this user's ranked peer list. Uploads are accepted at
+// any time; once an epoch has been published they become input to the
+// next one.
 func (c *Client) Upload(user int32, peers []PeerRank) error {
 	_, err := c.roundTrip(Request{Op: OpUpload, User: user, Peers: peers})
 	return err
 }
 
-// Freeze builds the proximity graph from all uploads; cloaking becomes
-// available afterwards. Returns the number of mutual edges formed.
+// Freeze forces an epoch rotation and waits for it to publish; cloaking
+// is available afterwards. Returns the number of mutual edges formed.
 func (c *Client) Freeze() (int, error) {
 	resp, err := c.roundTrip(Request{Op: OpFreeze})
 	if err != nil {
@@ -68,8 +90,8 @@ func (c *Client) Freeze() (int, error) {
 }
 
 // Cloak requests the k-anonymity cluster for user. cost is the number of
-// messages this request caused on the server side (population size for
-// the first request, zero after).
+// messages this request caused on the server side (the epoch's upload
+// count for the first request served from each generation, zero after).
 func (c *Client) Cloak(user int32) (cluster []int32, cost int, err error) {
 	resp, err := c.roundTrip(Request{Op: OpCloak, User: user})
 	if err != nil {
@@ -78,7 +100,59 @@ func (c *Client) Cloak(user int32) (cluster []int32, cost int, err error) {
 	return resp.Cluster, resp.Cost, nil
 }
 
-// Stats fetches server state.
+// Stats fetches server state in the legacy flat shape.
 func (c *Client) Stats() (Response, error) {
 	return c.roundTrip(Request{Op: OpStats})
+}
+
+// CloakV1 requests the k-anonymity cluster for user over the v1
+// protocol; the payload reports which epoch served the answer, and its
+// Cost field is present even when zero.
+func (c *Client) CloakV1(user int32) (*CloakPayload, error) {
+	env, err := c.roundTripV1(Request{Op: OpCloak, User: user})
+	if err != nil {
+		return nil, err
+	}
+	if env.Cloak == nil {
+		return nil, fmt.Errorf("service: cloak: v1 response missing payload")
+	}
+	return env.Cloak, nil
+}
+
+// Rotate forces a new epoch without waiting for its build. The returned
+// payload's Epoch is the freshly assigned generation number.
+func (c *Client) Rotate() (*EpochPayload, error) {
+	env, err := c.roundTripV1(Request{Op: OpRotate})
+	if err != nil {
+		return nil, err
+	}
+	if env.Epoch == nil {
+		return nil, fmt.Errorf("service: rotate: v1 response missing payload")
+	}
+	return env.Epoch, nil
+}
+
+// EpochStatus reports the re-clustering pipeline state.
+func (c *Client) EpochStatus() (*EpochPayload, error) {
+	env, err := c.roundTripV1(Request{Op: OpEpoch})
+	if err != nil {
+		return nil, err
+	}
+	if env.Epoch == nil {
+		return nil, fmt.Errorf("service: epoch: v1 response missing payload")
+	}
+	return env.Epoch, nil
+}
+
+// StatsV1 fetches server state in the v1 shape ("frozen" always
+// present).
+func (c *Client) StatsV1() (*StatsPayload, error) {
+	env, err := c.roundTripV1(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if env.Stats == nil {
+		return nil, fmt.Errorf("service: stats: v1 response missing payload")
+	}
+	return env.Stats, nil
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -22,6 +23,12 @@ func FuzzProtocolDecode(f *testing.F) {
 	f.Add([]byte(``))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte("{\"op\":\"ping\"}\n"))
+	f.Add([]byte(`{"v":1,"op":"ping"}`))
+	f.Add([]byte(`{"v":1,"op":"cloak","user":2}`))
+	f.Add([]byte(`{"v":1,"op":"epoch"}`))
+	f.Add([]byte(`{"v":1,"op":"rotate"}`))
+	f.Add([]byte(`{"v":99,"op":"stats"}`))
+	f.Add([]byte(`{"v":-1,"op":"stats"}`))
 
 	srv, err := NewServer(16, 3)
 	if err != nil {
@@ -59,13 +66,24 @@ func FuzzProtocolDecode(f *testing.F) {
 		}
 
 		// The dispatcher must answer anything the codec accepts without
-		// panicking, and its response must itself encode.
+		// panicking, and its response must itself encode — in both wire
+		// versions.
 		resp := srv.Handle(req)
 		if _, merr := json.Marshal(resp); merr != nil {
 			t.Fatalf("response does not marshal: %v", merr)
 		}
 		if resp.OK && resp.Error != "" {
 			t.Fatalf("response both OK and errored: %+v", resp)
+		}
+		env := srv.HandleEnvelope(context.Background(), req)
+		if _, merr := json.Marshal(env); merr != nil {
+			t.Fatalf("envelope does not marshal: %v", merr)
+		}
+		if env.V != ProtocolVersion {
+			t.Fatalf("envelope version = %d, want %d", env.V, ProtocolVersion)
+		}
+		if env.OK && env.Error != "" {
+			t.Fatalf("envelope both OK and errored: %+v", env)
 		}
 	})
 }

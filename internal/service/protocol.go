@@ -3,7 +3,9 @@
 // TCP, and cloaking requests are answered with k-anonymous clusters. The
 // wire protocol is line-delimited JSON — one request object per line, one
 // response object per line — so it is trivially scriptable and
-// inspectable.
+// inspectable. Two response formats coexist (see PROTOCOL.md): the
+// legacy v0 flat Response, and the v1 tagged Envelope with per-operation
+// payload objects, selected per request by the "v" field.
 //
 // Privacy note: exactly like the paper's anonymizer, the server only ever
 // sees *proximity ranks*, never coordinates. Phase 2 (secure bounding)
@@ -15,7 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"nonexposure/internal/graph"
+	"nonexposure/internal/epoch"
 	"nonexposure/internal/wpg"
 )
 
@@ -24,9 +26,11 @@ type Op string
 
 // The protocol operations.
 const (
-	// OpUpload submits one user's ranked peer list.
+	// OpUpload submits one user's ranked peer list. Uploads are accepted
+	// at any time; after the first epoch they become next-epoch input.
 	OpUpload Op = "upload"
-	// OpFreeze builds the WPG from all uploads and enables cloaking.
+	// OpFreeze forces an epoch rotation and waits for it to publish.
+	// Retained for v0 compatibility — it is a synchronous rotate.
 	OpFreeze Op = "freeze"
 	// OpCloak asks for the k-anonymity cluster of a user.
 	OpCloak Op = "cloak"
@@ -34,24 +38,36 @@ const (
 	OpStats Op = "stats"
 	// OpPing is a liveness check.
 	OpPing Op = "ping"
+	// OpRotate forces an epoch rotation without waiting for the build.
+	OpRotate Op = "rotate"
+	// OpEpoch reports the re-clustering pipeline state.
+	OpEpoch Op = "epoch"
 )
 
 // PeerRank is one entry of a device's proximity measurement: the peer's
-// id and its RSS rank (1 = strongest signal).
-type PeerRank struct {
-	Peer int32 `json:"peer"`
-	Rank int32 `json:"rank"`
-}
+// id and its RSS rank (1 = strongest signal). It is the epoch pipeline's
+// RankedPeer under its wire-protocol name.
+type PeerRank = epoch.RankedPeer
 
-// Request is one protocol request. Fields are used per Op:
-// Upload: User + Peers; Cloak: User; Freeze/Stats/Ping: none.
+// Request is one protocol request. V selects the response format (0 =
+// legacy flat Response, 1 = tagged Envelope). Fields are used per Op:
+// Upload: User + Peers; Cloak: User; Freeze/Rotate/Epoch/Stats/Ping:
+// none.
 type Request struct {
+	V     int        `json:"v,omitempty"`
 	Op    Op         `json:"op"`
 	User  int32      `json:"user,omitempty"`
 	Peers []PeerRank `json:"peers,omitempty"`
 }
 
-// Response is one protocol response. Error is empty on success.
+// Response is the legacy (v0) flat protocol response. Error is empty on
+// success.
+//
+// Known v0 wart, fixed in v1: omitempty makes semantically meaningful
+// zeros indistinguishable from absence — a cloak served from cache
+// (Cost 0) and an unfrozen server (Frozen false) simply drop the field.
+// The v1 Envelope payloads carry these fields explicitly; new clients
+// should send "v":1.
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
@@ -59,6 +75,9 @@ type Response struct {
 	// Cloak results.
 	Cluster []int32 `json:"cluster,omitempty"`
 	Cost    int     `json:"cost,omitempty"`
+
+	// Epoch of the serving generation (cloak/rotate/epoch results).
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	// Stats results.
 	Users     int  `json:"users,omitempty"`
@@ -104,48 +123,9 @@ func ParseRequest(line []byte) (Request, error) {
 	return req, nil
 }
 
-// buildGraph assembles the WPG from per-user rank uploads exactly like
-// wpg.Build does from raw measurements: an undirected edge (a,b) exists
-// iff both users uploaded each other, with weight min(rank_a(b),
-// rank_b(a)).
+// buildGraph assembles the WPG from per-user rank uploads. Kept as the
+// package-local name for the reconstruction, now shared with the epoch
+// pipeline.
 func buildGraph(n int, uploads map[int32][]PeerRank) (*wpg.Graph, error) {
-	type key struct{ a, b int32 }
-	weights := make(map[key]int32)
-	for user, peers := range uploads {
-		for _, pr := range peers {
-			if pr.Peer == user {
-				continue
-			}
-			other, ok := uploads[pr.Peer]
-			if !ok {
-				continue
-			}
-			var reverse int32
-			for _, rp := range other {
-				if rp.Peer == user {
-					reverse = rp.Rank
-					break
-				}
-			}
-			if reverse == 0 {
-				continue // not mutual
-			}
-			w := pr.Rank
-			if reverse < w {
-				w = reverse
-			}
-			k := key{user, pr.Peer}
-			if k.a > k.b {
-				k.a, k.b = k.b, k.a
-			}
-			if old, seen := weights[k]; !seen || w < old {
-				weights[k] = w
-			}
-		}
-	}
-	edges := make([]graph.Edge, 0, len(weights))
-	for k, w := range weights {
-		edges = append(edges, graph.Edge{U: k.a, V: k.b, W: w})
-	}
-	return wpg.FromEdges(n, edges)
+	return epoch.BuildGraph(n, uploads)
 }

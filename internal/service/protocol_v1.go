@@ -1,0 +1,125 @@
+package service
+
+import (
+	"time"
+
+	"nonexposure/internal/epoch"
+	"nonexposure/internal/metrics"
+)
+
+// ProtocolVersion is the newest response format the server speaks.
+// Requests carrying "v":1 are answered with an Envelope; requests
+// without a version field (or "v":0) get the legacy flat Response.
+const ProtocolVersion = 1
+
+// Envelope is the v1 protocol response: a version tag, the outcome, and
+// exactly one per-operation payload object on success. Splitting the v0
+// god-struct into payloads fixes the omitempty ambiguity — each payload
+// serializes its semantically meaningful zeros ("cost":0,
+// "frozen":false) explicitly.
+type Envelope struct {
+	V     int    `json:"v"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Cloak *CloakPayload `json:"cloak,omitempty"`
+	Stats *StatsPayload `json:"stats,omitempty"`
+	Epoch *EpochPayload `json:"epoch,omitempty"`
+}
+
+// CloakPayload answers OpCloak. Cost and Epoch are always present: a
+// zero cost is a real answer (served from the generation cache), not an
+// absent field.
+type CloakPayload struct {
+	Cluster []int32 `json:"cluster"`
+	Cost    int     `json:"cost"`
+	Epoch   uint64  `json:"epoch"`
+}
+
+// EpochPayload answers OpEpoch and OpRotate: the state of the live
+// re-clustering pipeline. For OpRotate, Epoch is the newly assigned
+// generation number (its build completes in the background).
+type EpochPayload struct {
+	Epoch     uint64 `json:"epoch"`
+	Published bool   `json:"published"`
+	Pending   int    `json:"pending"`
+	Builds    uint64 `json:"builds"`
+	Swaps     uint64 `json:"swaps"`
+
+	UploadsSeen  uint64 `json:"uploads_seen"`
+	SinceTrigger int    `json:"since_trigger"`
+	Changed      int    `json:"changed"`
+	Policy       string `json:"policy"`
+
+	Edges    int `json:"edges"`
+	Clusters int `json:"clusters"`
+	Skipped  int `json:"skipped"`
+
+	LastBuildUs float64 `json:"last_build_us"`
+}
+
+// StatsPayload answers OpStats. Frozen is always present — an unfrozen
+// server reports "frozen":false instead of dropping the field as v0 did.
+type StatsPayload struct {
+	Users    int    `json:"users"`
+	Uploads  int    `json:"uploads"`
+	Frozen   bool   `json:"frozen"`
+	Epoch    uint64 `json:"epoch"`
+	Clusters int    `json:"clusters"`
+	Edges    int    `json:"edges"`
+
+	Requests  uint64            `json:"requests"`
+	ReqErrors uint64            `json:"req_errors"`
+	LatP50us  float64           `json:"lat_p50_us"`
+	LatP95us  float64           `json:"lat_p95_us"`
+	LatP99us  float64           `json:"lat_p99_us"`
+	OpCounts  map[string]uint64 `json:"op_counts,omitempty"`
+}
+
+// errEnvelope wraps an error message in a v1 envelope.
+func errEnvelope(msg string) Envelope {
+	return Envelope{V: ProtocolVersion, Error: msg}
+}
+
+// epochPayload renders a pipeline status.
+func epochPayload(st epoch.Status) *EpochPayload {
+	return &EpochPayload{
+		Epoch:        st.Epoch,
+		Published:    st.Published,
+		Pending:      st.Pending,
+		Builds:       st.Builds,
+		Swaps:        st.Swaps,
+		UploadsSeen:  st.UploadsSeen,
+		SinceTrigger: st.SinceTrigger,
+		Changed:      st.ChangedSinceTrigger,
+		Policy:       st.Policy.String(),
+		Edges:        st.Edges,
+		Clusters:     st.Clusters,
+		Skipped:      st.Skipped,
+		LastBuildUs:  float64(st.LastBuildDuration) / float64(time.Microsecond),
+	}
+}
+
+// statsPayload renders server state plus request metrics.
+func statsPayload(st epoch.Status, snap metrics.RequestSnapshot) *StatsPayload {
+	p := &StatsPayload{
+		Users:     st.Users,
+		Uploads:   st.Uploads,
+		Frozen:    st.Published,
+		Epoch:     st.Epoch,
+		Clusters:  st.Clusters,
+		Edges:     st.Edges,
+		Requests:  snap.Total,
+		ReqErrors: snap.Errors,
+		LatP50us:  float64(snap.P50) / float64(time.Microsecond),
+		LatP95us:  float64(snap.P95) / float64(time.Microsecond),
+		LatP99us:  float64(snap.P99) / float64(time.Microsecond),
+	}
+	if len(snap.Ops) > 0 {
+		p.OpCounts = make(map[string]uint64, len(snap.Ops))
+		for _, op := range snap.Ops {
+			p.OpCounts[op.Op] = op.Count
+		}
+	}
+	return p
+}

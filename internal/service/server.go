@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,7 +11,7 @@ import (
 	"sync"
 	"time"
 
-	"nonexposure/internal/anonymizer"
+	"nonexposure/internal/epoch"
 	"nonexposure/internal/metrics"
 )
 
@@ -22,25 +23,30 @@ const (
 	acceptBackoffMax = 1 * time.Second
 )
 
-// Server is the network-facing anonymizer. Lifecycle: clients upload
-// proximity rankings, someone freezes the graph, then cloak requests are
-// served. Safe for concurrent connections: cloak traffic after the freeze
-// runs entirely on the anonymizer's lock-free read path, and every
-// request is folded into the server's request metrics.
+// Server is the network-facing anonymizer, backed by the epoch
+// re-clustering pipeline: clients upload proximity rankings at any time,
+// rebuilds run in the background per the configured policy (or on
+// explicit rotate/freeze), and cloak requests are answered from the
+// current published generation on a lock-free read path. Safe for
+// concurrent connections; every request is folded into the server's
+// request metrics.
 type Server struct {
-	k        int
-	numUsers int
+	numUsers    int
+	k           int
+	workers     int
+	policy      epoch.Policy
+	idleTimeout time.Duration
 
-	mu      sync.Mutex
-	uploads map[int32][]PeerRank
-	anon    *anonymizer.Server
-	edges   int
-
+	mgr        *epoch.Manager
 	reqMetrics *metrics.RequestMetrics
+	em         *metrics.EpochMetrics
+
+	// ctx governs every accept loop and connection; Close cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	listener net.Listener
 	wg       sync.WaitGroup
-	closed   chan struct{}
 
 	closeOnce sync.Once
 	closeErr  error
@@ -49,45 +55,102 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithNumUsers sets the population size (required: the protocol
+// validates user ids against it).
+func WithNumUsers(n int) Option { return func(s *Server) { s.numUsers = n } }
+
+// WithK sets the anonymity level (default 10, Table I).
+func WithK(k int) Option { return func(s *Server) { s.k = k } }
+
+// WithWorkers sets the clustering worker count per rebuild (<= 0
+// selects GOMAXPROCS).
+func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
+
+// WithRebuildPolicy sets the automatic epoch rebuild policy. The default
+// is manual: only freeze/rotate requests trigger rebuilds, which is the
+// legacy freeze-once behavior.
+func WithRebuildPolicy(p epoch.Policy) Option { return func(s *Server) { s.policy = p } }
+
+// WithMetrics attaches epoch pipeline metrics (nil is fine; request
+// metrics are always collected regardless).
+func WithMetrics(em *metrics.EpochMetrics) Option { return func(s *Server) { s.em = em } }
+
+// WithIdleTimeout sets the per-connection read deadline: a client that
+// sends nothing for this long is disconnected (default 2m; <= 0
+// disables).
+func WithIdleTimeout(d time.Duration) Option { return func(s *Server) { s.idleTimeout = d } }
+
+// New creates a server configured by options. WithNumUsers is required.
+func New(opts ...Option) (*Server, error) {
+	s := &Server{
+		k:           10,
+		idleTimeout: 2 * time.Minute,
+		reqMetrics:  metrics.NewRequestMetrics(),
+		conns:       make(map[net.Conn]struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	mgr, err := epoch.New(s.numUsers,
+		epoch.WithK(s.k),
+		epoch.WithWorkers(s.workers),
+		epoch.WithPolicy(s.policy),
+		epoch.WithMetrics(s.em))
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.mgr = mgr
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return s, nil
+}
+
 // NewServer creates a server for a population of numUsers devices and
 // anonymity level k.
+//
+// Deprecated: use New with WithNumUsers and WithK.
 func NewServer(numUsers, k int) (*Server, error) {
-	if numUsers < 1 {
-		return nil, fmt.Errorf("service: population %d < 1", numUsers)
-	}
 	if k < 1 {
 		return nil, fmt.Errorf("service: k %d < 1", k)
 	}
-	return &Server{
-		k:          k,
-		numUsers:   numUsers,
-		uploads:    make(map[int32][]PeerRank),
-		reqMetrics: metrics.NewRequestMetrics(),
-		closed:     make(chan struct{}),
-		conns:      make(map[net.Conn]struct{}),
-	}, nil
+	return New(WithNumUsers(numUsers), WithK(k))
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
-// returns the bound address.
-func (s *Server) Listen(addr string) (net.Addr, error) {
+// returns the bound address. The accept loop stops when ctx is canceled
+// or the server is closed, whichever comes first.
+func (s *Server) Listen(ctx context.Context, addr string) (net.Addr, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("service: listen: %w", err)
 	}
 	s.listener = l
+	if ctx != nil && ctx.Done() != nil {
+		// Tie the caller's ctx to the server lifecycle.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			select {
+			case <-ctx.Done():
+				go s.Close() // Close waits on wg; don't deadlock on ourselves
+			case <-s.ctx.Done():
+			}
+		}()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop(l)
 	return l.Addr(), nil
 }
 
 // Close stops accepting, closes open connections (a blocked read on an
-// idle client must not stall shutdown), and waits for the handler
-// goroutines to finish. It is idempotent: repeated calls return the
-// first call's error.
+// idle client must not stall shutdown), shuts the epoch pipeline down,
+// and waits for the handler goroutines to finish. It is idempotent:
+// repeated calls return the first call's error.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
-		close(s.closed)
+		s.cancel()
 		if s.listener != nil {
 			s.closeErr = s.listener.Close()
 		}
@@ -97,6 +160,7 @@ func (s *Server) Close() error {
 		}
 		s.connMu.Unlock()
 		s.wg.Wait()
+		s.mgr.Close()
 	})
 	return s.closeErr
 }
@@ -104,6 +168,14 @@ func (s *Server) Close() error {
 // Metrics returns the server's request metrics (counts, error counts,
 // latency percentiles per operation).
 func (s *Server) Metrics() *metrics.RequestMetrics { return s.reqMetrics }
+
+// EpochMetrics returns the attached epoch pipeline metrics (nil unless
+// WithMetrics was given).
+func (s *Server) EpochMetrics() *metrics.EpochMetrics { return s.em }
+
+// Manager exposes the epoch pipeline (read-only use: status,
+// transcript).
+func (s *Server) Manager() *epoch.Manager { return s.mgr }
 
 func (s *Server) track(conn net.Conn) {
 	s.connMu.Lock()
@@ -123,12 +195,7 @@ func (s *Server) acceptLoop(l net.Listener) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-			}
-			if errors.Is(err, net.ErrClosed) {
+			if s.ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
 				return
 			}
 			// Persistent failures (EMFILE and friends) would otherwise spin
@@ -140,7 +207,7 @@ func (s *Server) acceptLoop(l net.Listener) {
 			}
 			timer := time.NewTimer(backoff)
 			select {
-			case <-s.closed:
+			case <-s.ctx.Done():
 				timer.Stop()
 				return
 			case <-timer.C:
@@ -151,148 +218,213 @@ func (s *Server) acceptLoop(l net.Listener) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			s.serveConn(s.ctx, conn)
 		}()
 	}
 }
 
 // serveConn handles one client: JSON request per line, JSON response per
-// line. Malformed lines get an error response instead of a dropped
+// line, until ctx dies, the idle deadline passes, or the client hangs
+// up. Malformed lines get an error response instead of a dropped
 // connection, so one bad request does not kill a pipelined client; an
 // over-long line is unrecoverable (the framing is lost) and does.
-func (s *Server) serveConn(conn net.Conn) {
+// Requests carrying "v":1 are answered with the v1 Envelope.
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	s.track(conn)
 	defer s.untrack(conn)
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), MaxLineBytes)
 	enc := json.NewEncoder(conn)
-	for sc.Scan() {
-		select {
-		case <-s.closed:
+	for {
+		if ctx.Err() != nil {
 			return
-		default:
+		}
+		if s.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return
+			}
+		}
+		if !sc.Scan() {
+			return
 		}
 		line := sc.Bytes()
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
 		req, err := ParseRequest(line)
-		var resp Response
-		if err != nil {
-			resp = Response{Error: err.Error()}
+		var out any
+		switch {
+		case err != nil:
+			// The version of a malformed line is unknowable; reply with the
+			// legacy shape, which v1 clients also understand.
+			out = Response{Error: err.Error()}
 			s.reqMetrics.Observe("malformed", 0, false)
-		} else {
-			resp = s.Handle(req)
+		case req.V >= 1:
+			out = s.HandleEnvelope(ctx, req)
+		default:
+			out = s.handleV0(ctx, req)
 		}
-		if err := enc.Encode(resp); err != nil {
+		if err := enc.Encode(out); err != nil {
 			return
 		}
 	}
 }
 
-// Handle processes one request; exported so tests (and alternative
+// Handle processes one v0 request; exported so tests (and alternative
 // transports) can bypass TCP. Every request is timed and counted in the
 // server's metrics.
 func (s *Server) Handle(req Request) Response {
+	return s.handleV0(s.ctx, req)
+}
+
+func (s *Server) handleV0(ctx context.Context, req Request) Response {
 	start := time.Now()
-	resp := s.dispatch(req)
+	resp := s.dispatchV0(ctx, req)
 	s.reqMetrics.Observe(string(req.Op), time.Since(start), resp.Error == "")
 	return resp
 }
 
-func (s *Server) dispatch(req Request) Response {
+// HandleEnvelope processes one request and answers in the v1 format.
+func (s *Server) HandleEnvelope(ctx context.Context, req Request) Envelope {
+	start := time.Now()
+	env := s.dispatchV1(ctx, req)
+	s.reqMetrics.Observe(string(req.Op), time.Since(start), env.Error == "")
+	return env
+}
+
+func (s *Server) dispatchV0(ctx context.Context, req Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
 	case OpUpload:
-		return s.handleUpload(req)
+		if err := s.mgr.Upload(req.User, req.Peers); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
 	case OpFreeze:
-		return s.handleFreeze()
+		gen, err := s.rotateAndWait(ctx)
+		if err != nil {
+			return Response{Error: freezeErr(err).Error()}
+		}
+		return Response{OK: true, Epoch: gen.Epoch, EdgeCount: gen.Edges}
+	case OpRotate:
+		ep, err := s.mgr.Rotate()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Epoch: ep}
 	case OpCloak:
-		return s.handleCloak(req)
+		cluster, cost, ep, err := s.mgr.Cloak(ctx, req.User)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Cluster: cluster.Members, Cost: cost, Epoch: ep}
+	case OpEpoch:
+		st := s.mgr.Status()
+		return Response{OK: true, Epoch: st.Epoch, Frozen: st.Published,
+			Clusters: st.Clusters, EdgeCount: st.Edges}
 	case OpStats:
-		return s.handleStats()
+		st := s.mgr.Status()
+		snap := s.reqMetrics.Snapshot()
+		resp := Response{
+			OK:        true,
+			Users:     st.Users,
+			Uploads:   st.Uploads,
+			Frozen:    st.Published,
+			Epoch:     st.Epoch,
+			Clusters:  st.Clusters,
+			EdgeCount: st.Edges,
+			Requests:  snap.Total,
+			ReqErrors: snap.Errors,
+			LatP50us:  float64(snap.P50) / float64(time.Microsecond),
+			LatP95us:  float64(snap.P95) / float64(time.Microsecond),
+			LatP99us:  float64(snap.P99) / float64(time.Microsecond),
+		}
+		if len(snap.Ops) > 0 {
+			resp.OpCounts = make(map[string]uint64, len(snap.Ops))
+			for _, op := range snap.Ops {
+				resp.OpCounts[op.Op] = op.Count
+			}
+		}
+		return resp
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
-func (s *Server) handleUpload(req Request) Response {
-	if int(req.User) < 0 || int(req.User) >= s.numUsers {
-		return Response{Error: fmt.Sprintf("user %d out of range [0,%d)", req.User, s.numUsers)}
-	}
-	for _, pr := range req.Peers {
-		if int(pr.Peer) < 0 || int(pr.Peer) >= s.numUsers {
-			return Response{Error: fmt.Sprintf("peer %d out of range", pr.Peer)}
+func (s *Server) dispatchV1(ctx context.Context, req Request) Envelope {
+	ok := Envelope{V: ProtocolVersion, OK: true}
+	switch req.Op {
+	case OpPing:
+		return ok
+	case OpUpload:
+		if err := s.mgr.Upload(req.User, req.Peers); err != nil {
+			return errEnvelope(err.Error())
 		}
-		if pr.Rank < 1 {
-			return Response{Error: fmt.Sprintf("rank %d < 1 for peer %d", pr.Rank, pr.Peer)}
+		return ok
+	case OpFreeze:
+		gen, err := s.rotateAndWait(ctx)
+		if err != nil {
+			return errEnvelope(freezeErr(err).Error())
 		}
+		st := s.mgr.Status()
+		st.Epoch, st.Edges, st.Clusters, st.Skipped = gen.Epoch, gen.Edges, gen.Clusters, gen.Skipped
+		ok.Epoch = epochPayload(st)
+		return ok
+	case OpRotate:
+		ep, err := s.mgr.Rotate()
+		if err != nil {
+			return errEnvelope(err.Error())
+		}
+		p := epochPayload(s.mgr.Status())
+		p.Epoch = ep // the freshly assigned generation, building in the background
+		ok.Epoch = p
+		return ok
+	case OpCloak:
+		cluster, cost, ep, err := s.mgr.Cloak(ctx, req.User)
+		if err != nil {
+			return errEnvelope(err.Error())
+		}
+		ok.Cloak = &CloakPayload{Cluster: cluster.Members, Cost: cost, Epoch: ep}
+		return ok
+	case OpEpoch:
+		ok.Epoch = epochPayload(s.mgr.Status())
+		return ok
+	case OpStats:
+		ok.Stats = statsPayload(s.mgr.Status(), s.reqMetrics.Snapshot())
+		return ok
+	default:
+		return errEnvelope(fmt.Sprintf("unknown op %q", req.Op))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.anon != nil {
-		return Response{Error: "graph already frozen"}
-	}
-	s.uploads[req.User] = append([]PeerRank(nil), req.Peers...)
-	return Response{OK: true}
 }
 
-func (s *Server) handleFreeze() Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.anon != nil {
-		return Response{Error: "already frozen"}
-	}
-	g, err := buildGraph(s.numUsers, s.uploads)
+// rotateAndWait is the synchronous freeze: trigger a rotation and block
+// until that generation (and anything queued before it) has published.
+func (s *Server) rotateAndWait(ctx context.Context) (*epoch.Generation, error) {
+	ep, err := s.mgr.Rotate()
 	if err != nil {
-		return Response{Error: fmt.Sprintf("build graph: %v", err)}
+		return nil, err
 	}
-	s.edges = g.NumEdges()
-	s.anon = anonymizer.New(g, s.k)
-	return Response{OK: true, EdgeCount: s.edges}
-}
-
-func (s *Server) handleCloak(req Request) Response {
-	s.mu.Lock()
-	anon := s.anon
-	s.mu.Unlock()
-	if anon == nil {
-		return Response{Error: "graph not frozen yet"}
+	if err := s.mgr.Sync(ctx); err != nil {
+		return nil, err
 	}
-	cluster, cost, err := anon.Cloak(req.User)
-	if err != nil {
-		return Response{Error: err.Error()}
-	}
-	return Response{OK: true, Cluster: cluster.Members, Cost: cost}
-}
-
-func (s *Server) handleStats() Response {
-	s.mu.Lock()
-	anon := s.anon
-	resp := Response{
-		OK:        true,
-		Users:     s.numUsers,
-		Uploads:   len(s.uploads),
-		Frozen:    anon != nil,
-		EdgeCount: s.edges,
-	}
-	s.mu.Unlock()
-	if anon != nil {
-		resp.Clusters = anon.Registry().NumClusters()
-	}
-	snap := s.reqMetrics.Snapshot()
-	resp.Requests = snap.Total
-	resp.ReqErrors = snap.Errors
-	resp.LatP50us = float64(snap.P50) / float64(time.Microsecond)
-	resp.LatP95us = float64(snap.P95) / float64(time.Microsecond)
-	resp.LatP99us = float64(snap.P99) / float64(time.Microsecond)
-	if len(snap.Ops) > 0 {
-		resp.OpCounts = make(map[string]uint64, len(snap.Ops))
-		for _, op := range snap.Ops {
-			resp.OpCounts[op.Op] = op.Count
+	for _, gen := range s.mgr.History() {
+		if gen.Epoch == ep {
+			if gen.BuildErr != nil {
+				return nil, fmt.Errorf("build graph: %w", gen.BuildErr)
+			}
+			return gen, nil
 		}
 	}
-	return resp
+	return nil, fmt.Errorf("service: epoch %d missing from history", ep)
+}
+
+// freezeErr maps pipeline errors onto the v0 freeze wording ("already
+// frozen") that legacy clients match on.
+func freezeErr(err error) error {
+	if errors.Is(err, epoch.ErrNoNewUploads) {
+		return fmt.Errorf("already frozen (no new uploads since the last epoch)")
+	}
+	return err
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"net"
@@ -158,7 +159,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+	if _, err := srv.Listen(context.Background(), "127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
 	first := srv.Close()
@@ -172,7 +173,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv2.Listen("127.0.0.1:0"); err != nil {
+	if _, err := srv2.Listen(context.Background(), "127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -193,7 +194,7 @@ func TestServerCloseDuringActiveConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestMalformedLineGetsErrorResponseKeepsConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

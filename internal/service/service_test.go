@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"sync"
@@ -71,7 +72,7 @@ func TestServerLifecycleOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,9 +146,14 @@ func TestServerLifecycleOverTCP(t *testing.T) {
 		t.Errorf("stats = %+v", stats)
 	}
 
-	// Uploads after freeze are rejected.
-	if err := c.Upload(0, nil); err == nil || !strings.Contains(err.Error(), "frozen") {
+	// Uploads after freeze are accepted as next-epoch input (the epoch
+	// pipeline never stops taking uploads); the serving epoch is
+	// unchanged until the next rotation.
+	if err := c.Upload(0, uploadsFor(g)[0]); err != nil {
 		t.Errorf("upload after freeze: %v", err)
+	}
+	if st, err := c.EpochStatus(); err != nil || st.Epoch != 1 || st.SinceTrigger != 1 {
+		t.Errorf("epoch status after post-freeze upload = %+v, %v", st, err)
 	}
 }
 
@@ -158,7 +164,7 @@ func TestServerConcurrentClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +267,7 @@ func TestServerCloseWithIdleClient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"nonexposure/internal/core"
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/epoch"
+	"nonexposure/internal/mobility"
+	"nonexposure/internal/wpg"
+)
+
+// EpochScenario is one fully specified run of the live re-clustering
+// pipeline under a mobile population: a seeded Gaussian population
+// wanders locally, a deterministic fraction re-uploads its proximity
+// ranking every tick, and the pipeline rotates one epoch per tick.
+// Everything is a pure function of the seed, so the epoch transcript —
+// and every per-epoch safety property — is reproducible.
+type EpochScenario struct {
+	Name     string
+	Seed     int64
+	NumUsers int
+	K        int
+	// Ticks is how many mobility steps (and epoch rotations) to run
+	// after the initial full upload.
+	Ticks int
+	// Frac is the fraction of users that re-upload per tick.
+	Frac float64
+}
+
+// GenerateEpochScenario derives a scenario from a seed, scaled small
+// enough that a few hundred of them stay test-sized.
+func GenerateEpochScenario(seed int64) EpochScenario {
+	rng := rand.New(rand.NewSource(seed))
+	return EpochScenario{
+		Name:     fmt.Sprintf("epoch-%d", seed),
+		Seed:     seed,
+		NumUsers: 120 + rng.Intn(180),
+		K:        3 + rng.Intn(4),
+		Ticks:    2 + rng.Intn(4),
+		Frac:     0.1 + 0.4*rng.Float64(),
+	}
+}
+
+// EpochReport is the outcome of one scenario: every published
+// generation (graph, registry, bookkeeping) and the deterministic
+// transcript.
+type EpochReport struct {
+	Scenario    EpochScenario
+	Generations []*epoch.Generation
+	Transcript  []string
+}
+
+// RunEpochScenario executes the scenario and returns the report. The
+// pipeline's background builds are fully drained before returning.
+func RunEpochScenario(sc EpochScenario) (*EpochReport, error) {
+	pts := dataset.GaussianClusters(sc.NumUsers, 6, 0.02, sc.Seed)
+	model, err := mobility.NewLocalWander(pts, scenarioDelta/2, scenarioDelta/8, scenarioDelta/4, sc.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := epoch.New(sc.NumUsers, epoch.WithK(sc.K), epoch.WithHistoryLimit(sc.Ticks+2))
+	if err != nil {
+		return nil, err
+	}
+	defer mgr.Close()
+
+	upload := func(users []int32) error {
+		g := wpg.Build(model.Positions(), wpg.BuildParams{Delta: scenarioDelta, MaxPeers: scenarioMaxPeers})
+		for _, v := range users {
+			var peers []epoch.RankedPeer
+			for _, e := range g.Neighbors(v) {
+				peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
+			}
+			if err := mgr.Upload(v, peers); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	all := make([]int32, sc.NumUsers)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if err := upload(all); err != nil {
+		return nil, err
+	}
+	if _, err := mgr.Rotate(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(sc.Seed + 2))
+	perTick := int(sc.Frac * float64(sc.NumUsers))
+	if perTick < 1 {
+		perTick = 1
+	}
+	for tick := 0; tick < sc.Ticks; tick++ {
+		model.Step(1)
+		moved := rng.Perm(sc.NumUsers)[:perTick]
+		users := make([]int32, perTick)
+		for i, u := range moved {
+			users[i] = int32(u)
+		}
+		if err := upload(users); err != nil {
+			return nil, err
+		}
+		if _, err := mgr.Rotate(); err != nil && err != epoch.ErrNoNewUploads {
+			return nil, err
+		}
+	}
+	if err := mgr.Sync(context.Background()); err != nil {
+		return nil, err
+	}
+	return &EpochReport{
+		Scenario:    sc,
+		Generations: mgr.History(),
+		Transcript:  mgr.Transcript(),
+	}, nil
+}
+
+// Violations checks every published generation independently — the
+// whole point of the epoch pipeline is that each generation is a
+// self-contained clustering whose safety does not depend on any other:
+//
+//   - k-anonymity: every registered cluster has at least K members.
+//   - reciprocity: every member of a cluster resolves to that cluster.
+//   - coverage: exactly the vertices of undersized components are
+//     unassigned (matching the generation's Skipped count).
+//   - isolation (Theorem 4.4): removing any cluster leaves each of its
+//     border vertices able to form a valid t-connectivity cluster in
+//     the remaining graph — witnessed with the border vertex's own
+//     cluster threshold, since a centralized partition assigns every
+//     border vertex a cluster of its own.
+//
+// Failed builds (BuildErr != nil) are reported as violations too: a
+// deterministic upload sequence must never produce an invalid graph.
+func (r *EpochReport) Violations() []string {
+	var out []string
+	for _, gen := range r.Generations {
+		if gen.BuildErr != nil {
+			out = append(out, fmt.Sprintf("epoch %d: build failed: %v", gen.Epoch, gen.BuildErr))
+			continue
+		}
+		reg := gen.Anon.Registry()
+		if err := reg.CheckReciprocity(); err != nil {
+			out = append(out, fmt.Sprintf("epoch %d: reciprocity: %v", gen.Epoch, err))
+		}
+		for _, c := range reg.Clusters() {
+			if c.Size() < r.Scenario.K {
+				out = append(out, fmt.Sprintf("epoch %d: cluster %d has %d members < k=%d",
+					gen.Epoch, c.ID, c.Size(), r.Scenario.K))
+			}
+		}
+		if msg := checkEpochCoverage(gen.Graph, reg, r.Scenario.K, gen.Skipped); msg != "" {
+			out = append(out, fmt.Sprintf("epoch %d: %s", gen.Epoch, msg))
+		}
+		if msg := checkEpochIsolation(gen.Graph, reg, r.Scenario.K); msg != "" {
+			out = append(out, fmt.Sprintf("epoch %d: %s", gen.Epoch, msg))
+		}
+	}
+	return out
+}
+
+// checkEpochCoverage verifies the unassigned set is exactly the union
+// of components smaller than k.
+func checkEpochCoverage(g *wpg.Graph, reg *core.Registry, k, skipped int) string {
+	unassigned := 0
+	for _, comp := range g.Components() {
+		small := len(comp) < k
+		for _, v := range comp {
+			switch {
+			case small && reg.Assigned(v):
+				return fmt.Sprintf("vertex %d assigned inside an undersized component of %d", v, len(comp))
+			case !small && !reg.Assigned(v):
+				return fmt.Sprintf("vertex %d unassigned inside a component of %d >= k", v, len(comp))
+			case small:
+				unassigned++
+			}
+		}
+	}
+	if unassigned != skipped {
+		return fmt.Sprintf("skipped count %d != %d vertices in undersized components", skipped, unassigned)
+	}
+	return ""
+}
+
+// checkEpochIsolation verifies Theorem 4.4 for a centralized partition:
+// for every cluster C and every vertex b adjacent to C but outside it,
+// removing C still leaves b able to form a t-connectivity cluster of
+// size >= k at b's own threshold T(cluster(b)).
+func checkEpochIsolation(g *wpg.Graph, reg *core.Registry, k int) string {
+	excluded := make(map[int32]bool)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if !reg.Assigned(v) {
+			excluded[v] = true
+		}
+	}
+	for _, c := range reg.Clusters() {
+		inC := make(map[int32]bool, len(c.Members))
+		for _, v := range c.Members {
+			inC[v] = true
+		}
+		seen := make(map[int32]bool)
+		for _, v := range c.Members {
+			for _, e := range g.Neighbors(v) {
+				b := e.To
+				if inC[b] || excluded[b] || seen[b] {
+					continue
+				}
+				seen[b] = true
+				bc, ok := reg.ClusterOf(b)
+				if !ok {
+					return fmt.Sprintf("border vertex %d of cluster %d has no cluster", b, c.ID)
+				}
+				if !canFormTCluster(g, b, bc.T, k, inC, excluded) {
+					return fmt.Sprintf("removing cluster %d strands border vertex %d (t=%d)", c.ID, b, bc.T)
+				}
+			}
+		}
+	}
+	return ""
+}

@@ -24,6 +24,12 @@ go test -race ./...
 echo "==> go test -shuffle=on ./..."
 go test -shuffle=on ./...
 
+# Benchmark smoke: every benchmark runs exactly one iteration so a
+# broken bench (bad setup, panics, regressions in bench-only call
+# sites) fails the gate without paying for a full measurement run.
+echo "==> go test -bench=. -benchtime=1x (smoke)"
+go test -bench=. -benchtime=1x -run '^$' ./...
+
 # Short fuzz smoke passes: ten seconds of coverage-guided input per
 # target on top of the checked-in seed corpora ('-run ^$' skips the unit
 # tests, which already ran above).
