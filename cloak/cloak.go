@@ -34,6 +34,7 @@ import (
 	"nonexposure/internal/core"
 	"nonexposure/internal/geo"
 	"nonexposure/internal/rss"
+	"nonexposure/internal/trace"
 	"nonexposure/internal/wpg"
 )
 
@@ -232,6 +233,13 @@ func (s *System) K() int { return s.cfg.K }
 // of the two phases is not already cached. It is the entry point a device
 // calls right before issuing a location-based service request.
 func (s *System) Cloak(host int) (Result, error) {
+	return s.CloakCtx(context.Background(), host)
+}
+
+// CloakCtx is Cloak with a caller-supplied context. When ctx carries a
+// trace span (internal/trace), the clustering and secure-bounding phases
+// report as child spans of it.
+func (s *System) CloakCtx(ctx context.Context, host int) (Result, error) {
 	if host < 0 || host >= len(s.pts) {
 		return Result{}, fmt.Errorf("cloak: no such user %d", host)
 	}
@@ -244,7 +252,7 @@ func (s *System) Cloak(host int) (Result, error) {
 	var cluster *core.Cluster
 	switch s.cfg.Mode {
 	case ModeCentralized:
-		c, cost, err := s.anon.Cloak(context.Background(), int32(host))
+		c, cost, err := s.anon.Cloak(ctx, int32(host))
 		if err != nil {
 			return Result{}, translateErr(err)
 		}
@@ -252,7 +260,9 @@ func (s *System) Cloak(host int) (Result, error) {
 		res.ClusterComm = cost
 		res.CachedCluster = cost == 0
 	default:
+		csp := trace.FromContext(ctx).Child("core.cluster")
 		c, stats, err := core.DistributedTConn(core.GraphSource{G: s.g}, int32(host), s.cfg.K, s.reg)
+		csp.End()
 		if err != nil {
 			return Result{}, translateErr(err)
 		}
@@ -270,7 +280,7 @@ func (s *System) Cloak(host int) (Result, error) {
 		res.CachedRegion = true
 		return res, nil
 	}
-	bound, err := s.bound(cluster, int32(host))
+	bound, err := s.boundCtx(ctx, cluster, int32(host))
 	if err != nil {
 		return Result{}, err
 	}
@@ -318,8 +328,10 @@ func clamp01(v float64) float64 {
 	return v
 }
 
-func (s *System) bound(cluster *core.Cluster, host int32) (core.RectBoundResult, error) {
+func (s *System) boundCtx(ctx context.Context, cluster *core.Cluster, host int32) (core.RectBoundResult, error) {
 	if s.cfg.Bound == BoundOptimal {
+		sp := trace.FromContext(ctx).Child("core.bound.optimal")
+		defer sp.End()
 		return core.OptimalRect(s.pts, cluster.Members, s.cfg.Cb)
 	}
 	var pol core.IncrementPolicy
@@ -334,7 +346,7 @@ func (s *System) bound(cluster *core.Cluster, host int32) (core.RectBoundResult,
 		return core.RectBoundResult{}, fmt.Errorf("cloak: unknown bounding algorithm %d", s.cfg.Bound)
 	}
 	scale := core.DefaultRectScale(cluster.Size(), len(s.pts))
-	return core.BoundRect(s.pts, cluster.Members, s.pts[host], scale, pol, s.cfg.Cb)
+	return core.BoundRectCtx(ctx, s.pts, cluster.Members, s.pts[host], scale, pol, s.cfg.Cb)
 }
 
 // ClusterOf returns the ids of the users sharing host's cluster, or nil

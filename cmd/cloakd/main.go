@@ -7,73 +7,153 @@
 // that uploads, freezes, and issues a few cloaking requests against the
 // freshly started server, so the whole flow can be watched end to end.
 //
+// With -admin, a second HTTP listener serves the operator endpoints:
+// Prometheus /metrics, JSON /healthz and /epochz, /tracez span trees
+// (enable with -trace), and /debug/pprof/.
+//
 // Usage:
 //
 //	cloakd -addr 127.0.0.1:7464 -n 104770 -k 10
 //	cloakd -addr 127.0.0.1:7464 -n 50000 -rebuild-uploads 10000
+//	cloakd -addr 127.0.0.1:7464 -admin 127.0.0.1:6060 -trace 64
 //	cloakd -demo -n 5000 -k 10
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
+	"nonexposure/internal/admin"
 	"nonexposure/internal/dataset"
 	"nonexposure/internal/epoch"
 	"nonexposure/internal/metrics"
 	"nonexposure/internal/service"
+	"nonexposure/internal/trace"
 	"nonexposure/internal/wpg"
 )
 
+// config is everything main parses from flags, separated so validation
+// is testable without touching the flag package or the network.
+type config struct {
+	addr      string
+	adminAddr string
+	n         int
+	k         int
+	workers   int
+	everyN    int
+	frac      float64
+	traceCap  int
+	demo      bool
+	seed      int64
+}
+
+// validate rejects flag combinations before any socket is opened, so a
+// typo fails fast with a message naming the flag instead of a confusing
+// runtime error (or, worse, a silently wrong policy).
+func (c config) validate() error {
+	if c.n < 1 {
+		return fmt.Errorf("-n must be >= 1, got %d", c.n)
+	}
+	if c.k < 1 {
+		return fmt.Errorf("-k must be >= 1, got %d", c.k)
+	}
+	if c.k > c.n {
+		return fmt.Errorf("-k %d exceeds the population -n %d", c.k, c.n)
+	}
+	if c.everyN < 0 {
+		return fmt.Errorf("-rebuild-uploads must be >= 0, got %d", c.everyN)
+	}
+	if c.frac < 0 || c.frac > 1 {
+		return fmt.Errorf("-rebuild-frac must be in [0,1], got %g", c.frac)
+	}
+	if c.traceCap < 0 {
+		return fmt.Errorf("-trace must be >= 0, got %d", c.traceCap)
+	}
+	return nil
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:7464", "listen address")
-		n       = flag.Int("n", 104770, "population size the server accepts")
-		k       = flag.Int("k", 10, "anonymity level")
-		workers = flag.Int("workers", 0, "clustering workers per rebuild (0 = GOMAXPROCS)")
-		everyN  = flag.Int("rebuild-uploads", 0, "rebuild after this many uploads (0 = disabled)")
-		frac    = flag.Float64("rebuild-frac", 0, "rebuild once this fraction of users changed (0 = disabled)")
-		demo    = flag.Bool("demo", false, "run a self-contained demo population against the server and exit")
-		seed    = flag.Int64("seed", 42, "demo dataset seed")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7464", "listen address")
+	flag.StringVar(&cfg.adminAddr, "admin", "", "admin HTTP address for /metrics, /healthz, /epochz, /tracez, /debug/pprof (empty = disabled)")
+	flag.IntVar(&cfg.n, "n", 104770, "population size the server accepts")
+	flag.IntVar(&cfg.k, "k", 10, "anonymity level")
+	flag.IntVar(&cfg.workers, "workers", 0, "clustering workers per rebuild (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.everyN, "rebuild-uploads", 0, "rebuild after this many uploads (0 = disabled)")
+	flag.Float64Var(&cfg.frac, "rebuild-frac", 0, "rebuild once this fraction of users changed (0 = disabled)")
+	flag.IntVar(&cfg.traceCap, "trace", 0, "record span trees for the most recent N requests/builds, served at /tracez (0 = off)")
+	flag.BoolVar(&cfg.demo, "demo", false, "run a self-contained demo population against the server and exit")
+	flag.Int64Var(&cfg.seed, "seed", 42, "demo dataset seed")
 	flag.Parse()
-	policy := epoch.Policy{EveryUploads: *everyN, ChangedFrac: *frac}
-	if err := run(*addr, *n, *k, *workers, policy, *demo, *seed); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cloakd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n, k, workers int, policy epoch.Policy, demo bool, seed int64) error {
+func run(cfg config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	policy := epoch.Policy{EveryUploads: cfg.everyN, ChangedFrac: cfg.frac}
 	em := metrics.NewEpochMetrics()
-	srv, err := service.New(
-		service.WithNumUsers(n),
-		service.WithK(k),
-		service.WithWorkers(workers),
+	opts := []service.Option{
+		service.WithNumUsers(cfg.n),
+		service.WithK(cfg.k),
+		service.WithWorkers(cfg.workers),
 		service.WithRebuildPolicy(policy),
 		service.WithMetrics(em),
-	)
+	}
+	if cfg.traceCap > 0 {
+		opts = append(opts, service.WithTraceRecorder(trace.NewRecorder(cfg.traceCap)))
+	}
+	srv, err := service.New(opts...)
 	if err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	bound, err := srv.Listen(ctx, addr)
+	bound, err := srv.Listen(ctx, cfg.addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("cloakd: anonymizer listening on %s (population %d, k=%d, rebuild policy %s)\n",
-		bound, n, k, policy)
+		bound, cfg.n, cfg.k, policy)
+
+	var adminSrv *http.Server
+	if cfg.adminAddr != "" {
+		l, err := net.Listen("tcp", cfg.adminAddr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		adminSrv = &http.Server{Handler: admin.New(srv)}
+		go func() {
+			if err := adminSrv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "cloakd: admin server:", err)
+			}
+		}()
+		fmt.Printf("cloakd: admin listening on %s\n", l.Addr())
+	}
 
 	report := func() {
+		if adminSrv != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			adminSrv.Shutdown(sctx) //nolint:errcheck // best effort on the way out
+			cancel()
+		}
 		fmt.Printf("cloakd: final request metrics: %s\n", srv.Metrics().Snapshot())
 		fmt.Printf("cloakd: final epoch metrics: %s\n", em.Snapshot())
 	}
-	if !demo {
+	if !cfg.demo {
 		// Serve until interrupted.
 		<-ctx.Done()
 		fmt.Println("cloakd: shutting down")
@@ -85,7 +165,7 @@ func run(addr string, n, k, workers int, policy epoch.Policy, demo bool, seed in
 		srv.Close()
 		report()
 	}()
-	return runDemo(bound.String(), n, k, seed)
+	return runDemo(bound.String(), cfg.n, cfg.k, cfg.seed)
 }
 
 // runDemo simulates the device side: measure proximity, upload, freeze,

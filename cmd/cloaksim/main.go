@@ -46,38 +46,98 @@ import (
 	"nonexposure/internal/metrics"
 	"nonexposure/internal/mobility"
 	"nonexposure/internal/sim"
+	"nonexposure/internal/trace"
 	"nonexposure/internal/wpg"
 )
 
+// simConfig is everything main parses from flags, separated so
+// validation is testable without the flag package.
+type simConfig struct {
+	n, k, host  int
+	seed        int64
+	mode, bound string
+	delta       float64
+	network     bool
+	loss        float64
+	nearby      int
+	load        int
+	workers     int
+	churn       int
+	churnFrac   float64
+	faults      int
+	faultSeed   int64
+	showTrace   bool
+}
+
+// validate rejects bad flag combinations up front, before any dataset
+// is generated, with messages that name the offending flag.
+func (c simConfig) validate() error {
+	if c.n < 1 {
+		return fmt.Errorf("-n must be >= 1, got %d", c.n)
+	}
+	if c.k < 1 {
+		return fmt.Errorf("-k must be >= 1, got %d", c.k)
+	}
+	if c.faults < 0 {
+		return fmt.Errorf("-faults must be >= 0, got %d", c.faults)
+	}
+	if c.churn < 0 {
+		return fmt.Errorf("-churn must be >= 0, got %d", c.churn)
+	}
+	if c.load < 0 {
+		return fmt.Errorf("-load must be >= 0, got %d", c.load)
+	}
+	if c.workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", c.workers)
+	}
+	if c.churn > 0 && (c.churnFrac <= 0 || c.churnFrac > 1) {
+		return fmt.Errorf("-churnfrac must be in (0,1], got %g", c.churnFrac)
+	}
+	if c.loss < 0 || c.loss > 1 {
+		return fmt.Errorf("-loss must be in [0,1], got %g", c.loss)
+	}
+	if c.nearby < 0 {
+		return fmt.Errorf("-nearby must be >= 0, got %d", c.nearby)
+	}
+	if c.delta < 0 {
+		return fmt.Errorf("-delta must be >= 0, got %g", c.delta)
+	}
+	return nil
+}
+
 func main() {
-	var (
-		n       = flag.Int("n", 5000, "population size")
-		k       = flag.Int("k", 10, "anonymity level")
-		host    = flag.Int("host", 0, "requesting user id")
-		seed    = flag.Int64("seed", 42, "random seed")
-		mode    = flag.String("mode", "distributed", "clustering mode: distributed|centralized")
-		bound   = flag.String("bound", "secure", "bounding: secure|linear|exponential|optimal")
-		delta   = flag.Float64("delta", 0, "radio range (0 = auto for the population size)")
-		net     = flag.Bool("network", false, "run the protocols over a simulated p2p message network")
-		loss    = flag.Float64("loss", 0, "message loss rate for -network")
-		nearby  = flag.Int("nearby", 3, "after cloaking, fetch this many nearest POIs (0 = skip)")
-		load    = flag.Int("load", 0, "load-generator mode: issue this many concurrent cloak requests (0 = off)")
-		workers = flag.Int("workers", 16, "concurrent clients for -load and -churn")
-		churn   = flag.Int("churn", 0, "churn mode: run this many mobility ticks through the epoch pipeline (0 = off)")
-		cfrac   = flag.Float64("churnfrac", 0.2, "fraction of users re-uploading per churn tick")
-		faults  = flag.Int("faults", 0, "fault-injection mode: run this many seeded fault scenarios (0 = off)")
-		fseed   = flag.Int64("faultseed", 1, "first scenario seed for -faults")
-	)
+	var cfg simConfig
+	flag.IntVar(&cfg.n, "n", 5000, "population size")
+	flag.IntVar(&cfg.k, "k", 10, "anonymity level")
+	flag.IntVar(&cfg.host, "host", 0, "requesting user id")
+	flag.Int64Var(&cfg.seed, "seed", 42, "random seed")
+	flag.StringVar(&cfg.mode, "mode", "distributed", "clustering mode: distributed|centralized")
+	flag.StringVar(&cfg.bound, "bound", "secure", "bounding: secure|linear|exponential|optimal")
+	flag.Float64Var(&cfg.delta, "delta", 0, "radio range (0 = auto for the population size)")
+	flag.BoolVar(&cfg.network, "network", false, "run the protocols over a simulated p2p message network")
+	flag.Float64Var(&cfg.loss, "loss", 0, "message loss rate for -network")
+	flag.IntVar(&cfg.nearby, "nearby", 3, "after cloaking, fetch this many nearest POIs (0 = skip)")
+	flag.IntVar(&cfg.load, "load", 0, "load-generator mode: issue this many concurrent cloak requests (0 = off)")
+	flag.IntVar(&cfg.workers, "workers", 16, "concurrent clients for -load and -churn")
+	flag.IntVar(&cfg.churn, "churn", 0, "churn mode: run this many mobility ticks through the epoch pipeline (0 = off)")
+	flag.Float64Var(&cfg.churnFrac, "churnfrac", 0.2, "fraction of users re-uploading per churn tick")
+	flag.IntVar(&cfg.faults, "faults", 0, "fault-injection mode: run this many seeded fault scenarios (0 = off)")
+	flag.Int64Var(&cfg.faultSeed, "faultseed", 1, "first scenario seed for -faults")
+	flag.BoolVar(&cfg.showTrace, "trace", false, "print the span tree of the cloak request (single-request mode)")
 	flag.Parse()
-	var err error
-	if *faults > 0 {
-		err = runFaults(*faults, *fseed)
-	} else if *churn > 0 {
-		err = runChurn(*n, *k, *seed, *delta, *churn, *cfrac, *workers)
-	} else if *load > 0 {
-		err = runLoad(*n, *k, *seed, *delta, *load, *workers)
-	} else {
-		err = run(*n, *k, *host, *seed, *mode, *bound, *delta, *net, *loss, *nearby)
+	err := cfg.validate()
+	if err == nil {
+		switch {
+		case cfg.faults > 0:
+			err = runFaults(cfg.faults, cfg.faultSeed)
+		case cfg.churn > 0:
+			err = runChurn(cfg.n, cfg.k, cfg.seed, cfg.delta, cfg.churn, cfg.churnFrac, cfg.workers)
+		case cfg.load > 0:
+			err = runLoad(cfg.n, cfg.k, cfg.seed, cfg.delta, cfg.load, cfg.workers)
+		default:
+			err = run(cfg.n, cfg.k, cfg.host, cfg.seed, cfg.mode, cfg.bound, cfg.delta,
+				cfg.network, cfg.loss, cfg.nearby, cfg.showTrace)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cloaksim:", err)
@@ -363,7 +423,7 @@ func runLoad(n, k int, seed int64, delta float64, requests, workers int) error {
 	return nil
 }
 
-func run(n, k, host int, seed int64, mode, bound string, delta float64, overNet bool, loss float64, nearby int) error {
+func run(n, k, host int, seed int64, mode, bound string, delta float64, overNet bool, loss float64, nearby int, showTrace bool) error {
 	cfg := cloak.DefaultConfig()
 	cfg.K = k
 	switch mode {
@@ -426,10 +486,20 @@ func run(n, k, host int, seed int64, mode, bound string, delta float64, overNet 
 			return err
 		}
 		fmt.Printf("population: %d users, avg proximity degree %.1f\n", sys.NumUsers(), sys.AvgDegree())
-		r, res = sys.Cloak(host)
+		if showTrace {
+			sp := trace.New("request.cloak")
+			r, res = sys.CloakCtx(trace.NewContext(context.Background(), sp), host)
+			sp.End()
+			fmt.Printf("trace:\n%s\n", sp)
+		} else {
+			r, res = sys.Cloak(host)
+		}
 	}
 	if res != nil {
 		return res
+	}
+	if showTrace && overNet {
+		fmt.Println("trace: span tracing covers the in-process system only; rerun without -network")
 	}
 
 	fmt.Printf("host %d at (%.5f, %.5f)\n", host, users[host].X, users[host].Y)

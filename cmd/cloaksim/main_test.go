@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimConfigValidate(t *testing.T) {
+	valid := simConfig{n: 5000, k: 10, workers: 16, churnFrac: 0.2, nearby: 3}
+	tests := []struct {
+		name    string
+		mutate  func(*simConfig)
+		wantErr string // "" = valid
+	}{
+		{"defaults", func(c *simConfig) {}, ""},
+		{"churn mode", func(c *simConfig) { c.churn = 20 }, ""},
+		{"faults mode", func(c *simConfig) { c.faults = 100 }, ""},
+		{"zero population", func(c *simConfig) { c.n = 0 }, "-n must be >= 1"},
+		{"zero k", func(c *simConfig) { c.k = 0 }, "-k must be >= 1"},
+		{"negative faults", func(c *simConfig) { c.faults = -1 }, "-faults must be >= 0"},
+		{"negative churn", func(c *simConfig) { c.churn = -3 }, "-churn must be >= 0"},
+		{"negative load", func(c *simConfig) { c.load = -1 }, "-load must be >= 0"},
+		{"zero workers", func(c *simConfig) { c.workers = 0 }, "-workers must be >= 1"},
+		{"churnfrac zero with churn", func(c *simConfig) { c.churn = 5; c.churnFrac = 0 }, "-churnfrac must be in (0,1]"},
+		{"churnfrac above one with churn", func(c *simConfig) { c.churn = 5; c.churnFrac = 1.2 }, "-churnfrac must be in (0,1]"},
+		{"churnfrac ignored without churn", func(c *simConfig) { c.churnFrac = 7 }, ""},
+		{"negative loss", func(c *simConfig) { c.loss = -0.5 }, "-loss must be in [0,1]"},
+		{"loss above one", func(c *simConfig) { c.loss = 1.5 }, "-loss must be in [0,1]"},
+		{"negative nearby", func(c *simConfig) { c.nearby = -1 }, "-nearby must be >= 0"},
+		{"negative delta", func(c *simConfig) { c.delta = -1e-3 }, "-delta must be >= 0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := valid
+			tt.mutate(&c)
+			err := c.validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"nonexposure/internal/core"
+	"nonexposure/internal/trace"
 	"nonexposure/internal/wpg"
 )
 
@@ -105,10 +106,15 @@ func (s *Server) Epoch() uint64 { return s.epoch }
 func (s *Server) Registry() *core.Registry { return s.reg }
 
 // runBuild performs the one-time clustering. Exactly one goroutine —
-// whichever won the claim — calls it; everyone else waits on done.
-func (s *Server) runBuild() {
+// whichever won the claim — calls it; everyone else waits on done. When
+// ctx carries a trace span the clustering reports as an
+// "anonymizer.build" stage with the core cluster/register children
+// under it.
+func (s *Server) runBuild(ctx context.Context) {
 	defer close(s.done)
-	_, skipped, err := core.RegisterCentralizedParallel(s.g, s.k, s.reg, s.workers)
+	bctx, bsp := trace.StartChild(ctx, "anonymizer.build")
+	defer bsp.End()
+	_, skipped, err := core.RegisterCentralizedParallelCtx(bctx, s.g, s.k, s.reg, s.workers)
 	if err != nil {
 		s.buildErr = fmt.Errorf("anonymizer: initial clustering: %w", err)
 		return
@@ -124,7 +130,7 @@ func (s *Server) runBuild() {
 // Build, every Cloak is a zero-cost cache read.
 func (s *Server) Build(ctx context.Context) error {
 	if s.claimed.CompareAndSwap(false, true) {
-		s.runBuild()
+		s.runBuild(ctx)
 		return s.buildErr
 	}
 	select {
@@ -146,7 +152,7 @@ func (s *Server) Cloak(ctx context.Context, host int32) (cluster *core.Cluster, 
 		return nil, 0, fmt.Errorf("anonymizer: no such user %d", host)
 	}
 	if s.claimed.CompareAndSwap(false, true) {
-		s.runBuild()
+		s.runBuild(ctx)
 		cost = s.g.NumVertices()
 	} else {
 		select {

@@ -99,7 +99,7 @@ func TestCloakCanceledContextWhileWaiting(t *testing.T) {
 		t.Errorf("Build with dead ctx = %v, want context.Canceled", err)
 	}
 	// Unblock the latch for cleanliness.
-	s.runBuild()
+	s.runBuild(bg)
 	if _, _, err := s.Cloak(bg, 0); err != nil {
 		t.Fatal(err)
 	}

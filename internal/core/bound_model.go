@@ -221,9 +221,21 @@ func (m CostModel) NBoundingIncrement(n int) (float64, error) {
 	}
 	x, solveErr := bisect(g, 1e-12, m.xMax(), 1e-12, 200)
 	if solveErr != nil {
-		// No sign change: the increment saturates at an end point; pick
-		// whichever end has lower total-cost proxy.
-		return clampIncrement(m.xMax(), m.xMax()), nil
+		// No sign change: Equation 5 has no interior stationary point, so
+		// its objective — R(x) + N·(C*−R*)·(1−P(x)), whose derivative g is —
+		// is monotone over the domain and the optimum sits at an end point.
+		// Evaluate the proxy at both ends and pick the cheaper one (the old
+		// code unconditionally returned xMax, which is wrong whenever the
+		// request-cost slope dominates the failure penalty and the low end
+		// wins).
+		proxy := func(x float64) float64 {
+			return m.Req.R(x) + gain*float64(n)*(1-m.Dist.CDF(x))
+		}
+		lo, hi := 1e-12, m.xMax()
+		if proxy(lo) <= proxy(hi) {
+			return clampIncrement(lo, m.xMax()), nil
+		}
+		return clampIncrement(hi, m.xMax()), nil
 	}
 	return clampIncrement(x, m.xMax()), nil
 }

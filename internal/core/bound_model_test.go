@@ -221,6 +221,71 @@ func TestNBoundingIncrementGenericNumeric(t *testing.T) {
 	}
 }
 
+// TestNBoundingIncrementEndpointFallbackLowEnd is the regression test
+// for the no-sign-change fallback: uniform overshoot with a steep
+// length cost (Cr per unit far above the failure penalty) makes
+// Equation 5's g(x) = R'(x) − gain·N·p(x) strictly positive over the
+// whole domain, so the objective R(x) + gain·N·(1−P(x)) is increasing
+// and the LOW end is optimal. The pre-fix code ignored the proxy and
+// returned xMax — a 10-unit increment where the model says "expand as
+// little as possible".
+func TestNBoundingIncrementEndpointFallbackLowEnd(t *testing.T) {
+	m := CostModel{Cb: 1, Dist: UniformDist{U: 1}, Req: LengthCost{Cr: 100}}
+	// Unary optimum saturates at the support edge: xStar=1, C*=101,
+	// R*=100, so gain = C*−R* = 1.
+	xStar, cStar, rStar, err := m.UnaryOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xStar != 1 || cStar-rStar != 1 {
+		t.Fatalf("unary optimum = (x=%v, C*=%v, R*=%v), expected saturation at the support edge", xStar, cStar, rStar)
+	}
+	// n=2: g(x) = 100 − 2·p(x) >= 98 everywhere — no root for bisection.
+	got, err := m.NBoundingIncrement(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= m.xMax()/2 {
+		t.Fatalf("increment = %v: fallback picked the high end (xMax=%v) even though the low end is cheaper", got, m.xMax())
+	}
+	if got <= 0 {
+		t.Fatalf("increment = %v, want the positive clamp floor", got)
+	}
+	// The chosen end must actually be the cheaper one under the proxy.
+	proxy := func(x float64) float64 {
+		return m.Req.R(x) + (cStar-rStar)*2*(1-m.Dist.CDF(x))
+	}
+	if proxy(got) > proxy(m.xMax())+1e-9 {
+		t.Fatalf("fallback chose x=%v with proxy %v > high-end proxy %v", got, proxy(got), proxy(m.xMax()))
+	}
+}
+
+// TestNBoundingIncrementEndpointFallbackHighEnd pins the opposite case:
+// when the failure penalty dominates the request cost everywhere, the
+// proxy is decreasing and the high end must win (the pre-fix behavior,
+// now justified by an actual comparison).
+func TestNBoundingIncrementEndpointFallbackHighEnd(t *testing.T) {
+	// Same family, but a shallow request cost and a capped domain inside
+	// the support: g(x) = Cr − gain·N·1 < 0 on the whole [lo, XMax], so
+	// the objective decreases and xMax is optimal.
+	m := CostModel{Cb: 1, Dist: UniformDist{U: 1}, Req: LengthCost{Cr: 2}, XMax: 0.5}
+	_, cStar, rStar, err := m.UnaryOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := cStar - rStar; gain <= 0 {
+		t.Fatalf("gain = %v, want positive", gain)
+	}
+	// n=8: g = 2 − 8·p(x) = −6 on (0, 0.5] — no sign change, high end wins.
+	got, err := m.NBoundingIncrement(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("increment = %v, want the capped high end 0.5", got)
+	}
+}
+
 func TestExactNBoundingDP(t *testing.T) {
 	m := defaultModel()
 	incs, costs, err := m.ExactNBounding(12)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"nonexposure/internal/geo"
+	"nonexposure/internal/trace"
 )
 
 // This file implements the progressive secure-bounding protocols of
@@ -275,6 +277,18 @@ type RectBoundResult struct {
 // estimate U. The paper's experiments set U from the cluster size under
 // the uniform assumption; see DefaultRectScale.
 func BoundRect(points []geo.Point, members []int32, anchor geo.Point, scale float64, pol IncrementPolicy, cb float64) (RectBoundResult, error) {
+	return BoundRectCtx(context.Background(), points, members, anchor, scale, pol, cb)
+}
+
+// BoundRectCtx is BoundRect with span hooks: when ctx carries a trace
+// span, the whole phase-2 bounding reports as a "core.bound" stage with
+// one child per direction run, so a traced cloak request shows how the
+// four progressive upper-bound protocols split the time. With tracing
+// off the hooks are nil checks.
+func BoundRectCtx(ctx context.Context, points []geo.Point, members []int32, anchor geo.Point, scale float64, pol IncrementPolicy, cb float64) (RectBoundResult, error) {
+	bsp := trace.FromContext(ctx).Child("core.bound")
+	defer bsp.End()
+	dirNames := [4]string{"bound.+x", "bound.-x", "bound.+y", "bound.-y"}
 	offsets := func(f func(geo.Point) float64) []float64 {
 		out := make([]float64, len(members))
 		for i, m := range members {
@@ -292,7 +306,9 @@ func BoundRect(points []geo.Point, members []int32, anchor geo.Point, scale floa
 	var res RectBoundResult
 	expSum, expN := 0.0, 0
 	for d, offs := range dirs {
+		dsp := bsp.Child(dirNames[d])
 		r, err := ProgressiveUpperBound(offs, scale, pol, cb)
+		dsp.End()
 		if err != nil {
 			return RectBoundResult{}, fmt.Errorf("core: direction %d: %w", d, err)
 		}

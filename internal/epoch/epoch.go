@@ -30,6 +30,7 @@ import (
 	"nonexposure/internal/core"
 	"nonexposure/internal/graph"
 	"nonexposure/internal/metrics"
+	"nonexposure/internal/trace"
 	"nonexposure/internal/wpg"
 )
 
@@ -111,6 +112,12 @@ type Generation struct {
 	// the transcript (which must stay deterministic).
 	BuildDuration time.Duration
 
+	// Trace is the build's span tree (queue wait, WPG construction,
+	// clustering, publish), populated when the build ran. Like
+	// BuildDuration it is observability only and never enters the
+	// transcript.
+	Trace *trace.Span
+
 	billed atomic.Bool
 }
 
@@ -149,6 +156,7 @@ type Manager struct {
 	policy   Policy
 	histCap  int
 	em       *metrics.EpochMetrics
+	tr       *trace.Recorder
 
 	mu           sync.Mutex
 	uploads      map[int32][]RankedPeer
@@ -172,6 +180,9 @@ type Manager struct {
 type buildJob struct {
 	gen     *Generation
 	uploads map[int32][]RankedPeer
+	// queuedAt marks the trigger time so the build can report its queue
+	// wait (wall-clock observability only).
+	queuedAt time.Time
 }
 
 // Option configures a Manager.
@@ -190,6 +201,10 @@ func WithPolicy(p Policy) Option { return func(m *Manager) { m.policy = p } }
 // WithMetrics attaches epoch metrics (nil is fine — all hooks are
 // nil-safe).
 func WithMetrics(em *metrics.EpochMetrics) Option { return func(m *Manager) { m.em = em } }
+
+// WithTraceRecorder attaches a recorder that receives every completed
+// build's span tree (nil is fine — recording is nil-safe).
+func WithTraceRecorder(r *trace.Recorder) Option { return func(m *Manager) { m.tr = r } }
 
 // WithHistoryLimit caps how many completed generations History retains
 // (default 128; the transcript is never truncated).
@@ -297,7 +312,7 @@ func (m *Manager) triggerLocked(reason string) *Generation {
 	}
 	m.uploadsSince = 0
 	m.changed = make(map[int32]struct{})
-	m.queue = append(m.queue, buildJob{gen: gen, uploads: snap})
+	m.queue = append(m.queue, buildJob{gen: gen, uploads: snap, queuedAt: time.Now()})
 	m.em.SetPending(len(m.queue))
 	if !m.building {
 		m.building = true
@@ -346,16 +361,36 @@ func (m *Manager) builderLoop() {
 }
 
 // build constructs one generation from its snapshot and publishes it.
+// Every stage is timed twice over: into the EpochMetrics stage
+// aggregates (queue wait, WPG construction, clustering, publish) and
+// into the build's span tree, which is attached to the Generation and
+// recorded for the admin /tracez view.
 func (m *Manager) build(job buildJob) {
 	gen := job.gen
+	root := trace.New(fmt.Sprintf("epoch.build/%d", gen.Epoch))
+	gen.Trace = root
 	start := time.Now()
+	if !job.queuedAt.IsZero() {
+		wait := start.Sub(job.queuedAt)
+		m.em.ObserveStage(metrics.StageQueue, wait)
+		root.AddStage(metrics.StageQueue, wait)
+	}
+
+	wsp := root.Child(metrics.StageWPG)
 	g, err := BuildGraph(m.numUsers, job.uploads)
+	wsp.End()
+	m.em.ObserveStage(metrics.StageWPG, wsp.Duration())
+
 	if err == nil {
 		anon := anonymizer.NewServer(g,
 			anonymizer.WithK(m.k),
 			anonymizer.WithWorkers(m.workers),
 			anonymizer.WithEpoch(gen.Epoch))
-		if err = anon.Build(context.Background()); err == nil {
+		csp := root.Child(metrics.StageCluster)
+		err = anon.Build(trace.NewContext(context.Background(), csp))
+		csp.End()
+		m.em.ObserveStage(metrics.StageCluster, csp.Duration())
+		if err == nil {
 			gen.Graph = g
 			gen.Anon = anon
 			gen.Edges = g.NumEdges()
@@ -367,6 +402,7 @@ func (m *Manager) build(job buildJob) {
 	gen.BuildDuration = time.Since(start)
 	m.em.ObserveBuild(gen.BuildDuration, err == nil)
 
+	psp := root.Child(metrics.StagePublish)
 	m.mu.Lock()
 	m.builds++
 	m.lastBuildDur = gen.BuildDuration
@@ -385,6 +421,10 @@ func (m *Manager) build(job buildJob) {
 		m.cur.Store(gen)
 		m.em.ObserveSwap()
 	}
+	psp.End()
+	m.em.ObserveStage(metrics.StagePublish, psp.Duration())
+	root.End()
+	m.tr.Record(root)
 }
 
 // Cloak serves a request from the current generation, lock-free with
@@ -393,11 +433,15 @@ func (m *Manager) build(job buildJob) {
 // the uploads that went into its build, every other request is free.
 // epoch reports which generation answered.
 func (m *Manager) Cloak(ctx context.Context, host int32) (cluster *core.Cluster, cost int, epoch uint64, err error) {
+	csp := trace.FromContext(ctx).Child("epoch.cloak")
+	defer csp.End()
 	gen := m.cur.Load()
 	if gen == nil {
 		return nil, 0, 0, ErrNotReady
 	}
+	asp := csp.Child("anonymizer.cloak")
 	cluster, _, err = gen.Anon.Cloak(ctx, host)
+	asp.End()
 	if err != nil {
 		return nil, 0, gen.Epoch, err
 	}

@@ -2,9 +2,39 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// Canonical epoch-build stage names, in pipeline order. The epoch
+// manager reports one ObserveStage per stage per build; exporters and
+// the churn report render them in this order.
+const (
+	StageQueue    = "queue"    // trigger -> build start (queue wait)
+	StageWPG      = "wpg"      // proximity-graph construction
+	StageCluster  = "cluster"  // t-connectivity clustering + registration
+	StagePublish  = "publish"  // generation swap (atomic publish)
+	StageOverhead = "overhead" // anything not covered by a named stage
+)
+
+// stageRank orders known stages ahead of any custom ones.
+func stageRank(stage string) int {
+	switch stage {
+	case StageQueue:
+		return 0
+	case StageWPG:
+		return 1
+	case StageCluster:
+		return 2
+	case StagePublish:
+		return 3
+	case StageOverhead:
+		return 4
+	}
+	return 5
+}
 
 // EpochMetrics tracks the health of the live re-clustering pipeline:
 // how many rebuilds ran (and failed), how long they took, how many
@@ -19,6 +49,18 @@ type EpochMetrics struct {
 	pending    atomic.Int64
 	buildDur   LatencyHistogram
 	lastSwapNs atomic.Int64 // unix nanos of the latest publish, 0 = never
+
+	stageMu sync.Mutex
+	stages  map[string]*stageAgg
+}
+
+// stageAgg accumulates one build stage's timing. Guarded by stageMu —
+// stages are observed a handful of times per rebuild, never on the
+// request hot path.
+type stageAgg struct {
+	count uint64
+	sumNs int64
+	maxNs int64
 }
 
 // NewEpochMetrics returns an empty epoch metrics set.
@@ -34,6 +76,33 @@ func (m *EpochMetrics) ObserveBuild(d time.Duration, ok bool) {
 		m.buildFails.Add(1)
 	}
 	m.buildDur.Observe(d)
+}
+
+// ObserveStage folds in the duration of one named build stage (see the
+// Stage* constants). Safe on a nil receiver.
+func (m *EpochMetrics) ObserveStage(stage string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	m.stageMu.Lock()
+	if m.stages == nil {
+		m.stages = make(map[string]*stageAgg)
+	}
+	agg := m.stages[stage]
+	if agg == nil {
+		agg = &stageAgg{}
+		m.stages[stage] = agg
+	}
+	agg.count++
+	agg.sumNs += ns
+	if ns > agg.maxNs {
+		agg.maxNs = ns
+	}
+	m.stageMu.Unlock()
 }
 
 // ObserveSwap records that a freshly built generation was published.
@@ -67,6 +136,15 @@ func (m *EpochMetrics) Staleness() time.Duration {
 	return time.Duration(time.Now().UnixNano() - last)
 }
 
+// StageSnapshot is the aggregated timing of one build stage.
+type StageSnapshot struct {
+	Stage string
+	Count uint64
+	Mean  time.Duration
+	Max   time.Duration
+	Total time.Duration
+}
+
 // EpochSnapshot is a point-in-time view of an EpochMetrics.
 type EpochSnapshot struct {
 	Builds     uint64
@@ -77,6 +155,11 @@ type EpochSnapshot struct {
 	BuildP50   time.Duration
 	BuildP95   time.Duration
 	Staleness  time.Duration
+	// BuildHist is the raw rebuild-duration histogram for exporters.
+	BuildHist HistogramSnapshot
+	// BuildStages breaks rebuild time down per stage, in pipeline order
+	// (queue wait, WPG construction, clustering, publish).
+	BuildStages []StageSnapshot
 }
 
 // Snapshot captures the current counters (zero value on a nil receiver).
@@ -84,20 +167,49 @@ func (m *EpochMetrics) Snapshot() EpochSnapshot {
 	if m == nil {
 		return EpochSnapshot{}
 	}
-	return EpochSnapshot{
+	hist := m.buildDur.Snapshot()
+	s := EpochSnapshot{
 		Builds:     m.builds.Load(),
 		BuildFails: m.buildFails.Load(),
 		Swaps:      m.swaps.Load(),
 		Pending:    int(m.pending.Load()),
 		BuildMean:  m.buildDur.Mean(),
-		BuildP50:   m.buildDur.Quantile(0.50),
-		BuildP95:   m.buildDur.Quantile(0.95),
+		BuildP50:   quantileOf(hist.Counts, hist.Total, 0.50),
+		BuildP95:   quantileOf(hist.Counts, hist.Total, 0.95),
 		Staleness:  m.Staleness(),
+		BuildHist:  hist,
 	}
+	m.stageMu.Lock()
+	for stage, agg := range m.stages {
+		ss := StageSnapshot{
+			Stage: stage,
+			Count: agg.count,
+			Max:   time.Duration(agg.maxNs),
+			Total: time.Duration(agg.sumNs),
+		}
+		if agg.count > 0 {
+			ss.Mean = time.Duration(agg.sumNs / int64(agg.count))
+		}
+		s.BuildStages = append(s.BuildStages, ss)
+	}
+	m.stageMu.Unlock()
+	sort.Slice(s.BuildStages, func(i, j int) bool {
+		ri, rj := stageRank(s.BuildStages[i].Stage), stageRank(s.BuildStages[j].Stage)
+		if ri != rj {
+			return ri < rj
+		}
+		return s.BuildStages[i].Stage < s.BuildStages[j].Stage
+	})
+	return s
 }
 
-// String renders a compact one-line report for shutdown logs.
+// String renders a compact one-line report for shutdown logs, with one
+// "stage=mean/max" clause per observed build stage.
 func (s EpochSnapshot) String() string {
-	return fmt.Sprintf("builds=%d fails=%d swaps=%d pending=%d build_p50=%v build_p95=%v staleness=%v",
+	out := fmt.Sprintf("builds=%d fails=%d swaps=%d pending=%d build_p50=%v build_p95=%v staleness=%v",
 		s.Builds, s.BuildFails, s.Swaps, s.Pending, s.BuildP50, s.BuildP95, s.Staleness)
+	for _, st := range s.BuildStages {
+		out += fmt.Sprintf(" %s=%v/%v", st.Stage, st.Mean, st.Max)
+	}
+	return out
 }

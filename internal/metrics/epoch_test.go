@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -30,6 +31,46 @@ func TestEpochMetricsCounters(t *testing.T) {
 	}
 }
 
+func TestEpochMetricsBuildStages(t *testing.T) {
+	m := NewEpochMetrics()
+	if s := m.Snapshot(); len(s.BuildStages) != 0 {
+		t.Fatalf("fresh BuildStages = %+v", s.BuildStages)
+	}
+	// Observed out of pipeline order on purpose: the snapshot must
+	// restore queue -> wpg -> cluster -> publish.
+	m.ObserveStage(StagePublish, time.Millisecond)
+	m.ObserveStage(StageCluster, 40*time.Millisecond)
+	m.ObserveStage(StageCluster, 20*time.Millisecond)
+	m.ObserveStage(StageWPG, 10*time.Millisecond)
+	m.ObserveStage(StageQueue, 2*time.Millisecond)
+	m.ObserveStage("custom", -time.Second) // negative clamps to 0
+
+	s := m.Snapshot()
+	var order []string
+	for _, st := range s.BuildStages {
+		order = append(order, st.Stage)
+	}
+	want := []string{StageQueue, StageWPG, StageCluster, StagePublish, "custom"}
+	if len(order) != len(want) {
+		t.Fatalf("stages = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("stage order = %v, want %v", order, want)
+		}
+	}
+	cl := s.BuildStages[2]
+	if cl.Count != 2 || cl.Mean != 30*time.Millisecond || cl.Max != 40*time.Millisecond || cl.Total != 60*time.Millisecond {
+		t.Errorf("cluster stage = %+v", cl)
+	}
+	if custom := s.BuildStages[4]; custom.Total != 0 || custom.Count != 1 {
+		t.Errorf("negative duration should clamp to 0: %+v", custom)
+	}
+	if got := s.String(); !strings.Contains(got, "cluster=30ms/40ms") || !strings.Contains(got, "wpg=10ms/10ms") {
+		t.Errorf("String() = %q missing stage clauses", got)
+	}
+}
+
 // TestEpochMetricsNilReceiver: every method must be a no-op on nil so
 // instrumentation stays optional.
 func TestEpochMetricsNilReceiver(t *testing.T) {
@@ -37,6 +78,7 @@ func TestEpochMetricsNilReceiver(t *testing.T) {
 	m.ObserveBuild(time.Second, true)
 	m.ObserveSwap()
 	m.SetPending(1)
+	m.ObserveStage(StageWPG, time.Second)
 	if m.Staleness() != 0 {
 		t.Error("nil staleness != 0")
 	}
@@ -56,6 +98,7 @@ func TestEpochMetricsConcurrent(t *testing.T) {
 				m.ObserveBuild(time.Millisecond, true)
 				m.ObserveSwap()
 				m.SetPending(j)
+				m.ObserveStage(StageCluster, time.Millisecond)
 				_ = m.Snapshot()
 			}
 		}()

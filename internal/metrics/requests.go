@@ -42,6 +42,38 @@ func (h *LatencyHistogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *LatencyHistogram) Count() uint64 { return h.total.Load() }
 
+// HistogramSnapshot is a point-in-time copy of a LatencyHistogram's raw
+// state: per-bucket counts (bucket i covers [2^i, 2^(i+1)) ns — see
+// BucketUpperNs), the observation count, and the duration sum. It is
+// what the Prometheus exposition renders as cumulative buckets.
+type HistogramSnapshot struct {
+	Counts []uint64
+	Total  uint64
+	SumNs  int64
+}
+
+// NumBuckets is the fixed bucket count of every HistogramSnapshot.
+const NumBuckets = latencyBuckets
+
+// BucketUpperNs returns the exclusive upper edge of bucket i in
+// nanoseconds: 2^(i+1).
+func BucketUpperNs(i int) int64 { return 1 << uint(i+1) }
+
+// Snapshot copies the histogram state. The copy is not atomic across
+// buckets (Observe may land between loads), which is fine for
+// monitoring: every count it returns was real at the moment it was
+// read, and Total is derived from the same reads so cumulative buckets
+// stay consistent.
+func (h *LatencyHistogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Counts: make([]uint64, latencyBuckets), SumNs: h.sumNs.Load()}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Total += c
+	}
+	return s
+}
+
 // Mean returns the mean observed duration (0 with no observations).
 func (h *LatencyHistogram) Mean() time.Duration {
 	n := h.total.Load()
@@ -75,10 +107,12 @@ func quantileOf(counts []uint64, total uint64, q float64) time.Duration {
 	}
 	rank := q * float64(total)
 	var seen float64
+	lastNonzero := -1
 	for i, c := range counts {
 		if c == 0 {
 			continue
 		}
+		lastNonzero = i
 		if seen+float64(c) >= rank {
 			lo := math.Exp2(float64(i))
 			hi := math.Exp2(float64(i + 1))
@@ -87,7 +121,15 @@ func quantileOf(counts []uint64, total uint64, q float64) time.Duration {
 		}
 		seen += float64(c)
 	}
-	return time.Duration(math.Exp2(float64(len(counts))))
+	// Float rank accumulation can land past every bucket when counts
+	// approach 2^53 (the additions above round down, the rank does not).
+	// The honest answer is the upper edge of the last populated bucket —
+	// never the 2^len sentinel, which fabricates a latency no request
+	// ever had.
+	if lastNonzero < 0 {
+		return 0
+	}
+	return time.Duration(math.Exp2(float64(lastNonzero + 1)))
 }
 
 // OpSnapshot is a point-in-time view of one operation's counters.
@@ -99,6 +141,9 @@ type OpSnapshot struct {
 	P50    time.Duration
 	P95    time.Duration
 	P99    time.Duration
+	// Hist is the op's raw latency histogram, for exporters that need
+	// more than the precomputed percentiles.
+	Hist HistogramSnapshot
 }
 
 // RequestSnapshot is a point-in-time view of a RequestMetrics: aggregate
@@ -110,6 +155,8 @@ type RequestSnapshot struct {
 	P95    time.Duration
 	P99    time.Duration
 	Ops    []OpSnapshot
+	// Hist is the merged latency histogram across every op.
+	Hist HistogramSnapshot
 }
 
 // String renders a compact one-line-per-op report for shutdown logs.
@@ -178,29 +225,30 @@ func (m *RequestMetrics) Snapshot() RequestSnapshot {
 	m.mu.RUnlock()
 
 	var s RequestSnapshot
-	var merged [latencyBuckets]uint64
-	var mergedTotal uint64
+	s.Hist.Counts = make([]uint64, latencyBuckets)
 	for i, o := range ops {
+		hist := o.lat.Snapshot()
 		snap := OpSnapshot{
 			Op:     names[i],
 			Count:  o.count.Load(),
 			Errors: o.errors.Load(),
 			Mean:   o.lat.Mean(),
-			P50:    o.lat.Quantile(0.50),
-			P95:    o.lat.Quantile(0.95),
-			P99:    o.lat.Quantile(0.99),
+			P50:    quantileOf(hist.Counts, hist.Total, 0.50),
+			P95:    quantileOf(hist.Counts, hist.Total, 0.95),
+			P99:    quantileOf(hist.Counts, hist.Total, 0.99),
+			Hist:   hist,
 		}
 		s.Ops = append(s.Ops, snap)
 		s.Total += snap.Count
 		s.Errors += snap.Errors
-		for b := range merged {
-			c := o.lat.counts[b].Load()
-			merged[b] += c
-			mergedTotal += c
+		for b, c := range hist.Counts {
+			s.Hist.Counts[b] += c
 		}
+		s.Hist.Total += hist.Total
+		s.Hist.SumNs += hist.SumNs
 	}
-	s.P50 = quantileOf(merged[:], mergedTotal, 0.50)
-	s.P95 = quantileOf(merged[:], mergedTotal, 0.95)
-	s.P99 = quantileOf(merged[:], mergedTotal, 0.99)
+	s.P50 = quantileOf(s.Hist.Counts, s.Hist.Total, 0.50)
+	s.P95 = quantileOf(s.Hist.Counts, s.Hist.Total, 0.95)
+	s.P99 = quantileOf(s.Hist.Counts, s.Hist.Total, 0.99)
 	return s
 }

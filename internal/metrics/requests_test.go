@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -48,6 +49,120 @@ func TestLatencyHistogramExtremes(t *testing.T) {
 	}
 	if q := h.Quantile(1); q <= 0 {
 		t.Errorf("max quantile = %v", q)
+	}
+}
+
+// TestQuantileOfClampsToLastBucket is the regression test for the
+// sentinel bug: when float rank accumulation skips past every populated
+// bucket (counts near 2^53 lose low bits during the additions), the old
+// code returned 2^48 ns (~3.2 days) out of thin air. The fix clamps to
+// the upper edge of the last nonzero bucket.
+func TestQuantileOfClampsToLastBucket(t *testing.T) {
+	counts := make([]uint64, latencyBuckets)
+	counts[0] = 1 << 53 // float64 additions of +1 below round away
+	counts[1] = 1
+	counts[2] = 1
+	total := counts[0] + counts[1] + counts[2]
+	got := quantileOf(counts, total, 1)
+	want := time.Duration(8) // upper edge of bucket 2: [4ns, 8ns)
+	if got != want {
+		t.Fatalf("q=1 over 2^53-scale counts = %v, want clamp to last bucket edge %v", got, want)
+	}
+	if sentinel := time.Duration(math.Exp2(latencyBuckets)); got == sentinel {
+		t.Fatalf("q=1 returned the fabricated sentinel %v", sentinel)
+	}
+}
+
+func TestQuantileOfEdgeCases(t *testing.T) {
+	t.Run("single observation q=1", func(t *testing.T) {
+		var h LatencyHistogram
+		h.Observe(5 * time.Nanosecond) // bucket 2: [4, 8)
+		got := h.Quantile(1)
+		if got <= 0 || got > 8*time.Nanosecond {
+			t.Fatalf("q=1 of single 5ns observation = %v, want within (0, 8ns]", got)
+		}
+	})
+	t.Run("q=1 equals max bucket edge", func(t *testing.T) {
+		var h LatencyHistogram
+		h.Observe(time.Microsecond)
+		h.Observe(time.Millisecond)
+		got := h.Quantile(1)
+		if got < time.Millisecond || got > 2*time.Millisecond {
+			t.Fatalf("q=1 = %v, want inside the 1ms bucket", got)
+		}
+	})
+	t.Run("counts near 2^53 in one bucket", func(t *testing.T) {
+		counts := make([]uint64, latencyBuckets)
+		counts[10] = 1<<53 - 1
+		got := quantileOf(counts, counts[10], 1)
+		hi := time.Duration(math.Exp2(11))
+		if got <= 0 || got > hi {
+			t.Fatalf("q=1 = %v, want within (0, %v]", got, hi)
+		}
+	})
+	t.Run("zero total", func(t *testing.T) {
+		if got := quantileOf(make([]uint64, latencyBuckets), 0, 0.5); got != 0 {
+			t.Fatalf("empty = %v, want 0", got)
+		}
+	})
+	t.Run("mismatched total with empty counts", func(t *testing.T) {
+		// A caller passing an inconsistent (counts, total) pair must not
+		// receive a fabricated duration.
+		if got := quantileOf(make([]uint64, latencyBuckets), 10, 1); got != 0 {
+			t.Fatalf("no populated bucket = %v, want 0", got)
+		}
+	})
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(5 * time.Nanosecond)  // bucket 2
+	h.Observe(6 * time.Nanosecond)  // bucket 2
+	h.Observe(20 * time.Nanosecond) // bucket 4
+	s := h.Snapshot()
+	if s.Total != 3 {
+		t.Fatalf("Total = %d", s.Total)
+	}
+	if s.Counts[2] != 2 || s.Counts[4] != 1 {
+		t.Fatalf("Counts = %v", s.Counts)
+	}
+	if s.SumNs != 31 {
+		t.Fatalf("SumNs = %d", s.SumNs)
+	}
+	if BucketUpperNs(2) != 8 || BucketUpperNs(0) != 2 {
+		t.Fatalf("BucketUpperNs wrong: %d %d", BucketUpperNs(2), BucketUpperNs(0))
+	}
+}
+
+// TestLatencyHistogramConcurrent drives Observe, Quantile, and Snapshot
+// from concurrent goroutines; under -race this is the histogram's
+// thread-safety regression test.
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(1+(w*perWorker+i)%4096) * time.Nanosecond)
+				if i%128 == 0 {
+					if q := h.Quantile(0.99); q < 0 {
+						t.Error("negative quantile")
+					}
+					_ = h.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.Total != workers*perWorker {
+		t.Fatalf("snapshot Total = %d", s.Total)
 	}
 }
 

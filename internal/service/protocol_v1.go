@@ -81,6 +81,11 @@ func errEnvelope(msg string) Envelope {
 	return Envelope{V: ProtocolVersion, Error: msg}
 }
 
+// NewEpochPayload renders a pipeline status in the v1 wire shape. The
+// admin /epochz endpoint uses it so HTTP observers and v1 clients see
+// the same fields.
+func NewEpochPayload(st epoch.Status) *EpochPayload { return epochPayload(st) }
+
 // epochPayload renders a pipeline status.
 func epochPayload(st epoch.Status) *EpochPayload {
 	return &EpochPayload{

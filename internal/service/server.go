@@ -13,6 +13,7 @@ import (
 
 	"nonexposure/internal/epoch"
 	"nonexposure/internal/metrics"
+	"nonexposure/internal/trace"
 )
 
 // Accept-error backoff bounds: a persistent Accept failure (EMFILE, for
@@ -40,6 +41,7 @@ type Server struct {
 	mgr        *epoch.Manager
 	reqMetrics *metrics.RequestMetrics
 	em         *metrics.EpochMetrics
+	tracer     *trace.Recorder
 
 	// ctx governs every accept loop and connection; Close cancels it.
 	ctx    context.Context
@@ -83,6 +85,14 @@ func WithMetrics(em *metrics.EpochMetrics) Option { return func(s *Server) { s.e
 // disables).
 func WithIdleTimeout(d time.Duration) Option { return func(s *Server) { s.idleTimeout = d } }
 
+// WithTraceRecorder enables request tracing: every handled request gets
+// a root span threaded down through the epoch pipeline, anonymizer, and
+// core stages, and the finished span tree lands in r (newest first, for
+// the admin /tracez view). The same recorder also receives epoch-build
+// span trees. nil (the default) disables tracing entirely — the hot
+// path then pays only nil checks.
+func WithTraceRecorder(r *trace.Recorder) Option { return func(s *Server) { s.tracer = r } }
+
 // New creates a server configured by options. WithNumUsers is required.
 func New(opts ...Option) (*Server, error) {
 	s := &Server{
@@ -98,7 +108,8 @@ func New(opts ...Option) (*Server, error) {
 		epoch.WithK(s.k),
 		epoch.WithWorkers(s.workers),
 		epoch.WithPolicy(s.policy),
-		epoch.WithMetrics(s.em))
+		epoch.WithMetrics(s.em),
+		epoch.WithTraceRecorder(s.tracer))
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
@@ -176,6 +187,10 @@ func (s *Server) EpochMetrics() *metrics.EpochMetrics { return s.em }
 // Manager exposes the epoch pipeline (read-only use: status,
 // transcript).
 func (s *Server) Manager() *epoch.Manager { return s.mgr }
+
+// Tracer returns the configured trace recorder (nil when tracing is
+// disabled). The admin endpoint reads recent span trees from it.
+func (s *Server) Tracer() *trace.Recorder { return s.tracer }
 
 func (s *Server) track(conn net.Conn) {
 	s.connMu.Lock()
@@ -280,7 +295,9 @@ func (s *Server) Handle(req Request) Response {
 
 func (s *Server) handleV0(ctx context.Context, req Request) Response {
 	start := time.Now()
+	ctx, sp := s.startRequestSpan(ctx, req.Op)
 	resp := s.dispatchV0(ctx, req)
+	s.finishRequestSpan(sp)
 	s.reqMetrics.Observe(string(req.Op), time.Since(start), resp.Error == "")
 	return resp
 }
@@ -288,9 +305,29 @@ func (s *Server) handleV0(ctx context.Context, req Request) Response {
 // HandleEnvelope processes one request and answers in the v1 format.
 func (s *Server) HandleEnvelope(ctx context.Context, req Request) Envelope {
 	start := time.Now()
+	ctx, sp := s.startRequestSpan(ctx, req.Op)
 	env := s.dispatchV1(ctx, req)
+	s.finishRequestSpan(sp)
 	s.reqMetrics.Observe(string(req.Op), time.Since(start), env.Error == "")
 	return env
+}
+
+// startRequestSpan opens the per-request root span when a trace recorder
+// is configured. With tracing off it returns (ctx, nil) and the request
+// path pays a single nil comparison.
+func (s *Server) startRequestSpan(ctx context.Context, op Op) (context.Context, *trace.Span) {
+	if s.tracer == nil {
+		return ctx, nil
+	}
+	sp := trace.New("request." + string(op))
+	return trace.NewContext(ctx, sp), sp
+}
+
+// finishRequestSpan freezes and records the request's root span (no-op
+// with tracing off).
+func (s *Server) finishRequestSpan(sp *trace.Span) {
+	sp.End()
+	s.tracer.Record(sp)
 }
 
 func (s *Server) dispatchV0(ctx context.Context, req Request) Response {
@@ -298,7 +335,10 @@ func (s *Server) dispatchV0(ctx context.Context, req Request) Response {
 	case OpPing:
 		return Response{OK: true}
 	case OpUpload:
-		if err := s.mgr.Upload(req.User, req.Peers); err != nil {
+		usp := trace.FromContext(ctx).Child("epoch.upload")
+		err := s.mgr.Upload(req.User, req.Peers)
+		usp.End()
+		if err != nil {
 			return Response{Error: err.Error()}
 		}
 		return Response{OK: true}
@@ -359,7 +399,10 @@ func (s *Server) dispatchV1(ctx context.Context, req Request) Envelope {
 	case OpPing:
 		return ok
 	case OpUpload:
-		if err := s.mgr.Upload(req.User, req.Peers); err != nil {
+		usp := trace.FromContext(ctx).Child("epoch.upload")
+		err := s.mgr.Upload(req.User, req.Peers)
+		usp.End()
+		if err != nil {
 			return errEnvelope(err.Error())
 		}
 		return ok
@@ -402,11 +445,16 @@ func (s *Server) dispatchV1(ctx context.Context, req Request) Envelope {
 // rotateAndWait is the synchronous freeze: trigger a rotation and block
 // until that generation (and anything queued before it) has published.
 func (s *Server) rotateAndWait(ctx context.Context) (*epoch.Generation, error) {
+	rsp := trace.FromContext(ctx).Child("epoch.rotate")
 	ep, err := s.mgr.Rotate()
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
-	if err := s.mgr.Sync(ctx); err != nil {
+	ssp := trace.FromContext(ctx).Child("epoch.sync")
+	err = s.mgr.Sync(ctx)
+	ssp.End()
+	if err != nil {
 		return nil, err
 	}
 	for _, gen := range s.mgr.History() {

@@ -1,0 +1,234 @@
+// Package trace is a minimal, allocation-conscious span tracer for the
+// cloaking request path. It is deliberately not OpenTelemetry: the hot
+// path must cost nothing when tracing is off, and the output is a span
+// tree a human (or the admin endpoint) can read directly.
+//
+// The design hinges on one rule: a nil *Span is a valid, disabled span.
+// Every method is nil-safe, so instrumentation points write
+//
+//	sp := trace.FromContext(ctx).Child("epoch.cloak")
+//	defer sp.End()
+//
+// unconditionally; when no span rides the context the whole sequence is
+// a context lookup plus nil checks — no allocation, no locking, no time
+// syscalls. Tracing turns on by attaching a root span to the context
+// (NewContext/New), typically per request by internal/service when a
+// Recorder is configured.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a request or build. Spans form a tree;
+// children are added concurrently-safely, so fan-out stages (parallel
+// component clustering, the four bounding directions) can trace each
+// branch. A Span is created started and frozen by End.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// New starts a root span. Use NewContext to make it visible to callees.
+func New(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a sub-span. On a nil receiver it returns nil, which keeps
+// the disabled path free of allocations.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// AddStage appends an already-finished child with an externally
+// measured duration — for stages whose boundaries were timed before the
+// span tree existed (queue wait between trigger and build start).
+// Nil-safe.
+func (s *Span) AddStage(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	c := &Span{name: name, start: time.Now().Add(-d), dur: d, ended: true}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// End freezes the span's duration. Nil-safe and idempotent (the first
+// End wins, so a deferred End after an explicit one is harmless).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's stage name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the frozen duration, or the running duration if End
+// has not been called yet (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Children returns a snapshot of the direct sub-spans (nil on nil).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span tree depth-first: the span itself, then each
+// child subtree in creation order. depth is 0 for the receiver. Nil-safe.
+func (s *Span) Walk(fn func(sp *Span, depth int)) {
+	if s == nil {
+		return
+	}
+	s.walk(fn, 0)
+}
+
+func (s *Span) walk(fn func(*Span, int), depth int) {
+	fn(s, depth)
+	for _, c := range s.Children() {
+		c.walk(fn, depth+1)
+	}
+}
+
+// String renders the tree with indentation and per-stage durations:
+//
+//	request.cloak 1.2ms
+//	  epoch.cloak 1.1ms
+//	    anonymizer.cloak 1.0ms
+func (s *Span) String() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.Walk(func(sp *Span, depth int) {
+		fmt.Fprintf(&b, "%s%s %v\n", strings.Repeat("  ", depth), sp.Name(), sp.Duration())
+	})
+	return strings.TrimRight(b.String(), "\n")
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx with the span attached. Attaching nil returns
+// ctx unchanged, so call sites never need their own enabled check.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span riding ctx, or nil when tracing is off.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartChild starts a child of the context's span and returns a context
+// carrying it. With tracing off it returns (ctx, nil) untouched.
+func StartChild(ctx context.Context, name string) (context.Context, *Span) {
+	sp := FromContext(ctx).Child(name)
+	if sp == nil {
+		return ctx, nil
+	}
+	return NewContext(ctx, sp), sp
+}
+
+// Recorder keeps the most recent finished root spans in a bounded ring,
+// newest first, for the admin /tracez view. Safe for concurrent use; a
+// nil *Recorder discards everything, so servers can hold one
+// unconditionally.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []*Span
+	next int
+	full bool
+}
+
+// NewRecorder returns a recorder retaining up to capacity spans
+// (capacity < 1 is raised to 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{ring: make([]*Span, capacity)}
+}
+
+// Record stores a finished root span. Nil recorder and nil span are both
+// no-ops.
+func (r *Recorder) Record(s *Span) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.next] = s
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns the recorded spans, newest first (nil receiver: none).
+func (r *Recorder) Recent() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.ring)
+	}
+	out := make([]*Span, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.ring)
+		}
+		out = append(out, r.ring[idx])
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsDisabled(t *testing.T) {
+	var s *Span
+	if c := s.Child("x"); c != nil {
+		t.Fatalf("nil.Child = %v, want nil", c)
+	}
+	s.End() // must not panic
+	if d := s.Duration(); d != 0 {
+		t.Fatalf("nil.Duration = %v, want 0", d)
+	}
+	if got := s.String(); got != "" {
+		t.Fatalf("nil.String = %q, want empty", got)
+	}
+	if cs := s.Children(); cs != nil {
+		t.Fatalf("nil.Children = %v, want nil", cs)
+	}
+	s.Walk(func(*Span, int) { t.Fatal("walk visited a nil span") })
+}
+
+func TestSpanTree(t *testing.T) {
+	root := New("request.cloak")
+	a := root.Child("epoch.cloak")
+	b := a.Child("anonymizer.cloak")
+	time.Sleep(time.Millisecond)
+	b.End()
+	a.End()
+	root.End()
+
+	if got := len(root.Children()); got != 1 {
+		t.Fatalf("root has %d children, want 1", got)
+	}
+	if a.Duration() < b.Duration() {
+		t.Fatalf("parent duration %v < child %v", a.Duration(), b.Duration())
+	}
+	var names []string
+	var depths []int
+	root.Walk(func(sp *Span, depth int) {
+		names = append(names, sp.Name())
+		depths = append(depths, depth)
+	})
+	wantNames := []string{"request.cloak", "epoch.cloak", "anonymizer.cloak"}
+	wantDepths := []int{0, 1, 2}
+	for i := range wantNames {
+		if names[i] != wantNames[i] || depths[i] != wantDepths[i] {
+			t.Fatalf("walk[%d] = (%q,%d), want (%q,%d)", i, names[i], depths[i], wantNames[i], wantDepths[i])
+		}
+	}
+	out := root.String()
+	if !strings.Contains(out, "  epoch.cloak ") || !strings.Contains(out, "    anonymizer.cloak ") {
+		t.Fatalf("rendered tree missing indented stages:\n%s", out)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	s := New("x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if got := s.Duration(); got != d {
+		t.Fatalf("second End changed duration: %v -> %v", d, got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if sp := FromContext(context.Background()); sp != nil {
+		t.Fatalf("FromContext(background) = %v, want nil", sp)
+	}
+	root := New("root")
+	ctx := NewContext(context.Background(), root)
+	if got := FromContext(ctx); got != root {
+		t.Fatalf("FromContext = %v, want the attached root", got)
+	}
+	cctx, child := StartChild(ctx, "stage")
+	if child == nil || FromContext(cctx) != child {
+		t.Fatal("StartChild did not attach the child span")
+	}
+	// Disabled path: no span in ctx -> same ctx back, nil span.
+	dctx, dsp := StartChild(context.Background(), "stage")
+	if dsp != nil || dctx != context.Background() {
+		t.Fatalf("disabled StartChild = (%v, %v)", dctx, dsp)
+	}
+	// Attaching nil must not shadow an enabled span check.
+	if got := NewContext(ctx, nil); FromContext(got) != root {
+		t.Fatal("NewContext(nil) should leave ctx unchanged")
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	root := New("root")
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("branch")
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != n {
+		t.Fatalf("got %d children, want %d", got, n)
+	}
+}
+
+func TestRecorderRingOrder(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Record(New("x")) // no-op
+	if got := nilRec.Recent(); got != nil {
+		t.Fatalf("nil recorder Recent = %v", got)
+	}
+
+	r := NewRecorder(3)
+	if got := r.Recent(); len(got) != 0 {
+		t.Fatalf("fresh recorder holds %d spans", len(got))
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		s := New(name)
+		s.End()
+		r.Record(s)
+	}
+	r.Record(nil) // discarded
+	got := r.Recent()
+	if len(got) != 3 {
+		t.Fatalf("got %d spans, want 3", len(got))
+	}
+	want := []string{"d", "c", "b"} // newest first, "a" evicted
+	for i, s := range got {
+		if s.Name() != want[i] {
+			t.Fatalf("Recent[%d] = %q, want %q", i, s.Name(), want[i])
+		}
+	}
+}
+
+func BenchmarkDisabledChild(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := FromContext(ctx).Child("stage")
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledChild(b *testing.B) {
+	ctx := NewContext(context.Background(), New("root"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := FromContext(ctx).Child("stage")
+		sp.End()
+	}
+}

@@ -15,6 +15,15 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
+# staticcheck is optional: run it when the toolchain is installed, skip
+# with a notice otherwise (the gate must work on a bare Go image).
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck ./..."
+    staticcheck ./...
+else
+    echo "==> staticcheck not installed; skipping"
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -38,5 +47,36 @@ go test -fuzz='^FuzzProtocolDecode$' -fuzztime=10s -run '^$' ./internal/service
 
 echo "==> go test -fuzz=FuzzBoundVotes (10s)"
 go test -fuzz='^FuzzBoundVotes$' -fuzztime=10s -run '^$' ./internal/core
+
+# Admin endpoint smoke: start cloakd with an ephemeral admin port, curl
+# /metrics and /healthz, and shut it down. Skipped when curl is absent.
+if command -v curl >/dev/null 2>&1; then
+    echo "==> cloakd admin smoke (/metrics, /healthz)"
+    tmpdir=$(mktemp -d)
+    trap 'kill "$cloakd_pid" 2>/dev/null; rm -rf "$tmpdir"' EXIT
+    go build -o "$tmpdir/cloakd" ./cmd/cloakd
+    "$tmpdir/cloakd" -addr 127.0.0.1:0 -admin 127.0.0.1:0 -n 100 -k 5 \
+        > "$tmpdir/cloakd.log" 2>&1 &
+    cloakd_pid=$!
+    admin_addr=""
+    for _ in $(seq 1 50); do
+        admin_addr=$(sed -n 's/^cloakd: admin listening on //p' "$tmpdir/cloakd.log")
+        [ -n "$admin_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$admin_addr" ]; then
+        echo "cloakd admin address never appeared:" >&2
+        cat "$tmpdir/cloakd.log" >&2
+        exit 1
+    fi
+    curl -sf "http://$admin_addr/metrics" | grep -q '^cloakd_epoch_builds_total' \
+        || { echo "/metrics missing cloakd_epoch_builds_total" >&2; exit 1; }
+    curl -sf "http://$admin_addr/healthz" | grep -q '"status": "ok"' \
+        || { echo "/healthz not ok" >&2; exit 1; }
+    kill "$cloakd_pid"
+    wait "$cloakd_pid" 2>/dev/null || true
+else
+    echo "==> curl not installed; skipping admin smoke"
+fi
 
 echo "OK"
