@@ -454,11 +454,11 @@ func BenchmarkEpochCloakDuringRebuild(b *testing.B) {
 			b.Fatal(err)
 		}
 		for v, peers := range uploads {
-			if err := m.Upload(v, peers); err != nil {
+			if err := m.Upload(context.Background(), v, peers); err != nil {
 				b.Fatal(err)
 			}
 		}
-		if _, err := m.Rotate(); err != nil {
+		if _, err := m.Rotate(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		if err := m.Sync(context.Background()); err != nil {
@@ -501,10 +501,10 @@ func BenchmarkEpochCloakDuringRebuild(b *testing.B) {
 				if len(peers) > 0 {
 					peers[0].Rank = 1 + rank%7
 				}
-				if err := m.Upload(0, peers); err != nil {
+				if err := m.Upload(context.Background(), 0, peers); err != nil {
 					return
 				}
-				if _, err := m.Rotate(); err != nil {
+				if _, err := m.Rotate(context.Background()); err != nil {
 					return
 				}
 				m.Sync(context.Background())
@@ -515,6 +515,91 @@ func BenchmarkEpochCloakDuringRebuild(b *testing.B) {
 		<-done
 		b.ReportMetric(float64(m.Status().Builds), "rebuilds")
 	})
+}
+
+// BenchmarkEpochIncrementalRebuild measures one epoch rebuild under
+// partial churn: each iteration re-uploads a fixed fraction of the
+// population (whole WPG components, so the dirty set maps onto whole
+// shards), rotates, and waits for the generation to publish. "full"
+// disables the incremental path — every shard re-clusters from scratch
+// regardless of churn. "incremental" splices every clean shard from the
+// previous generation, so rebuild latency scales with the churned
+// fraction instead of the population.
+func BenchmarkEpochIncrementalRebuild(b *testing.B) {
+	pts := dataset.GaussianClusters(20000, 200, 0.004, 11)
+	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.008, MaxPeers: 10})
+	uploads := make(map[int32][]epoch.RankedPeer, g.NumVertices())
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		var peers []epoch.RankedPeer
+		for _, e := range g.Neighbors(v) {
+			peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
+		}
+		uploads[v] = peers
+	}
+	// churnSet gathers whole components until they cover frac of the
+	// population, so each iteration dirties a predictable share of shards.
+	churnSet := func(frac float64) []int32 {
+		target := int(frac * float64(g.NumVertices()))
+		var users []int32
+		for _, comp := range g.Components() {
+			if len(users) >= target {
+				break
+			}
+			users = append(users, comp...)
+		}
+		return users
+	}
+	run := func(b *testing.B, frac float64, incremental bool) {
+		m, err := epoch.New(g.NumVertices(), epoch.WithK(10), epoch.WithIncremental(incremental))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		ctx := context.Background()
+		for v, peers := range uploads {
+			if err := m.Upload(ctx, v, peers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := m.Rotate(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+		churn := churnSet(frac)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, u := range churn {
+				peers := append([]epoch.RankedPeer(nil), uploads[u]...)
+				if len(peers) > 0 {
+					peers[0].Rank += int32(1 + i%3) // a real rank change every iteration
+				}
+				if err := m.Upload(ctx, u, peers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := m.Rotate(ctx); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Sync(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		gen := m.Current()
+		if gen == nil || gen.BuildErr != nil {
+			b.Fatalf("final generation = %+v", gen)
+		}
+		if gen.ShardsTotal > 0 {
+			b.ReportMetric(float64(gen.ShardsRebuilt), "shards_rebuilt")
+			b.ReportMetric(float64(gen.ShardsTotal), "shards_total")
+		}
+	}
+	b.Run("full/10pct", func(b *testing.B) { run(b, 0.10, false) })
+	b.Run("incremental/1pct", func(b *testing.B) { run(b, 0.01, true) })
+	b.Run("incremental/10pct", func(b *testing.B) { run(b, 0.10, true) })
+	b.Run("incremental/50pct", func(b *testing.B) { run(b, 0.50, true) })
 }
 
 // --- Component micro-benchmarks ----------------------------------------------

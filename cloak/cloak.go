@@ -213,7 +213,7 @@ func NewSystem(users []Point, cfg Config) (*System, error) {
 		regions: make(map[int32]regionEntry),
 	}
 	if cfg.Mode == ModeCentralized {
-		s.anon = anonymizer.New(g, cfg.K)
+		s.anon = anonymizer.NewServer(g, anonymizer.WithK(cfg.K))
 		s.reg = s.anon.Registry()
 	}
 	return s, nil

@@ -43,16 +43,17 @@ import (
 // config is everything main parses from flags, separated so validation
 // is testable without touching the flag package or the network.
 type config struct {
-	addr      string
-	adminAddr string
-	n         int
-	k         int
-	workers   int
-	everyN    int
-	frac      float64
-	traceCap  int
-	demo      bool
-	seed      int64
+	addr        string
+	adminAddr   string
+	n           int
+	k           int
+	workers     int
+	everyN      int
+	frac        float64
+	traceCap    int
+	fullRebuild bool
+	demo        bool
+	seed        int64
 }
 
 // validate rejects flag combinations before any socket is opened, so a
@@ -90,6 +91,7 @@ func main() {
 	flag.IntVar(&cfg.everyN, "rebuild-uploads", 0, "rebuild after this many uploads (0 = disabled)")
 	flag.Float64Var(&cfg.frac, "rebuild-frac", 0, "rebuild once this fraction of users changed (0 = disabled)")
 	flag.IntVar(&cfg.traceCap, "trace", 0, "record span trees for the most recent N requests/builds, served at /tracez (0 = off)")
+	flag.BoolVar(&cfg.fullRebuild, "full-rebuild", false, "rebuild every epoch from scratch instead of the incremental sharded path")
 	flag.BoolVar(&cfg.demo, "demo", false, "run a self-contained demo population against the server and exit")
 	flag.Int64Var(&cfg.seed, "seed", 42, "demo dataset seed")
 	flag.Parse()
@@ -110,6 +112,7 @@ func run(cfg config) error {
 		service.WithK(cfg.k),
 		service.WithWorkers(cfg.workers),
 		service.WithRebuildPolicy(policy),
+		service.WithFullRebuild(cfg.fullRebuild),
 		service.WithMetrics(em),
 	}
 	if cfg.traceCap > 0 {

@@ -172,13 +172,14 @@ func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, work
 
 	// uploadAll derives every listed user's ranked peer list from the WPG
 	// over the current positions and feeds it to the pipeline.
+	ctx := context.Background()
 	uploadFrom := func(g *wpg.Graph, users []int32) error {
 		for _, v := range users {
 			var peers []epoch.RankedPeer
 			for _, e := range g.Neighbors(v) {
 				peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
 			}
-			if err := mgr.Upload(v, peers); err != nil {
+			if err := mgr.Upload(ctx, v, peers); err != nil {
 				return err
 			}
 		}
@@ -193,10 +194,10 @@ func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, work
 	if err := uploadFrom(g, all); err != nil {
 		return err
 	}
-	if _, err := mgr.Rotate(); err != nil {
+	if _, err := mgr.Rotate(ctx); err != nil {
 		return err
 	}
-	if err := mgr.Sync(context.Background()); err != nil {
+	if err := mgr.Sync(ctx); err != nil {
 		return err
 	}
 	fmt.Printf("churn: epoch 1 live (%d users, %d edges); %d ticks re-uploading %.0f%% per tick\n",
@@ -260,13 +261,13 @@ func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, work
 			wg.Wait()
 			return err
 		}
-		if _, err := mgr.Rotate(); err != nil && err != epoch.ErrNoNewUploads {
+		if _, err := mgr.Rotate(ctx); err != nil && err != epoch.ErrNoNewUploads {
 			close(stop)
 			wg.Wait()
 			return err
 		}
 	}
-	if err := mgr.Sync(context.Background()); err != nil {
+	if err := mgr.Sync(ctx); err != nil {
 		return err
 	}
 	close(stop)
@@ -281,6 +282,11 @@ func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, work
 		100*float64(served.Load())/float64(total), served.Load(), unclust.Load(), bad.Load())
 	fmt.Printf("churn: cloak latency p50=%v p95=%v p99=%v\n", snap.P50, snap.P95, snap.P99)
 	fmt.Printf("churn: pipeline %s\n", es)
+	if es.ShardsTotal > 0 {
+		fmt.Printf("churn: shard reuse %.1f%% (%d of %d shards spliced from the previous generation)\n",
+			100*(1-float64(es.ShardsRebuilt)/float64(es.ShardsTotal)),
+			es.ShardsTotal-es.ShardsRebuilt, es.ShardsTotal)
+	}
 	if bad.Load() > 0 {
 		return fmt.Errorf("%d cloaks failed hard during swaps", bad.Load())
 	}
@@ -369,7 +375,7 @@ func runLoad(n, k int, seed int64, delta float64, requests, workers int) error {
 	fmt.Printf("load: %d users, %d proximity edges, %d components\n",
 		g.NumVertices(), g.NumEdges(), len(g.Components()))
 
-	anon := anonymizer.New(g, k)
+	anon := anonymizer.NewServer(g, anonymizer.WithK(k))
 	m := metrics.NewRequestMetrics()
 
 	buildStart := time.Now()

@@ -122,6 +122,10 @@ func WriteMetrics(w io.Writer, req metrics.RequestSnapshot, ep metrics.EpochSnap
 		"Generation pointer swaps (published epochs).", float64(ep.Swaps))
 	writeScalar(w, "cloakd_epoch_pending_builds", "gauge",
 		"Rebuilds queued or in flight.", float64(ep.Pending))
+	writeScalar(w, "cloakd_epoch_shards_total", "counter",
+		"WPG connected components (shards) across all successful rebuilds.", float64(ep.ShardsTotal))
+	writeScalar(w, "cloakd_epoch_shards_rebuilt_total", "counter",
+		"Shards that re-ran clustering (the rest were spliced from the previous generation).", float64(ep.ShardsRebuilt))
 	writeScalar(w, "cloakd_epoch_staleness_seconds", "gauge",
 		"Age of the published generation.", ep.Staleness.Seconds())
 

@@ -105,6 +105,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"cloakd_request_latency_seconds_bucket{le=\"+Inf\"} 10",
 		"cloakd_epoch_builds_total 1",
 		"cloakd_epoch_swaps_total 1",
+		"cloakd_epoch_shards_total 1",
+		"cloakd_epoch_shards_rebuilt_total 1",
 		`cloakd_epoch_build_stage_seconds_count{stage="cluster"} 1`,
 	} {
 		if !strings.Contains(body, want) {
@@ -144,6 +146,7 @@ func TestWriteMetricsGolden(t *testing.T) {
 	}
 	ep := metrics.EpochSnapshot{
 		Builds: 3, BuildFails: 1, Swaps: 2, Pending: 1,
+		ShardsTotal: 6, ShardsRebuilt: 2,
 		Staleness: 1500 * time.Millisecond,
 		BuildHist: histWith(t, map[int]uint64{20: 3}, 3*(1<<20)),
 		BuildStages: []metrics.StageSnapshot{
@@ -183,6 +186,12 @@ cloakd_epoch_swaps_total 2
 # HELP cloakd_epoch_pending_builds Rebuilds queued or in flight.
 # TYPE cloakd_epoch_pending_builds gauge
 cloakd_epoch_pending_builds 1
+# HELP cloakd_epoch_shards_total WPG connected components (shards) across all successful rebuilds.
+# TYPE cloakd_epoch_shards_total counter
+cloakd_epoch_shards_total 6
+# HELP cloakd_epoch_shards_rebuilt_total Shards that re-ran clustering (the rest were spliced from the previous generation).
+# TYPE cloakd_epoch_shards_rebuilt_total counter
+cloakd_epoch_shards_rebuilt_total 2
 # HELP cloakd_epoch_staleness_seconds Age of the published generation.
 # TYPE cloakd_epoch_staleness_seconds gauge
 cloakd_epoch_staleness_seconds 1.5

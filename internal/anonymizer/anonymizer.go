@@ -81,20 +81,6 @@ func NewServer(g *wpg.Graph, opts ...Option) *Server {
 	return s
 }
 
-// New returns an anonymizer for the given graph and anonymity level.
-//
-// Deprecated: use NewServer with WithK.
-func New(g *wpg.Graph, k int) *Server {
-	return NewServer(g, WithK(k))
-}
-
-// NewParallel is New with an explicit clustering worker count.
-//
-// Deprecated: use NewServer with WithK and WithWorkers.
-func NewParallel(g *wpg.Graph, k, workers int) *Server {
-	return NewServer(g, WithK(k), WithWorkers(workers))
-}
-
 // K returns the configured anonymity level.
 func (s *Server) K() int { return s.k }
 
@@ -139,6 +125,40 @@ func (s *Server) Build(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Adopt installs externally computed clusters instead of running the
+// clustering here: the incremental epoch rebuild clusters only dirty
+// components and splices the rest from the previous generation, then
+// hands the merged result to the new generation's server through this
+// entry point. clusters must be whole-graph clustering output —
+// disjoint member sets ordered and numbered exactly as
+// core.CentralizedTConnParallel emits them — and skipped is the number
+// of users left in undersized components. Adopt takes the same
+// build-claim latch as Build/first-Cloak, so it is mutually exclusive
+// with them and idempotent-hostile by design: adopting into a server
+// that already built (or adopted) returns an error.
+func (s *Server) Adopt(ctx context.Context, clusters []*core.Cluster, skipped int) error {
+	if !s.claimed.CompareAndSwap(false, true) {
+		return fmt.Errorf("anonymizer: Adopt on an already-built server (epoch %d)", s.epoch)
+	}
+	defer close(s.done)
+	_, rsp := trace.StartChild(ctx, "core.register")
+	memberSets := make([][]int32, len(clusters))
+	ts := make([]int32, len(clusters))
+	for i, c := range clusters {
+		memberSets[i] = c.Members
+		ts[i] = c.T
+	}
+	_, err := s.reg.AddBatch(memberSets, ts)
+	rsp.End()
+	if err != nil {
+		s.buildErr = fmt.Errorf("anonymizer: adopt clusters: %w", err)
+		return s.buildErr
+	}
+	s.skipped.Store(int64(skipped))
+	s.built.Store(true)
+	return nil
 }
 
 // Cloak returns the cluster for host. cost is the number of messages this

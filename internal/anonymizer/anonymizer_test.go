@@ -25,7 +25,7 @@ func testGraph() *wpg.Graph {
 var bg = context.Background()
 
 func TestCloakFirstRequestCostsEveryone(t *testing.T) {
-	s := New(testGraph(), 3)
+	s := NewServer(testGraph(), WithK(3))
 	c, cost, err := s.Cloak(bg, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +106,7 @@ func TestCloakCanceledContextWhileWaiting(t *testing.T) {
 }
 
 func TestCloakReciprocityAcrossMembers(t *testing.T) {
-	s := New(testGraph(), 3)
+	s := NewServer(testGraph(), WithK(3))
 	c, _, err := s.Cloak(bg, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +123,7 @@ func TestCloakReciprocityAcrossMembers(t *testing.T) {
 }
 
 func TestCloakUndersizedComponent(t *testing.T) {
-	s := New(testGraph(), 3)
+	s := NewServer(testGraph(), WithK(3))
 	// Users 6,7 form a 2-component: k=3 impossible.
 	_, _, err := s.Cloak(bg, 6)
 	if !errors.Is(err, core.ErrInsufficientUsers) {
@@ -135,7 +135,7 @@ func TestCloakUndersizedComponent(t *testing.T) {
 }
 
 func TestCloakValidation(t *testing.T) {
-	s := New(testGraph(), 3)
+	s := NewServer(testGraph(), WithK(3))
 	if _, _, err := s.Cloak(bg, 99); err == nil {
 		t.Error("unknown user should error")
 	}
@@ -147,7 +147,7 @@ func TestCloakValidation(t *testing.T) {
 			t.Error("k < 1 should panic")
 		}
 	}()
-	New(testGraph(), 0)
+	NewServer(testGraph(), WithK(0))
 }
 
 // TestCloakConcurrentFirstRequests hammers a fresh server with parallel
@@ -157,7 +157,7 @@ func TestCloakValidation(t *testing.T) {
 func TestCloakConcurrentFirstRequests(t *testing.T) {
 	pts := dataset.GaussianClusters(400, 8, 0.02, 21)
 	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.03, MaxPeers: 8})
-	s := New(g, 4)
+	s := NewServer(g, WithK(4))
 
 	const callers = 32
 	var (
@@ -215,8 +215,8 @@ func TestCloakConcurrentFirstRequests(t *testing.T) {
 func TestCloakParallelMatchesSerialBuild(t *testing.T) {
 	pts := dataset.GaussianClusters(300, 6, 0.02, 5)
 	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.03, MaxPeers: 8})
-	serial := NewParallel(g, 3, 1)
-	parallel := NewParallel(g, 3, 8)
+	serial := NewServer(g, WithK(3), WithWorkers(1))
+	parallel := NewServer(g, WithK(3), WithWorkers(8))
 	if _, _, err := serial.Cloak(bg, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestCloakParallelMatchesSerialBuild(t *testing.T) {
 
 func TestCloakMatchesCentralizedAlgorithm(t *testing.T) {
 	g := testGraph()
-	s := New(g, 2)
+	s := NewServer(g, WithK(2))
 	c, _, err := s.Cloak(bg, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -261,5 +261,52 @@ func TestCloakMatchesCentralizedAlgorithm(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("reference clustering lost user 4")
+	}
+}
+
+// TestAdoptInstallsExternalClusters: the incremental epoch rebuild
+// computes clusters outside the server and installs them via Adopt;
+// the server must then serve them exactly like a built one, and a
+// second Adopt (or a Build race) must be rejected by the claim latch.
+func TestAdoptInstallsExternalClusters(t *testing.T) {
+	g := testGraph()
+	clusters, undersized := core.CentralizedTConn(g, 3)
+	skipped := 0
+	for _, u := range undersized {
+		skipped += len(u)
+	}
+	s := NewServer(g, WithK(3), WithEpoch(5))
+	if err := s.Adopt(bg, clusters, skipped); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Built() {
+		t.Fatal("Built() = false after Adopt")
+	}
+	if s.Unclusterable() != skipped {
+		t.Errorf("Unclusterable = %d, want %d", s.Unclusterable(), skipped)
+	}
+	c, cost, err := s.Cloak(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("post-Adopt cloak cost = %d, want 0", cost)
+	}
+	if !c.Contains(0) || c.Size() < 3 {
+		t.Errorf("cluster = %v", c.Members)
+	}
+	if err := s.Registry().CheckReciprocity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Adopt(bg, clusters, skipped); err == nil {
+		t.Error("second Adopt accepted")
+	}
+	// Adopting into a server that already built must fail too.
+	built := NewServer(g, WithK(3))
+	if err := built.Build(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := built.Adopt(bg, clusters, skipped); err == nil {
+		t.Error("Adopt after Build accepted")
 	}
 }

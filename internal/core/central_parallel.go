@@ -52,7 +52,7 @@ func CentralizedTConnParallel(g *wpg.Graph, k, workers int) (clusters []*Cluster
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = clusterComponent(g, comps[i], k)
+				results[i].clusters, results[i].undersized = ClusterComponent(g, comps[i], k)
 			}
 		}()
 	}
@@ -79,18 +79,21 @@ func CentralizedTConnParallel(g *wpg.Graph, k, workers int) (clusters []*Cluster
 	return clusters, undersized
 }
 
-// clusterComponent runs the serial safe-removal partition on the subgraph
-// induced by one connected component and maps the result back to global
-// vertex ids. members must be sorted ascending.
-func clusterComponent(g *wpg.Graph, members []int32, k int) (res struct {
-	clusters   []*Cluster
-	undersized [][]int32
-}) {
+// ClusterComponent runs the serial safe-removal partition on the
+// subgraph induced by one connected component and maps the result back
+// to global vertex ids. members must be a complete connected component
+// of g, sorted ascending. Cluster IDs in the result are local to the
+// component; whole-graph callers renumber after merging (see
+// CentralizedTConnParallel). This is the shard-level entry point the
+// incremental epoch rebuild uses to re-cluster only dirty components.
+func ClusterComponent(g *wpg.Graph, members []int32, k int) (clusters []*Cluster, undersized [][]int32) {
+	if k < 1 {
+		panic(fmt.Sprintf("core: k must be >= 1, got %d", k))
+	}
 	// A whole component smaller than k can never satisfy k-anonymity; no
 	// need to run the partition at all.
 	if len(members) < k {
-		res.undersized = [][]int32{append([]int32(nil), members...)}
-		return res
+		return nil, [][]int32{append([]int32(nil), members...)}
 	}
 
 	local := make(map[int32]int32, len(members))
@@ -113,21 +116,21 @@ func clusterComponent(g *wpg.Graph, members []int32, k int) (res struct {
 		// The induced subgraph of a valid WPG is always a valid WPG.
 		panic(fmt.Sprintf("core: induced component subgraph: %v", err))
 	}
-	clusters, undersized := CentralizedTConn(sub, k)
-	for _, c := range clusters {
+	localClusters, localUndersized := CentralizedTConn(sub, k)
+	for _, c := range localClusters {
 		for j, lv := range c.Members {
 			c.Members[j] = members[lv]
 		}
-		res.clusters = append(res.clusters, c)
+		clusters = append(clusters, c)
 	}
-	for _, u := range undersized {
+	for _, u := range localUndersized {
 		gu := make([]int32, len(u))
 		for j, lv := range u {
 			gu[j] = members[lv]
 		}
-		res.undersized = append(res.undersized, gu)
+		undersized = append(undersized, gu)
 	}
-	return res
+	return clusters, undersized
 }
 
 // RegisterCentralizedParallel is RegisterCentralized on top of

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"nonexposure/internal/dataset"
@@ -109,4 +110,53 @@ func TestCentralizedTConnParallelSingleComponent(t *testing.T) {
 	if !reflect.DeepEqual(gotC, wantC) || !reflect.DeepEqual(gotU, wantU) {
 		t.Errorf("single-component result differs: got %+v, want %+v", gotC, wantC)
 	}
+}
+
+// TestClusterComponentMatchesWholeGraph: clustering one component
+// through the exported shard entry point must reproduce exactly that
+// component's slice of the whole-graph clustering (cluster IDs are
+// local, so compare members and thresholds).
+func TestClusterComponentMatchesWholeGraph(t *testing.T) {
+	g := multiComponentGraph(t, 600, 9)
+	wholeC, wholeU := CentralizedTConn(g, 4)
+	var gotC []*Cluster
+	var gotU [][]int32
+	for _, members := range g.Components() {
+		c, u := ClusterComponent(g, members, 4)
+		gotC = append(gotC, c...)
+		gotU = append(gotU, u...)
+	}
+	if len(gotC) != len(wholeC) {
+		t.Fatalf("clusters = %d, want %d", len(gotC), len(wholeC))
+	}
+	// Component order is ascending smallest member and the serial scan
+	// emits clusters in ascending member order too, so the concatenation
+	// lines up positionally after sorting by smallest member.
+	sort.Slice(gotC, func(i, j int) bool { return gotC[i].Members[0] < gotC[j].Members[0] })
+	for i := range gotC {
+		if gotC[i].T != wholeC[i].T || !reflect.DeepEqual(gotC[i].Members, wholeC[i].Members) {
+			t.Errorf("cluster %d: got T=%d members=%v, want T=%d members=%v",
+				i, gotC[i].T, gotC[i].Members, wholeC[i].T, wholeC[i].Members)
+		}
+	}
+	skip := 0
+	for _, u := range gotU {
+		skip += len(u)
+	}
+	wantSkip := 0
+	for _, u := range wholeU {
+		wantSkip += len(u)
+	}
+	if skip != wantSkip {
+		t.Errorf("undersized members = %d, want %d", skip, wantSkip)
+	}
+}
+
+func TestClusterComponentPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k = 0 should panic")
+		}
+	}()
+	ClusterComponent(fig6Graph(), []int32{0}, 0)
 }

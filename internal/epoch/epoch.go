@@ -8,6 +8,17 @@
 // read the current generation lock-free while the next one builds, so
 // rebuilds never stall the hot path.
 //
+// Rebuilds are incremental by default: the manager tracks which users'
+// rankings changed since the previous build, carries the previous WPG
+// and per-component clustering forward, and on the next build
+// recomputes only the edges incident to changed users and re-clusters
+// only the connected components ("shards") those changes touched. The
+// remaining shards splice their clusters from the previous build —
+// safe because Theorem 4.4 cluster isolation makes each component an
+// independent clustering unit, and double-checked structurally
+// (identical membership and induced subgraph) before every splice. The
+// published output is bit-identical to a from-scratch rebuild.
+//
 // Determinism contract: the epoch transcript (which epochs were
 // triggered, why, and what each one built) is a pure function of the
 // accepted upload sequence and the policy. Triggers are decided and
@@ -15,13 +26,18 @@
 // queue in trigger order, and the transcript carries no wall-clock
 // values — so a fixed upload sequence plus policy produces a
 // byte-identical transcript on every run, which is what lets the
-// internal/sim invariant harness drive the pipeline.
+// internal/sim invariant harness drive the pipeline. The shard
+// accounting (shards=rebuilt/total) is part of the transcript: it too
+// is a pure function of the upload sequence and the incremental
+// setting.
 package epoch
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,14 +124,23 @@ type Generation struct {
 	Skipped  int
 	BuildErr error
 
+	// ShardsTotal and ShardsRebuilt are the incremental rebuild's shard
+	// accounting: the WPG's connected-component count and how many of
+	// those components actually re-ran clustering (the rest spliced
+	// their clusters from the previous build). A full rebuild reports
+	// ShardsRebuilt == ShardsTotal. Both are deterministic functions of
+	// the upload sequence, so they appear in the transcript.
+	ShardsTotal   int
+	ShardsRebuilt int
+
 	// BuildDuration is wall-clock observability only; it never enters
 	// the transcript (which must stay deterministic).
 	BuildDuration time.Duration
 
 	// Trace is the build's span tree (queue wait, WPG construction,
-	// clustering, publish), populated when the build ran. Like
-	// BuildDuration it is observability only and never enters the
-	// transcript.
+	// clustering with per-shard children, publish), populated when the
+	// build ran. Like BuildDuration it is observability only and never
+	// enters the transcript.
 	Trace *trace.Span
 
 	billed atomic.Bool
@@ -128,8 +153,8 @@ func (g *Generation) transcriptLine() string {
 		return fmt.Sprintf("epoch=%d trigger=%s seq=%d uploads=%d changed=%d err=%v",
 			g.Epoch, g.Trigger, g.Seq, g.UploadsIn, g.Changed, g.BuildErr)
 	}
-	return fmt.Sprintf("epoch=%d trigger=%s seq=%d uploads=%d changed=%d edges=%d clusters=%d skipped=%d",
-		g.Epoch, g.Trigger, g.Seq, g.UploadsIn, g.Changed, g.Edges, g.Clusters, g.Skipped)
+	return fmt.Sprintf("epoch=%d trigger=%s seq=%d uploads=%d changed=%d edges=%d clusters=%d skipped=%d shards=%d/%d",
+		g.Epoch, g.Trigger, g.Seq, g.UploadsIn, g.Changed, g.Edges, g.Clusters, g.Skipped, g.ShardsRebuilt, g.ShardsTotal)
 }
 
 // Sentinel errors.
@@ -146,33 +171,54 @@ var (
 )
 
 // Manager runs the pipeline. Safe for concurrent use: uploads and
-// rotates serialize on one mutex, builds run on a background goroutine
+// rotates serialize on one lock (a channel semaphore, so waiting
+// honors context cancellation), builds run on a background goroutine
 // draining a serial queue, and Cloak reads the published generation
 // through an atomic pointer without taking any lock.
 type Manager struct {
-	numUsers int
-	k        int
-	workers  int
-	policy   Policy
-	histCap  int
-	em       *metrics.EpochMetrics
-	tr       *trace.Recorder
+	numUsers    int
+	k           int
+	workers     int
+	policy      Policy
+	histCap     int
+	incremental bool
+	em          *metrics.EpochMetrics
+	tr          *trace.Recorder
 
-	mu           sync.Mutex
-	uploads      map[int32][]RankedPeer
-	changed      map[int32]struct{}
+	// sem is a one-slot semaphore serving as the manager lock; a
+	// channel rather than a sync.Mutex so Upload/Rotate/Sync can honor
+	// context cancellation while waiting for it (lockCtx).
+	sem chan struct{}
+
+	// All fields below are guarded by sem.
+	uploads map[int32][]RankedPeer
+	// changed: users whose stored ranking content changed since the
+	// previous trigger ("edge-dirty" — only edges incident to these
+	// users can differ from the previous build's WPG).
+	changed map[int32]struct{}
+	// dirty: changed users plus every peer on their old and new lists
+	// ("cluster-dirty" — a connected component containing none of these
+	// is provably untouched and its clusters can be spliced).
+	dirty        map[int32]struct{}
 	uploadsSince int
 	seq          uint64
 	nextEpoch    uint64
 	queue        []buildJob
 	building     bool
 	closed       bool
-	idle         *sync.Cond // broadcast when the queue drains (or on close)
+	idle         chan struct{} // closed while no build is queued or running
 	history      []*Generation
 	transcript   []string
 	builds       uint64
 	swaps        uint64
 	lastBuildDur time.Duration
+
+	// prev carries the last successful build's graph, components, and
+	// per-shard clustering forward for splicing. Owned by the builder:
+	// it is only touched by build(), and successive builder goroutines
+	// are ordered through sem (a builder is only started by a trigger
+	// that observed building == false under the lock).
+	prev *builderState
 
 	cur atomic.Pointer[Generation]
 }
@@ -180,9 +226,29 @@ type Manager struct {
 type buildJob struct {
 	gen     *Generation
 	uploads map[int32][]RankedPeer
+	changed map[int32]struct{}
+	dirty   map[int32]struct{}
 	// queuedAt marks the trigger time so the build can report its queue
 	// wait (wall-clock observability only).
 	queuedAt time.Time
+}
+
+// shardResult is one connected component's clustering output, kept in
+// component order so the next build can splice it wholesale.
+type shardResult struct {
+	clusters   []*core.Cluster
+	undersized [][]int32
+}
+
+// builderState is what a successful build leaves behind for the next
+// incremental one: its graph, its components (sorted members, ordered
+// by smallest member), the per-component clustering, and an index from
+// a component's smallest member to its position.
+type builderState struct {
+	graph  *wpg.Graph
+	comps  [][]int32
+	shards []shardResult
+	byMin  map[int32]int
 }
 
 // Option configures a Manager.
@@ -197,6 +263,15 @@ func WithWorkers(n int) Option { return func(m *Manager) { m.workers = n } }
 
 // WithPolicy sets the automatic rebuild policy (default: manual only).
 func WithPolicy(p Policy) Option { return func(m *Manager) { m.policy = p } }
+
+// WithIncremental toggles incremental sharded rebuilds (default on).
+// When on, a rebuild recomputes WPG edges only around users whose
+// rankings changed and re-clusters only the connected components those
+// changes touched, splicing every untouched component's clusters from
+// the previous build. The published generations are bit-identical to
+// from-scratch rebuilds either way; only the transcript's
+// shards=rebuilt/total accounting differs.
+func WithIncremental(on bool) Option { return func(m *Manager) { m.incremental = on } }
 
 // WithMetrics attaches epoch metrics (nil is fine — all hooks are
 // nil-safe).
@@ -216,12 +291,17 @@ func New(numUsers int, opts ...Option) (*Manager, error) {
 		return nil, fmt.Errorf("epoch: population %d < 1", numUsers)
 	}
 	m := &Manager{
-		numUsers: numUsers,
-		k:        10,
-		histCap:  128,
-		uploads:  make(map[int32][]RankedPeer),
-		changed:  make(map[int32]struct{}),
+		numUsers:    numUsers,
+		k:           10,
+		histCap:     128,
+		incremental: true,
+		uploads:     make(map[int32][]RankedPeer),
+		changed:     make(map[int32]struct{}),
+		dirty:       make(map[int32]struct{}),
+		sem:         make(chan struct{}, 1),
+		idle:        make(chan struct{}),
 	}
+	close(m.idle) // nothing queued or running yet
 	for _, opt := range opts {
 		opt(m)
 	}
@@ -234,9 +314,28 @@ func New(numUsers int, opts ...Option) (*Manager, error) {
 	if m.histCap < 1 {
 		m.histCap = 1
 	}
-	m.idle = sync.NewCond(&m.mu)
 	return m, nil
 }
+
+// lock acquires the manager lock unconditionally.
+func (m *Manager) lock() { m.sem <- struct{}{} }
+
+// lockCtx acquires the manager lock or gives up when ctx dies first. A
+// context that is already dead fails deterministically, even when the
+// lock is free.
+func (m *Manager) lockCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case m.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) unlock() { <-m.sem }
 
 // K returns the configured anonymity level.
 func (m *Manager) K() int { return m.k }
@@ -247,11 +346,16 @@ func (m *Manager) NumUsers() int { return m.numUsers }
 // Policy returns the rebuild policy.
 func (m *Manager) Policy() Policy { return m.policy }
 
+// Incremental reports whether incremental sharded rebuilds are enabled.
+func (m *Manager) Incremental() bool { return m.incremental }
+
 // Upload folds one user's ranked peer list into the next epoch's input
 // and fires the rebuild policy if its threshold is reached. A re-upload
 // identical to the user's stored ranking counts toward EveryUploads but
-// not toward ChangedFrac.
-func (m *Manager) Upload(user int32, peers []RankedPeer) error {
+// not toward ChangedFrac. Cancellation is honored while waiting for the
+// manager lock; an accepted upload is never rolled back. Returns
+// ErrClosed after Close.
+func (m *Manager) Upload(ctx context.Context, user int32, peers []RankedPeer) error {
 	if int(user) < 0 || int(user) >= m.numUsers {
 		return fmt.Errorf("epoch: user %d out of range [0,%d)", user, m.numUsers)
 	}
@@ -264,13 +368,25 @@ func (m *Manager) Upload(user int32, peers []RankedPeer) error {
 		}
 	}
 	cp := append([]RankedPeer(nil), peers...)
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	if err := m.lockCtx(ctx); err != nil {
+		return err
+	}
+	defer m.unlock()
 	if m.closed {
 		return ErrClosed
 	}
-	if !equalRanks(m.uploads[user], cp) {
+	if prevList := m.uploads[user]; !equalRanks(prevList, cp) {
 		m.changed[user] = struct{}{}
+		// Cluster-dirty closure: the user's old and new peers are the
+		// only other vertices whose incident edges can change, so they
+		// bound the components the next build must re-cluster.
+		m.dirty[user] = struct{}{}
+		for _, pr := range prevList {
+			m.dirty[pr.Peer] = struct{}{}
+		}
+		for _, pr := range cp {
+			m.dirty[pr.Peer] = struct{}{}
+		}
 	}
 	m.uploads[user] = cp
 	m.seq++
@@ -279,6 +395,13 @@ func (m *Manager) Upload(user int32, peers []RankedPeer) error {
 		m.triggerLocked(reason)
 	}
 	return nil
+}
+
+// UploadNoCtx is Upload with a background context. Transitional: kept
+// for one release so pre-context callers can migrate gradually; new
+// code should call Upload with a context.
+func (m *Manager) UploadNoCtx(user int32, peers []RankedPeer) error {
+	return m.Upload(context.Background(), user, peers)
 }
 
 func (m *Manager) policyFiredLocked() string {
@@ -293,8 +416,8 @@ func (m *Manager) policyFiredLocked() string {
 }
 
 // triggerLocked assigns the next epoch number, snapshots the upload
-// state, resets the since-trigger counters, and enqueues the build.
-// Callers hold m.mu.
+// state and the dirty sets, resets the since-trigger counters, and
+// enqueues the build. Callers hold the manager lock.
 func (m *Manager) triggerLocked(reason string) *Generation {
 	m.nextEpoch++
 	gen := &Generation{
@@ -310,9 +433,14 @@ func (m *Manager) triggerLocked(reason string) *Generation {
 	for u, p := range m.uploads {
 		snap[u] = p
 	}
+	job := buildJob{gen: gen, uploads: snap, changed: m.changed, dirty: m.dirty, queuedAt: time.Now()}
 	m.uploadsSince = 0
 	m.changed = make(map[int32]struct{})
-	m.queue = append(m.queue, buildJob{gen: gen, uploads: snap, queuedAt: time.Now()})
+	m.dirty = make(map[int32]struct{})
+	if !m.building {
+		m.idle = make(chan struct{}) // leaving the idle state
+	}
+	m.queue = append(m.queue, job)
 	m.em.SetPending(len(m.queue))
 	if !m.building {
 		m.building = true
@@ -326,10 +454,13 @@ func (m *Manager) triggerLocked(reason string) *Generation {
 // (use Sync to wait for publication). Rotating when nothing changed
 // since the previous trigger returns ErrNoNewUploads — except for the
 // very first epoch, which may legitimately be empty (the legacy "freeze
-// with no uploads" case).
-func (m *Manager) Rotate() (uint64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// with no uploads" case). Cancellation is honored while waiting for the
+// manager lock.
+func (m *Manager) Rotate(ctx context.Context) (uint64, error) {
+	if err := m.lockCtx(ctx); err != nil {
+		return 0, err
+	}
+	defer m.unlock()
 	if m.closed {
 		return 0, ErrClosed
 	}
@@ -339,23 +470,32 @@ func (m *Manager) Rotate() (uint64, error) {
 	return m.triggerLocked(TriggerRotate).Epoch, nil
 }
 
+// RotateNoCtx is Rotate with a background context. Transitional: kept
+// for one release so pre-context callers can migrate gradually; new
+// code should call Rotate with a context.
+func (m *Manager) RotateNoCtx() (uint64, error) {
+	return m.Rotate(context.Background())
+}
+
 // builderLoop drains the build queue serially (publication order ==
 // trigger order, which the determinism contract requires), then exits;
 // the next trigger restarts it.
 func (m *Manager) builderLoop() {
 	for {
-		m.mu.Lock()
+		m.lock()
 		if len(m.queue) == 0 || m.closed {
 			m.building = false
 			m.em.SetPending(0)
-			m.idle.Broadcast()
-			m.mu.Unlock()
+			if !m.closed {
+				close(m.idle) // Close already closed it when shutting down mid-build
+			}
+			m.unlock()
 			return
 		}
 		job := m.queue[0]
 		m.queue = m.queue[1:]
 		m.em.SetPending(len(m.queue) + 1) // the job itself still counts
-		m.mu.Unlock()
+		m.unlock()
 		m.build(job)
 	}
 }
@@ -376,34 +516,55 @@ func (m *Manager) build(job buildJob) {
 		root.AddStage(metrics.StageQueue, wait)
 	}
 
+	prev := m.prev
 	wsp := root.Child(metrics.StageWPG)
-	g, err := BuildGraph(m.numUsers, job.uploads)
+	var g *wpg.Graph
+	var err error
+	if m.incremental && prev != nil {
+		g, err = BuildGraphIncremental(m.numUsers, job.uploads, prev.graph, job.changed)
+	} else {
+		g, err = BuildGraph(m.numUsers, job.uploads)
+	}
 	wsp.End()
 	m.em.ObserveStage(metrics.StageWPG, wsp.Duration())
 
+	var next *builderState
 	if err == nil {
+		csp := root.Child(metrics.StageCluster)
+		cctx := trace.NewContext(context.Background(), csp)
+		res := m.clusterShards(cctx, g, prev, job.dirty)
 		anon := anonymizer.NewServer(g,
 			anonymizer.WithK(m.k),
 			anonymizer.WithWorkers(m.workers),
 			anonymizer.WithEpoch(gen.Epoch))
-		csp := root.Child(metrics.StageCluster)
-		err = anon.Build(trace.NewContext(context.Background(), csp))
+		err = anon.Adopt(cctx, res.clusters, res.skipped)
 		csp.End()
 		m.em.ObserveStage(metrics.StageCluster, csp.Duration())
 		if err == nil {
 			gen.Graph = g
 			gen.Anon = anon
 			gen.Edges = g.NumEdges()
-			gen.Clusters = anon.Registry().NumClusters()
-			gen.Skipped = anon.Unclusterable()
+			gen.Clusters = len(res.clusters)
+			gen.Skipped = res.skipped
+			gen.ShardsTotal = res.total
+			gen.ShardsRebuilt = res.rebuilt
+			m.em.ObserveShards(res.total, res.rebuilt)
+			if m.incremental {
+				next = res.state
+			}
 		}
 	}
+	// A failed build drops the carried-forward state: the next job's
+	// dirty sets describe the diff against this build's snapshot, which
+	// never became a usable baseline, so the next build must start from
+	// scratch.
+	m.prev = next
 	gen.BuildErr = err
 	gen.BuildDuration = time.Since(start)
 	m.em.ObserveBuild(gen.BuildDuration, err == nil)
 
 	psp := root.Child(metrics.StagePublish)
-	m.mu.Lock()
+	m.lock()
 	m.builds++
 	m.lastBuildDur = gen.BuildDuration
 	m.transcript = append(m.transcript, gen.transcriptLine())
@@ -414,7 +575,7 @@ func (m *Manager) build(job buildJob) {
 	if err == nil {
 		m.swaps++
 	}
-	m.mu.Unlock()
+	m.unlock()
 
 	if err == nil {
 		// Publish: from here on every Cloak reads this generation.
@@ -425,6 +586,118 @@ func (m *Manager) build(job buildJob) {
 	m.em.ObserveStage(metrics.StagePublish, psp.Duration())
 	root.End()
 	m.tr.Record(root)
+}
+
+// shardBuild is one build's merged clustering output plus its shard
+// accounting and the state carried forward for the next build.
+type shardBuild struct {
+	clusters []*core.Cluster
+	skipped  int
+	total    int
+	rebuilt  int
+	state    *builderState
+}
+
+// clusterShards clusters the graph component by component, reusing
+// every component that provably did not change since the previous
+// build (identical membership, no cluster-dirty vertex, identical
+// induced subgraph) and fanning the rest out across the worker pool
+// with a per-shard span each. The merged result is ordered and
+// numbered exactly as core.CentralizedTConnParallel emits it, so the
+// output is bit-identical to a from-scratch clustering.
+func (m *Manager) clusterShards(ctx context.Context, g *wpg.Graph, prev *builderState, dirty map[int32]struct{}) *shardBuild {
+	sp := trace.FromContext(ctx).Child("core.cluster")
+	defer sp.End()
+	comps := g.Components()
+	shards := make([]shardResult, len(comps))
+	rebuild := make([]int, 0, len(comps))
+	for i, members := range comps {
+		if m.incremental && prev != nil && reusableShard(prev, g, members, dirty) {
+			shards[i] = prev.shards[prev.byMin[members[0]]]
+			continue
+		}
+		rebuild = append(rebuild, i)
+	}
+
+	if len(rebuild) > 0 {
+		workers := m.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(rebuild) {
+			workers = len(rebuild)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					ssp := sp.Child(fmt.Sprintf("epoch.build.shard/%d", i))
+					shards[i].clusters, shards[i].undersized = core.ClusterComponent(g, comps[i], m.k)
+					ssp.End()
+				}
+			}()
+		}
+		for _, i := range rebuild {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	out := &shardBuild{total: len(comps), rebuilt: len(rebuild)}
+	for _, sh := range shards {
+		out.clusters = append(out.clusters, sh.clusters...)
+		for _, u := range sh.undersized {
+			out.skipped += len(u)
+		}
+	}
+	// Components are ordered by smallest member but their vertex ranges
+	// interleave, so restore the serial scan's global emission order —
+	// ascending smallest cluster member — across shards. Cluster member
+	// sets are disjoint, so Members[0] is a strict total order.
+	sort.Slice(out.clusters, func(i, j int) bool {
+		return out.clusters[i].Members[0] < out.clusters[j].Members[0]
+	})
+	byMin := make(map[int32]int, len(comps))
+	for i, members := range comps {
+		byMin[members[0]] = i
+	}
+	out.state = &builderState{graph: g, comps: comps, shards: shards, byMin: byMin}
+	return out
+}
+
+// reusableShard decides whether the component given by members (sorted
+// ascending) can splice its clusters from the previous build. The
+// dirty-set rule already implies an untouched component — every
+// changed upload marks the user and all its old and new peers dirty,
+// so a component disjoint from the dirty set kept its membership and
+// every incident edge — and the structural checks (same membership,
+// same induced subgraph) turn that argument into a machine-checked
+// proof on every splice. Identical induced subgraphs make
+// core.ClusterComponent's output identical (Theorem 4.4 cluster
+// isolation: clustering never crosses a component boundary), which is
+// what keeps incremental builds bit-identical to full ones.
+func reusableShard(prev *builderState, g *wpg.Graph, members []int32, dirty map[int32]struct{}) bool {
+	idx, ok := prev.byMin[members[0]]
+	if !ok {
+		return false
+	}
+	old := prev.comps[idx]
+	if len(old) != len(members) {
+		return false
+	}
+	for i, v := range members {
+		if old[i] != v {
+			return false
+		}
+		if _, d := dirty[v]; d {
+			return false
+		}
+	}
+	return wpg.EqualInduced(prev.graph, g, members)
 }
 
 // Cloak serves a request from the current generation, lock-free with
@@ -459,46 +732,55 @@ func (m *Manager) Current() *Generation { return m.cur.Load() }
 // published (or ctx dies). A freeze-style caller rotates and then syncs
 // so the reply only goes out once cloaking is live.
 func (m *Manager) Sync(ctx context.Context) error {
-	done := make(chan struct{})
-	go func() {
-		m.mu.Lock()
-		for (len(m.queue) > 0 || m.building) && !m.closed {
-			m.idle.Wait()
+	for {
+		if err := m.lockCtx(ctx); err != nil {
+			return err
 		}
-		m.mu.Unlock()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+		if m.closed || (len(m.queue) == 0 && !m.building) {
+			m.unlock()
+			return nil
+		}
+		wait := m.idle
+		m.unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 }
 
 // Close stops accepting uploads and rotates and drops any queued (not
 // yet started) builds. An in-flight build finishes and publishes.
+// Idempotent.
 func (m *Manager) Close() {
-	m.mu.Lock()
+	m.lock()
+	defer m.unlock()
+	if m.closed {
+		return
+	}
 	m.closed = true
 	m.queue = nil
-	m.idle.Broadcast()
-	m.mu.Unlock()
+	if m.building {
+		// Wake Sync waiters now rather than after the in-flight build;
+		// builderLoop sees closed and skips its own close.
+		close(m.idle)
+	}
 }
 
 // History returns the completed generations in epoch order (capped by
 // WithHistoryLimit).
 func (m *Manager) History() []*Generation {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lock()
+	defer m.unlock()
 	return append([]*Generation(nil), m.history...)
 }
 
 // Transcript returns the deterministic epoch transcript: one line per
 // completed build, in epoch order. Call Sync first for a complete view.
 func (m *Manager) Transcript() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lock()
+	defer m.unlock()
 	return append([]string(nil), m.transcript...)
 }
 
@@ -512,6 +794,10 @@ type Status struct {
 	Edges     int
 	Clusters  int
 	Skipped   int
+	// ShardsTotal and ShardsRebuilt are the serving generation's shard
+	// accounting (see Generation).
+	ShardsTotal   int
+	ShardsRebuilt int
 
 	Users               int
 	Uploads             int    // distinct users with a stored upload
@@ -528,8 +814,8 @@ type Status struct {
 // Status captures the pipeline state.
 func (m *Manager) Status() Status {
 	gen := m.cur.Load()
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lock()
+	defer m.unlock()
 	st := Status{
 		Users:               m.numUsers,
 		Uploads:             len(m.uploads),
@@ -551,6 +837,8 @@ func (m *Manager) Status() Status {
 		st.Edges = gen.Edges
 		st.Clusters = gen.Clusters
 		st.Skipped = gen.Skipped
+		st.ShardsTotal = gen.ShardsTotal
+		st.ShardsRebuilt = gen.ShardsRebuilt
 	}
 	return st
 }
@@ -612,4 +900,95 @@ func BuildGraph(n int, uploads map[int32][]RankedPeer) (*wpg.Graph, error) {
 		edges = append(edges, graph.Edge{U: k.a, V: k.b, W: w})
 	}
 	return wpg.FromEdges(n, edges)
+}
+
+// BuildGraphIncremental is BuildGraph for the case where only the
+// uploads of the users in changed differ from the upload set that
+// produced prev: every prev edge between two unchanged users is
+// carried over verbatim (neither endpoint's list moved, so neither the
+// edge nor its weight can have), and only pairs incident to a changed
+// user are recomputed. Mutuality makes the enumeration complete — an
+// edge exists only if both endpoints list each other, so walking the
+// changed users' current lists visits every pair that could have
+// gained, kept, or re-weighted an edge, and a pair a changed user
+// dropped stays dropped because its prev edge was discarded. The
+// result is identical to BuildGraph(n, uploads); a nil prev or a
+// population mismatch falls back to the full build.
+func BuildGraphIncremental(n int, uploads map[int32][]RankedPeer, prev *wpg.Graph, changed map[int32]struct{}) (*wpg.Graph, error) {
+	if prev == nil || prev.NumVertices() != n {
+		return BuildGraph(n, uploads)
+	}
+	edges := make([]graph.Edge, 0, prev.NumEdges())
+	for _, e := range prev.Edges() {
+		if _, d := changed[e.U]; d {
+			continue
+		}
+		if _, d := changed[e.V]; d {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	type key struct{ a, b int32 }
+	recomputed := make(map[key]int32)
+	for u := range changed {
+		for _, pr := range uploads[u] {
+			if pr.Peer == u {
+				continue
+			}
+			k := key{u, pr.Peer}
+			if k.a > k.b {
+				k.a, k.b = k.b, k.a
+			}
+			if _, done := recomputed[k]; done {
+				continue
+			}
+			recomputed[k] = mutualWeight(uploads, u, pr.Peer) // 0 = not mutual
+		}
+	}
+	for k, w := range recomputed {
+		if w > 0 {
+			edges = append(edges, graph.Edge{U: k.a, V: k.b, W: w})
+		}
+	}
+	return wpg.FromEdges(n, edges)
+}
+
+// mutualWeight computes BuildGraph's weight for the unordered pair
+// (a,b) from the current uploads — the minimum over both directions
+// and every duplicate entry of min(entry rank, first reverse rank) —
+// or 0 when the pair is not mutual. Must mirror BuildGraph's
+// accumulation exactly; the incremental differential tests pin this.
+func mutualWeight(uploads map[int32][]RankedPeer, a, b int32) int32 {
+	var best int32
+	direction := func(user, peer int32) {
+		other, ok := uploads[peer]
+		if !ok {
+			return
+		}
+		var reverse int32
+		for _, rp := range other {
+			if rp.Peer == user {
+				reverse = rp.Rank
+				break
+			}
+		}
+		if reverse == 0 {
+			return
+		}
+		for _, pr := range uploads[user] {
+			if pr.Peer != peer {
+				continue
+			}
+			w := pr.Rank
+			if reverse < w {
+				w = reverse
+			}
+			if best == 0 || w < best {
+				best = w
+			}
+		}
+	}
+	direction(a, b)
+	direction(b, a)
+	return best
 }

@@ -33,7 +33,7 @@ func ringUploads(n int) map[int32][]RankedPeer {
 func uploadRing(t *testing.T, m *Manager, n int) {
 	t.Helper()
 	for u, peers := range ringUploads(n) {
-		if err := m.Upload(u, peers); err != nil {
+		if err := m.Upload(bg, u, peers); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -86,7 +86,7 @@ func TestRotatePublishesGeneration(t *testing.T) {
 	}
 
 	uploadRing(t, m, 12)
-	ep, err := m.Rotate()
+	ep, err := m.Rotate(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,19 +139,19 @@ func TestRotateSemantics(t *testing.T) {
 
 	// The first rotate is always allowed, even with zero uploads (the
 	// legacy "freeze an empty server" case).
-	if _, err := m.Rotate(); err != nil {
+	if _, err := m.Rotate(bg); err != nil {
 		t.Fatalf("empty first rotate: %v", err)
 	}
 	if err := m.Sync(bg); err != nil {
 		t.Fatal(err)
 	}
 	// A second rotate with nothing new is pointless and rejected.
-	if _, err := m.Rotate(); !errors.Is(err, ErrNoNewUploads) {
+	if _, err := m.Rotate(bg); !errors.Is(err, ErrNoNewUploads) {
 		t.Fatalf("idle rotate = %v, want ErrNoNewUploads", err)
 	}
 	// New uploads re-arm it.
 	uploadRing(t, m, 8)
-	ep, err := m.Rotate()
+	ep, err := m.Rotate(bg)
 	if err != nil || ep != 2 {
 		t.Fatalf("rotate after uploads = %d, %v", ep, err)
 	}
@@ -186,13 +186,13 @@ func TestPolicyFracTriggerIgnoresUnchangedReuploads(t *testing.T) {
 	ring := ringUploads(n)
 	// Four distinct changed users: below the 50% threshold.
 	for i := int32(0); i < 4; i++ {
-		if err := m.Upload(i, ring[i]); err != nil {
+		if err := m.Upload(bg, i, ring[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Re-uploading identical rankings must not count as change.
 	for i := int32(0); i < 4; i++ {
-		if err := m.Upload(i, ring[i]); err != nil {
+		if err := m.Upload(bg, i, ring[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -203,7 +203,7 @@ func TestPolicyFracTriggerIgnoresUnchangedReuploads(t *testing.T) {
 		t.Fatal("triggered below threshold")
 	}
 	// The fifth distinct user tips 5/10 >= 0.5.
-	if err := m.Upload(4, ring[4]); err != nil {
+	if err := m.Upload(bg, 4, ring[4]); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Sync(bg); err != nil {
@@ -221,13 +221,13 @@ func TestUploadValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.Upload(4, nil); err == nil {
+	if err := m.Upload(bg, 4, nil); err == nil {
 		t.Error("out-of-range user accepted")
 	}
-	if err := m.Upload(0, []RankedPeer{{Peer: 9, Rank: 1}}); err == nil {
+	if err := m.Upload(bg, 0, []RankedPeer{{Peer: 9, Rank: 1}}); err == nil {
 		t.Error("out-of-range peer accepted")
 	}
-	if err := m.Upload(0, []RankedPeer{{Peer: 1, Rank: 0}}); err == nil {
+	if err := m.Upload(bg, 0, []RankedPeer{{Peer: 1, Rank: 0}}); err == nil {
 		t.Error("zero rank accepted")
 	}
 	if _, err := New(0); err == nil {
@@ -247,17 +247,17 @@ func TestCloseRejectsFurtherWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	uploadRing(t, m, 6)
-	if _, err := m.Rotate(); err != nil {
+	if _, err := m.Rotate(bg); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Sync(bg); err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
-	if err := m.Upload(0, nil); !errors.Is(err, ErrClosed) {
+	if err := m.Upload(bg, 0, nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("upload after close = %v", err)
 	}
-	if _, err := m.Rotate(); !errors.Is(err, ErrClosed) {
+	if _, err := m.Rotate(bg); !errors.Is(err, ErrClosed) {
 		t.Errorf("rotate after close = %v", err)
 	}
 	// The published generation keeps serving.
@@ -274,18 +274,38 @@ func TestSyncHonorsContext(t *testing.T) {
 	defer m.Close()
 	ctx, cancel := context.WithCancel(bg)
 	cancel()
-	// Nothing pending: returns immediately even with a dead ctx or not —
-	// either way it must not hang. With pending work and a dead ctx it
-	// must return ctx.Err(); simulate by enqueuing manually.
-	m.mu.Lock()
-	m.queue = append(m.queue, buildJob{}) // never drained: builderLoop not started
-	m.mu.Unlock()
+	// A dead ctx errors promptly even when the pipeline is idle — context
+	// errors always win over "nothing to do".
+	if err := m.Sync(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("idle sync with dead ctx = %v, want context.Canceled", err)
+	}
+	// A live ctx on an idle pipeline returns immediately.
+	if err := m.Sync(bg); err != nil {
+		t.Errorf("idle sync = %v, want nil", err)
+	}
+	// With pending work and a dead ctx it must return ctx.Err(); fake an
+	// in-flight build (queue entry + open idle channel, as triggerLocked
+	// would leave them) without starting a builder to drain it.
+	m.lock()
+	m.queue = append(m.queue, buildJob{})
+	m.building = true
+	m.idle = make(chan struct{})
+	m.unlock()
 	if err := m.Sync(ctx); !errors.Is(err, context.Canceled) {
 		t.Errorf("sync with dead ctx and pending work = %v", err)
 	}
-	m.mu.Lock()
+	// A dead ctx must also fail Upload/Rotate at the lock acquire.
+	if err := m.Upload(ctx, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("upload with dead ctx = %v, want context.Canceled", err)
+	}
+	if _, err := m.Rotate(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("rotate with dead ctx = %v, want context.Canceled", err)
+	}
+	m.lock()
 	m.queue = nil
-	m.mu.Unlock()
+	m.building = false
+	close(m.idle)
+	m.unlock()
 }
 
 // scripted is a deterministic upload script: a fixed sequence of
@@ -322,11 +342,11 @@ func runScript(t *testing.T, script []scriptedUpload, n int, opts ...Option) []s
 	}
 	defer m.Close()
 	for _, su := range script {
-		if err := m.Upload(su.user, su.peers); err != nil {
+		if err := m.Upload(bg, su.user, su.peers); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := m.Rotate(); err != nil && !errors.Is(err, ErrNoNewUploads) {
+	if _, err := m.Rotate(bg); err != nil && !errors.Is(err, ErrNoNewUploads) {
 		t.Fatal(err)
 	}
 	if err := m.Sync(bg); err != nil {
@@ -403,7 +423,7 @@ func TestConcurrentUploadsAndCloaksAcrossSwaps(t *testing.T) {
 					{Peer: (u + 1) % n, Rank: int32(1 + rng.Intn(3))},
 					{Peer: (u - 1 + n) % n, Rank: int32(1 + rng.Intn(3))},
 				}
-				if err := m.Upload(u, peers); err != nil && !errors.Is(err, ErrClosed) {
+				if err := m.Upload(bg, u, peers); err != nil && !errors.Is(err, ErrClosed) {
 					t.Errorf("upload: %v", err)
 					return
 				}
@@ -493,11 +513,11 @@ func TestHistoryCapAndStatus(t *testing.T) {
 		for i := int32(0); i < n; i++ {
 			peers := append([]RankedPeer(nil), ring[i]...)
 			peers[0].Rank = int32(1 + round) // force a change each round
-			if err := m.Upload(i, peers); err != nil {
+			if err := m.Upload(bg, i, peers); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if _, err := m.Rotate(); err != nil {
+		if _, err := m.Rotate(bg); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -43,12 +43,14 @@ func stageRank(stage string) int {
 // concurrent use and safe on a nil receiver, so instrumentation can be
 // optional at the call sites.
 type EpochMetrics struct {
-	builds     atomic.Uint64
-	buildFails atomic.Uint64
-	swaps      atomic.Uint64
-	pending    atomic.Int64
-	buildDur   LatencyHistogram
-	lastSwapNs atomic.Int64 // unix nanos of the latest publish, 0 = never
+	builds        atomic.Uint64
+	buildFails    atomic.Uint64
+	swaps         atomic.Uint64
+	pending       atomic.Int64
+	shardsTotal   atomic.Uint64
+	shardsRebuilt atomic.Uint64
+	buildDur      LatencyHistogram
+	lastSwapNs    atomic.Int64 // unix nanos of the latest publish, 0 = never
 
 	stageMu sync.Mutex
 	stages  map[string]*stageAgg
@@ -105,6 +107,22 @@ func (m *EpochMetrics) ObserveStage(stage string, d time.Duration) {
 	m.stageMu.Unlock()
 }
 
+// ObserveShards folds in one successful build's shard accounting: how
+// many connected components the WPG had and how many actually re-ran
+// clustering (the rest were spliced from the previous build). Safe on
+// a nil receiver.
+func (m *EpochMetrics) ObserveShards(total, rebuilt int) {
+	if m == nil {
+		return
+	}
+	if total > 0 {
+		m.shardsTotal.Add(uint64(total))
+	}
+	if rebuilt > 0 {
+		m.shardsRebuilt.Add(uint64(rebuilt))
+	}
+}
+
 // ObserveSwap records that a freshly built generation was published.
 func (m *EpochMetrics) ObserveSwap() {
 	if m == nil {
@@ -151,10 +169,15 @@ type EpochSnapshot struct {
 	BuildFails uint64
 	Swaps      uint64
 	Pending    int
-	BuildMean  time.Duration
-	BuildP50   time.Duration
-	BuildP95   time.Duration
-	Staleness  time.Duration
+	// ShardsTotal and ShardsRebuilt are cumulative across all
+	// successful builds; 1 - ShardsRebuilt/ShardsTotal is the overall
+	// shard reuse ratio of the incremental rebuild path.
+	ShardsTotal   uint64
+	ShardsRebuilt uint64
+	BuildMean     time.Duration
+	BuildP50      time.Duration
+	BuildP95      time.Duration
+	Staleness     time.Duration
 	// BuildHist is the raw rebuild-duration histogram for exporters.
 	BuildHist HistogramSnapshot
 	// BuildStages breaks rebuild time down per stage, in pipeline order
@@ -169,15 +192,17 @@ func (m *EpochMetrics) Snapshot() EpochSnapshot {
 	}
 	hist := m.buildDur.Snapshot()
 	s := EpochSnapshot{
-		Builds:     m.builds.Load(),
-		BuildFails: m.buildFails.Load(),
-		Swaps:      m.swaps.Load(),
-		Pending:    int(m.pending.Load()),
-		BuildMean:  m.buildDur.Mean(),
-		BuildP50:   quantileOf(hist.Counts, hist.Total, 0.50),
-		BuildP95:   quantileOf(hist.Counts, hist.Total, 0.95),
-		Staleness:  m.Staleness(),
-		BuildHist:  hist,
+		Builds:        m.builds.Load(),
+		BuildFails:    m.buildFails.Load(),
+		Swaps:         m.swaps.Load(),
+		Pending:       int(m.pending.Load()),
+		ShardsTotal:   m.shardsTotal.Load(),
+		ShardsRebuilt: m.shardsRebuilt.Load(),
+		BuildMean:     m.buildDur.Mean(),
+		BuildP50:      quantileOf(hist.Counts, hist.Total, 0.50),
+		BuildP95:      quantileOf(hist.Counts, hist.Total, 0.95),
+		Staleness:     m.Staleness(),
+		BuildHist:     hist,
 	}
 	m.stageMu.Lock()
 	for stage, agg := range m.stages {
@@ -206,8 +231,8 @@ func (m *EpochMetrics) Snapshot() EpochSnapshot {
 // String renders a compact one-line report for shutdown logs, with one
 // "stage=mean/max" clause per observed build stage.
 func (s EpochSnapshot) String() string {
-	out := fmt.Sprintf("builds=%d fails=%d swaps=%d pending=%d build_p50=%v build_p95=%v staleness=%v",
-		s.Builds, s.BuildFails, s.Swaps, s.Pending, s.BuildP50, s.BuildP95, s.Staleness)
+	out := fmt.Sprintf("builds=%d fails=%d swaps=%d pending=%d shards=%d/%d build_p50=%v build_p95=%v staleness=%v",
+		s.Builds, s.BuildFails, s.Swaps, s.Pending, s.ShardsRebuilt, s.ShardsTotal, s.BuildP50, s.BuildP95, s.Staleness)
 	for _, st := range s.BuildStages {
 		out += fmt.Sprintf(" %s=%v/%v", st.Stage, st.Mean, st.Max)
 	}

@@ -30,7 +30,7 @@ func FuzzProtocolDecode(f *testing.F) {
 	f.Add([]byte(`{"v":99,"op":"stats"}`))
 	f.Add([]byte(`{"v":-1,"op":"stats"}`))
 
-	srv, err := NewServer(16, 3)
+	srv, err := New(WithNumUsers(16), WithK(3))
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -55,6 +55,12 @@ type EpochPayload struct {
 	Clusters int `json:"clusters"`
 	Skipped  int `json:"skipped"`
 
+	// ShardsRebuilt/ShardsTotal are the serving generation's incremental
+	// rebuild accounting: how many of the WPG's connected components
+	// re-ran clustering vs. were spliced from the previous generation.
+	ShardsRebuilt int `json:"shards_rebuilt"`
+	ShardsTotal   int `json:"shards_total"`
+
 	LastBuildUs float64 `json:"last_build_us"`
 }
 
@@ -89,19 +95,21 @@ func NewEpochPayload(st epoch.Status) *EpochPayload { return epochPayload(st) }
 // epochPayload renders a pipeline status.
 func epochPayload(st epoch.Status) *EpochPayload {
 	return &EpochPayload{
-		Epoch:        st.Epoch,
-		Published:    st.Published,
-		Pending:      st.Pending,
-		Builds:       st.Builds,
-		Swaps:        st.Swaps,
-		UploadsSeen:  st.UploadsSeen,
-		SinceTrigger: st.SinceTrigger,
-		Changed:      st.ChangedSinceTrigger,
-		Policy:       st.Policy.String(),
-		Edges:        st.Edges,
-		Clusters:     st.Clusters,
-		Skipped:      st.Skipped,
-		LastBuildUs:  float64(st.LastBuildDuration) / float64(time.Microsecond),
+		Epoch:         st.Epoch,
+		Published:     st.Published,
+		Pending:       st.Pending,
+		Builds:        st.Builds,
+		Swaps:         st.Swaps,
+		UploadsSeen:   st.UploadsSeen,
+		SinceTrigger:  st.SinceTrigger,
+		Changed:       st.ChangedSinceTrigger,
+		Policy:        st.Policy.String(),
+		Edges:         st.Edges,
+		Clusters:      st.Clusters,
+		Skipped:       st.Skipped,
+		ShardsRebuilt: st.ShardsRebuilt,
+		ShardsTotal:   st.ShardsTotal,
+		LastBuildUs:   float64(st.LastBuildDuration) / float64(time.Microsecond),
 	}
 }
 

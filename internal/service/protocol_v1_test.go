@@ -220,7 +220,7 @@ func TestV1PolicyDrivenRebuildOverTCP(t *testing.T) {
 // TestV0RequestsUnchanged: a legacy client line with no "v" field gets
 // the flat v0 response shape — no envelope, no payload objects.
 func TestV0RequestsUnchanged(t *testing.T) {
-	srv, err := NewServer(8, 2)
+	srv, err := New(WithNumUsers(8), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}

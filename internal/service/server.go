@@ -37,6 +37,7 @@ type Server struct {
 	workers     int
 	policy      epoch.Policy
 	idleTimeout time.Duration
+	fullRebuild bool
 
 	mgr        *epoch.Manager
 	reqMetrics *metrics.RequestMetrics
@@ -85,6 +86,13 @@ func WithMetrics(em *metrics.EpochMetrics) Option { return func(s *Server) { s.e
 // disables).
 func WithIdleTimeout(d time.Duration) Option { return func(s *Server) { s.idleTimeout = d } }
 
+// WithFullRebuild forces every epoch rebuild to run from scratch
+// instead of the default incremental sharded path (which re-clusters
+// only the connected components touched since the previous build). The
+// published generations are bit-identical either way; this is an
+// escape hatch for debugging and A/B measurement.
+func WithFullRebuild(on bool) Option { return func(s *Server) { s.fullRebuild = on } }
+
 // WithTraceRecorder enables request tracing: every handled request gets
 // a root span threaded down through the epoch pipeline, anonymizer, and
 // core stages, and the finished span tree lands in r (newest first, for
@@ -108,6 +116,7 @@ func New(opts ...Option) (*Server, error) {
 		epoch.WithK(s.k),
 		epoch.WithWorkers(s.workers),
 		epoch.WithPolicy(s.policy),
+		epoch.WithIncremental(!s.fullRebuild),
 		epoch.WithMetrics(s.em),
 		epoch.WithTraceRecorder(s.tracer))
 	if err != nil {
@@ -116,17 +125,6 @@ func New(opts ...Option) (*Server, error) {
 	s.mgr = mgr
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	return s, nil
-}
-
-// NewServer creates a server for a population of numUsers devices and
-// anonymity level k.
-//
-// Deprecated: use New with WithNumUsers and WithK.
-func NewServer(numUsers, k int) (*Server, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("service: k %d < 1", k)
-	}
-	return New(WithNumUsers(numUsers), WithK(k))
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -336,7 +334,7 @@ func (s *Server) dispatchV0(ctx context.Context, req Request) Response {
 		return Response{OK: true}
 	case OpUpload:
 		usp := trace.FromContext(ctx).Child("epoch.upload")
-		err := s.mgr.Upload(req.User, req.Peers)
+		err := s.mgr.Upload(ctx, req.User, req.Peers)
 		usp.End()
 		if err != nil {
 			return Response{Error: err.Error()}
@@ -349,7 +347,7 @@ func (s *Server) dispatchV0(ctx context.Context, req Request) Response {
 		}
 		return Response{OK: true, Epoch: gen.Epoch, EdgeCount: gen.Edges}
 	case OpRotate:
-		ep, err := s.mgr.Rotate()
+		ep, err := s.mgr.Rotate(ctx)
 		if err != nil {
 			return Response{Error: err.Error()}
 		}
@@ -400,7 +398,7 @@ func (s *Server) dispatchV1(ctx context.Context, req Request) Envelope {
 		return ok
 	case OpUpload:
 		usp := trace.FromContext(ctx).Child("epoch.upload")
-		err := s.mgr.Upload(req.User, req.Peers)
+		err := s.mgr.Upload(ctx, req.User, req.Peers)
 		usp.End()
 		if err != nil {
 			return errEnvelope(err.Error())
@@ -413,10 +411,11 @@ func (s *Server) dispatchV1(ctx context.Context, req Request) Envelope {
 		}
 		st := s.mgr.Status()
 		st.Epoch, st.Edges, st.Clusters, st.Skipped = gen.Epoch, gen.Edges, gen.Clusters, gen.Skipped
+		st.ShardsTotal, st.ShardsRebuilt = gen.ShardsTotal, gen.ShardsRebuilt
 		ok.Epoch = epochPayload(st)
 		return ok
 	case OpRotate:
-		ep, err := s.mgr.Rotate()
+		ep, err := s.mgr.Rotate(ctx)
 		if err != nil {
 			return errEnvelope(err.Error())
 		}
@@ -446,7 +445,7 @@ func (s *Server) dispatchV1(ctx context.Context, req Request) Envelope {
 // until that generation (and anything queued before it) has published.
 func (s *Server) rotateAndWait(ctx context.Context) (*epoch.Generation, error) {
 	rsp := trace.FromContext(ctx).Child("epoch.rotate")
-	ep, err := s.mgr.Rotate()
+	ep, err := s.mgr.Rotate(ctx)
 	rsp.End()
 	if err != nil {
 		return nil, err

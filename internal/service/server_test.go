@@ -47,7 +47,7 @@ func (l *flakyListener) Addr() net.Addr {
 // busy-spin bug: a listener that fails every Accept (as EMFILE would)
 // must be retried with exponential backoff, not in a hot loop.
 func TestAcceptLoopBacksOffOnPersistentError(t *testing.T) {
-	srv, err := NewServer(10, 2)
+	srv, err := New(WithNumUsers(10), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func (l *sequencedListener) Addr() net.Addr {
 // not kill the loop: a connection arriving after a burst of errors is
 // still served.
 func TestAcceptLoopRecoversAfterErrors(t *testing.T) {
-	srv, err := NewServer(10, 2)
+	srv, err := New(WithNumUsers(10), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestAcceptLoopRecoversAfterErrors(t *testing.T) {
 // panic: Close must be safe to call any number of times, concurrently,
 // and keep returning the first result.
 func TestServerCloseIdempotent(t *testing.T) {
-	srv, err := NewServer(10, 2)
+	srv, err := New(WithNumUsers(10), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 
 	// Concurrent double close on a fresh server (deferred Close paths race
 	// with explicit shutdown in practice).
-	srv2, err := NewServer(10, 2)
+	srv2, err := New(WithNumUsers(10), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 // TestServerCloseDuringActiveConnection closes the server while a client
 // mid-conversation still holds its connection open.
 func TestServerCloseDuringActiveConnection(t *testing.T) {
-	srv, err := NewServer(10, 2)
+	srv, err := New(WithNumUsers(10), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestServerCloseDuringActiveConnection(t *testing.T) {
 }
 
 func TestHandleRecordsMetrics(t *testing.T) {
-	srv, err := NewServer(10, 2)
+	srv, err := New(WithNumUsers(10), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestHandleRecordsMetrics(t *testing.T) {
 // connection — and the connection must survive to serve the next
 // well-formed request.
 func TestMalformedLineGetsErrorResponseKeepsConnection(t *testing.T) {
-	srv, err := NewServer(10, 2)
+	srv, err := New(WithNumUsers(10), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}

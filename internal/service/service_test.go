@@ -68,7 +68,7 @@ func TestServerLifecycleOverTCP(t *testing.T) {
 	pts := dataset.GaussianClusters(200, 2, 0.04, 9)
 	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.05, MaxPeers: 8})
 
-	srv, err := NewServer(g.NumVertices(), 4)
+	srv, err := New(WithNumUsers(g.NumVertices()), WithK(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestServerLifecycleOverTCP(t *testing.T) {
 func TestServerConcurrentClients(t *testing.T) {
 	pts := dataset.GaussianClusters(300, 3, 0.04, 15)
 	g := wpg.Build(pts, wpg.BuildParams{Delta: 0.05, MaxPeers: 8})
-	srv, err := NewServer(g.NumVertices(), 4)
+	srv, err := New(WithNumUsers(g.NumVertices()), WithK(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,13 +232,13 @@ func c2Cloak(addr string, user int32) ([]int32, int, error) {
 }
 
 func TestServerValidation(t *testing.T) {
-	if _, err := NewServer(0, 1); err == nil {
+	if _, err := New(WithNumUsers(0), WithK(1)); err == nil {
 		t.Error("population 0 should error")
 	}
-	if _, err := NewServer(10, 0); err == nil {
+	if _, err := New(WithNumUsers(10), WithK(0)); err == nil {
 		t.Error("k 0 should error")
 	}
-	srv, err := NewServer(10, 2)
+	srv, err := New(WithNumUsers(10), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestServerValidation(t *testing.T) {
 }
 
 func TestServerCloseWithIdleClient(t *testing.T) {
-	srv, err := NewServer(10, 2)
+	srv, err := New(WithNumUsers(10), WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,6 +67,7 @@ func RunEpochScenario(sc EpochScenario) (*EpochReport, error) {
 	}
 	defer mgr.Close()
 
+	ctx := context.Background()
 	upload := func(users []int32) error {
 		g := wpg.Build(model.Positions(), wpg.BuildParams{Delta: scenarioDelta, MaxPeers: scenarioMaxPeers})
 		for _, v := range users {
@@ -74,7 +75,7 @@ func RunEpochScenario(sc EpochScenario) (*EpochReport, error) {
 			for _, e := range g.Neighbors(v) {
 				peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
 			}
-			if err := mgr.Upload(v, peers); err != nil {
+			if err := mgr.Upload(ctx, v, peers); err != nil {
 				return err
 			}
 		}
@@ -88,7 +89,7 @@ func RunEpochScenario(sc EpochScenario) (*EpochReport, error) {
 	if err := upload(all); err != nil {
 		return nil, err
 	}
-	if _, err := mgr.Rotate(); err != nil {
+	if _, err := mgr.Rotate(ctx); err != nil {
 		return nil, err
 	}
 
@@ -107,11 +108,11 @@ func RunEpochScenario(sc EpochScenario) (*EpochReport, error) {
 		if err := upload(users); err != nil {
 			return nil, err
 		}
-		if _, err := mgr.Rotate(); err != nil && err != epoch.ErrNoNewUploads {
+		if _, err := mgr.Rotate(ctx); err != nil && err != epoch.ErrNoNewUploads {
 			return nil, err
 		}
 	}
-	if err := mgr.Sync(context.Background()); err != nil {
+	if err := mgr.Sync(ctx); err != nil {
 		return nil, err
 	}
 	return &EpochReport{

@@ -226,6 +226,48 @@ func (g *Graph) Components() [][]int32 {
 	return comps
 }
 
+// EqualInduced reports whether the subgraphs of a and b induced by the
+// given vertex set are identical: every member has the same adjacency
+// list (same neighbors, same weights, same order — adjacency is
+// canonically sorted, so slice equality is set equality) restricted to
+// members in both graphs. Vertices outside [0, NumVertices()) of either
+// graph make the result false. The incremental epoch rebuild uses this
+// to prove a connected component untouched before splicing its previous
+// clusters into the next generation.
+func EqualInduced(a, b *Graph, members []int32) bool {
+	inSet := make(map[int32]bool, len(members))
+	for _, v := range members {
+		inSet[v] = true
+	}
+	for _, v := range members {
+		if v < 0 || int(v) >= len(a.adj) || int(v) >= len(b.adj) {
+			return false
+		}
+		av, bv := a.adj[v], b.adj[v]
+		i, j := 0, 0
+		for {
+			for i < len(av) && !inSet[av[i].To] {
+				i++
+			}
+			for j < len(bv) && !inSet[bv[j].To] {
+				j++
+			}
+			if i == len(av) || j == len(bv) {
+				if i != len(av) || j != len(bv) {
+					return false
+				}
+				break
+			}
+			if av[i] != bv[j] {
+				return false
+			}
+			i++
+			j++
+		}
+	}
+	return true
+}
+
 // Weight returns the weight of edge (u,v) and whether it exists.
 func (g *Graph) Weight(u, v int32) (int32, bool) {
 	for _, e := range g.adj[u] {

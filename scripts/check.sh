@@ -15,6 +15,14 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
+# The deprecated pre-option constructors are gone; nothing may
+# reintroduce a deprecation marker — delete the API instead.
+echo "==> no '// Deprecated:' markers"
+if grep -rn "Deprecated:" --include='*.go' .; then
+    echo "deprecated markers found (remove the API instead of deprecating it)" >&2
+    exit 1
+fi
+
 # staticcheck is optional: run it when the toolchain is installed, skip
 # with a notice otherwise (the gate must work on a bare Go image).
 if command -v staticcheck >/dev/null 2>&1; then
@@ -27,6 +35,13 @@ fi
 echo "==> go build ./..."
 go build ./...
 
+# The examples are documentation that must keep compiling against the
+# public API (./... covers them, but a broken example should fail with
+# its own banner, not buried in a package list).
+echo "==> examples build + vet"
+go vet ./examples/...
+go build ./examples/...
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -38,6 +53,13 @@ go test -shuffle=on ./...
 # sites) fails the gate without paying for a full measurement run.
 echo "==> go test -bench=. -benchtime=1x (smoke)"
 go test -bench=. -benchtime=1x -run '^$' ./...
+
+# The incremental-rebuild benchmark doubles as the regression harness
+# for shard splicing: run it by name so a setup failure (e.g. the churn
+# set no longer dirtying whole components) is caught even if someone
+# narrows the catch-all smoke above.
+echo "==> go test -bench=BenchmarkEpochIncrementalRebuild -benchtime=1x (smoke)"
+go test -bench='^BenchmarkEpochIncrementalRebuild$' -benchtime=1x -run '^$' .
 
 # Short fuzz smoke passes: ten seconds of coverage-guided input per
 # target on top of the checked-in seed corpora ('-run ^$' skips the unit
