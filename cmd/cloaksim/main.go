@@ -13,6 +13,11 @@
 // rotates a new epoch in the background, and concurrent cloak clients
 // measure availability across the generation swaps.
 //
+// With -cell it runs one experiment-grid cell (internal/bench): -reps
+// repetitions of cold build + churn ticks + a Zipf-skewed request replay
+// over the (n, k, churnfrac, workers) point, printing the aggregated
+// CellResult as JSON.
+//
 // With -faults it runs the deterministic fault-injection harness: N
 // seeded scenarios (message loss, lossy links, loss bursts, node
 // crashes, partitions) drive the full two-phase protocol over the
@@ -24,11 +29,13 @@
 //	cloaksim -n 5000 -k 10 -host 42 -bound secure -mode distributed
 //	cloaksim -n 20000 -k 10 -load 100000 -workers 32
 //	cloaksim -n 5000 -k 10 -churn 20 -churnfrac 0.2
+//	cloaksim -cell -n 1000 -k 5 -churnfrac 0.1 -workers 2 -reps 3
 //	cloaksim -faults 500 -faultseed 1
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -41,6 +48,7 @@ import (
 
 	"nonexposure/cloak"
 	"nonexposure/internal/anonymizer"
+	"nonexposure/internal/bench"
 	"nonexposure/internal/dataset"
 	"nonexposure/internal/epoch"
 	"nonexposure/internal/metrics"
@@ -67,6 +75,10 @@ type simConfig struct {
 	faults      int
 	faultSeed   int64
 	showTrace   bool
+	cell        bool
+	reps        int
+	ticks       int
+	theta       float64
 }
 
 // validate rejects bad flag combinations up front, before any dataset
@@ -102,6 +114,20 @@ func (c simConfig) validate() error {
 	if c.delta < 0 {
 		return fmt.Errorf("-delta must be >= 0, got %g", c.delta)
 	}
+	if c.cell {
+		if c.reps < 1 {
+			return fmt.Errorf("-reps must be >= 1, got %d", c.reps)
+		}
+		if c.ticks < 1 {
+			return fmt.Errorf("-ticks must be >= 1 in -cell mode, got %d", c.ticks)
+		}
+		if c.theta < 0 || math.IsNaN(c.theta) || math.IsInf(c.theta, 0) {
+			return fmt.Errorf("-theta must be finite and >= 0, got %g", c.theta)
+		}
+		if c.churnFrac <= 0 || c.churnFrac > 1 {
+			return fmt.Errorf("-churnfrac must be in (0,1], got %g", c.churnFrac)
+		}
+	}
 	return nil
 }
 
@@ -124,10 +150,16 @@ func main() {
 	flag.IntVar(&cfg.faults, "faults", 0, "fault-injection mode: run this many seeded fault scenarios (0 = off)")
 	flag.Int64Var(&cfg.faultSeed, "faultseed", 1, "first scenario seed for -faults")
 	flag.BoolVar(&cfg.showTrace, "trace", false, "print the span tree of the cloak request (single-request mode)")
+	flag.BoolVar(&cfg.cell, "cell", false, "grid-cell mode: run one bench cell (n,k,churnfrac,workers) and print its CellResult as JSON")
+	flag.IntVar(&cfg.reps, "reps", 1, "repetitions per cell for -cell")
+	flag.IntVar(&cfg.ticks, "ticks", 4, "churn ticks per rep for -cell")
+	flag.Float64Var(&cfg.theta, "theta", 0.8, "Zipf skew of the request mix for -cell")
 	flag.Parse()
 	err := cfg.validate()
 	if err == nil {
 		switch {
+		case cfg.cell:
+			err = runGridCell(cfg)
 		case cfg.faults > 0:
 			err = runFaults(cfg.faults, cfg.faultSeed)
 		case cfg.churn > 0:
@@ -143,6 +175,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cloaksim:", err)
 		os.Exit(1)
 	}
+}
+
+// runGridCell is the experiment-grid entry point: one bench cell over
+// the flag-selected (n, k, churnfrac, workers) point, repeated -reps
+// times, with the aggregated CellResult printed as JSON so scripts/bench
+// (or anything else) can drive cells out of process. -load sets the
+// request count when nonzero.
+func runGridCell(cfg simConfig) error {
+	requests := cfg.load
+	if requests == 0 {
+		requests = 2000
+	}
+	res, err := bench.RunCell(
+		bench.CellParams{N: cfg.n, K: cfg.k, ChurnFrac: cfg.churnFrac, Workers: cfg.workers},
+		bench.CellConfig{Ticks: cfg.ticks, Requests: requests, Theta: cfg.theta, Seed: cfg.seed, Reps: cfg.reps},
+	)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
 }
 
 // runChurn is the epoch-pipeline workload: a mobile population keeps

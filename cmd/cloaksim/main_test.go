@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -28,6 +29,17 @@ func TestSimConfigValidate(t *testing.T) {
 		{"loss above one", func(c *simConfig) { c.loss = 1.5 }, "-loss must be in [0,1]"},
 		{"negative nearby", func(c *simConfig) { c.nearby = -1 }, "-nearby must be >= 0"},
 		{"negative delta", func(c *simConfig) { c.delta = -1e-3 }, "-delta must be >= 0"},
+		{"cell mode", func(c *simConfig) { c.cell = true; c.reps = 1; c.ticks = 2; c.theta = 0.8 }, ""},
+		{"cell zero reps", func(c *simConfig) { c.cell = true; c.ticks = 2 }, "-reps must be >= 1"},
+		{"cell zero ticks", func(c *simConfig) { c.cell = true; c.reps = 1 }, "-ticks must be >= 1"},
+		{"cell negative theta", func(c *simConfig) { c.cell = true; c.reps = 1; c.ticks = 2; c.theta = -1 }, "-theta must be finite"},
+		{"cell nan theta", func(c *simConfig) { c.cell = true; c.reps = 1; c.ticks = 2; c.theta = math.NaN() }, "-theta must be finite"},
+		{"cell bad churnfrac", func(c *simConfig) {
+			c.cell = true
+			c.reps = 1
+			c.ticks = 2
+			c.churnFrac = 0
+		}, "-churnfrac must be in (0,1]"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

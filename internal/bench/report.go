@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// SchemaVersion is bumped whenever the report layout changes
+// incompatibly; Validate rejects any other value so an old binary can
+// never silently mis-read a new baseline (or vice versa).
+const SchemaVersion = 1
+
+// Report is one full grid run — the content of a BENCH_<rev>.json.
+// Grid (including its seed) plus Cells[].Determinism must reproduce
+// byte-identically for equal seeds; everything else is environment or
+// timing.
+type Report struct {
+	Schema int `json:"schema"`
+	// Rev is the git revision the run measured, stamped by the caller
+	// (scripts/bench uses `git rev-parse --short HEAD`).
+	Rev string `json:"rev"`
+	// Environment: where the numbers came from.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Grid is the full sweep specification; a diff between reports with
+	// different grids compares only the cells they share.
+	Grid  Grid         `json:"grid"`
+	Cells []CellResult `json:"cells"`
+}
+
+// newReport stamps the environment half of a report.
+func newReport(g Grid) *Report {
+	return &Report{
+		Schema:     SchemaVersion,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Grid:       g,
+	}
+}
+
+// Filename is the canonical baseline name for a revision.
+func Filename(rev string) string { return "BENCH_" + rev + ".json" }
+
+// Validate is the schema gate a report must pass before it may be
+// checked in as a baseline: required keys present (rev, environment,
+// cells, every required metric with finite mean and non-negative std),
+// cell ids unique and consistent with their params, and the
+// deterministic outcome accounting intact. A malformed run fails here,
+// not at the first diff against it.
+func (r *Report) Validate() error {
+	var errs []string
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+	if r.Schema != SchemaVersion {
+		fail("schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if r.Rev == "" {
+		fail("rev missing")
+	}
+	if r.GoVersion == "" {
+		fail("go_version missing")
+	}
+	if r.GOMAXPROCS < 1 {
+		fail("gomaxprocs %d < 1", r.GOMAXPROCS)
+	}
+	if err := r.Grid.Validate(); err != nil {
+		fail("grid: %v", err)
+	}
+	if len(r.Cells) == 0 {
+		fail("no cells")
+	}
+	seen := make(map[string]bool)
+	for i, c := range r.Cells {
+		where := fmt.Sprintf("cell %d (%s)", i, c.ID)
+		if c.ID != c.Params.ID() {
+			fail("%s: id does not match params (%s)", where, c.Params.ID())
+		}
+		if seen[c.ID] {
+			fail("%s: duplicate id", where)
+		}
+		seen[c.ID] = true
+		for _, key := range RequiredMetrics() {
+			m, ok := c.Metrics[key]
+			if !ok {
+				fail("%s: metric %s missing", where, key)
+				continue
+			}
+			if math.IsNaN(m.Mean) || math.IsInf(m.Mean, 0) {
+				fail("%s: metric %s mean %v not finite", where, key, m.Mean)
+			}
+			if m.Std < 0 || math.IsNaN(m.Std) || math.IsInf(m.Std, 0) {
+				fail("%s: metric %s std %v invalid", where, key, m.Std)
+			}
+		}
+		d := c.Determinism
+		if d.Served+d.Unclusterable != r.Grid.Requests {
+			fail("%s: served %d + unclusterable %d != requests %d",
+				where, d.Served, d.Unclusterable, r.Grid.Requests)
+		}
+		if len(d.TranscriptSHA256) != 64 {
+			fail("%s: transcript_sha256 %q is not a sha256 hex digest", where, d.TranscriptSHA256)
+		}
+		if d.Epochs < 1 {
+			fail("%s: epochs %d < 1", where, d.Epochs)
+		}
+		if d.ShardsRebuilt > d.ShardsTotal {
+			fail("%s: shards_rebuilt %d > shards_total %d", where, d.ShardsRebuilt, d.ShardsTotal)
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("bench: invalid report:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+// The report is validated first so a malformed run can never become a
+// checked-in baseline.
+func (r *Report) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a report.
+func ReadFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -397,13 +397,6 @@ func (m *Manager) Upload(ctx context.Context, user int32, peers []RankedPeer) er
 	return nil
 }
 
-// UploadNoCtx is Upload with a background context. Transitional: kept
-// for one release so pre-context callers can migrate gradually; new
-// code should call Upload with a context.
-func (m *Manager) UploadNoCtx(user int32, peers []RankedPeer) error {
-	return m.Upload(context.Background(), user, peers)
-}
-
 func (m *Manager) policyFiredLocked() string {
 	if m.policy.EveryUploads > 0 && m.uploadsSince >= m.policy.EveryUploads {
 		return TriggerCount
@@ -468,13 +461,6 @@ func (m *Manager) Rotate(ctx context.Context) (uint64, error) {
 		return 0, ErrNoNewUploads
 	}
 	return m.triggerLocked(TriggerRotate).Epoch, nil
-}
-
-// RotateNoCtx is Rotate with a background context. Transitional: kept
-// for one release so pre-context callers can migrate gradually; new
-// code should call Rotate with a context.
-func (m *Manager) RotateNoCtx() (uint64, error) {
-	return m.Rotate(context.Background())
 }
 
 // builderLoop drains the build queue serially (publication order ==

@@ -373,33 +373,6 @@ func TestBuildGraphIncrementalFallsBack(t *testing.T) {
 	}
 }
 
-// TestNoCtxWrappers keeps the transitional pre-context entry points
-// working until they are retired.
-func TestNoCtxWrappers(t *testing.T) {
-	m, err := New(6, WithK(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for u, peers := range ringUploads(6) {
-		if err := m.UploadNoCtx(u, peers); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if ep, err := m.RotateNoCtx(); err != nil || ep != 1 {
-		t.Fatalf("RotateNoCtx = %d, %v", ep, err)
-	}
-	if err := m.Sync(bg); err != nil {
-		t.Fatal(err)
-	}
-	m.Close()
-	if err := m.UploadNoCtx(0, nil); !errors.Is(err, ErrClosed) {
-		t.Errorf("UploadNoCtx after close = %v, want ErrClosed", err)
-	}
-	if _, err := m.RotateNoCtx(); !errors.Is(err, ErrClosed) {
-		t.Errorf("RotateNoCtx after close = %v, want ErrClosed", err)
-	}
-}
-
 // TestConcurrentChurnIncremental races uploaders, an explicit rotator,
 // and cloakers against the incremental build path (run under -race).
 // Served clusters must always satisfy k-anonymity and contain the host.

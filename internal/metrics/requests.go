@@ -47,9 +47,9 @@ func (h *LatencyHistogram) Count() uint64 { return h.total.Load() }
 // BucketUpperNs), the observation count, and the duration sum. It is
 // what the Prometheus exposition renders as cumulative buckets.
 type HistogramSnapshot struct {
-	Counts []uint64
-	Total  uint64
-	SumNs  int64
+	Counts []uint64 `json:"counts"`
+	Total  uint64   `json:"total"`
+	SumNs  int64    `json:"sum_ns"`
 }
 
 // NumBuckets is the fixed bucket count of every HistogramSnapshot.
@@ -133,30 +133,34 @@ func quantileOf(counts []uint64, total uint64, q float64) time.Duration {
 }
 
 // OpSnapshot is a point-in-time view of one operation's counters.
+// Count, Mean, and the percentiles are all derived from the one Hist
+// snapshot, so they can never disagree with each other (the JSON tags
+// make the snapshot exportable as-is; durations marshal as
+// nanoseconds).
 type OpSnapshot struct {
-	Op     string
-	Count  uint64
-	Errors uint64
-	Mean   time.Duration
-	P50    time.Duration
-	P95    time.Duration
-	P99    time.Duration
+	Op     string        `json:"op"`
+	Count  uint64        `json:"count"`
+	Errors uint64        `json:"errors"`
+	Mean   time.Duration `json:"mean_ns"`
+	P50    time.Duration `json:"p50_ns"`
+	P95    time.Duration `json:"p95_ns"`
+	P99    time.Duration `json:"p99_ns"`
 	// Hist is the op's raw latency histogram, for exporters that need
 	// more than the precomputed percentiles.
-	Hist HistogramSnapshot
+	Hist HistogramSnapshot `json:"hist"`
 }
 
 // RequestSnapshot is a point-in-time view of a RequestMetrics: aggregate
 // counters plus one OpSnapshot per observed operation, sorted by name.
 type RequestSnapshot struct {
-	Total  uint64
-	Errors uint64
-	P50    time.Duration
-	P95    time.Duration
-	P99    time.Duration
-	Ops    []OpSnapshot
+	Total  uint64        `json:"total"`
+	Errors uint64        `json:"errors"`
+	P50    time.Duration `json:"p50_ns"`
+	P95    time.Duration `json:"p95_ns"`
+	P99    time.Duration `json:"p99_ns"`
+	Ops    []OpSnapshot  `json:"ops"`
 	// Hist is the merged latency histogram across every op.
-	Hist HistogramSnapshot
+	Hist HistogramSnapshot `json:"hist"`
 }
 
 // String renders a compact one-line-per-op report for shutdown logs.
@@ -178,8 +182,11 @@ type RequestMetrics struct {
 	ops map[string]*opMetrics
 }
 
+// opMetrics is one operation's counters. There is deliberately no
+// separate request counter: the histogram's total IS the count, so a
+// snapshot can never report a Count that disagrees with the histogram
+// the percentiles are computed from.
 type opMetrics struct {
-	count  atomic.Uint64
 	errors atomic.Uint64
 	lat    LatencyHistogram
 }
@@ -202,15 +209,23 @@ func (m *RequestMetrics) Observe(op string, d time.Duration, ok bool) {
 		}
 		m.mu.Unlock()
 	}
-	o.count.Add(1)
+	// Histogram first, error counter second: Snapshot reads them in the
+	// opposite order, so an error it counts always has its observation
+	// in the histogram it read — Errors <= Count holds in every
+	// snapshot.
+	o.lat.Observe(d)
 	if !ok {
 		o.errors.Add(1)
 	}
-	o.lat.Observe(d)
 }
 
-// Snapshot captures the current counters. Aggregate percentiles are
-// computed over the merged per-op histograms.
+// Snapshot captures the current counters. Every per-op figure — Count,
+// Mean, percentiles — is derived from one histogram snapshot per op, so
+// the snapshot is internally consistent even under concurrent traffic:
+// Count always equals Hist.Total (an earlier version loaded a separate
+// counter, which could disagree with the histogram the percentile
+// denominators use). Aggregate percentiles are computed over the merged
+// per-op histograms.
 func (m *RequestMetrics) Snapshot() RequestSnapshot {
 	m.mu.RLock()
 	names := make([]string, 0, len(m.ops))
@@ -227,12 +242,20 @@ func (m *RequestMetrics) Snapshot() RequestSnapshot {
 	var s RequestSnapshot
 	s.Hist.Counts = make([]uint64, latencyBuckets)
 	for i, o := range ops {
+		// Errors before the histogram (Observe writes in the opposite
+		// order), so every counted error's observation is already in the
+		// histogram and Errors <= Count.
+		errs := o.errors.Load()
 		hist := o.lat.Snapshot()
+		var mean time.Duration
+		if hist.Total > 0 {
+			mean = time.Duration(hist.SumNs / int64(hist.Total))
+		}
 		snap := OpSnapshot{
 			Op:     names[i],
-			Count:  o.count.Load(),
-			Errors: o.errors.Load(),
-			Mean:   o.lat.Mean(),
+			Count:  hist.Total,
+			Errors: errs,
+			Mean:   mean,
 			P50:    quantileOf(hist.Counts, hist.Total, 0.50),
 			P95:    quantileOf(hist.Counts, hist.Total, 0.95),
 			P99:    quantileOf(hist.Counts, hist.Total, 0.99),

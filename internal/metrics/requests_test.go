@@ -1,7 +1,10 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
+	"math/rand"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -220,5 +223,138 @@ func TestRequestMetricsConcurrent(t *testing.T) {
 	}
 	if opSum != s.Total {
 		t.Errorf("per-op sum %d != total %d", opSum, s.Total)
+	}
+}
+
+// TestSnapshotInternallyConsistentUnderLoad is the regression test for
+// the Count/Hist.Total divergence: the per-op Count used to be loaded
+// from a separate atomic after the histogram snapshot, so under
+// concurrent traffic a snapshot could report Total != Hist.Total — the
+// denominator the quantiles use. Every snapshot must now satisfy, per
+// op and in aggregate: Count == Hist.Total, Errors <= Count, and the
+// aggregate Total == sum of op counts == merged Hist.Total. Run under
+// -race in the tier-1 gate.
+func TestSnapshotInternallyConsistentUnderLoad(t *testing.T) {
+	m := NewRequestMetrics()
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ops := []string{"cloak", "upload", "rotate"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Observe(ops[(w+i)%len(ops)], time.Duration(1+i%1000)*time.Microsecond, i%3 != 0)
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	snaps := 0
+	for time.Now().Before(deadline) {
+		s := m.Snapshot()
+		snaps++
+		var sum uint64
+		for _, op := range s.Ops {
+			if op.Count != op.Hist.Total {
+				t.Fatalf("op %s: Count %d != Hist.Total %d", op.Op, op.Count, op.Hist.Total)
+			}
+			if op.Errors > op.Count {
+				t.Fatalf("op %s: Errors %d > Count %d", op.Op, op.Errors, op.Count)
+			}
+			sum += op.Count
+		}
+		if s.Total != sum {
+			t.Fatalf("Total %d != sum of op counts %d", s.Total, sum)
+		}
+		if s.Total != s.Hist.Total {
+			t.Fatalf("Total %d != merged Hist.Total %d", s.Total, s.Hist.Total)
+		}
+		if s.Errors > s.Total {
+			t.Fatalf("Errors %d > Total %d", s.Errors, s.Total)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if snaps == 0 {
+		t.Fatal("no snapshots taken")
+	}
+}
+
+// TestQuantileMonotoneAndBounded is a seeded property test: on random
+// histograms, Quantile must be monotone non-decreasing in q and must
+// never exceed the top bucket's upper edge BucketUpperNs(NumBuckets-1).
+func TestQuantileMonotoneAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	qs := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+	for trial := 0; trial < 200; trial++ {
+		var h LatencyHistogram
+		obs := rng.Intn(500)
+		for i := 0; i < obs; i++ {
+			// Exponent spread covers every bucket, including the
+			// saturating top one.
+			ns := int64(1) << uint(rng.Intn(63))
+			h.Observe(time.Duration(ns))
+		}
+		prev := time.Duration(-1)
+		for _, q := range qs {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%v) = %v < previous %v (not monotone)", trial, q, v, prev)
+			}
+			if v > time.Duration(BucketUpperNs(NumBuckets-1)) {
+				t.Fatalf("trial %d: Quantile(%v) = %v exceeds top bucket edge %v",
+					trial, q, v, time.Duration(BucketUpperNs(NumBuckets-1)))
+			}
+			prev = v
+		}
+	}
+}
+
+// TestSnapshotMeanDerivedFromHistogram pins that Mean comes from the
+// snapshotted histogram's own sum and total, not a separate load.
+func TestSnapshotMeanDerivedFromHistogram(t *testing.T) {
+	m := NewRequestMetrics()
+	m.Observe("op", 100*time.Nanosecond, true)
+	m.Observe("op", 300*time.Nanosecond, true)
+	s := m.Snapshot()
+	if len(s.Ops) != 1 {
+		t.Fatalf("ops = %d", len(s.Ops))
+	}
+	op := s.Ops[0]
+	want := time.Duration(op.Hist.SumNs / int64(op.Hist.Total))
+	if op.Mean != want {
+		t.Errorf("Mean = %v, want %v (SumNs/Total of the same snapshot)", op.Mean, want)
+	}
+}
+
+// TestHistogramSnapshotJSONRoundTrip guards the exporter contract the
+// bench harness relies on: HistogramSnapshot marshals with stable keys
+// and round-trips losslessly.
+func TestHistogramSnapshotJSONRoundTrip(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(5 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	snap := h.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"counts"`, `"total"`, `"sum_ns"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("marshaled snapshot missing key %s: %s", key, b)
+		}
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("round trip mismatch: %+v vs %+v", snap, back)
 	}
 }

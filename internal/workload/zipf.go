@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ZipfHosts returns s user ids drawn i.i.d. from a Zipf(theta)
+// popularity distribution over the n users: the r-th most popular user
+// (r = 0-based rank) receives requests with probability proportional to
+// 1/(r+1)^theta. theta = 0 degenerates to uniform; theta around 1 is
+// the classic heavy-skew setting the contention benchmarks use.
+//
+// Popularity ranks are assigned to user ids by a seeded shuffle, so the
+// hot users are scattered across the id space (and therefore across WPG
+// components) instead of piling up at id 0. Output is a deterministic
+// function of (n, s, theta, seed).
+func ZipfHosts(n, s int, theta float64, seed int64) ([]int32, error) {
+	if n <= 0 || s < 0 {
+		return nil, fmt.Errorf("workload: bad sizes n=%d s=%d", n, s)
+	}
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return nil, fmt.Errorf("workload: zipf skew %v must be finite and >= 0", theta)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// rank -> user id assignment.
+	perm := rng.Perm(n)
+	// Cumulative unnormalized mass; fixed summation order keeps the
+	// floats — and thus the draws — byte-identical across runs.
+	cum := make([]float64, n)
+	var total float64
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -theta)
+		cum[r] = total
+	}
+	hosts := make([]int32, s)
+	for i := range hosts {
+		u := rng.Float64() * total
+		rank := sort.SearchFloat64s(cum, u)
+		if rank >= n {
+			rank = n - 1 // u == total after float rounding
+		}
+		hosts[i] = int32(perm[rank])
+	}
+	return hosts, nil
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestZipfHostsValidation(t *testing.T) {
+	if _, err := ZipfHosts(0, 10, 1, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := ZipfHosts(10, -1, 1, 1); err == nil {
+		t.Error("s<0 should error")
+	}
+	if _, err := ZipfHosts(10, 10, -0.5, 1); err == nil {
+		t.Error("theta<0 should error")
+	}
+	if _, err := ZipfHosts(10, 10, math.NaN(), 1); err == nil {
+		t.Error("NaN theta should error")
+	}
+	if _, err := ZipfHosts(10, 10, math.Inf(1), 1); err == nil {
+		t.Error("Inf theta should error")
+	}
+	hs, err := ZipfHosts(1, 5, 1.0, 1)
+	if err != nil || len(hs) != 5 {
+		t.Fatalf("n=1: %v %v", hs, err)
+	}
+	for _, h := range hs {
+		if h != 0 {
+			t.Fatalf("n=1 must always draw user 0, got %d", h)
+		}
+	}
+}
+
+func TestZipfHostsRange(t *testing.T) {
+	hs, err := ZipfHosts(500, 10000, 1.0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hs {
+		if h < 0 || h >= 500 {
+			t.Fatalf("host %d out of range", h)
+		}
+	}
+}
+
+// TestZipfHostsSkew pins the distributional shape: the top-ranked user's
+// realized frequency matches the Zipf mass 1/H(n, theta) and dwarfs a
+// mid-ranked user's, while theta = 0 degenerates to uniform.
+func TestZipfHostsSkew(t *testing.T) {
+	const n, s = 1000, 50000
+	const theta = 1.0
+	const seed = 7
+	hs, err := ZipfHosts(n, s, theta, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicate the rank->id assignment: the generator's first use of
+	// the seeded rng is the rank permutation.
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	counts := make(map[int32]int)
+	for _, h := range hs {
+		counts[h]++
+	}
+	var harmonic float64
+	for r := 1; r <= n; r++ {
+		harmonic += math.Pow(float64(r), -theta)
+	}
+	wantTop := 1 / harmonic
+	gotTop := float64(counts[int32(perm[0])]) / s
+	if math.Abs(gotTop-wantTop) > 0.01 {
+		t.Errorf("top-rank frequency = %.4f, want %.4f +- 0.01", gotTop, wantTop)
+	}
+	mid := float64(counts[int32(perm[n/2])]) / s
+	if gotTop < 5*mid {
+		t.Errorf("skew too weak: top %.4f vs mid-rank %.4f", gotTop, mid)
+	}
+
+	uniform, err := ZipfHosts(100, 100000, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := make(map[int32]int)
+	for _, h := range uniform {
+		uc[h]++
+	}
+	for id, c := range uc {
+		if c > 2000 { // mean 1000; a uniform draw never doubles it at this s
+			t.Errorf("theta=0 user %d drawn %d times, want ~1000", id, c)
+		}
+	}
+}
+
+func TestZipfHostsDeterministic(t *testing.T) {
+	a, err := ZipfHosts(2000, 5000, 0.8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ZipfHosts(2000, 5000, 0.8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed should reproduce the same workload")
+	}
+	c, err := ZipfHosts(2000, 5000, 0.8, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should differ")
+	}
+}

@@ -23,6 +23,15 @@ if grep -rn "Deprecated:" --include='*.go' .; then
     exit 1
 fi
 
+# The transitional UploadNoCtx/RotateNoCtx wrappers were retired after
+# their one-release grace period; the context-first API is the only
+# API. Nothing may reintroduce a *NoCtx shim.
+echo "==> no transitional '*NoCtx' wrappers"
+if grep -rn "NoCtx" --include='*.go' .; then
+    echo "NoCtx wrappers found (pass a context instead of adding shims)" >&2
+    exit 1
+fi
+
 # staticcheck is optional: run it when the toolchain is installed, skip
 # with a notice otherwise (the gate must work on a bare Go image).
 if command -v staticcheck >/dev/null 2>&1; then
@@ -69,6 +78,18 @@ go test -fuzz='^FuzzProtocolDecode$' -fuzztime=10s -run '^$' ./internal/service
 
 echo "==> go test -fuzz=FuzzBoundVotes (10s)"
 go test -fuzz='^FuzzBoundVotes$' -fuzztime=10s -run '^$' ./internal/core
+
+# Experiment-grid smoke: one rep of the tiny grid through the bench CLI,
+# then schema-validate the emitted BENCH json and self-diff it (a report
+# must always be clean against itself). Catches grid-runner breakage and
+# report-schema drift without paying for a full measurement run; real
+# baselines come from `go run ./scripts/bench run` (see EXPERIMENTS.md).
+echo "==> bench tiny-grid smoke (run + validate + self-diff)"
+benchdir=$(mktemp -d)
+go run ./scripts/bench run -grid tiny -reps 1 -rev smoke -out "$benchdir" > /dev/null
+go run ./scripts/bench validate "$benchdir/BENCH_smoke.json" > /dev/null
+go run ./scripts/bench diff "$benchdir/BENCH_smoke.json" "$benchdir/BENCH_smoke.json" > /dev/null
+rm -rf "$benchdir"
 
 # Admin endpoint smoke: start cloakd with an ephemeral admin port, curl
 # /metrics and /healthz, and shut it down. Skipped when curl is absent.
