@@ -43,17 +43,19 @@ import (
 // config is everything main parses from flags, separated so validation
 // is testable without touching the flag package or the network.
 type config struct {
-	addr        string
-	adminAddr   string
-	n           int
-	k           int
-	workers     int
-	everyN      int
-	frac        float64
-	traceCap    int
-	fullRebuild bool
-	demo        bool
-	seed        int64
+	addr          string
+	adminAddr     string
+	n             int
+	k             int
+	workers       int
+	everyN        int
+	frac          float64
+	maxStale      time.Duration
+	ingestBuffers int
+	traceCap      int
+	fullRebuild   bool
+	demo          bool
+	seed          int64
 }
 
 // validate rejects flag combinations before any socket is opened, so a
@@ -75,6 +77,12 @@ func (c config) validate() error {
 	if c.frac < 0 || c.frac > 1 {
 		return fmt.Errorf("-rebuild-frac must be in [0,1], got %g", c.frac)
 	}
+	if c.maxStale < 0 {
+		return fmt.Errorf("-max-staleness must be >= 0, got %v", c.maxStale)
+	}
+	if c.ingestBuffers < 0 {
+		return fmt.Errorf("-ingest-buffers must be >= 0, got %d", c.ingestBuffers)
+	}
 	if c.traceCap < 0 {
 		return fmt.Errorf("-trace must be >= 0, got %d", c.traceCap)
 	}
@@ -90,6 +98,8 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "clustering workers per rebuild (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.everyN, "rebuild-uploads", 0, "rebuild after this many uploads (0 = disabled)")
 	flag.Float64Var(&cfg.frac, "rebuild-frac", 0, "rebuild once this fraction of users changed (0 = disabled)")
+	flag.DurationVar(&cfg.maxStale, "max-staleness", 0, "rebuild when uploads have waited this long without another trigger (0 = disabled)")
+	flag.IntVar(&cfg.ingestBuffers, "ingest-buffers", 0, "buffered upload ingestion with this many shards (0 = direct; try the upload worker count)")
 	flag.IntVar(&cfg.traceCap, "trace", 0, "record span trees for the most recent N requests/builds, served at /tracez (0 = off)")
 	flag.BoolVar(&cfg.fullRebuild, "full-rebuild", false, "rebuild every epoch from scratch instead of the incremental sharded path")
 	flag.BoolVar(&cfg.demo, "demo", false, "run a self-contained demo population against the server and exit")
@@ -105,7 +115,7 @@ func run(cfg config) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
-	policy := epoch.Policy{EveryUploads: cfg.everyN, ChangedFrac: cfg.frac}
+	policy := epoch.Policy{EveryUploads: cfg.everyN, ChangedFrac: cfg.frac, MaxStaleness: cfg.maxStale}
 	em := metrics.NewEpochMetrics()
 	opts := []service.Option{
 		service.WithNumUsers(cfg.n),
@@ -113,6 +123,7 @@ func run(cfg config) error {
 		service.WithWorkers(cfg.workers),
 		service.WithRebuildPolicy(policy),
 		service.WithFullRebuild(cfg.fullRebuild),
+		service.WithIngestBuffers(cfg.ingestBuffers),
 		service.WithMetrics(em),
 	}
 	if cfg.traceCap > 0 {

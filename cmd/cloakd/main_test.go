@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -23,6 +24,10 @@ func TestConfigValidate(t *testing.T) {
 		{"rebuild-frac above one", func(c *config) { c.frac = 1.5 }, "-rebuild-frac must be in [0,1]"},
 		{"rebuild-frac at one", func(c *config) { c.frac = 1 }, ""},
 		{"negative trace", func(c *config) { c.traceCap = -1 }, "-trace must be >= 0"},
+		{"negative max-staleness", func(c *config) { c.maxStale = -time.Second }, "-max-staleness must be >= 0"},
+		{"max-staleness on", func(c *config) { c.maxStale = 30 * time.Second }, ""},
+		{"negative ingest-buffers", func(c *config) { c.ingestBuffers = -1 }, "-ingest-buffers must be >= 0"},
+		{"ingest-buffers on", func(c *config) { c.ingestBuffers = 8 }, ""},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

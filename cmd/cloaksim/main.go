@@ -4,19 +4,23 @@
 //
 // With -load it instead acts as a load generator: -workers concurrent
 // clients hammer an in-process centralized anonymizer with -load cloak
-// requests and the run reports throughput and latency percentiles —
-// the harness behind the serving-concurrency numbers in CHANGES.md.
+// requests drawn from a Zipf(-theta) popularity mix over hosts (0 =
+// uniform), reporting throughput, latency percentiles, and the
+// realized skew — the harness behind the serving-concurrency numbers
+// in CHANGES.md.
 //
 // With -churn it drives the epoch re-clustering pipeline under a mobile
 // population: each tick a fraction of the users move (local-wander
 // mobility) and re-upload their proximity rankings, the pipeline
 // rotates a new epoch in the background, and concurrent cloak clients
-// measure availability across the generation swaps.
+// measure availability across the generation swaps. -ingest-buffers N
+// routes the uploads through the sharded coalescing ingest layer
+// (see "Sharded upload ingestion" in DESIGN.md).
 //
 // With -cell it runs one experiment-grid cell (internal/bench): -reps
 // repetitions of cold build + churn ticks + a Zipf-skewed request replay
-// over the (n, k, churnfrac, workers) point, printing the aggregated
-// CellResult as JSON.
+// over the (n, k, churnfrac, workers, ingest-buffers) point, printing
+// the aggregated CellResult as JSON.
 //
 // With -faults it runs the deterministic fault-injection harness: N
 // seeded scenarios (message loss, lossy links, loss bursts, node
@@ -41,6 +45,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,30 +60,32 @@ import (
 	"nonexposure/internal/mobility"
 	"nonexposure/internal/sim"
 	"nonexposure/internal/trace"
+	"nonexposure/internal/workload"
 	"nonexposure/internal/wpg"
 )
 
 // simConfig is everything main parses from flags, separated so
 // validation is testable without the flag package.
 type simConfig struct {
-	n, k, host  int
-	seed        int64
-	mode, bound string
-	delta       float64
-	network     bool
-	loss        float64
-	nearby      int
-	load        int
-	workers     int
-	churn       int
-	churnFrac   float64
-	faults      int
-	faultSeed   int64
-	showTrace   bool
-	cell        bool
-	reps        int
-	ticks       int
-	theta       float64
+	n, k, host    int
+	seed          int64
+	mode, bound   string
+	delta         float64
+	network       bool
+	loss          float64
+	nearby        int
+	load          int
+	workers       int
+	churn         int
+	churnFrac     float64
+	faults        int
+	faultSeed     int64
+	showTrace     bool
+	cell          bool
+	reps          int
+	ticks         int
+	theta         float64
+	ingestBuffers int
 }
 
 // validate rejects bad flag combinations up front, before any dataset
@@ -114,15 +121,18 @@ func (c simConfig) validate() error {
 	if c.delta < 0 {
 		return fmt.Errorf("-delta must be >= 0, got %g", c.delta)
 	}
+	if c.theta < 0 || math.IsNaN(c.theta) || math.IsInf(c.theta, 0) {
+		return fmt.Errorf("-theta must be finite and >= 0, got %g", c.theta)
+	}
+	if c.ingestBuffers < 0 {
+		return fmt.Errorf("-ingest-buffers must be >= 0, got %d", c.ingestBuffers)
+	}
 	if c.cell {
 		if c.reps < 1 {
 			return fmt.Errorf("-reps must be >= 1, got %d", c.reps)
 		}
 		if c.ticks < 1 {
 			return fmt.Errorf("-ticks must be >= 1 in -cell mode, got %d", c.ticks)
-		}
-		if c.theta < 0 || math.IsNaN(c.theta) || math.IsInf(c.theta, 0) {
-			return fmt.Errorf("-theta must be finite and >= 0, got %g", c.theta)
 		}
 		if c.churnFrac <= 0 || c.churnFrac > 1 {
 			return fmt.Errorf("-churnfrac must be in (0,1], got %g", c.churnFrac)
@@ -153,7 +163,8 @@ func main() {
 	flag.BoolVar(&cfg.cell, "cell", false, "grid-cell mode: run one bench cell (n,k,churnfrac,workers) and print its CellResult as JSON")
 	flag.IntVar(&cfg.reps, "reps", 1, "repetitions per cell for -cell")
 	flag.IntVar(&cfg.ticks, "ticks", 4, "churn ticks per rep for -cell")
-	flag.Float64Var(&cfg.theta, "theta", 0.8, "Zipf skew of the request mix for -cell")
+	flag.Float64Var(&cfg.theta, "theta", 0.8, "Zipf skew of the request mix for -cell and -load")
+	flag.IntVar(&cfg.ingestBuffers, "ingest-buffers", 0, "buffered upload ingestion shards for -churn and -cell (0 = direct)")
 	flag.Parse()
 	err := cfg.validate()
 	if err == nil {
@@ -163,9 +174,9 @@ func main() {
 		case cfg.faults > 0:
 			err = runFaults(cfg.faults, cfg.faultSeed)
 		case cfg.churn > 0:
-			err = runChurn(cfg.n, cfg.k, cfg.seed, cfg.delta, cfg.churn, cfg.churnFrac, cfg.workers)
+			err = runChurn(cfg.n, cfg.k, cfg.seed, cfg.delta, cfg.churn, cfg.churnFrac, cfg.workers, cfg.ingestBuffers)
 		case cfg.load > 0:
-			err = runLoad(cfg.n, cfg.k, cfg.seed, cfg.delta, cfg.load, cfg.workers)
+			err = runLoad(cfg.n, cfg.k, cfg.seed, cfg.delta, cfg.load, cfg.workers, cfg.theta)
 		default:
 			err = run(cfg.n, cfg.k, cfg.host, cfg.seed, cfg.mode, cfg.bound, cfg.delta,
 				cfg.network, cfg.loss, cfg.nearby, cfg.showTrace)
@@ -188,7 +199,7 @@ func runGridCell(cfg simConfig) error {
 		requests = 2000
 	}
 	res, err := bench.RunCell(
-		bench.CellParams{N: cfg.n, K: cfg.k, ChurnFrac: cfg.churnFrac, Workers: cfg.workers},
+		bench.CellParams{N: cfg.n, K: cfg.k, ChurnFrac: cfg.churnFrac, Workers: cfg.workers, IngestBuffers: cfg.ingestBuffers},
 		bench.CellConfig{Ticks: cfg.ticks, Requests: requests, Theta: cfg.theta, Seed: cfg.seed, Reps: cfg.reps},
 	)
 	if err != nil {
@@ -205,7 +216,7 @@ func runGridCell(cfg simConfig) error {
 // runChurn is the epoch-pipeline workload: a mobile population keeps
 // re-uploading while concurrent clients cloak, and the report shows how
 // availability held up across the background generation swaps.
-func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, workers int) error {
+func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, workers, ingestBuffers int) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -221,7 +232,8 @@ func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, work
 		return err
 	}
 	em := metrics.NewEpochMetrics()
-	mgr, err := epoch.New(n, epoch.WithK(k), epoch.WithMetrics(em))
+	mgr, err := epoch.New(n, epoch.WithK(k), epoch.WithMetrics(em),
+		epoch.WithIngestBuffers(ingestBuffers))
 	if err != nil {
 		return err
 	}
@@ -417,10 +429,12 @@ func runFaults(count int, base int64) error {
 }
 
 // runLoad is the load-generator mode: a centralized anonymizer serving
-// `requests` cloak calls from `workers` concurrent clients. The very
-// first request triggers the component-parallel whole-graph clustering;
-// everything after rides the registry read path.
-func runLoad(n, k int, seed int64, delta float64, requests, workers int) error {
+// `requests` cloak calls from `workers` concurrent clients, with hosts
+// drawn from a Zipf(theta) popularity distribution so hot users are
+// hammered the way real traffic hammers hot cells (theta 0 = uniform).
+// The very first request triggers the component-parallel whole-graph
+// clustering; everything after rides the registry read path.
+func runLoad(n, k int, seed int64, delta float64, requests, workers int, theta float64) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -431,6 +445,33 @@ func runLoad(n, k int, seed int64, delta float64, requests, workers int) error {
 	g := wpg.Build(pts, wpg.BuildParams{Delta: delta, MaxPeers: 10})
 	fmt.Printf("load: %d users, %d proximity edges, %d components\n",
 		g.NumVertices(), g.NumEdges(), len(g.Components()))
+
+	// Draw the whole request stream up front (seeded: reruns replay the
+	// same stream) and measure the skew we actually realized rather than
+	// restating the theta parameter.
+	hosts, err := workload.ZipfHosts(n, requests, theta, seed+1)
+	if err != nil {
+		return err
+	}
+	perHost := make(map[int32]int, n)
+	for _, h := range hosts {
+		perHost[h]++
+	}
+	counts := make([]int, 0, len(perHost))
+	for _, c := range perHost {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := len(counts) / 100
+	if top < 1 {
+		top = 1
+	}
+	topShare := 0
+	for _, c := range counts[:top] {
+		topShare += c
+	}
+	fmt.Printf("load: zipf theta=%g request mix: %d distinct hosts, top 1%% of hosts take %.1f%% of requests\n",
+		theta, len(perHost), 100*float64(topShare)/float64(requests))
 
 	anon := anonymizer.NewServer(g, anonymizer.WithK(k))
 	m := metrics.NewRequestMetrics()
@@ -451,17 +492,18 @@ func runLoad(n, k int, seed int64, delta float64, requests, workers int) error {
 	start := time.Now()
 	per := requests / workers
 	extra := requests % workers
+	next := 0
 	for w := 0; w < workers; w++ {
 		count := per
 		if w < extra {
 			count++
 		}
+		mine := hosts[next : next+count]
+		next += count
 		wg.Add(1)
-		go func(w, count int) {
+		go func(mine []int32) {
 			defer wg.Done()
-			host := int32(w * 2654435761 % n)
-			for i := 0; i < count; i++ {
-				host = (host*48271 + 1) % int32(n)
+			for _, host := range mine {
 				t0 := time.Now()
 				_, _, err := anon.Cloak(context.Background(), host)
 				m.Observe("cloak", time.Since(t0), err == nil)
@@ -471,7 +513,7 @@ func runLoad(n, k int, seed int64, delta float64, requests, workers int) error {
 					failMu.Unlock()
 				}
 			}
-		}(w, count)
+		}(mine)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)

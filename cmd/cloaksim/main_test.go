@@ -34,6 +34,10 @@ func TestSimConfigValidate(t *testing.T) {
 		{"cell zero ticks", func(c *simConfig) { c.cell = true; c.reps = 1 }, "-ticks must be >= 1"},
 		{"cell negative theta", func(c *simConfig) { c.cell = true; c.reps = 1; c.ticks = 2; c.theta = -1 }, "-theta must be finite"},
 		{"cell nan theta", func(c *simConfig) { c.cell = true; c.reps = 1; c.ticks = 2; c.theta = math.NaN() }, "-theta must be finite"},
+		{"load negative theta", func(c *simConfig) { c.load = 100; c.theta = -0.5 }, "-theta must be finite"},
+		{"load zipf theta", func(c *simConfig) { c.load = 100; c.theta = 1.0 }, ""},
+		{"negative ingest-buffers", func(c *simConfig) { c.ingestBuffers = -1 }, "-ingest-buffers must be >= 0"},
+		{"churn with ingest-buffers", func(c *simConfig) { c.churn = 5; c.churnFrac = 0.2; c.ingestBuffers = 4 }, ""},
 		{"cell bad churnfrac", func(c *simConfig) {
 			c.cell = true
 			c.reps = 1

@@ -50,13 +50,24 @@ type CellParams struct {
 	// ChurnFrac is the fraction of users re-uploading per churn tick.
 	ChurnFrac float64 `json:"churn_frac"`
 	// Workers sets both the rebuild worker pool and the number of
-	// concurrent cloak clients in the request phase.
+	// concurrent cloak clients in the request phase — and, when
+	// IngestBuffers is on, the number of concurrent uploaders.
 	Workers int `json:"workers"`
+	// IngestBuffers enables buffered upload ingestion with this many
+	// shards; uploads then fan out across Workers concurrent clients
+	// instead of one serial loop (0 = the direct serial path). Optional
+	// axis: omitted from the JSON and the cell ID when 0 so baselines
+	// from before the axis existed keep their IDs.
+	IngestBuffers int `json:"ingest_buffers,omitempty"`
 }
 
 // ID renders the canonical cell key used in reports and diffs.
 func (p CellParams) ID() string {
-	return fmt.Sprintf("n=%d/k=%d/churn=%g/workers=%d", p.N, p.K, p.ChurnFrac, p.Workers)
+	id := fmt.Sprintf("n=%d/k=%d/churn=%g/workers=%d", p.N, p.K, p.ChurnFrac, p.Workers)
+	if p.IngestBuffers > 0 {
+		id += fmt.Sprintf("/ingest=%d", p.IngestBuffers)
+	}
+	return id
 }
 
 // Validate rejects unrunnable cells.
@@ -72,6 +83,9 @@ func (p CellParams) Validate() error {
 	}
 	if p.Workers < 1 {
 		return fmt.Errorf("bench: workers %d < 1", p.Workers)
+	}
+	if p.IngestBuffers < 0 {
+		return fmt.Errorf("bench: ingest buffers %d < 0", p.IngestBuffers)
 	}
 	return nil
 }
@@ -115,6 +129,10 @@ type Grid struct {
 	Ks          []int     `json:"ks"`
 	ChurnFracs  []float64 `json:"churn_fracs"`
 	Workers     []int     `json:"workers"`
+	// IngestBuffers is the optional fifth axis (buffered-ingestion shard
+	// counts; 0 = direct). Empty means [0], so grids from before the
+	// axis existed expand to the same cells.
+	IngestBuffers []int `json:"ingest_buffers,omitempty"`
 	CellConfig
 }
 
@@ -158,6 +176,28 @@ func TinyGrid() Grid {
 	}
 }
 
+// ContentionGrid is the buffered-ingestion A/B sweep: one mid-size
+// population under heavy churn, serial vs parallel uploaders, direct vs
+// buffered ingestion, with a Zipf(1.0) request mix — the cell variant
+// behind the contention-aware ingestion numbers. Kept separate from
+// DefaultGrid so the checked-in baseline's cell set is untouched.
+func ContentionGrid() Grid {
+	return Grid{
+		Populations:   []int{4000},
+		Ks:            []int{10},
+		ChurnFracs:    []float64{0.1},
+		Workers:       []int{1, 4},
+		IngestBuffers: []int{0, 4},
+		CellConfig: CellConfig{
+			Ticks:    4,
+			Requests: 2000,
+			Theta:    1.0,
+			Seed:     42,
+			Reps:     3,
+		},
+	}
+}
+
 // Validate rejects empty or unrunnable grids.
 func (g Grid) Validate() error {
 	if len(g.Populations) == 0 || len(g.Ks) == 0 || len(g.ChurnFracs) == 0 || len(g.Workers) == 0 {
@@ -178,15 +218,21 @@ func (g Grid) Validate() error {
 }
 
 // Cells expands the grid into its cross product, in a fixed axis order
-// (population, k, churn, workers) so cell order — and thus report
-// layout — is deterministic.
+// (population, k, churn, workers, ingest buffers) so cell order — and
+// thus report layout — is deterministic.
 func (g Grid) Cells() []CellParams {
+	ingest := g.IngestBuffers
+	if len(ingest) == 0 {
+		ingest = []int{0}
+	}
 	var cells []CellParams
 	for _, n := range g.Populations {
 		for _, k := range g.Ks {
 			for _, cf := range g.ChurnFracs {
 				for _, w := range g.Workers {
-					cells = append(cells, CellParams{N: n, K: k, ChurnFrac: cf, Workers: w})
+					for _, ib := range ingest {
+						cells = append(cells, CellParams{N: n, K: k, ChurnFrac: cf, Workers: w, IngestBuffers: ib})
+					}
 				}
 			}
 		}
@@ -328,24 +374,67 @@ func runRep(p CellParams, cfg CellConfig) (repOut, error) {
 		return repOut{}, err
 	}
 	em := metrics.NewEpochMetrics()
-	mgr, err := epoch.New(p.N, epoch.WithK(p.K), epoch.WithWorkers(p.Workers), epoch.WithMetrics(em))
+	mgr, err := epoch.New(p.N, epoch.WithK(p.K), epoch.WithWorkers(p.Workers),
+		epoch.WithIngestBuffers(p.IngestBuffers), epoch.WithMetrics(em))
 	if err != nil {
 		return repOut{}, err
 	}
 	defer mgr.Close()
 
 	ctx := context.Background()
-	uploadFrom := func(g *wpg.Graph, users []int32) error {
-		for _, v := range users {
-			var peers []epoch.RankedPeer
-			for _, e := range g.Neighbors(v) {
-				peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
-			}
-			if err := mgr.Upload(ctx, v, peers); err != nil {
-				return err
-			}
+	uploadOne := func(g *wpg.Graph, v int32) error {
+		var peers []epoch.RankedPeer
+		for _, e := range g.Neighbors(v) {
+			peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
 		}
-		return nil
+		return mgr.Upload(ctx, v, peers)
+	}
+	// With ingest buffers on, uploads fan out across Workers concurrent
+	// clients — the contention the buffered path exists to absorb. Each
+	// user appears at most once per phase, so last-write-wins coalescing
+	// cannot race with itself and the reconciled state (and thus the
+	// deterministic half of the result) is schedule-independent.
+	uploadFrom := func(g *wpg.Graph, users []int32) error {
+		if p.IngestBuffers <= 0 || p.Workers < 2 {
+			for _, v := range users {
+				if err := uploadOne(g, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		per := len(users) / p.Workers
+		extra := len(users) % p.Workers
+		lo := 0
+		for w := 0; w < p.Workers; w++ {
+			count := per
+			if w < extra {
+				count++
+			}
+			slice := users[lo : lo+count]
+			lo += count
+			wg.Add(1)
+			go func(slice []int32) {
+				defer wg.Done()
+				for _, v := range slice {
+					if err := uploadOne(g, v); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}(slice)
+		}
+		wg.Wait()
+		return firstErr
 	}
 
 	// Phase 1: cold build.

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,9 +60,10 @@ type RankedPeer struct {
 	Rank int32 `json:"rank"`
 }
 
-// Policy decides when a new epoch is triggered. Both conditions are
-// checked after every accepted upload; a zero value disables that
-// condition. The zero Policy never auto-triggers — only explicit
+// Policy decides when a new epoch is triggered. The count and frac
+// conditions are checked after every accepted upload (direct path) or
+// at every reconcile point (buffered ingestion); a zero value disables
+// that condition. The zero Policy never auto-triggers — only explicit
 // Rotate calls start rebuilds, which reproduces the legacy freeze-once
 // lifecycle.
 type Policy struct {
@@ -72,20 +74,30 @@ type Policy struct {
 	// ranking actually changed since the previous trigger reaches this
 	// value (0 < ChangedFrac <= 1).
 	ChangedFrac float64
+	// MaxStaleness bounds how long accepted uploads may wait without any
+	// trigger firing: a background timer reconciles the ingest buffers
+	// and rotates once uploads have been pending that long (0 disables
+	// the timer). Timer-driven triggers carry wall-clock placement, so
+	// deterministic-transcript harnesses leave this at 0.
+	MaxStaleness time.Duration
 }
 
 // String renders the policy for logs and the epoch status payload.
 func (p Policy) String() string {
-	switch {
-	case p.EveryUploads > 0 && p.ChangedFrac > 0:
-		return fmt.Sprintf("uploads>=%d|changed>=%.3f", p.EveryUploads, p.ChangedFrac)
-	case p.EveryUploads > 0:
-		return fmt.Sprintf("uploads>=%d", p.EveryUploads)
-	case p.ChangedFrac > 0:
-		return fmt.Sprintf("changed>=%.3f", p.ChangedFrac)
-	default:
+	var parts []string
+	if p.EveryUploads > 0 {
+		parts = append(parts, fmt.Sprintf("uploads>=%d", p.EveryUploads))
+	}
+	if p.ChangedFrac > 0 {
+		parts = append(parts, fmt.Sprintf("changed>=%.3f", p.ChangedFrac))
+	}
+	if p.MaxStaleness > 0 {
+		parts = append(parts, fmt.Sprintf("stale>=%v", p.MaxStaleness))
+	}
+	if len(parts) == 0 {
 		return "manual"
 	}
+	return strings.Join(parts, "|")
 }
 
 // Trigger reasons recorded in each generation and its transcript line.
@@ -93,6 +105,7 @@ const (
 	TriggerCount  = "count"  // Policy.EveryUploads fired
 	TriggerFrac   = "frac"   // Policy.ChangedFrac fired
 	TriggerRotate = "rotate" // explicit Rotate (or legacy freeze)
+	TriggerStale  = "stale"  // Policy.MaxStaleness timer fired
 )
 
 // Generation is one immutable published epoch: the proximity graph
@@ -176,19 +189,32 @@ var (
 // draining a serial queue, and Cloak reads the published generation
 // through an atomic pointer without taking any lock.
 type Manager struct {
-	numUsers    int
-	k           int
-	workers     int
-	policy      Policy
-	histCap     int
-	incremental bool
-	em          *metrics.EpochMetrics
-	tr          *trace.Recorder
+	numUsers      int
+	k             int
+	workers       int
+	policy        Policy
+	histCap       int
+	incremental   bool
+	ingestBuffers int
+	ingestCap     int
+	em            *metrics.EpochMetrics
+	tr            *trace.Recorder
 
 	// sem is a one-slot semaphore serving as the manager lock; a
 	// channel rather than a sync.Mutex so Upload/Rotate/Sync can honor
 	// context cancellation while waiting for it (lockCtx).
 	sem chan struct{}
+
+	// shards are the ingest buffers (nil = direct ingestion); see
+	// ingest.go. pendingBuf counts buffered-but-unreconciled uploads,
+	// reconcileAt is the pending count at which an uploader reconciles
+	// (0 = never count-driven), and closedFlag mirrors closed for the
+	// buffered fast path, which must not take the manager lock.
+	shards        []ingestShard
+	pendingBuf    atomic.Int64
+	reconcileAt   atomic.Int64
+	closedFlag    atomic.Bool
+	stalenessStop chan struct{}
 
 	// All fields below are guarded by sem.
 	uploads map[int32][]RankedPeer
@@ -212,6 +238,10 @@ type Manager struct {
 	builds       uint64
 	swaps        uint64
 	lastBuildDur time.Duration
+	// lastTrigger is the wall-clock time of the latest trigger (manager
+	// creation before the first one) — observability for the staleness
+	// timer only, never part of the transcript.
+	lastTrigger time.Time
 
 	// prev carries the last successful build's graph, components, and
 	// per-shard clustering forward for splicing. Owned by the builder:
@@ -295,11 +325,13 @@ func New(numUsers int, opts ...Option) (*Manager, error) {
 		k:           10,
 		histCap:     128,
 		incremental: true,
+		ingestCap:   DefaultIngestCapacity,
 		uploads:     make(map[int32][]RankedPeer),
 		changed:     make(map[int32]struct{}),
 		dirty:       make(map[int32]struct{}),
 		sem:         make(chan struct{}, 1),
 		idle:        make(chan struct{}),
+		lastTrigger: time.Now(),
 	}
 	close(m.idle) // nothing queued or running yet
 	for _, opt := range opts {
@@ -311,8 +343,26 @@ func New(numUsers int, opts ...Option) (*Manager, error) {
 	if m.policy.ChangedFrac < 0 || m.policy.ChangedFrac > 1 {
 		return nil, fmt.Errorf("epoch: ChangedFrac %v outside [0,1]", m.policy.ChangedFrac)
 	}
+	if m.policy.MaxStaleness < 0 {
+		return nil, fmt.Errorf("epoch: MaxStaleness %v < 0", m.policy.MaxStaleness)
+	}
 	if m.histCap < 1 {
 		m.histCap = 1
+	}
+	if m.ingestBuffers > 0 {
+		if m.ingestCap < 1 {
+			return nil, fmt.Errorf("epoch: ingest capacity %d < 1", m.ingestCap)
+		}
+		m.shards = make([]ingestShard, m.ingestBuffers)
+		for i := range m.shards {
+			m.shards[i].slots = make(chan struct{}, m.ingestCap)
+			m.shards[i].entries = make(map[int32]*bufEntry)
+		}
+		m.updateReconcileAtLocked() // no concurrency before New returns
+	}
+	if m.policy.MaxStaleness > 0 {
+		m.stalenessStop = make(chan struct{})
+		go m.stalenessLoop(m.policy.MaxStaleness)
 	}
 	return m, nil
 }
@@ -368,6 +418,9 @@ func (m *Manager) Upload(ctx context.Context, user int32, peers []RankedPeer) er
 		}
 	}
 	cp := append([]RankedPeer(nil), peers...)
+	if len(m.shards) > 0 {
+		return m.uploadBuffered(ctx, user, cp)
+	}
 	if err := m.lockCtx(ctx); err != nil {
 		return err
 	}
@@ -430,6 +483,8 @@ func (m *Manager) triggerLocked(reason string) *Generation {
 	m.uploadsSince = 0
 	m.changed = make(map[int32]struct{})
 	m.dirty = make(map[int32]struct{})
+	m.lastTrigger = time.Now()
+	m.updateReconcileAtLocked()
 	if !m.building {
 		m.idle = make(chan struct{}) // leaving the idle state
 	}
@@ -457,6 +512,7 @@ func (m *Manager) Rotate(ctx context.Context) (uint64, error) {
 	if m.closed {
 		return 0, ErrClosed
 	}
+	m.reconcileLocked(ctx)
 	if m.nextEpoch > 0 && m.uploadsSince == 0 {
 		return 0, ErrNoNewUploads
 	}
@@ -746,6 +802,16 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	// Order matters: the flag stops new buffered inserts before the final
+	// drain folds what is already buffered into the upload state, so a
+	// clean Close never silently drops an accepted upload (its effect
+	// remains visible through Status and the next manager's seed even
+	// though no further epoch will build it).
+	m.closedFlag.Store(true)
+	m.reconcileLocked(context.Background())
+	if m.stalenessStop != nil {
+		close(m.stalenessStop)
+	}
 	m.queue = nil
 	if m.building {
 		// Wake Sync waiters now rather than after the in-flight build;
@@ -791,6 +857,8 @@ type Status struct {
 	SinceTrigger        int    // uploads since the last trigger
 	ChangedSinceTrigger int    // distinct users changed since the last trigger
 	Pending             int    // triggered epochs not yet published
+	PendingBuffered     int    // buffered uploads not yet reconciled
+	IngestBuffers       int    // configured ingest shard count (0 = direct)
 	Builds              uint64
 	Swaps               uint64
 	LastBuildDuration   time.Duration
@@ -809,6 +877,8 @@ func (m *Manager) Status() Status {
 		SinceTrigger:        m.uploadsSince,
 		ChangedSinceTrigger: len(m.changed),
 		Pending:             len(m.queue),
+		PendingBuffered:     int(m.pendingBuf.Load()),
+		IngestBuffers:       m.ingestBuffers,
 		Builds:              m.builds,
 		Swaps:               m.swaps,
 		LastBuildDuration:   m.lastBuildDur,

@@ -1,0 +1,330 @@
+// Contention-aware upload ingestion: the lock-free-ingest /
+// batch-reconcile path that keeps heavy write traffic off the manager
+// semaphore. With WithIngestBuffers(n), Upload calls land in one of n
+// per-shard buffers (sharded by user id) guarded only by that shard's
+// mutex, coalescing repeat uploads of the same user last-write-wins. A
+// reconcile step — run under the manager lock at the rebuild-trigger
+// evaluation points (upload-count threshold, explicit Rotate, the
+// max-staleness timer, a full shard, Close) — drains every buffer into
+// the dirty-set tracker in one batch.
+//
+// Equivalence contract: reconciling a buffer epoch produces exactly the
+// changed/dirty sets, upload map, and sequence counters that applying
+// the same uploads serially through the direct path would. Coalescing
+// makes this subtle — the direct path walks every adjacent pair of a
+// user's upload chain stored→l1→…→lk, marking the user changed and
+// dirtying both endpoints' peer lists for every differing transition —
+// so each buffer entry carries enough to replay that walk without the
+// intermediate lists: the first and last list of the chain, the upload
+// count, and the accumulated peer sets of every differing internal
+// transition. The stored→first transition is evaluated at reconcile
+// time (stored state lives under the manager lock); the internal ones
+// were folded in at insert time. TestBufferedMatchesDirectDifferential
+// pins the equivalence generation by generation across 100 seeds, and
+// the shard-count property test pins that drain order cannot matter.
+//
+// What is NOT preserved: trigger placement under concurrency. The
+// direct path evaluates the policy after every upload; the buffered
+// path evaluates it at reconcile points. Single-threaded, the
+// upload-count threshold reconciles on exactly the upload that reaches
+// it (reconcileAt tracks the remaining distance), so the trigger
+// sequence is identical — but concurrent uploaders can overshoot, in
+// which case one epoch absorbs the overshoot instead of splitting. The
+// transcript stays a pure function of the reconciled upload batches.
+package epoch
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"nonexposure/internal/trace"
+)
+
+// DefaultIngestCapacity is the per-shard buffer capacity (buffered
+// uploads, counting coalesced ones) unless WithIngestCapacity overrides
+// it. A full shard makes the uploader reconcile — backpressure turns
+// into a batch drain instead of an error.
+const DefaultIngestCapacity = 4096
+
+// WithIngestBuffers enables buffered ingestion with n per-shard upload
+// buffers (n <= 0 disables it, the default: every Upload serializes on
+// the manager lock). Sizing n near the number of uploading workers
+// keeps hot shards from sharing a mutex.
+func WithIngestBuffers(n int) Option {
+	return func(m *Manager) {
+		if n < 0 {
+			n = 0
+		}
+		m.ingestBuffers = n
+	}
+}
+
+// WithIngestCapacity overrides the per-shard buffer capacity (default
+// DefaultIngestCapacity). Only meaningful with WithIngestBuffers.
+func WithIngestCapacity(c int) Option { return func(m *Manager) { m.ingestCap = c } }
+
+// ingestShard is one upload buffer: a map of coalesced per-user entries
+// plus a slot semaphore bounding the raw (uncoalesced) upload count it
+// may hold. Uploads touch only this shard's mutex; the manager lock is
+// involved only when a reconcile point is reached.
+type ingestShard struct {
+	mu sync.Mutex
+	// slots has capacity ingestCap; a token is held for every buffered
+	// upload not yet reconciled, so a full channel means a full shard.
+	slots   chan struct{}
+	entries map[int32]*bufEntry
+	count   int // raw uploads buffered (sum of entry counts)
+}
+
+// bufEntry is one user's coalesced upload chain within a buffer epoch.
+type bufEntry struct {
+	// first and last bracket the chain stored→first→…→last; last wins
+	// as the content, first is needed to evaluate the stored→first
+	// transition at reconcile time.
+	first, last []RankedPeer
+	// count is the raw upload count (every link of the chain).
+	count int
+	// changed records whether any internal transition (first→…→last)
+	// altered the list; dirtyPeers accumulates both endpoints' peers of
+	// every such transition, mirroring the direct path's dirty closure.
+	changed    bool
+	dirtyPeers map[int32]struct{}
+}
+
+func (e *bufEntry) addDirtyPeers(peers []RankedPeer) {
+	if e.dirtyPeers == nil {
+		e.dirtyPeers = make(map[int32]struct{}, len(peers)*2)
+	}
+	for _, pr := range peers {
+		e.dirtyPeers[pr.Peer] = struct{}{}
+	}
+}
+
+// uploadBuffered is Upload's buffered path: absorb the (validated,
+// copied) list into the user's shard without touching the manager lock,
+// then reconcile if a reconcile point was reached. cp is owned by the
+// callee.
+func (m *Manager) uploadBuffered(ctx context.Context, user int32, cp []RankedPeer) error {
+	// A context that is already dead fails deterministically, exactly
+	// like the direct path's lockCtx.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sh := &m.shards[int(user)%len(m.shards)]
+	for {
+		if m.closedFlag.Load() {
+			return ErrClosed
+		}
+		select {
+		case sh.slots <- struct{}{}:
+		default:
+			// Shard full: the uploader itself drains every buffer under
+			// the manager lock and retries. Waiting honors cancellation
+			// the same way the direct path's semaphore wait does.
+			if err := m.lockCtx(ctx); err != nil {
+				return err
+			}
+			if m.closed {
+				m.unlock()
+				return ErrClosed
+			}
+			m.reconcileLocked(ctx)
+			if reason := m.policyFiredLocked(); reason != "" {
+				m.triggerLocked(reason)
+			}
+			m.unlock()
+			continue
+		}
+		break
+	}
+	var pending int64
+	coalesced := false
+	sh.mu.Lock()
+	if m.closedFlag.Load() {
+		// Close sets the flag before draining the shards, so seeing it
+		// clear under sh.mu guarantees Close will still drain this
+		// insert; seeing it set means the drain may already be done.
+		sh.mu.Unlock()
+		<-sh.slots
+		return ErrClosed
+	}
+	if e := sh.entries[user]; e != nil {
+		if !equalRanks(e.last, cp) {
+			e.changed = true
+			e.addDirtyPeers(e.last)
+			e.addDirtyPeers(cp)
+		}
+		e.last = cp
+		e.count++
+		coalesced = true
+	} else {
+		sh.entries[user] = &bufEntry{first: cp, last: cp, count: 1}
+	}
+	sh.count++
+	pending = m.pendingBuf.Add(1)
+	sh.mu.Unlock()
+	m.em.ObserveBufferedUpload(coalesced)
+	m.em.SetPendingBuffered(pending)
+	if at := m.reconcileAt.Load(); at > 0 && pending >= at {
+		// Upload-count threshold reached: reconcile so the policy can
+		// fire on exactly this upload. The upload is already accepted —
+		// a dead context only defers the trigger to the next reconcile
+		// point, it never rolls the upload back.
+		if err := m.lockCtx(ctx); err != nil {
+			return nil
+		}
+		if !m.closed {
+			m.reconcileLocked(ctx)
+			if reason := m.policyFiredLocked(); reason != "" {
+				m.triggerLocked(reason)
+			}
+		}
+		m.unlock()
+	}
+	return nil
+}
+
+// Reconcile drains the ingest buffers into the dirty-set tracker now
+// and evaluates the rebuild policy, exactly as the automatic reconcile
+// points (count threshold, Rotate, the staleness timer, a full shard)
+// do. It is a no-op without ingest buffers, honors cancellation while
+// waiting for the manager lock, and returns ErrClosed after Close.
+func (m *Manager) Reconcile(ctx context.Context) error {
+	if err := m.lockCtx(ctx); err != nil {
+		return err
+	}
+	defer m.unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.reconcileLocked(ctx)
+	if reason := m.policyFiredLocked(); reason != "" {
+		m.triggerLocked(reason)
+	}
+	return nil
+}
+
+// reconcileLocked drains every ingest shard into the manager's upload
+// state: stored rankings, changed/dirty sets, and the seq /
+// uploads-since-trigger counters. Callers hold the manager lock. The
+// per-entry application commutes (set unions and per-user writes), so
+// shard drain order cannot affect the outcome — pinned by
+// TestReconcileOrderIndependent. Returns the raw upload count drained.
+func (m *Manager) reconcileLocked(ctx context.Context) int {
+	if len(m.shards) == 0 {
+		return 0
+	}
+	sp := trace.FromContext(ctx).Child("epoch.reconcile")
+	defer sp.End()
+	start := time.Now()
+	total, users := 0, 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		entries := sh.entries
+		c := sh.count
+		if c > 0 {
+			sh.entries = make(map[int32]*bufEntry, len(entries))
+			sh.count = 0
+			m.pendingBuf.Add(-int64(c))
+		}
+		sh.mu.Unlock()
+		for j := 0; j < c; j++ {
+			<-sh.slots
+		}
+		for u, e := range entries {
+			m.applyEntryLocked(u, e)
+		}
+		total += c
+		users += len(entries)
+	}
+	if total > 0 {
+		m.em.ObserveReconcile(time.Since(start), total, total-users)
+		m.em.SetPendingBuffered(m.pendingBuf.Load())
+	}
+	m.updateReconcileAtLocked()
+	return total
+}
+
+// applyEntryLocked replays one coalesced upload chain against the
+// stored state, reproducing the direct path's per-upload effects: the
+// stored→first transition is evaluated here, the internal ones were
+// accumulated in the entry, and the chain's last list becomes the
+// stored content.
+func (m *Manager) applyEntryLocked(user int32, e *bufEntry) {
+	stored := m.uploads[user]
+	if !equalRanks(stored, e.first) {
+		m.changed[user] = struct{}{}
+		m.dirty[user] = struct{}{}
+		for _, pr := range stored {
+			m.dirty[pr.Peer] = struct{}{}
+		}
+		for _, pr := range e.first {
+			m.dirty[pr.Peer] = struct{}{}
+		}
+	}
+	if e.changed {
+		m.changed[user] = struct{}{}
+		m.dirty[user] = struct{}{}
+		for p := range e.dirtyPeers {
+			m.dirty[p] = struct{}{}
+		}
+	}
+	m.uploads[user] = e.last
+	m.seq += uint64(e.count)
+	m.uploadsSince += e.count
+}
+
+// updateReconcileAtLocked recomputes the pending-upload count at which
+// an uploader should reconcile so the EveryUploads policy fires on
+// exactly the upload that reaches the threshold (0 = no count-driven
+// reconciles). Callers hold the manager lock.
+func (m *Manager) updateReconcileAtLocked() {
+	if len(m.shards) == 0 {
+		return
+	}
+	if m.policy.EveryUploads <= 0 {
+		m.reconcileAt.Store(0)
+		return
+	}
+	at := int64(m.policy.EveryUploads - m.uploadsSince)
+	if at < 1 {
+		at = 1
+	}
+	m.reconcileAt.Store(at)
+}
+
+// stalenessLoop is the max-staleness timer: it periodically reconciles
+// the buffers and triggers a rebuild when uploads have been waiting
+// longer than the policy allows without any other trigger firing. It
+// exits when the manager closes.
+func (m *Manager) stalenessLoop(maxStale time.Duration) {
+	interval := maxStale / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stalenessStop:
+			return
+		case <-t.C:
+		}
+		m.lock()
+		if m.closed {
+			m.unlock()
+			return
+		}
+		m.reconcileLocked(context.Background())
+		reason := m.policyFiredLocked()
+		if reason == "" && m.uploadsSince > 0 && time.Since(m.lastTrigger) >= maxStale {
+			reason = TriggerStale
+		}
+		if reason != "" {
+			m.triggerLocked(reason)
+		}
+		m.unlock()
+	}
+}

@@ -1,0 +1,548 @@
+package epoch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nonexposure/internal/metrics"
+)
+
+// TestBufferedMatchesDirectDifferential is the tentpole acceptance gate
+// for buffered ingestion: across 100 seeded churn scenarios — including
+// interleaved rotates, coalesced re-uploads of the same user inside one
+// buffer epoch, and A→B→A chains that end where they started — a
+// buffered pipeline must publish generations bit-identical to a direct
+// pipeline fed the same upload sequence: same graphs, same clusters
+// with the same IDs, and the exact same transcript (trigger reasons,
+// upload counts, shard accounting and all).
+func TestBufferedMatchesDirectDifferential(t *testing.T) {
+	const (
+		seeds = 100
+		rings = 6
+		sz    = 10
+		n     = rings * sz
+		ticks = 4
+	)
+	var coalescedTotal uint64
+	for seed := int64(0); seed < seeds; seed++ {
+		shards := 1 + int(seed%4)
+		em := metrics.NewEpochMetrics()
+		buf, err := New(n, WithK(3), WithHistoryLimit(ticks+2),
+			WithIngestBuffers(shards), WithMetrics(em))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, err := New(n, WithK(3), WithHistoryLimit(ticks+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := newChurnScenario(seed, rings, sz)
+		rng := rand.New(rand.NewSource(seed + 9000))
+		upload := func(u int32, list []RankedPeer) {
+			t.Helper()
+			if err := buf.Upload(bg, u, list); err != nil {
+				t.Fatal(err)
+			}
+			if err := dir.Upload(bg, u, list); err != nil {
+				t.Fatal(err)
+			}
+		}
+		feed := func(users []int32) {
+			t.Helper()
+			for _, u := range users {
+				// A third of the time, detour through an intermediate
+				// list first so the buffer coalesces a chain whose
+				// internal transition must still dirty both endpoints.
+				if rng.Intn(3) == 0 {
+					detour := append([]RankedPeer(nil), sc.lists[u]...)
+					if len(detour) > 0 {
+						detour[0].Rank += 7
+					} else {
+						detour = []RankedPeer{{Peer: (u + 1) % n, Rank: 9}}
+					}
+					upload(u, detour)
+				}
+				upload(u, sc.lists[u])
+			}
+			// Occasionally send an untouched user on an A→B→A round
+			// trip: net-unchanged content that both paths must still
+			// count as changed (the direct path saw both transitions).
+			if rng.Intn(2) == 0 {
+				u := int32(rng.Intn(n))
+				detour := append([]RankedPeer(nil), sc.lists[u]...)
+				detour = append(detour, RankedPeer{Peer: (u + int32(sz)) % n, Rank: 8})
+				upload(u, detour)
+				upload(u, sc.lists[u])
+			}
+			if _, err := buf.Rotate(bg); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dir.Rotate(bg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		feed(all)
+		for tick := 0; tick < ticks; tick++ {
+			feed(sc.tick())
+		}
+		if err := buf.Sync(bg); err != nil {
+			t.Fatal(err)
+		}
+		if err := dir.Sync(bg); err != nil {
+			t.Fatal(err)
+		}
+
+		bh, dh := buf.History(), dir.History()
+		if len(bh) != len(dh) {
+			t.Fatalf("seed %d: %d buffered generations vs %d direct", seed, len(bh), len(dh))
+		}
+		for i := range bh {
+			if msg := diffGenerations(bh[i], dh[i]); msg != "" {
+				t.Fatalf("seed %d epoch %d: %s", seed, bh[i].Epoch, msg)
+			}
+		}
+		bt, dt := buf.Transcript(), dir.Transcript()
+		if strings.Join(bt, "\n") != strings.Join(dt, "\n") {
+			t.Fatalf("seed %d: transcripts differ:\nbuffered:\n%s\ndirect:\n%s",
+				seed, strings.Join(bt, "\n"), strings.Join(dt, "\n"))
+		}
+		coalescedTotal += em.Snapshot().Coalesced
+		buf.Close()
+		dir.Close()
+	}
+	if coalescedTotal == 0 {
+		t.Fatal("no upload was ever coalesced across 100 scenarios — the chains never exercised last-write-wins")
+	}
+}
+
+// TestBufferedCountPolicyTriggerParity pins trigger placement: under a
+// single-threaded upload stream with an EveryUploads policy, the
+// buffered path must fire rebuilds on exactly the same uploads as the
+// direct path — the count threshold reconciles the buffers just in
+// time — so the transcripts match to the byte.
+func TestBufferedCountPolicyTriggerParity(t *testing.T) {
+	const n, every, uploads = 40, 7, 45
+	pol := Policy{EveryUploads: every}
+	buf, err := New(n, WithK(2), WithPolicy(pol), WithIngestBuffers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Close()
+	dir, err := New(n, WithK(2), WithPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < uploads; i++ {
+		u := int32(rng.Intn(n))
+		list := []RankedPeer{{Peer: (u + 1) % n, Rank: int32(1 + rng.Intn(5))}}
+		if err := buf.Upload(bg, u, list); err != nil {
+			t.Fatal(err)
+		}
+		if err := dir.Upload(bg, u, list); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := buf.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	bt, dt := buf.Transcript(), dir.Transcript()
+	if want := uploads / every; len(bt) != want {
+		t.Fatalf("buffered path built %d epochs, want %d:\n%s", len(bt), want, strings.Join(bt, "\n"))
+	}
+	if strings.Join(bt, "\n") != strings.Join(dt, "\n") {
+		t.Fatalf("count-policy transcripts differ:\nbuffered:\n%s\ndirect:\n%s",
+			strings.Join(bt, "\n"), strings.Join(dt, "\n"))
+	}
+}
+
+// TestReconcileOrderIndependent is the property test that shard drain
+// order cannot matter: the same upload sequence pushed through 1, 2, 3,
+// 5, and 8 shards (which partitions users — and thus drain order —
+// completely differently) must reconcile to the same changed and dirty
+// sets as the direct path, and rotate into the same transcript.
+func TestReconcileOrderIndependent(t *testing.T) {
+	const rings, sz = 5, 8
+	const n = rings * sz
+	sc := newChurnScenario(11, rings, sz)
+	// A base population plus two churn ticks' worth of re-uploads, with
+	// every list uploaded through both an intermediate and a final
+	// version so entries carry internal transitions.
+	type up struct {
+		u    int32
+		list []RankedPeer
+	}
+	var stream []up
+	for u := int32(0); u < n; u++ {
+		stream = append(stream, up{u, sc.lists[u]})
+	}
+	for tick := 0; tick < 2; tick++ {
+		for _, u := range sc.tick() {
+			detour := append([]RankedPeer(nil), sc.lists[u]...)
+			detour[0].Rank += 3
+			stream = append(stream, up{u, detour}, up{u, sc.lists[u]})
+		}
+	}
+
+	sets := func(m *Manager) (changed, dirty map[int32]struct{}) {
+		m.lock()
+		defer m.unlock()
+		changed = make(map[int32]struct{}, len(m.changed))
+		for u := range m.changed {
+			changed[u] = struct{}{}
+		}
+		dirty = make(map[int32]struct{}, len(m.dirty))
+		for u := range m.dirty {
+			dirty[u] = struct{}{}
+		}
+		return changed, dirty
+	}
+	setDiff := func(a, b map[int32]struct{}) string {
+		if len(a) != len(b) {
+			return fmt.Sprintf("sizes %d vs %d", len(a), len(b))
+		}
+		for u := range a {
+			if _, ok := b[u]; !ok {
+				return fmt.Sprintf("user %d only on one side", u)
+			}
+		}
+		return ""
+	}
+
+	dir, err := New(n, WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+	for _, s := range stream {
+		if err := dir.Upload(bg, s.u, s.list); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantChanged, wantDirty := sets(dir)
+	if _, err := dir.Rotate(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	wantTranscript := strings.Join(dir.Transcript(), "\n")
+
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		m, err := New(n, WithK(2), WithIngestBuffers(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range stream {
+			if err := m.Upload(bg, s.u, s.list); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Reconcile(bg); err != nil {
+			t.Fatal(err)
+		}
+		changed, dirty := sets(m)
+		if msg := setDiff(changed, wantChanged); msg != "" {
+			t.Errorf("shards=%d: changed set differs from direct: %s", shards, msg)
+		}
+		if msg := setDiff(dirty, wantDirty); msg != "" {
+			t.Errorf("shards=%d: dirty set differs from direct: %s", shards, msg)
+		}
+		if _, err := m.Rotate(bg); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Sync(bg); err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Join(m.Transcript(), "\n"); got != wantTranscript {
+			t.Errorf("shards=%d: transcript differs from direct:\n%s\nwant:\n%s", shards, got, wantTranscript)
+		}
+		m.Close()
+	}
+}
+
+// TestBufferedUploadCancelWhileFull is the regression test for the
+// satellite fix: an Upload stuck on a full shard buffer reconciles via
+// the manager lock, and that wait must honor context cancellation
+// exactly like the direct path's semaphore wait. The rejected upload
+// must not damage the one already buffered.
+func TestBufferedUploadCancelWhileFull(t *testing.T) {
+	m, err := New(8, WithK(2), WithIngestBuffers(1), WithIngestCapacity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Upload(bg, 0, []RankedPeer{{Peer: 1, Rank: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// The single slot is now taken; hold the manager lock so the next
+	// upload's reconcile attempt has to wait on it.
+	m.lock()
+	ctx, cancel := context.WithTimeout(bg, 20*time.Millisecond)
+	defer cancel()
+	err = m.Upload(ctx, 1, []RankedPeer{{Peer: 2, Rank: 1}})
+	m.unlock()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("upload on a full buffer under a held lock = %v, want DeadlineExceeded", err)
+	}
+	// An already-dead context must fail deterministically even when the
+	// buffer has room (parity with the direct path's lockCtx check).
+	dead, cancelDead := context.WithCancel(bg)
+	cancelDead()
+	if err := m.Upload(dead, 2, []RankedPeer{{Peer: 3, Rank: 1}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("upload with dead context = %v, want Canceled", err)
+	}
+	// The first upload survived both rejections and the lock is free
+	// again: the retry succeeds and both uploads reconcile.
+	if err := m.Upload(bg, 1, []RankedPeer{{Peer: 2, Rank: 1}}); err != nil {
+		t.Fatalf("retry after cancel = %v", err)
+	}
+	if err := m.Reconcile(bg); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Status(); st.Uploads != 2 || st.PendingBuffered != 0 {
+		t.Fatalf("after reconcile: %d stored uploads, %d pending buffered; want 2, 0", st.Uploads, st.PendingBuffered)
+	}
+}
+
+// TestCloseDrainsBufferedUploads pins the Close contract: buffered but
+// unreconciled uploads are folded into the upload state on clean Close
+// (never silently dropped), and Upload afterwards returns ErrClosed.
+func TestCloseDrainsBufferedUploads(t *testing.T) {
+	m, err := New(16, WithK(2), WithIngestBuffers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 10; u++ {
+		if err := m.Upload(bg, u, []RankedPeer{{Peer: (u + 1) % 16, Rank: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Status(); st.PendingBuffered != 10 {
+		t.Fatalf("before close: %d pending buffered, want 10", st.PendingBuffered)
+	}
+	m.Close()
+	st := m.Status()
+	if st.PendingBuffered != 0 {
+		t.Errorf("after close: %d pending buffered, want 0", st.PendingBuffered)
+	}
+	if st.Uploads != 10 || st.UploadsSeen != 10 {
+		t.Errorf("after close: %d stored / %d seen uploads, want 10/10 — buffered uploads were dropped", st.Uploads, st.UploadsSeen)
+	}
+	if err := m.Upload(bg, 11, []RankedPeer{{Peer: 1, Rank: 1}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("upload after close = %v, want ErrClosed", err)
+	}
+	if err := m.Reconcile(bg); !errors.Is(err, ErrClosed) {
+		t.Errorf("reconcile after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBufferedBackpressureReconciles: filling a shard past its capacity
+// must not error or drop — the uploader drains the buffers itself and
+// retries.
+func TestBufferedBackpressureReconciles(t *testing.T) {
+	m, err := New(64, WithK(2), WithIngestBuffers(1), WithIngestCapacity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for u := int32(0); u < 64; u++ {
+		if err := m.Upload(bg, u, []RankedPeer{{Peer: (u + 1) % 64, Rank: 1}}); err != nil {
+			t.Fatalf("upload %d: %v", u, err)
+		}
+	}
+	if err := m.Reconcile(bg); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Status(); st.UploadsSeen != 64 {
+		t.Fatalf("uploads seen = %d, want 64", st.UploadsSeen)
+	}
+}
+
+// TestMaxStalenessTrigger: with only a MaxStaleness policy, buffered
+// uploads must still become an epoch without any explicit Rotate — the
+// staleness timer reconciles and fires. Deadline is generous; the
+// assertion is only that it eventually happens and is attributed to the
+// stale trigger.
+func TestMaxStalenessTrigger(t *testing.T) {
+	m, err := New(8, WithK(2), WithIngestBuffers(2),
+		WithPolicy(Policy{MaxStaleness: 5 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Upload(bg, 0, []RankedPeer{{Peer: 1, Rank: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Upload(bg, 1, []RankedPeer{{Peer: 0, Rank: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := m.Status(); st.Builds >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("staleness timer never triggered a build")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Transcript()
+	if len(tr) == 0 || !strings.Contains(tr[0], "trigger="+TriggerStale) {
+		t.Fatalf("transcript %v lacks a %s trigger", tr, TriggerStale)
+	}
+}
+
+// TestPolicyStringStaleness covers the policy rendering with the new
+// staleness clause and the constructor validation around it.
+func TestPolicyStringStaleness(t *testing.T) {
+	p := Policy{EveryUploads: 100, MaxStaleness: 2 * time.Second}
+	if got := p.String(); got != "uploads>=100|stale>=2s" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Policy{MaxStaleness: time.Minute}).String(); got != "stale>=1m0s" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Policy{}).String(); got != "manual" {
+		t.Errorf("String() = %q", got)
+	}
+	if _, err := New(4, WithPolicy(Policy{MaxStaleness: -time.Second})); err == nil {
+		t.Error("negative MaxStaleness accepted")
+	}
+	if _, err := New(4, WithIngestBuffers(2), WithIngestCapacity(0)); err == nil {
+		t.Error("zero ingest capacity accepted with buffers on")
+	}
+	if _, err := New(4, WithIngestBuffers(-3)); err != nil {
+		t.Errorf("negative ingest buffers should disable, got %v", err)
+	}
+}
+
+// TestConcurrentBufferedChurn races buffered uploaders, an explicit
+// rotator, an explicit reconciler, and cloakers across generation swaps
+// (run under -race). Served clusters must always satisfy k-anonymity
+// and contain the host, and the pipeline must keep building.
+func TestConcurrentBufferedChurn(t *testing.T) {
+	const rings, sz = 6, 10
+	const n = rings * sz
+	m, err := New(n, WithK(3), WithWorkers(2), WithIngestBuffers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	lists := multiRing(rings, sz)
+	for u, peers := range lists {
+		if err := m.Upload(bg, u, peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Rotate(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+
+	var producers, cloakers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		producers.Add(1)
+		go func(w int) {
+			defer producers.Done()
+			rng := rand.New(rand.NewSource(int64(500 + w)))
+			for i := 0; i < 200; i++ {
+				u := int32(rng.Intn(n))
+				peers := append([]RankedPeer(nil), lists[u]...)
+				peers[0].Rank = int32(1 + rng.Intn(4))
+				if err := m.Upload(bg, u, peers); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("upload: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	producers.Add(1)
+	go func() {
+		defer producers.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := m.Rotate(bg); err != nil &&
+				!errors.Is(err, ErrNoNewUploads) && !errors.Is(err, ErrClosed) {
+				t.Errorf("rotate: %v", err)
+				return
+			}
+		}
+	}()
+	producers.Add(1)
+	go func() {
+		defer producers.Done()
+		for i := 0; i < 40; i++ {
+			if err := m.Reconcile(bg); err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("reconcile: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		cloakers.Add(1)
+		go func(w int) {
+			defer cloakers.Done()
+			rng := rand.New(rand.NewSource(int64(600 + w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				host := int32(rng.Intn(n))
+				c, _, _, err := m.Cloak(bg, host)
+				if err != nil {
+					if strings.Contains(err.Error(), "smaller than k") {
+						continue
+					}
+					t.Errorf("cloak(%d): %v", host, err)
+					return
+				}
+				if c.Size() < 3 || !c.Contains(host) {
+					t.Errorf("bad cluster %v for host %d", c.Members, host)
+					return
+				}
+			}
+		}(w)
+	}
+
+	producers.Wait()
+	if err := m.Reconcile(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	cloakers.Wait()
+	if st := m.Status(); st.Builds < 2 {
+		t.Errorf("only %d builds during the churn", st.Builds)
+	}
+	// Every accepted upload is accounted for: either reconciled into the
+	// upload state or still pending (there is no pending after the final
+	// explicit reconcile).
+	if st := m.Status(); st.PendingBuffered != 0 {
+		t.Errorf("%d uploads still buffered after the final reconcile", st.PendingBuffered)
+	}
+}

@@ -32,12 +32,13 @@ const (
 // concurrent connections; every request is folded into the server's
 // request metrics.
 type Server struct {
-	numUsers    int
-	k           int
-	workers     int
-	policy      epoch.Policy
-	idleTimeout time.Duration
-	fullRebuild bool
+	numUsers      int
+	k             int
+	workers       int
+	policy        epoch.Policy
+	idleTimeout   time.Duration
+	fullRebuild   bool
+	ingestBuffers int
 
 	mgr        *epoch.Manager
 	reqMetrics *metrics.RequestMetrics
@@ -93,6 +94,14 @@ func WithIdleTimeout(d time.Duration) Option { return func(s *Server) { s.idleTi
 // escape hatch for debugging and A/B measurement.
 func WithFullRebuild(on bool) Option { return func(s *Server) { s.fullRebuild = on } }
 
+// WithIngestBuffers enables contention-aware buffered upload ingestion
+// with n per-shard buffers (sharded by user id). Uploads then absorb
+// into shard-local buffers instead of serializing on the epoch
+// manager's lock, reconciling in batches at rebuild-trigger evaluation
+// points; the v1 stats payload reports the unreconciled backlog as
+// pending_buffered. n <= 0 (the default) keeps direct ingestion.
+func WithIngestBuffers(n int) Option { return func(s *Server) { s.ingestBuffers = n } }
+
 // WithTraceRecorder enables request tracing: every handled request gets
 // a root span threaded down through the epoch pipeline, anonymizer, and
 // core stages, and the finished span tree lands in r (newest first, for
@@ -117,6 +126,7 @@ func New(opts ...Option) (*Server, error) {
 		epoch.WithWorkers(s.workers),
 		epoch.WithPolicy(s.policy),
 		epoch.WithIncremental(!s.fullRebuild),
+		epoch.WithIngestBuffers(s.ingestBuffers),
 		epoch.WithMetrics(s.em),
 		epoch.WithTraceRecorder(s.tracer))
 	if err != nil {

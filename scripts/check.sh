@@ -70,6 +70,14 @@ go test -bench=. -benchtime=1x -run '^$' ./...
 echo "==> go test -bench=BenchmarkEpochIncrementalRebuild -benchtime=1x (smoke)"
 go test -bench='^BenchmarkEpochIncrementalRebuild$' -benchtime=1x -run '^$' .
 
+# The buffered-ingest equivalence proof and its throughput harness, by
+# name for the same reason: the 100-seed differential is the contract
+# that the sharded ingest layer publishes byte-identical generations.
+echo "==> go test -run=TestBufferedMatchesDirectDifferential (ingest equivalence)"
+go test -run='^TestBufferedMatchesDirectDifferential$' -count=1 ./internal/epoch
+echo "==> go test -bench=BenchmarkUploadThroughputZipf -benchtime=1x (smoke)"
+go test -bench='^BenchmarkUploadThroughputZipf$' -benchtime=1x -run '^$' .
+
 # Short fuzz smoke passes: ten seconds of coverage-guided input per
 # target on top of the checked-in seed corpora ('-run ^$' skips the unit
 # tests, which already ran above).
