@@ -457,7 +457,7 @@ func BenchmarkEpochCloakDuringRebuild(b *testing.B) {
 			b.Fatal(err)
 		}
 		for v, peers := range uploads {
-			if err := m.Upload(context.Background(), v, peers); err != nil {
+			if err := m.Upload(context.Background(), epoch.UploadRequest{User: v, Peers: peers}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -504,7 +504,7 @@ func BenchmarkEpochCloakDuringRebuild(b *testing.B) {
 				if len(peers) > 0 {
 					peers[0].Rank = 1 + rank%7
 				}
-				if err := m.Upload(context.Background(), 0, peers); err != nil {
+				if err := m.Upload(context.Background(), epoch.UploadRequest{User: 0, Peers: peers}); err != nil {
 					return
 				}
 				if _, err := m.Rotate(context.Background()); err != nil {
@@ -560,7 +560,7 @@ func BenchmarkEpochIncrementalRebuild(b *testing.B) {
 		defer m.Close()
 		ctx := context.Background()
 		for v, peers := range uploads {
-			if err := m.Upload(ctx, v, peers); err != nil {
+			if err := m.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -578,7 +578,7 @@ func BenchmarkEpochIncrementalRebuild(b *testing.B) {
 				if len(peers) > 0 {
 					peers[0].Rank += int32(1 + i%3) // a real rank change every iteration
 				}
-				if err := m.Upload(ctx, u, peers); err != nil {
+				if err := m.Upload(ctx, epoch.UploadRequest{User: u, Peers: peers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -747,7 +747,7 @@ func BenchmarkUploadThroughputZipf(b *testing.B) {
 		defer m.Close()
 		ctx := context.Background()
 		for v, peers := range uploads {
-			if err := m.Upload(ctx, v, peers); err != nil {
+			if err := m.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -772,7 +772,7 @@ func BenchmarkUploadThroughputZipf(b *testing.B) {
 				}
 				host := hosts[i%len(hosts)]
 				t0 := time.Now()
-				_, _, _, err := m.Cloak(ctx, host)
+				_, err := m.Cloak(ctx, host)
 				reqm.Observe("cloak", time.Since(t0), err == nil)
 			}
 		}()
@@ -799,7 +799,7 @@ func BenchmarkUploadThroughputZipf(b *testing.B) {
 					if len(peers) > 0 {
 						peers[0].Rank = int32(1 + (i+w)%7) // a real rank change per upload
 					}
-					if err := m.Upload(ctx, u, peers); err != nil {
+					if err := m.Upload(ctx, epoch.UploadRequest{User: u, Peers: peers}); err != nil {
 						b.Error(err)
 						return
 					}

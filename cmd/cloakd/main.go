@@ -121,9 +121,11 @@ func run(cfg config) error {
 		service.WithNumUsers(cfg.n),
 		service.WithK(cfg.k),
 		service.WithWorkers(cfg.workers),
-		service.WithRebuildPolicy(policy),
-		service.WithFullRebuild(cfg.fullRebuild),
-		service.WithIngestBuffers(cfg.ingestBuffers),
+		service.WithEpochOptions(
+			epoch.WithPolicy(policy),
+			epoch.WithIncremental(!cfg.fullRebuild),
+			epoch.WithIngestBuffers(cfg.ingestBuffers),
+		),
 		service.WithMetrics(em),
 	}
 	if cfg.traceCap > 0 {

@@ -56,6 +56,8 @@ import (
 	"nonexposure/internal/bench"
 	"nonexposure/internal/dataset"
 	"nonexposure/internal/epoch"
+	"nonexposure/internal/geo"
+	"nonexposure/internal/lbs"
 	"nonexposure/internal/metrics"
 	"nonexposure/internal/mobility"
 	"nonexposure/internal/sim"
@@ -86,11 +88,18 @@ type simConfig struct {
 	ticks         int
 	theta         float64
 	ingestBuffers int
+	profiles      bool
 }
 
 // validate rejects bad flag combinations up front, before any dataset
 // is generated, with messages that name the offending flag.
 func (c simConfig) validate() error {
+	if c.profiles && c.cell {
+		return fmt.Errorf("-profiles and -cell are mutually exclusive (use -cell with a profiles grid via scripts/bench instead)")
+	}
+	if c.profiles && (c.load > 0 || c.churn > 0 || c.faults > 0) {
+		return fmt.Errorf("-profiles cannot be combined with -load, -churn, or -faults")
+	}
 	if c.n < 1 {
 		return fmt.Errorf("-n must be >= 1, got %d", c.n)
 	}
@@ -165,10 +174,13 @@ func main() {
 	flag.IntVar(&cfg.ticks, "ticks", 4, "churn ticks per rep for -cell")
 	flag.Float64Var(&cfg.theta, "theta", 0.8, "Zipf skew of the request mix for -cell and -load")
 	flag.IntVar(&cfg.ingestBuffers, "ingest-buffers", 0, "buffered upload ingestion shards for -churn and -cell (0 = direct)")
+	flag.BoolVar(&cfg.profiles, "profiles", false, "utility-frontier mode: run the mixed privacy-profile tier mix through the epoch pipeline and report per-tier cloak area vs candidate-set size")
 	flag.Parse()
 	err := cfg.validate()
 	if err == nil {
 		switch {
+		case cfg.profiles:
+			err = runProfiles(cfg)
 		case cfg.cell:
 			err = runGridCell(cfg)
 		case cfg.faults > 0:
@@ -248,7 +260,7 @@ func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, work
 			for _, e := range g.Neighbors(v) {
 				peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
 			}
-			if err := mgr.Upload(ctx, v, peers); err != nil {
+			if err := mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers}); err != nil {
 				return err
 			}
 		}
@@ -294,7 +306,8 @@ func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, work
 				}
 				host = (host*48271 + 1) % int32(n)
 				t0 := time.Now()
-				_, _, ep, err := mgr.Cloak(context.Background(), host)
+				res, err := mgr.Cloak(context.Background(), host)
+				ep := res.Epoch
 				reqm.Observe("cloak", time.Since(t0), err == nil)
 				switch {
 				case err == nil:
@@ -358,6 +371,122 @@ func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, work
 	}
 	if bad.Load() > 0 {
 		return fmt.Errorf("%d cloaks failed hard during swaps", bad.Load())
+	}
+	return nil
+}
+
+// runProfiles is the utility-frontier mode: the mixed privacy-profile
+// tier mix (bench.ProfileMixMixed — 70% default, 20% k_i=2k, 10%
+// k_i=2k plus a tight MaxArea) over a static CaliforniaLike population,
+// pushed through the epoch pipeline, then measured from the user's
+// side. For every user it cloaks, takes the cluster's bounding box as
+// the cloaked region, and asks an LBS built over the same points for
+// the RangeNN candidate superset — so the table shows what each tier's
+// extra privacy buys (effective k) and costs (cloak area, candidate
+// POIs shipped, degraded answers). Everything is seeded: the frontier
+// is reproducible.
+func runProfiles(cfg simConfig) error {
+	n, k, seed := cfg.n, cfg.k, cfg.seed
+	delta := cfg.delta
+	if delta == 0 {
+		delta = 2e-3 * math.Sqrt(104770.0/float64(n))
+	}
+	nn := cfg.nearby
+	if nn < 1 {
+		nn = 3
+	}
+	pts := dataset.CaliforniaLike(n, seed)
+	profs := bench.ProfileMix(bench.ProfileMixMixed, n, k, delta, seed)
+	bbox := func(members []int32) geo.Rect {
+		r := geo.EmptyRect()
+		for _, v := range members {
+			r = r.ExpandToInclude(pts[v])
+		}
+		return r
+	}
+	mgr, err := epoch.New(n, epoch.WithK(k), epoch.WithWorkers(cfg.workers),
+		epoch.WithAreaEstimator(func(members []int32) (float64, bool) {
+			return bbox(members).Area(), true
+		}))
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	ctx := context.Background()
+	g := wpg.Build(pts, wpg.BuildParams{Delta: delta, MaxPeers: 10})
+	for v := int32(0); v < int32(n); v++ {
+		var peers []epoch.RankedPeer
+		for _, e := range g.Neighbors(v) {
+			peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
+		}
+		if err := mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers, Profile: profs[v]}); err != nil {
+			return err
+		}
+	}
+	if _, err := mgr.Rotate(ctx); err != nil {
+		return err
+	}
+	if err := mgr.Sync(ctx); err != nil {
+		return err
+	}
+	st := mgr.Status()
+	fmt.Printf("profiles: %d users, k=%d, %d profiled (k_max=%d), %d edges, %d clusters, %d unclusterable\n",
+		n, k, st.Profiled, st.KMax, st.Edges, st.Clusters, st.Skipped)
+
+	// The LBS serves the population's own points as POIs — the standard
+	// self-join stand-in when no separate POI set is configured.
+	srv, err := lbs.NewServer(pts, 1)
+	if err != nil {
+		return err
+	}
+
+	tierOf := func(u int32) string {
+		p, ok := profs[u]
+		switch {
+		case !ok:
+			return "default"
+		case p.MaxArea > 0:
+			return "2k+area"
+		default:
+			return "2k"
+		}
+	}
+	type tally struct {
+		users, served, unclust, degraded int
+		effK, area, cands                float64
+	}
+	tiers := map[string]*tally{"default": {}, "2k": {}, "2k+area": {}}
+	for u := int32(0); u < int32(n); u++ {
+		ty := tiers[tierOf(u)]
+		ty.users++
+		res, err := mgr.Cloak(ctx, u)
+		if err != nil {
+			ty.unclust++
+			continue
+		}
+		ty.served++
+		ty.effK += float64(res.EffectiveK)
+		r := bbox(res.Cluster.Members)
+		ty.area += r.Area()
+		cands, _ := srv.RangeNNQuery(r, nn)
+		ty.cands += float64(len(cands))
+		if res.Degraded {
+			ty.degraded++
+		}
+	}
+
+	fmt.Printf("profiles: utility frontier (RangeNN k=%d, POIs = population points)\n", nn)
+	fmt.Printf("%-10s %7s %7s %8s %10s %10s %9s\n",
+		"tier", "users", "served", "eff_k", "area", "cands", "degraded")
+	for _, name := range []string{"default", "2k", "2k+area"} {
+		ty := tiers[name]
+		div := float64(ty.served)
+		if div == 0 {
+			div = 1
+		}
+		fmt.Printf("%-10s %7d %7d %8.1f %10.3g %10.1f %9d\n",
+			name, ty.users, ty.served, ty.effK/div, ty.area/div, ty.cands/div, ty.degraded)
 	}
 	return nil
 }

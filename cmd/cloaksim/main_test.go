@@ -38,6 +38,17 @@ func TestSimConfigValidate(t *testing.T) {
 		{"load zipf theta", func(c *simConfig) { c.load = 100; c.theta = 1.0 }, ""},
 		{"negative ingest-buffers", func(c *simConfig) { c.ingestBuffers = -1 }, "-ingest-buffers must be >= 0"},
 		{"churn with ingest-buffers", func(c *simConfig) { c.churn = 5; c.churnFrac = 0.2; c.ingestBuffers = 4 }, ""},
+		{"profiles mode", func(c *simConfig) { c.profiles = true }, ""},
+		{"profiles with cell", func(c *simConfig) { c.profiles = true; c.cell = true; c.reps = 1; c.ticks = 2 },
+			"-profiles and -cell are mutually exclusive"},
+		{"profiles with load", func(c *simConfig) { c.profiles = true; c.load = 100 },
+			"-profiles cannot be combined"},
+		{"profiles with churn", func(c *simConfig) { c.profiles = true; c.churn = 5 },
+			"-profiles cannot be combined"},
+		{"profiles with faults", func(c *simConfig) { c.profiles = true; c.faults = 10 },
+			"-profiles cannot be combined"},
+		{"profiles with ingest-buffers", func(c *simConfig) { c.profiles = true; c.ingestBuffers = -1 },
+			"-ingest-buffers must be >= 0"},
 		{"cell bad churnfrac", func(c *simConfig) {
 			c.cell = true
 			c.reps = 1

@@ -141,6 +141,13 @@ func WriteMetrics(w io.Writer, req metrics.RequestSnapshot, ep metrics.EpochSnap
 	writeScalar(w, "cloakd_ingest_pending_buffered", "gauge",
 		"Buffered uploads not yet reconciled.", float64(ep.PendingBuffered))
 
+	// Privacy-profile gauges (both zero while every user runs the
+	// default profile).
+	writeScalar(w, "cloakd_profiled_users", "gauge",
+		"Users with a non-default privacy profile in the latest generation's snapshot.", float64(ep.Profiled))
+	writeScalar(w, "cloakd_degraded_users", "gauge",
+		"Users served with their MaxArea bound exceeded in the latest generation.", float64(ep.Degraded))
+
 	writeHistogram(w, "cloakd_ingest_reconcile_seconds",
 		"Ingest buffer reconcile-drain duration.", ep.ReconcileHist)
 

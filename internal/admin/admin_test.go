@@ -150,8 +150,9 @@ func TestWriteMetricsGolden(t *testing.T) {
 		Staleness: 1500 * time.Millisecond,
 		Buffered:  10, Coalesced: 4, Reconciles: 2, Reconciled: 10,
 		PendingBuffered: 3,
-		ReconcileHist:   histWith(t, map[int]uint64{10: 2}, 2*(1<<10)),
-		BuildHist:       histWith(t, map[int]uint64{20: 3}, 3*(1<<20)),
+		Profiled:        4, Degraded: 1,
+		ReconcileHist: histWith(t, map[int]uint64{10: 2}, 2*(1<<10)),
+		BuildHist:     histWith(t, map[int]uint64{20: 3}, 3*(1<<20)),
 		BuildStages: []metrics.StageSnapshot{
 			{Stage: "queue", Count: 3, Total: 300 * time.Millisecond},
 			{Stage: "cluster", Count: 3, Total: 2 * time.Second},
@@ -213,6 +214,12 @@ cloakd_ingest_reconciled_total 10
 # HELP cloakd_ingest_pending_buffered Buffered uploads not yet reconciled.
 # TYPE cloakd_ingest_pending_buffered gauge
 cloakd_ingest_pending_buffered 3
+# HELP cloakd_profiled_users Users with a non-default privacy profile in the latest generation's snapshot.
+# TYPE cloakd_profiled_users gauge
+cloakd_profiled_users 4
+# HELP cloakd_degraded_users Users served with their MaxArea bound exceeded in the latest generation.
+# TYPE cloakd_degraded_users gauge
+cloakd_degraded_users 1
 # HELP cloakd_ingest_reconcile_seconds Ingest buffer reconcile-drain duration.
 # TYPE cloakd_ingest_reconcile_seconds histogram
 cloakd_ingest_reconcile_seconds_bucket{le="2e-09"} 0

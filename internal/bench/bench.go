@@ -35,6 +35,7 @@ import (
 	"nonexposure/internal/core"
 	"nonexposure/internal/dataset"
 	"nonexposure/internal/epoch"
+	"nonexposure/internal/geo"
 	"nonexposure/internal/metrics"
 	"nonexposure/internal/mobility"
 	"nonexposure/internal/workload"
@@ -59,6 +60,12 @@ type CellParams struct {
 	// axis: omitted from the JSON and the cell ID when 0 so baselines
 	// from before the axis existed keep their IDs.
 	IngestBuffers int `json:"ingest_buffers,omitempty"`
+	// Profiles names the per-user privacy-profile mix uploaded with the
+	// rankings ("" = every user on the service defaults, "mixed" = the
+	// seeded 70/20/10 default / double-k / double-k+tight-area tier mix).
+	// Optional axis: omitted from the JSON and the cell ID when empty so
+	// pre-profile baselines keep their IDs.
+	Profiles string `json:"profiles,omitempty"`
 }
 
 // ID renders the canonical cell key used in reports and diffs.
@@ -66,6 +73,9 @@ func (p CellParams) ID() string {
 	id := fmt.Sprintf("n=%d/k=%d/churn=%g/workers=%d", p.N, p.K, p.ChurnFrac, p.Workers)
 	if p.IngestBuffers > 0 {
 		id += fmt.Sprintf("/ingest=%d", p.IngestBuffers)
+	}
+	if p.Profiles != "" {
+		id += fmt.Sprintf("/profiles=%s", p.Profiles)
 	}
 	return id
 }
@@ -87,8 +97,16 @@ func (p CellParams) Validate() error {
 	if p.IngestBuffers < 0 {
 		return fmt.Errorf("bench: ingest buffers %d < 0", p.IngestBuffers)
 	}
+	if p.Profiles != "" && p.Profiles != ProfileMixMixed {
+		return fmt.Errorf("bench: unknown profile mix %q", p.Profiles)
+	}
 	return nil
 }
+
+// ProfileMixMixed is the one named profile tier mix the harness knows:
+// 70% default users, 20% demanding k_i = 2K, 10% demanding k_i = 2K
+// plus a tight MaxArea bound (so some cloaks come back degraded).
+const ProfileMixMixed = "mixed"
 
 // CellConfig is the per-cell run protocol shared by every cell of a
 // grid.
@@ -133,6 +151,10 @@ type Grid struct {
 	// counts; 0 = direct). Empty means [0], so grids from before the
 	// axis existed expand to the same cells.
 	IngestBuffers []int `json:"ingest_buffers,omitempty"`
+	// Profiles is the optional sixth axis (named privacy-profile mixes;
+	// "" = all defaults). Empty means [""], so grids from before the
+	// axis existed expand to the same cells.
+	Profiles []string `json:"profiles,omitempty"`
 	CellConfig
 }
 
@@ -198,6 +220,29 @@ func ContentionGrid() Grid {
 	}
 }
 
+// ProfilesGrid is the personalized-profile A/B sweep: one mid-size
+// population, all-default vs the mixed tier mix, serial vs parallel
+// serving. The default cells double as a drift check against the same
+// parameters in DefaultGrid-shaped runs; the mixed cells measure what
+// heterogeneous floors cost in rebuild time and what the tight-area
+// tier pays in degraded answers.
+func ProfilesGrid() Grid {
+	return Grid{
+		Populations: []int{2000},
+		Ks:          []int{5},
+		ChurnFracs:  []float64{0.1},
+		Workers:     []int{1, 4},
+		Profiles:    []string{"", ProfileMixMixed},
+		CellConfig: CellConfig{
+			Ticks:    4,
+			Requests: 2000,
+			Theta:    0.8,
+			Seed:     42,
+			Reps:     3,
+		},
+	}
+}
+
 // Validate rejects empty or unrunnable grids.
 func (g Grid) Validate() error {
 	if len(g.Populations) == 0 || len(g.Ks) == 0 || len(g.ChurnFracs) == 0 || len(g.Workers) == 0 {
@@ -218,12 +263,16 @@ func (g Grid) Validate() error {
 }
 
 // Cells expands the grid into its cross product, in a fixed axis order
-// (population, k, churn, workers, ingest buffers) so cell order — and
-// thus report layout — is deterministic.
+// (population, k, churn, workers, ingest buffers, profiles) so cell
+// order — and thus report layout — is deterministic.
 func (g Grid) Cells() []CellParams {
 	ingest := g.IngestBuffers
 	if len(ingest) == 0 {
 		ingest = []int{0}
+	}
+	profiles := g.Profiles
+	if len(profiles) == 0 {
+		profiles = []string{""}
 	}
 	var cells []CellParams
 	for _, n := range g.Populations {
@@ -231,7 +280,9 @@ func (g Grid) Cells() []CellParams {
 			for _, cf := range g.ChurnFracs {
 				for _, w := range g.Workers {
 					for _, ib := range ingest {
-						cells = append(cells, CellParams{N: n, K: k, ChurnFrac: cf, Workers: w, IngestBuffers: ib})
+						for _, pm := range profiles {
+							cells = append(cells, CellParams{N: n, K: k, ChurnFrac: cf, Workers: w, IngestBuffers: ib, Profiles: pm})
+						}
 					}
 				}
 			}
@@ -264,6 +315,13 @@ type Determinism struct {
 	// TranscriptSHA256 digests the full epoch transcript — the
 	// strongest reproducibility witness the pipeline offers.
 	TranscriptSHA256 string `json:"transcript_sha256"`
+	// KMax and Degraded are the final generation's profile accounting:
+	// the largest effective anonymity level any cluster satisfies and
+	// how many users were served with their MaxArea bound exceeded.
+	// Both zero (and omitted) in profile-less cells, so pre-profile
+	// baselines compare clean.
+	KMax     int `json:"k_max,omitempty"`
+	Degraded int `json:"degraded,omitempty"`
 }
 
 // Metric is one timing measurement aggregated over a cell's reps.
@@ -363,6 +421,30 @@ func summarize(vs []float64) Metric {
 	return Metric{Mean: mean, Std: math.Sqrt(sq / float64(len(vs)-1))}
 }
 
+// ProfileMix returns the per-user profiles of a named tier mix (nil
+// for ""): seeded, so the same (mix, n, k, seed) always produces the
+// same assignment. The tight-area tier's bound is sized in units of
+// delta, the radio range, so it scales with population density.
+func ProfileMix(mix string, n, k int, delta float64, seed int64) map[int32]core.Profile {
+	if mix == "" {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	tight := (1.5 * delta) * (1.5 * delta)
+	profs := make(map[int32]core.Profile)
+	for u := 0; u < n; u++ {
+		switch r := rng.Float64(); {
+		case r < 0.7:
+			// default tier
+		case r < 0.9:
+			profs[int32(u)] = core.Profile{K: int32(2 * k)}
+		default:
+			profs[int32(u)] = core.Profile{K: int32(2 * k), MaxArea: tight}
+		}
+	}
+	return profs
+}
+
 // runRep executes the cell protocol once.
 func runRep(p CellParams, cfg CellConfig) (repOut, error) {
 	// Keep the expected radio-neighbor count at the paper's default
@@ -373,9 +455,25 @@ func runRep(p CellParams, cfg CellConfig) (repOut, error) {
 	if err != nil {
 		return repOut{}, err
 	}
+	profs := ProfileMix(p.Profiles, p.N, p.K, delta, cfg.Seed)
 	em := metrics.NewEpochMetrics()
-	mgr, err := epoch.New(p.N, epoch.WithK(p.K), epoch.WithWorkers(p.Workers),
-		epoch.WithIngestBuffers(p.IngestBuffers), epoch.WithMetrics(em))
+	opts := []epoch.Option{epoch.WithK(p.K), epoch.WithWorkers(p.Workers),
+		epoch.WithIngestBuffers(p.IngestBuffers), epoch.WithMetrics(em)}
+	if profs != nil {
+		// Degraded accounting needs cluster areas; the harness owns the
+		// positions (the pipeline never sees them), so it supplies the
+		// bounding-box estimator. Positions are stable during a build —
+		// the model only steps between synced rotates.
+		opts = append(opts, epoch.WithAreaEstimator(func(members []int32) (float64, bool) {
+			pos := model.Positions()
+			r := geo.EmptyRect()
+			for _, v := range members {
+				r = r.ExpandToInclude(pos[v])
+			}
+			return r.Area(), true
+		}))
+	}
+	mgr, err := epoch.New(p.N, opts...)
 	if err != nil {
 		return repOut{}, err
 	}
@@ -387,7 +485,7 @@ func runRep(p CellParams, cfg CellConfig) (repOut, error) {
 		for _, e := range g.Neighbors(v) {
 			peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
 		}
-		return mgr.Upload(ctx, v, peers)
+		return mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers, Profile: profs[v]})
 	}
 	// With ingest buffers on, uploads fan out across Workers concurrent
 	// clients — the contention the buffered path exists to absorb. Each
@@ -515,7 +613,7 @@ func runRep(p CellParams, cfg CellConfig) (repOut, error) {
 			var firstErr error
 			for _, host := range slice {
 				t0 := time.Now()
-				_, _, _, err := mgr.Cloak(ctx, host)
+				_, err := mgr.Cloak(ctx, host)
 				reqm.Observe("cloak", time.Since(t0), err == nil)
 				switch {
 				case err == nil:
@@ -560,6 +658,8 @@ func runRep(p CellParams, cfg CellConfig) (repOut, error) {
 			ShardsTotal:      int(es.ShardsTotal),
 			ShardsRebuilt:    int(es.ShardsRebuilt),
 			TranscriptSHA256: hex.EncodeToString(sum[:]),
+			KMax:             st.KMax,
+			Degraded:         st.Degraded,
 		},
 		timing: map[string]float64{
 			MetricInitialBuildMs: float64(initialBuild.Nanoseconds()) / 1e6,

@@ -29,12 +29,42 @@ import (
 // k-anonymity; they are returned separately as undersized groups so the
 // caller can reject requests from those users.
 func CentralizedTConn(g *wpg.Graph, k int) (clusters []*Cluster, undersized [][]int32) {
+	return CentralizedTConnProfiled(g, k, nil)
+}
+
+// CentralizedTConnProfiled is CentralizedTConn with per-vertex anonymity
+// floors: ks[v] is vertex v's personal demand (see Profile.K), and a
+// side or cluster is valid only when its size reaches the maximum
+// effective floor max(k, ks[v]) over its vertices. ks == nil (or every
+// entry <= k) degenerates to the uniform algorithm and is bit-identical
+// to CentralizedTConn: the removal order, side checks, and emission
+// order are unchanged — only the validity threshold each side must meet
+// can grow. Side checks stay O(kmax)-bounded, so the whole pass is
+// O(V·kmax) where kmax is the largest effective floor.
+func CentralizedTConnProfiled(g *wpg.Graph, k int, ks []int32) (clusters []*Cluster, undersized [][]int32) {
 	if k < 1 {
 		panic(fmt.Sprintf("core: k must be >= 1, got %d", k))
 	}
 	n := g.NumVertices()
 	if n == 0 {
 		return nil, nil
+	}
+	if ks != nil && len(ks) != n {
+		panic(fmt.Sprintf("core: ks length %d != %d vertices", len(ks), n))
+	}
+	kOf := func(v int32) int {
+		if ks != nil && int(ks[v]) > k {
+			return int(ks[v])
+		}
+		return k
+	}
+	kmax := k
+	if ks != nil {
+		for _, kv := range ks {
+			if int(kv) > kmax {
+				kmax = int(kv)
+			}
+		}
 	}
 
 	// Minimum spanning forest via Kruskal over ascending (W, U, V).
@@ -72,19 +102,23 @@ func CentralizedTConn(g *wpg.Graph, k int) (clusters []*Cluster, undersized [][]
 		alive[i] = true
 	}
 
-	// sideAtLeastK reports whether the component of start, with edge skip
-	// removed, holds at least k vertices. The BFS stops after k vertices,
-	// so each check costs O(k).
+	// sideValid reports whether the component of start, with edge skip
+	// removed, holds at least as many vertices as the largest effective
+	// floor on that side. Reaching kmax vertices is always enough (no
+	// floor exceeds it), so the BFS stops after kmax vertices and each
+	// check costs O(kmax); if the side exhausts first, the demand is the
+	// max floor over exactly the vertices seen.
 	visitedStamp := make([]int32, n)
 	var stamp int32
-	queue := make([]int32, 0, k)
-	sideAtLeastK := func(start int32, skip int32) bool {
+	queue := make([]int32, 0, kmax)
+	sideValid := func(start int32, skip int32) bool {
 		stamp++
 		queue = queue[:0]
 		queue = append(queue, start)
 		visitedStamp[start] = stamp
 		count := 1
-		if count >= k {
+		need := kOf(start)
+		if count >= kmax {
 			return true
 		}
 		for head := 0; head < len(queue); head++ {
@@ -95,19 +129,22 @@ func CentralizedTConn(g *wpg.Graph, k int) (clusters []*Cluster, undersized [][]
 				}
 				visitedStamp[r.to] = stamp
 				count++
-				if count >= k {
+				if kv := kOf(r.to); kv > need {
+					need = kv
+				}
+				if count >= kmax {
 					return true
 				}
 				queue = append(queue, r.to)
 			}
 		}
-		return false
+		return count >= need
 	}
 
 	// Descending removal pass (reverse Kruskal order).
 	for i := len(tree) - 1; i >= 0; i-- {
 		e := tree[i]
-		if sideAtLeastK(e.U, int32(i)) && sideAtLeastK(e.V, int32(i)) {
+		if sideValid(e.U, int32(i)) && sideValid(e.V, int32(i)) {
 			alive[i] = false
 		}
 	}
@@ -124,6 +161,7 @@ func CentralizedTConn(g *wpg.Graph, k int) (clusters []*Cluster, undersized [][]
 		}
 		members := []int32{v}
 		comp[v] = v
+		need := kOf(v)
 		var maxW int32
 		for head := 0; head < len(members); head++ {
 			u := members[head]
@@ -133,12 +171,15 @@ func CentralizedTConn(g *wpg.Graph, k int) (clusters []*Cluster, undersized [][]
 				}
 				comp[r.to] = v
 				members = append(members, r.to)
+				if kv := kOf(r.to); kv > need {
+					need = kv
+				}
 				if w := tree[r.idx].W; w > maxW {
 					maxW = w
 				}
 			}
 		}
-		if len(members) < k {
+		if len(members) < need {
 			undersized = append(undersized, sortedCopy(members))
 			continue
 		}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -25,16 +24,21 @@ import (
 // merged clusters are renumbered in discovery order — ascending smallest
 // member — exactly as the serial full-graph scan emits them.
 func CentralizedTConnParallel(g *wpg.Graph, k, workers int) (clusters []*Cluster, undersized [][]int32) {
+	return CentralizedTConnParallelProfiled(g, k, nil, workers)
+}
+
+// CentralizedTConnParallelProfiled is CentralizedTConnParallel with
+// per-vertex anonymity floors (see CentralizedTConnProfiled). ks is
+// indexed by global vertex id; nil means uniform k.
+func CentralizedTConnParallelProfiled(g *wpg.Graph, k int, ks []int32, workers int) (clusters []*Cluster, undersized [][]int32) {
 	if k < 1 {
 		panic(fmt.Sprintf("core: k must be >= 1, got %d", k))
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	comps := g.Components()
 	if len(comps) == 0 {
 		return nil, nil
 	}
+	workers = ClampWorkers(workers, len(comps))
 
 	type compResult struct {
 		clusters   []*Cluster
@@ -44,15 +48,12 @@ func CentralizedTConnParallel(g *wpg.Graph, k, workers int) (clusters []*Cluster
 
 	var wg sync.WaitGroup
 	jobs := make(chan int)
-	if workers > len(comps) {
-		workers = len(comps)
-	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i].clusters, results[i].undersized = ClusterComponent(g, comps[i], k)
+				results[i].clusters, results[i].undersized = ClusterComponentProfiled(g, comps[i], k, ks)
 			}
 		}()
 	}
@@ -87,12 +88,32 @@ func CentralizedTConnParallel(g *wpg.Graph, k, workers int) (clusters []*Cluster
 // CentralizedTConnParallel). This is the shard-level entry point the
 // incremental epoch rebuild uses to re-cluster only dirty components.
 func ClusterComponent(g *wpg.Graph, members []int32, k int) (clusters []*Cluster, undersized [][]int32) {
+	return ClusterComponentProfiled(g, members, k, nil)
+}
+
+// ClusterComponentProfiled is ClusterComponent with per-vertex anonymity
+// floors. ks is indexed by GLOBAL vertex id (nil = uniform k); the
+// floors of the component's members are carried into the induced
+// subgraph. A component smaller than its largest effective floor is
+// wholly undersized: the demanding vertex sits on one side of every
+// candidate removal, so no split is ever safe and the component stays
+// one (invalid) group — the shortcut matches the full algorithm.
+func ClusterComponentProfiled(g *wpg.Graph, members []int32, k int, ks []int32) (clusters []*Cluster, undersized [][]int32) {
 	if k < 1 {
 		panic(fmt.Sprintf("core: k must be >= 1, got %d", k))
 	}
-	// A whole component smaller than k can never satisfy k-anonymity; no
-	// need to run the partition at all.
-	if len(members) < k {
+	need := k
+	var localKs []int32
+	if ks != nil {
+		localKs = make([]int32, len(members))
+		for i, v := range members {
+			localKs[i] = ks[v]
+			if int(ks[v]) > need {
+				need = int(ks[v])
+			}
+		}
+	}
+	if len(members) < need {
 		return nil, [][]int32{append([]int32(nil), members...)}
 	}
 
@@ -116,7 +137,7 @@ func ClusterComponent(g *wpg.Graph, members []int32, k int) (clusters []*Cluster
 		// The induced subgraph of a valid WPG is always a valid WPG.
 		panic(fmt.Sprintf("core: induced component subgraph: %v", err))
 	}
-	localClusters, localUndersized := CentralizedTConn(sub, k)
+	localClusters, localUndersized := CentralizedTConnProfiled(sub, k, localKs)
 	for _, c := range localClusters {
 		for j, lv := range c.Members {
 			c.Members[j] = members[lv]

@@ -37,6 +37,13 @@ type KNNOptions struct {
 	NoRelay bool
 	// Expansion selects the distance notion (default KNNPrim).
 	Expansion KNNExpansion
+	// Ks carries per-vertex anonymity floors (see Profile.K), indexed by
+	// vertex id; nil means uniform k. The expansion's stop condition
+	// grows as demanding members join: the cluster must reach
+	// max(k, Ks[m]) over its members before it closes, so every member's
+	// personal floor is satisfied — the kNN analogue of
+	// CentralizedTConnProfiled's side checks.
+	Ks []int32
 }
 
 // KNNCluster is the local baseline: the host is clustered with its k-1
@@ -82,15 +89,25 @@ func KNNCluster(src AdjacencySource, host int32, k int, reg *Registry, opt KNNOp
 		return int32(len(rec.Adjacency(v)))
 	}
 
+	// need is the cluster-growing stop condition: it starts at the
+	// host's effective floor and rises as more demanding members join.
+	kOf := func(v int32) int {
+		if opt.Ks != nil && int(v) < len(opt.Ks) && int(opt.Ks[v]) > k {
+			return int(opt.Ks[v])
+		}
+		return k
+	}
+	need := kOf(host)
+
 	settled := make(map[int32]bool)
-	members := make([]int32, 0, k)
+	members := make([]int32, 0, need)
 	var maxEdge int32
 
 	// seen tracks pushed vertices for the Dijkstra variant's distance map.
 	dist := map[int32]int64{host: 0}
 
 	h.Push(item{dist: 0, deg: degree(host), v: host})
-	for h.Len() > 0 && len(members) < k {
+	for h.Len() > 0 && len(members) < need {
 		it := h.Pop()
 		if settled[it.v] {
 			continue
@@ -98,6 +115,9 @@ func KNNCluster(src AdjacencySource, host int32, k int, reg *Registry, opt KNNOp
 		settled[it.v] = true
 		if !reg.Assigned(it.v) {
 			members = append(members, it.v)
+			if kv := kOf(it.v); kv > need {
+				need = kv
+			}
 		}
 		for _, e := range rec.Adjacency(it.v) {
 			if settled[e.To] {
@@ -118,10 +138,10 @@ func KNNCluster(src AdjacencySource, host int32, k int, reg *Registry, opt KNNOp
 			}
 		}
 	}
-	if len(members) < k {
+	if len(members) < need {
 		return nil, DistStats{Involved: rec.Involved()}, fmt.Errorf(
 			"%w: kNN host %d found only %d of %d unclustered users",
-			ErrInsufficientUsers, host, len(members), k)
+			ErrInsufficientUsers, host, len(members), need)
 	}
 
 	// The cluster's reported connectivity is the largest edge weight

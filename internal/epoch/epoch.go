@@ -36,7 +36,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -58,6 +57,66 @@ import (
 type RankedPeer struct {
 	Peer int32 `json:"peer"`
 	Rank int32 `json:"rank"`
+}
+
+// UploadRequest is the upload API: one user's ranked peer list plus the
+// user's privacy profile. The zero Profile means "service defaults"; a
+// non-default profile sticks with the user across re-uploads until a
+// later upload replaces it (uploading the zero Profile reverts to the
+// defaults). A profile change counts as a content change for the
+// rebuild policy and the dirty-set tracker even when the peer list is
+// unchanged — the clustering the user needs has changed.
+type UploadRequest struct {
+	User    int32
+	Peers   []RankedPeer
+	Profile core.Profile
+}
+
+// validate rejects requests the pipeline could never honor.
+func (r UploadRequest) validate(numUsers int) error {
+	if int(r.User) < 0 || int(r.User) >= numUsers {
+		return fmt.Errorf("epoch: user %d out of range [0,%d)", r.User, numUsers)
+	}
+	for _, pr := range r.Peers {
+		if int(pr.Peer) < 0 || int(pr.Peer) >= numUsers {
+			return fmt.Errorf("epoch: peer %d out of range [0,%d)", pr.Peer, numUsers)
+		}
+		if pr.Rank < 1 {
+			return fmt.Errorf("epoch: rank %d < 1 for peer %d", pr.Rank, pr.Peer)
+		}
+	}
+	if err := r.Profile.Validate(numUsers); err != nil {
+		return fmt.Errorf("epoch: %w", err)
+	}
+	return nil
+}
+
+// CloakResult is one served cloak: the cluster, the paper's message
+// accounting, the generation that answered, the anonymity level the
+// cluster actually satisfies (max effective k_i over its members — at
+// least the service k), and whether the requesting user's own MaxArea
+// bound was exceeded (degraded-but-served: the cluster is still a valid
+// anonymity set, it is just larger than the user finds useful).
+type CloakResult struct {
+	Cluster    *core.Cluster
+	Cost       int
+	Epoch      uint64
+	EffectiveK int
+	Degraded   bool
+}
+
+// ClusterInfo is a published generation's per-cluster profile metadata,
+// aligned with cluster IDs. It exists only on generations built with at
+// least one non-default profile stored (Generation.Meta is nil
+// otherwise, keeping default runs bit-identical and overhead-free).
+type ClusterInfo struct {
+	// EffK is the largest effective anonymity floor over the cluster's
+	// members: max(service k, profile k_i).
+	EffK int
+	// Area is the estimated cloak area (WithAreaEstimator); HasArea
+	// reports whether an estimate was available.
+	Area    float64
+	HasArea bool
 }
 
 // Policy decides when a new epoch is triggered. The count and frac
@@ -146,6 +205,25 @@ type Generation struct {
 	ShardsTotal   int
 	ShardsRebuilt int
 
+	// Profiled is how many users carried a non-default privacy profile
+	// in this generation's snapshot; KMax is the largest effective k any
+	// cluster had to satisfy (== the service k when Profiled is 0), and
+	// Degraded counts users whose cluster's estimated area exceeds their
+	// own MaxArea bound (0 without an area estimator). Meta holds the
+	// per-cluster profile metadata, indexed by cluster ID; it is nil —
+	// and the three counters stay at their defaults — when no profile
+	// was stored, keeping default-profile generations identical to
+	// pre-profile ones.
+	Profiled int
+	KMax     int
+	Degraded int
+	Meta     []ClusterInfo
+
+	// profiles is the non-default-profile snapshot the generation was
+	// built from (nil when Profiled is 0); Cloak reads it to evaluate
+	// the requesting user's own bounds.
+	profiles map[int32]core.Profile
+
 	// BuildDuration is wall-clock observability only; it never enters
 	// the transcript (which must stay deterministic).
 	BuildDuration time.Duration
@@ -160,14 +238,23 @@ type Generation struct {
 }
 
 // transcriptLine renders the generation's deterministic transcript
-// entry. No durations, no timestamps.
+// entry. No durations, no timestamps. The profile accounting appears
+// only when at least one non-default profile was stored, so
+// default-profile transcripts stay byte-identical to pre-profile ones
+// (the same additive-suffix rule the bench cell IDs follow); it is
+// still deterministic because the area estimator must be a pure
+// function of the member set.
 func (g *Generation) transcriptLine() string {
 	if g.BuildErr != nil {
 		return fmt.Sprintf("epoch=%d trigger=%s seq=%d uploads=%d changed=%d err=%v",
 			g.Epoch, g.Trigger, g.Seq, g.UploadsIn, g.Changed, g.BuildErr)
 	}
-	return fmt.Sprintf("epoch=%d trigger=%s seq=%d uploads=%d changed=%d edges=%d clusters=%d skipped=%d shards=%d/%d",
+	line := fmt.Sprintf("epoch=%d trigger=%s seq=%d uploads=%d changed=%d edges=%d clusters=%d skipped=%d shards=%d/%d",
 		g.Epoch, g.Trigger, g.Seq, g.UploadsIn, g.Changed, g.Edges, g.Clusters, g.Skipped, g.ShardsRebuilt, g.ShardsTotal)
+	if g.Profiled > 0 {
+		line += fmt.Sprintf(" profiled=%d kmax=%d degraded=%d", g.Profiled, g.KMax, g.Degraded)
+	}
+	return line
 }
 
 // Sentinel errors.
@@ -199,6 +286,7 @@ type Manager struct {
 	ingestCap     int
 	em            *metrics.EpochMetrics
 	tr            *trace.Recorder
+	areaEst       func(members []int32) (float64, bool)
 
 	// sem is a one-slot semaphore serving as the manager lock; a
 	// channel rather than a sync.Mutex so Upload/Rotate/Sync can honor
@@ -218,6 +306,11 @@ type Manager struct {
 
 	// All fields below are guarded by sem.
 	uploads map[int32][]RankedPeer
+	// profiles stores only non-default profiles (an upload with the zero
+	// Profile deletes the entry), so len(profiles) is the profiled-user
+	// count and iteration cost scales with profiled users, not the
+	// population. Lazily allocated on the first non-default profile.
+	profiles map[int32]core.Profile
 	// changed: users whose stored ranking content changed since the
 	// previous trigger ("edge-dirty" — only edges incident to these
 	// users can differ from the previous build's WPG).
@@ -254,10 +347,11 @@ type Manager struct {
 }
 
 type buildJob struct {
-	gen     *Generation
-	uploads map[int32][]RankedPeer
-	changed map[int32]struct{}
-	dirty   map[int32]struct{}
+	gen      *Generation
+	uploads  map[int32][]RankedPeer
+	profiles map[int32]core.Profile // nil when no non-default profile is stored
+	changed  map[int32]struct{}
+	dirty    map[int32]struct{}
 	// queuedAt marks the trigger time so the build can report its queue
 	// wait (wall-clock observability only).
 	queuedAt time.Time
@@ -315,6 +409,18 @@ func WithTraceRecorder(r *trace.Recorder) Option { return func(m *Manager) { m.t
 // (default 128; the transcript is never truncated).
 func WithHistoryLimit(n int) Option { return func(m *Manager) { m.histCap = n } }
 
+// WithAreaEstimator attaches the cloak-area estimator the MaxArea
+// enforcement path needs (default nil: area bounds are not evaluated
+// and no user is ever reported degraded). The anonymizer itself only
+// sees proximity ranks, never coordinates, so the harness that owns the
+// positions (sim, bench, cloaksim) injects the mapping from a cluster's
+// member set to its cloak area. f must be a pure function of the member
+// set for the generation it is called under — the degraded count is
+// part of the deterministic transcript.
+func WithAreaEstimator(f func(members []int32) (area float64, ok bool)) Option {
+	return func(m *Manager) { m.areaEst = f }
+}
+
 // New returns a Manager for a population of numUsers devices.
 func New(numUsers int, opts ...Option) (*Manager, error) {
 	if numUsers < 1 {
@@ -361,10 +467,57 @@ func New(numUsers int, opts ...Option) (*Manager, error) {
 		m.updateReconcileAtLocked() // no concurrency before New returns
 	}
 	if m.policy.MaxStaleness > 0 {
-		m.stalenessStop = make(chan struct{})
-		go m.stalenessLoop(m.policy.MaxStaleness)
+		m.startStalenessLocked() // no concurrency before New returns
 	}
 	return m, nil
+}
+
+// startStalenessLocked launches the staleness timer goroutine once.
+// Callers hold the manager lock (or are inside New). The timer also
+// starts lazily when the first profile carrying a MaxStaleness bound
+// arrives on a manager whose policy alone never needed it.
+func (m *Manager) startStalenessLocked() {
+	if m.stalenessStop != nil || m.closed {
+		return
+	}
+	m.stalenessStop = make(chan struct{})
+	go m.stalenessLoop()
+}
+
+// effectiveStaleLocked resolves the pipeline's staleness bound: the
+// minimum over the policy's MaxStaleness and every stored profile's (0
+// entries mean unset). Callers hold the manager lock. O(profiled
+// users), which the non-default-only profiles map keeps small.
+func (m *Manager) effectiveStaleLocked() time.Duration {
+	bound := m.policy.MaxStaleness
+	for _, p := range m.profiles {
+		if p.MaxStaleness > 0 && (bound == 0 || p.MaxStaleness < bound) {
+			bound = p.MaxStaleness
+		}
+	}
+	return bound
+}
+
+// profileOfLocked returns the user's stored profile (zero = defaults).
+func (m *Manager) profileOfLocked(user int32) core.Profile {
+	return m.profiles[user]
+}
+
+// setProfileLocked stores the user's profile, keeping the map
+// non-default-only, and lazily starts the staleness timer when a
+// staleness-bearing profile first appears.
+func (m *Manager) setProfileLocked(user int32, p core.Profile) {
+	if p.IsDefault() {
+		delete(m.profiles, user)
+		return
+	}
+	if m.profiles == nil {
+		m.profiles = make(map[int32]core.Profile)
+	}
+	m.profiles[user] = p
+	if p.MaxStaleness > 0 {
+		m.startStalenessLocked()
+	}
 }
 
 // lock acquires the manager lock unconditionally.
@@ -399,27 +552,21 @@ func (m *Manager) Policy() Policy { return m.policy }
 // Incremental reports whether incremental sharded rebuilds are enabled.
 func (m *Manager) Incremental() bool { return m.incremental }
 
-// Upload folds one user's ranked peer list into the next epoch's input
-// and fires the rebuild policy if its threshold is reached. A re-upload
-// identical to the user's stored ranking counts toward EveryUploads but
-// not toward ChangedFrac. Cancellation is honored while waiting for the
-// manager lock; an accepted upload is never rolled back. Returns
-// ErrClosed after Close.
-func (m *Manager) Upload(ctx context.Context, user int32, peers []RankedPeer) error {
-	if int(user) < 0 || int(user) >= m.numUsers {
-		return fmt.Errorf("epoch: user %d out of range [0,%d)", user, m.numUsers)
+// Upload folds one user's ranked peer list and privacy profile into the
+// next epoch's input and fires the rebuild policy if its threshold is
+// reached. A re-upload identical to the user's stored ranking AND
+// stored profile counts toward EveryUploads but not toward ChangedFrac;
+// a profile change alone is a change (the clustering the user needs
+// moved, so the user and both peer lists join the dirty closure).
+// Cancellation is honored while waiting for the manager lock; an
+// accepted upload is never rolled back. Returns ErrClosed after Close.
+func (m *Manager) Upload(ctx context.Context, req UploadRequest) error {
+	if err := req.validate(m.numUsers); err != nil {
+		return err
 	}
-	for _, pr := range peers {
-		if int(pr.Peer) < 0 || int(pr.Peer) >= m.numUsers {
-			return fmt.Errorf("epoch: peer %d out of range [0,%d)", pr.Peer, m.numUsers)
-		}
-		if pr.Rank < 1 {
-			return fmt.Errorf("epoch: rank %d < 1 for peer %d", pr.Rank, pr.Peer)
-		}
-	}
-	cp := append([]RankedPeer(nil), peers...)
+	cp := append([]RankedPeer(nil), req.Peers...)
 	if len(m.shards) > 0 {
-		return m.uploadBuffered(ctx, user, cp)
+		return m.uploadBuffered(ctx, req.User, cp, req.Profile)
 	}
 	if err := m.lockCtx(ctx); err != nil {
 		return err
@@ -428,11 +575,14 @@ func (m *Manager) Upload(ctx context.Context, user int32, peers []RankedPeer) er
 	if m.closed {
 		return ErrClosed
 	}
-	if prevList := m.uploads[user]; !equalRanks(prevList, cp) {
+	user := req.User
+	if prevList := m.uploads[user]; !equalRanks(prevList, cp) || m.profileOfLocked(user) != req.Profile {
 		m.changed[user] = struct{}{}
 		// Cluster-dirty closure: the user's old and new peers are the
 		// only other vertices whose incident edges can change, so they
-		// bound the components the next build must re-cluster.
+		// bound the components the next build must re-cluster. A
+		// profile-only change dirties the same closure — the user's
+		// component must re-cluster under the new floor.
 		m.dirty[user] = struct{}{}
 		for _, pr := range prevList {
 			m.dirty[pr.Peer] = struct{}{}
@@ -442,6 +592,7 @@ func (m *Manager) Upload(ctx context.Context, user int32, peers []RankedPeer) er
 		}
 	}
 	m.uploads[user] = cp
+	m.setProfileLocked(user, req.Profile)
 	m.seq++
 	m.uploadsSince++
 	if reason := m.policyFiredLocked(); reason != "" {
@@ -479,7 +630,14 @@ func (m *Manager) triggerLocked(reason string) *Generation {
 	for u, p := range m.uploads {
 		snap[u] = p
 	}
-	job := buildJob{gen: gen, uploads: snap, changed: m.changed, dirty: m.dirty, queuedAt: time.Now()}
+	var profSnap map[int32]core.Profile
+	if len(m.profiles) > 0 {
+		profSnap = make(map[int32]core.Profile, len(m.profiles))
+		for u, p := range m.profiles {
+			profSnap[u] = p
+		}
+	}
+	job := buildJob{gen: gen, uploads: snap, profiles: profSnap, changed: m.changed, dirty: m.dirty, queuedAt: time.Now()}
 	m.uploadsSince = 0
 	m.changed = make(map[int32]struct{})
 	m.dirty = make(map[int32]struct{})
@@ -572,9 +730,19 @@ func (m *Manager) build(job buildJob) {
 
 	var next *builderState
 	if err == nil {
+		// Per-vertex anonymity floors from the profile snapshot; nil when
+		// every profile is default, which keeps the clustering call on
+		// the exact uniform code path.
+		var ks []int32
+		if len(job.profiles) > 0 {
+			ks = make([]int32, m.numUsers)
+			for u, p := range job.profiles {
+				ks[u] = p.K
+			}
+		}
 		csp := root.Child(metrics.StageCluster)
 		cctx := trace.NewContext(context.Background(), csp)
-		res := m.clusterShards(cctx, g, prev, job.dirty)
+		res := m.clusterShards(cctx, g, prev, job.dirty, ks)
 		anon := anonymizer.NewServer(g,
 			anonymizer.WithK(m.k),
 			anonymizer.WithWorkers(m.workers),
@@ -590,7 +758,9 @@ func (m *Manager) build(job buildJob) {
 			gen.Skipped = res.skipped
 			gen.ShardsTotal = res.total
 			gen.ShardsRebuilt = res.rebuilt
+			m.profileMeta(gen, job.profiles, res.clusters)
 			m.em.ObserveShards(res.total, res.rebuilt)
+			m.em.ObserveProfiles(gen.Profiled, gen.Degraded)
 			if m.incremental {
 				next = res.state
 			}
@@ -630,6 +800,46 @@ func (m *Manager) build(job buildJob) {
 	m.tr.Record(root)
 }
 
+// profileMeta fills the generation's profile accounting: per-cluster
+// effective k and estimated area, the profiled-user count, the largest
+// floor any cluster satisfies, and the degraded count (users whose
+// cluster area exceeds their own MaxArea). It does nothing when no
+// non-default profile is stored, so default-profile generations carry
+// no metadata and no extra cost. Cluster IDs index the adopted slice
+// (AddBatch registers in order), so Meta aligns with Cloak's clusters.
+func (m *Manager) profileMeta(gen *Generation, profiles map[int32]core.Profile, clusters []*core.Cluster) {
+	gen.Profiled = len(profiles)
+	if gen.Profiled == 0 {
+		return
+	}
+	gen.profiles = profiles
+	gen.KMax = m.k
+	meta := make([]ClusterInfo, len(clusters))
+	for i, c := range clusters {
+		effK := m.k
+		for _, v := range c.Members {
+			if p, ok := profiles[v]; ok && int(p.K) > effK {
+				effK = int(p.K)
+			}
+		}
+		meta[i].EffK = effK
+		if effK > gen.KMax {
+			gen.KMax = effK
+		}
+		if m.areaEst != nil {
+			meta[i].Area, meta[i].HasArea = m.areaEst(c.Members)
+		}
+		if meta[i].HasArea {
+			for _, v := range c.Members {
+				if p, ok := profiles[v]; ok && p.MaxArea > 0 && meta[i].Area > p.MaxArea {
+					gen.Degraded++
+				}
+			}
+		}
+	}
+	gen.Meta = meta
+}
+
 // shardBuild is one build's merged clustering output plus its shard
 // accounting and the state carried forward for the next build.
 type shardBuild struct {
@@ -647,13 +857,17 @@ type shardBuild struct {
 // with a per-shard span each. The merged result is ordered and
 // numbered exactly as core.CentralizedTConnParallel emits it, so the
 // output is bit-identical to a from-scratch clustering.
-func (m *Manager) clusterShards(ctx context.Context, g *wpg.Graph, prev *builderState, dirty map[int32]struct{}) *shardBuild {
+func (m *Manager) clusterShards(ctx context.Context, g *wpg.Graph, prev *builderState, dirty map[int32]struct{}, ks []int32) *shardBuild {
 	sp := trace.FromContext(ctx).Child("core.cluster")
 	defer sp.End()
 	comps := g.Components()
 	shards := make([]shardResult, len(comps))
 	rebuild := make([]int, 0, len(comps))
 	for i, members := range comps {
+		// Splicing stays safe under profiles: a profile change marks the
+		// user dirty exactly like a list change, so a component disjoint
+		// from the dirty set kept every member's floor as well as every
+		// edge — its previous clustering is still the right one.
 		if m.incremental && prev != nil && reusableShard(prev, g, members, dirty) {
 			shards[i] = prev.shards[prev.byMin[members[0]]]
 			continue
@@ -662,13 +876,7 @@ func (m *Manager) clusterShards(ctx context.Context, g *wpg.Graph, prev *builder
 	}
 
 	if len(rebuild) > 0 {
-		workers := m.workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		if workers > len(rebuild) {
-			workers = len(rebuild)
-		}
+		workers := core.ClampWorkers(m.workers, len(rebuild))
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -677,7 +885,7 @@ func (m *Manager) clusterShards(ctx context.Context, g *wpg.Graph, prev *builder
 				defer wg.Done()
 				for i := range jobs {
 					ssp := sp.Child(fmt.Sprintf("epoch.build.shard/%d", i))
-					shards[i].clusters, shards[i].undersized = core.ClusterComponent(g, comps[i], m.k)
+					shards[i].clusters, shards[i].undersized = core.ClusterComponentProfiled(g, comps[i], m.k, ks)
 					ssp.End()
 				}
 			}()
@@ -743,27 +951,42 @@ func reusableShard(prev *builderState, g *wpg.Graph, members []int32, dirty map[
 }
 
 // Cloak serves a request from the current generation, lock-free with
-// respect to any in-flight rebuild. cost follows the paper's
+// respect to any in-flight rebuild. Cost follows the paper's
 // accounting: the first request served from each generation is billed
 // the uploads that went into its build, every other request is free.
-// epoch reports which generation answered.
-func (m *Manager) Cloak(ctx context.Context, host int32) (cluster *core.Cluster, cost int, epoch uint64, err error) {
+// EffectiveK reports the anonymity level the serving cluster actually
+// satisfies (the service k unless a member's profile demanded more);
+// Degraded reports whether the requesting user's own MaxArea bound was
+// exceeded (always false without WithAreaEstimator).
+func (m *Manager) Cloak(ctx context.Context, host int32) (CloakResult, error) {
 	csp := trace.FromContext(ctx).Child("epoch.cloak")
 	defer csp.End()
 	gen := m.cur.Load()
 	if gen == nil {
-		return nil, 0, 0, ErrNotReady
+		return CloakResult{}, ErrNotReady
 	}
 	asp := csp.Child("anonymizer.cloak")
-	cluster, _, err = gen.Anon.Cloak(ctx, host)
+	cluster, _, err := gen.Anon.Cloak(ctx, host)
 	asp.End()
 	if err != nil {
-		return nil, 0, gen.Epoch, err
+		return CloakResult{Epoch: gen.Epoch}, err
+	}
+	res := CloakResult{Cluster: cluster, Epoch: gen.Epoch, EffectiveK: m.k}
+	// Meta and the per-host profile only matter when someone in this
+	// generation is profiled; a raised floor or area bound implies a
+	// stored non-default profile, so Profiled == 0 keeps the hot path
+	// free of the meta load and map probe.
+	if gen.Profiled > 0 && int(cluster.ID) < len(gen.Meta) {
+		info := gen.Meta[cluster.ID]
+		res.EffectiveK = info.EffK
+		if p, ok := gen.profiles[host]; ok && p.MaxArea > 0 && info.HasArea && info.Area > p.MaxArea {
+			res.Degraded = true
+		}
 	}
 	if gen.billed.CompareAndSwap(false, true) {
-		cost = gen.UploadsIn
+		res.Cost = gen.UploadsIn
 	}
-	return cluster, cost, gen.Epoch, nil
+	return res, nil
 }
 
 // Current returns the serving generation (nil before the first
@@ -850,6 +1073,13 @@ type Status struct {
 	// accounting (see Generation).
 	ShardsTotal   int
 	ShardsRebuilt int
+	// KMax and Degraded are the serving generation's profile accounting
+	// (see Generation); Profiled counts users whose currently stored
+	// profile is non-default, which may run ahead of the serving
+	// generation's snapshot.
+	KMax     int
+	Degraded int
+	Profiled int
 
 	Users               int
 	Uploads             int    // distinct users with a stored upload
@@ -873,6 +1103,7 @@ func (m *Manager) Status() Status {
 	st := Status{
 		Users:               m.numUsers,
 		Uploads:             len(m.uploads),
+		Profiled:            len(m.profiles),
 		UploadsSeen:         m.seq,
 		SinceTrigger:        m.uploadsSince,
 		ChangedSinceTrigger: len(m.changed),
@@ -895,6 +1126,8 @@ func (m *Manager) Status() Status {
 		st.Skipped = gen.Skipped
 		st.ShardsTotal = gen.ShardsTotal
 		st.ShardsRebuilt = gen.ShardsRebuilt
+		st.KMax = gen.KMax
+		st.Degraded = gen.Degraded
 	}
 	return st
 }

@@ -33,7 +33,7 @@ func ringUploads(n int) map[int32][]RankedPeer {
 func uploadRing(t *testing.T, m *Manager, n int) {
 	t.Helper()
 	for u, peers := range ringUploads(n) {
-		if err := m.Upload(bg, u, peers); err != nil {
+		if err := m.Upload(bg, UploadRequest{User: u, Peers: peers}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -80,7 +80,7 @@ func TestRotatePublishesGeneration(t *testing.T) {
 	defer m.Close()
 
 	// Nothing published yet: v0 clients must still see "not frozen".
-	if _, _, _, err := m.Cloak(bg, 0); !errors.Is(err, ErrNotReady) ||
+	if _, err := m.Cloak(bg, 0); !errors.Is(err, ErrNotReady) ||
 		!strings.Contains(err.Error(), "not frozen") {
 		t.Fatalf("cloak before publish = %v", err)
 	}
@@ -107,10 +107,11 @@ func TestRotatePublishesGeneration(t *testing.T) {
 		t.Errorf("ring edges = %d, want 12", gen.Edges)
 	}
 
-	c, cost, servedBy, err := m.Cloak(bg, 0)
+	res, err := m.Cloak(bg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	c, cost, servedBy := res.Cluster, res.Cost, res.Epoch
 	if servedBy != 1 {
 		t.Errorf("served by epoch %d, want 1", servedBy)
 	}
@@ -121,8 +122,8 @@ func TestRotatePublishesGeneration(t *testing.T) {
 		t.Errorf("cluster = %v", c.Members)
 	}
 	// Only the first request per generation is billed.
-	if _, cost, _, err := m.Cloak(bg, 1); err != nil || cost != 0 {
-		t.Errorf("second cloak cost=%d err=%v, want 0/nil", cost, err)
+	if res, err := m.Cloak(bg, 1); err != nil || res.Cost != 0 {
+		t.Errorf("second cloak cost=%d err=%v, want 0/nil", res.Cost, err)
 	}
 
 	if s := em.Snapshot(); s.Builds != 1 || s.Swaps != 1 || s.BuildFails != 0 {
@@ -186,13 +187,13 @@ func TestPolicyFracTriggerIgnoresUnchangedReuploads(t *testing.T) {
 	ring := ringUploads(n)
 	// Four distinct changed users: below the 50% threshold.
 	for i := int32(0); i < 4; i++ {
-		if err := m.Upload(bg, i, ring[i]); err != nil {
+		if err := m.Upload(bg, UploadRequest{User: i, Peers: ring[i]}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Re-uploading identical rankings must not count as change.
 	for i := int32(0); i < 4; i++ {
-		if err := m.Upload(bg, i, ring[i]); err != nil {
+		if err := m.Upload(bg, UploadRequest{User: i, Peers: ring[i]}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -203,7 +204,7 @@ func TestPolicyFracTriggerIgnoresUnchangedReuploads(t *testing.T) {
 		t.Fatal("triggered below threshold")
 	}
 	// The fifth distinct user tips 5/10 >= 0.5.
-	if err := m.Upload(bg, 4, ring[4]); err != nil {
+	if err := m.Upload(bg, UploadRequest{User: 4, Peers: ring[4]}); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Sync(bg); err != nil {
@@ -221,13 +222,13 @@ func TestUploadValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.Upload(bg, 4, nil); err == nil {
+	if err := m.Upload(bg, UploadRequest{User: 4, Peers: nil}); err == nil {
 		t.Error("out-of-range user accepted")
 	}
-	if err := m.Upload(bg, 0, []RankedPeer{{Peer: 9, Rank: 1}}); err == nil {
+	if err := m.Upload(bg, UploadRequest{User: 0, Peers: []RankedPeer{{Peer: 9, Rank: 1}}}); err == nil {
 		t.Error("out-of-range peer accepted")
 	}
-	if err := m.Upload(bg, 0, []RankedPeer{{Peer: 1, Rank: 0}}); err == nil {
+	if err := m.Upload(bg, UploadRequest{User: 0, Peers: []RankedPeer{{Peer: 1, Rank: 0}}}); err == nil {
 		t.Error("zero rank accepted")
 	}
 	if _, err := New(0); err == nil {
@@ -254,14 +255,14 @@ func TestCloseRejectsFurtherWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Close()
-	if err := m.Upload(bg, 0, nil); !errors.Is(err, ErrClosed) {
+	if err := m.Upload(bg, UploadRequest{User: 0, Peers: nil}); !errors.Is(err, ErrClosed) {
 		t.Errorf("upload after close = %v", err)
 	}
 	if _, err := m.Rotate(bg); !errors.Is(err, ErrClosed) {
 		t.Errorf("rotate after close = %v", err)
 	}
 	// The published generation keeps serving.
-	if _, _, _, err := m.Cloak(bg, 0); err != nil {
+	if _, err := m.Cloak(bg, 0); err != nil {
 		t.Errorf("cloak after close = %v", err)
 	}
 }
@@ -295,7 +296,7 @@ func TestSyncHonorsContext(t *testing.T) {
 		t.Errorf("sync with dead ctx and pending work = %v", err)
 	}
 	// A dead ctx must also fail Upload/Rotate at the lock acquire.
-	if err := m.Upload(ctx, 0, nil); !errors.Is(err, context.Canceled) {
+	if err := m.Upload(ctx, UploadRequest{User: 0, Peers: nil}); !errors.Is(err, context.Canceled) {
 		t.Errorf("upload with dead ctx = %v, want context.Canceled", err)
 	}
 	if _, err := m.Rotate(ctx); !errors.Is(err, context.Canceled) {
@@ -342,7 +343,7 @@ func runScript(t *testing.T, script []scriptedUpload, n int, opts ...Option) []s
 	}
 	defer m.Close()
 	for _, su := range script {
-		if err := m.Upload(bg, su.user, su.peers); err != nil {
+		if err := m.Upload(bg, UploadRequest{User: su.user, Peers: su.peers}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -423,7 +424,7 @@ func TestConcurrentUploadsAndCloaksAcrossSwaps(t *testing.T) {
 					{Peer: (u + 1) % n, Rank: int32(1 + rng.Intn(3))},
 					{Peer: (u - 1 + n) % n, Rank: int32(1 + rng.Intn(3))},
 				}
-				if err := m.Upload(bg, u, peers); err != nil && !errors.Is(err, ErrClosed) {
+				if err := m.Upload(bg, UploadRequest{User: u, Peers: peers}); err != nil && !errors.Is(err, ErrClosed) {
 					t.Errorf("upload: %v", err)
 					return
 				}
@@ -444,7 +445,7 @@ func TestConcurrentUploadsAndCloaksAcrossSwaps(t *testing.T) {
 				default:
 				}
 				host := int32(rng.Intn(n))
-				c, _, ep, err := m.Cloak(bg, host)
+				res, err := m.Cloak(bg, host)
 				if err != nil {
 					// Undersized components can appear as churn splits the
 					// ring; that error is legitimate. Anything else is not.
@@ -455,6 +456,7 @@ func TestConcurrentUploadsAndCloaksAcrossSwaps(t *testing.T) {
 					}
 					continue
 				}
+				c, ep := res.Cluster, res.Epoch
 				if ep < last {
 					t.Errorf("epoch went backwards: %d after %d", ep, last)
 					return
@@ -513,7 +515,7 @@ func TestHistoryCapAndStatus(t *testing.T) {
 		for i := int32(0); i < n; i++ {
 			peers := append([]RankedPeer(nil), ring[i]...)
 			peers[0].Rank = int32(1 + round) // force a change each round
-			if err := m.Upload(bg, i, peers); err != nil {
+			if err := m.Upload(bg, UploadRequest{User: i, Peers: peers}); err != nil {
 				t.Fatal(err)
 			}
 		}

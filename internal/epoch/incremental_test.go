@@ -143,10 +143,10 @@ func TestIncrementalMatchesFullDifferential(t *testing.T) {
 		feed := func(users []int32) {
 			t.Helper()
 			for _, u := range users {
-				if err := inc.Upload(bg, u, sc.lists[u]); err != nil {
+				if err := inc.Upload(bg, UploadRequest{User: u, Peers: sc.lists[u]}); err != nil {
 					t.Fatal(err)
 				}
-				if err := full.Upload(bg, u, sc.lists[u]); err != nil {
+				if err := full.Upload(bg, UploadRequest{User: u, Peers: sc.lists[u]}); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -210,6 +210,18 @@ func diffGenerations(a, b *Generation) string {
 		return fmt.Sprintf("bookkeeping differs: edges %d/%d clusters %d/%d skipped %d/%d",
 			a.Edges, b.Edges, a.Clusters, b.Clusters, a.Skipped, b.Skipped)
 	}
+	if a.Profiled != b.Profiled || a.KMax != b.KMax || a.Degraded != b.Degraded {
+		return fmt.Sprintf("profile accounting differs: profiled %d/%d kmax %d/%d degraded %d/%d",
+			a.Profiled, b.Profiled, a.KMax, b.KMax, a.Degraded, b.Degraded)
+	}
+	if len(a.Meta) != len(b.Meta) {
+		return fmt.Sprintf("cluster meta lengths differ: %d vs %d", len(a.Meta), len(b.Meta))
+	}
+	for i := range a.Meta {
+		if a.Meta[i] != b.Meta[i] {
+			return fmt.Sprintf("cluster meta %d differs: %+v vs %+v", i, a.Meta[i], b.Meta[i])
+		}
+	}
 	ae, be := a.Graph.Edges(), b.Graph.Edges()
 	if len(ae) != len(be) {
 		return fmt.Sprintf("edge counts differ: %d vs %d", len(ae), len(be))
@@ -251,7 +263,7 @@ func TestIncrementalShardAccounting(t *testing.T) {
 	defer m.Close()
 	lists := multiRing(rings, sz)
 	for u, peers := range lists {
-		if err := m.Upload(bg, u, peers); err != nil {
+		if err := m.Upload(bg, UploadRequest{User: u, Peers: peers}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -270,7 +282,7 @@ func TestIncrementalShardAccounting(t *testing.T) {
 	u := int32(2 * sz)
 	peers := append([]RankedPeer(nil), lists[u]...)
 	peers[0].Rank, peers[1].Rank = peers[1].Rank, peers[0].Rank
-	if err := m.Upload(bg, u, peers); err != nil {
+	if err := m.Upload(bg, UploadRequest{User: u, Peers: peers}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m.Rotate(bg); err != nil {
@@ -386,7 +398,7 @@ func TestConcurrentChurnIncremental(t *testing.T) {
 	defer m.Close()
 	lists := multiRing(rings, sz)
 	for u, peers := range lists {
-		if err := m.Upload(bg, u, peers); err != nil {
+		if err := m.Upload(bg, UploadRequest{User: u, Peers: peers}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -409,7 +421,7 @@ func TestConcurrentChurnIncremental(t *testing.T) {
 				u := int32(rng.Intn(n))
 				peers := append([]RankedPeer(nil), lists[u]...)
 				peers[0].Rank = int32(1 + rng.Intn(4))
-				if err := m.Upload(bg, u, peers); err != nil && !errors.Is(err, ErrClosed) {
+				if err := m.Upload(bg, UploadRequest{User: u, Peers: peers}); err != nil && !errors.Is(err, ErrClosed) {
 					t.Errorf("upload: %v", err)
 					return
 				}
@@ -441,7 +453,7 @@ func TestConcurrentChurnIncremental(t *testing.T) {
 				default:
 				}
 				host := int32(rng.Intn(n))
-				c, _, _, err := m.Cloak(bg, host)
+				cres, err := m.Cloak(bg, host)
 				if err != nil {
 					if strings.Contains(err.Error(), "smaller than k") {
 						continue
@@ -449,6 +461,7 @@ func TestConcurrentChurnIncremental(t *testing.T) {
 					t.Errorf("cloak(%d): %v", host, err)
 					return
 				}
+				c := cres.Cluster
 				if c.Size() < 3 || !c.Contains(host) {
 					t.Errorf("bad cluster %v for host %d", c.Members, host)
 					return

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"nonexposure/internal/core"
 	"nonexposure/internal/trace"
 )
 
@@ -83,11 +84,16 @@ type bufEntry struct {
 	// as the content, first is needed to evaluate the stored→first
 	// transition at reconcile time.
 	first, last []RankedPeer
+	// firstProf and lastProf bracket the profile chain the same way: an
+	// upload's content is the (list, profile) pair, so a transition that
+	// changes either marks the chain changed.
+	firstProf, lastProf core.Profile
 	// count is the raw upload count (every link of the chain).
 	count int
 	// changed records whether any internal transition (first→…→last)
-	// altered the list; dirtyPeers accumulates both endpoints' peers of
-	// every such transition, mirroring the direct path's dirty closure.
+	// altered the list or the profile; dirtyPeers accumulates both
+	// endpoints' peers of every such transition, mirroring the direct
+	// path's dirty closure.
 	changed    bool
 	dirtyPeers map[int32]struct{}
 }
@@ -102,10 +108,10 @@ func (e *bufEntry) addDirtyPeers(peers []RankedPeer) {
 }
 
 // uploadBuffered is Upload's buffered path: absorb the (validated,
-// copied) list into the user's shard without touching the manager lock,
-// then reconcile if a reconcile point was reached. cp is owned by the
-// callee.
-func (m *Manager) uploadBuffered(ctx context.Context, user int32, cp []RankedPeer) error {
+// copied) list and profile into the user's shard without touching the
+// manager lock, then reconcile if a reconcile point was reached. cp is
+// owned by the callee.
+func (m *Manager) uploadBuffered(ctx context.Context, user int32, cp []RankedPeer, prof core.Profile) error {
 	// A context that is already dead fails deterministically, exactly
 	// like the direct path's lockCtx.
 	if err := ctx.Err(); err != nil {
@@ -150,16 +156,17 @@ func (m *Manager) uploadBuffered(ctx context.Context, user int32, cp []RankedPee
 		return ErrClosed
 	}
 	if e := sh.entries[user]; e != nil {
-		if !equalRanks(e.last, cp) {
+		if !equalRanks(e.last, cp) || e.lastProf != prof {
 			e.changed = true
 			e.addDirtyPeers(e.last)
 			e.addDirtyPeers(cp)
 		}
 		e.last = cp
+		e.lastProf = prof
 		e.count++
 		coalesced = true
 	} else {
-		sh.entries[user] = &bufEntry{first: cp, last: cp, count: 1}
+		sh.entries[user] = &bufEntry{first: cp, last: cp, firstProf: prof, lastProf: prof, count: 1}
 	}
 	sh.count++
 	pending = m.pendingBuf.Add(1)
@@ -228,6 +235,11 @@ func (m *Manager) reconcileLocked(ctx context.Context) int {
 			sh.entries = make(map[int32]*bufEntry, len(entries))
 			sh.count = 0
 			m.pendingBuf.Add(-int64(c))
+		} else {
+			// count and entries reset together, so c == 0 means the map
+			// is empty — but it is still live: iterating the alias after
+			// unlocking would race with a concurrent insert.
+			entries = nil
 		}
 		sh.mu.Unlock()
 		for j := 0; j < c; j++ {
@@ -254,7 +266,7 @@ func (m *Manager) reconcileLocked(ctx context.Context) int {
 // stored content.
 func (m *Manager) applyEntryLocked(user int32, e *bufEntry) {
 	stored := m.uploads[user]
-	if !equalRanks(stored, e.first) {
+	if !equalRanks(stored, e.first) || m.profileOfLocked(user) != e.firstProf {
 		m.changed[user] = struct{}{}
 		m.dirty[user] = struct{}{}
 		for _, pr := range stored {
@@ -272,6 +284,7 @@ func (m *Manager) applyEntryLocked(user int32, e *bufEntry) {
 		}
 	}
 	m.uploads[user] = e.last
+	m.setProfileLocked(user, e.lastProf)
 	m.seq += uint64(e.count)
 	m.uploadsSince += e.count
 }
@@ -297,34 +310,42 @@ func (m *Manager) updateReconcileAtLocked() {
 
 // stalenessLoop is the max-staleness timer: it periodically reconciles
 // the buffers and triggers a rebuild when uploads have been waiting
-// longer than the policy allows without any other trigger firing. It
-// exits when the manager closes.
-func (m *Manager) stalenessLoop(maxStale time.Duration) {
-	interval := maxStale / 2
-	if interval < time.Millisecond {
-		interval = time.Millisecond
-	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
+// longer than the effective bound allows without any other trigger
+// firing. The bound is re-resolved every iteration — the minimum over
+// the policy's MaxStaleness and every stored profile's — so a newly
+// uploaded tighter profile takes effect on the next tick. A bound of 0
+// (policy unset and every staleness-bearing profile withdrawn) idles
+// the loop at a coarse poll. It exits when the manager closes.
+func (m *Manager) stalenessLoop() {
 	for {
-		select {
-		case <-m.stalenessStop:
-			return
-		case <-t.C:
-		}
 		m.lock()
 		if m.closed {
 			m.unlock()
 			return
 		}
-		m.reconcileLocked(context.Background())
-		reason := m.policyFiredLocked()
-		if reason == "" && m.uploadsSince > 0 && time.Since(m.lastTrigger) >= maxStale {
-			reason = TriggerStale
-		}
-		if reason != "" {
-			m.triggerLocked(reason)
+		bound := m.effectiveStaleLocked()
+		if bound > 0 {
+			m.reconcileLocked(context.Background())
+			reason := m.policyFiredLocked()
+			if reason == "" && m.uploadsSince > 0 && time.Since(m.lastTrigger) >= bound {
+				reason = TriggerStale
+			}
+			if reason != "" {
+				m.triggerLocked(reason)
+			}
 		}
 		m.unlock()
+		interval := bound / 2
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		if bound == 0 {
+			interval = 100 * time.Millisecond
+		}
+		select {
+		case <-m.stalenessStop:
+			return
+		case <-time.After(interval):
+		}
 	}
 }

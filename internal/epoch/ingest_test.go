@@ -10,16 +10,19 @@ import (
 	"testing"
 	"time"
 
+	"nonexposure/internal/core"
 	"nonexposure/internal/metrics"
 )
 
 // TestBufferedMatchesDirectDifferential is the tentpole acceptance gate
 // for buffered ingestion: across 100 seeded churn scenarios — including
 // interleaved rotates, coalesced re-uploads of the same user inside one
-// buffer epoch, and A→B→A chains that end where they started — a
-// buffered pipeline must publish generations bit-identical to a direct
-// pipeline fed the same upload sequence: same graphs, same clusters
-// with the same IDs, and the exact same transcript (trigger reasons,
+// buffer epoch, A→B→A list chains that end where they started, and
+// profile transitions (k_i raised then lowered, MaxArea set and
+// withdrawn) folded into the same chains — a buffered pipeline must
+// publish generations bit-identical to a direct pipeline fed the same
+// upload sequence: same graphs, same clusters with the same IDs, same
+// profile accounting, and the exact same transcript (trigger reasons,
 // upload counts, shard accounting and all).
 func TestBufferedMatchesDirectDifferential(t *testing.T) {
 	const (
@@ -44,18 +47,33 @@ func TestBufferedMatchesDirectDifferential(t *testing.T) {
 		}
 		sc := newChurnScenario(seed, rings, sz)
 		rng := rand.New(rand.NewSource(seed + 9000))
-		upload := func(u int32, list []RankedPeer) {
+		profs := make(map[int32]core.Profile)
+		upload := func(u int32, list []RankedPeer, prof core.Profile) {
 			t.Helper()
-			if err := buf.Upload(bg, u, list); err != nil {
+			if err := buf.Upload(bg, UploadRequest{User: u, Peers: list, Profile: prof}); err != nil {
 				t.Fatal(err)
 			}
-			if err := dir.Upload(bg, u, list); err != nil {
+			if err := dir.Upload(bg, UploadRequest{User: u, Peers: list, Profile: prof}); err != nil {
 				t.Fatal(err)
 			}
 		}
 		feed := func(users []int32) {
 			t.Helper()
 			for _, u := range users {
+				// A quarter of uploads also transition the user's
+				// profile: k_i raised above the service k, lowered
+				// beneath it (stored but clustering-neutral), or
+				// withdrawn back to the defaults.
+				if rng.Intn(4) == 0 {
+					switch rng.Intn(3) {
+					case 0:
+						profs[u] = core.Profile{K: int32(4 + rng.Intn(3))}
+					case 1:
+						profs[u] = core.Profile{K: 2}
+					default:
+						delete(profs, u)
+					}
+				}
 				// A third of the time, detour through an intermediate
 				// list first so the buffer coalesces a chain whose
 				// internal transition must still dirty both endpoints.
@@ -66,9 +84,9 @@ func TestBufferedMatchesDirectDifferential(t *testing.T) {
 					} else {
 						detour = []RankedPeer{{Peer: (u + 1) % n, Rank: 9}}
 					}
-					upload(u, detour)
+					upload(u, detour, profs[u])
 				}
-				upload(u, sc.lists[u])
+				upload(u, sc.lists[u], profs[u])
 			}
 			// Occasionally send an untouched user on an A→B→A round
 			// trip: net-unchanged content that both paths must still
@@ -77,8 +95,18 @@ func TestBufferedMatchesDirectDifferential(t *testing.T) {
 				u := int32(rng.Intn(n))
 				detour := append([]RankedPeer(nil), sc.lists[u]...)
 				detour = append(detour, RankedPeer{Peer: (u + int32(sz)) % n, Rank: 8})
-				upload(u, detour)
-				upload(u, sc.lists[u])
+				upload(u, detour, profs[u])
+				upload(u, sc.lists[u], profs[u])
+			}
+			// And an A→B→A profile round trip with unchanged lists: a
+			// MaxArea bound set then withdrawn inside one buffer epoch
+			// is net-unchanged state both paths must count as changed.
+			if rng.Intn(2) == 0 {
+				u := int32(rng.Intn(n))
+				wide := profs[u]
+				wide.MaxArea = 0.5
+				upload(u, sc.lists[u], wide)
+				upload(u, sc.lists[u], profs[u])
 			}
 			if _, err := buf.Rotate(bg); err != nil {
 				t.Fatal(err)
@@ -148,10 +176,10 @@ func TestBufferedCountPolicyTriggerParity(t *testing.T) {
 	for i := 0; i < uploads; i++ {
 		u := int32(rng.Intn(n))
 		list := []RankedPeer{{Peer: (u + 1) % n, Rank: int32(1 + rng.Intn(5))}}
-		if err := buf.Upload(bg, u, list); err != nil {
+		if err := buf.Upload(bg, UploadRequest{User: u, Peers: list}); err != nil {
 			t.Fatal(err)
 		}
-		if err := dir.Upload(bg, u, list); err != nil {
+		if err := dir.Upload(bg, UploadRequest{User: u, Peers: list}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -230,7 +258,7 @@ func TestReconcileOrderIndependent(t *testing.T) {
 	}
 	defer dir.Close()
 	for _, s := range stream {
-		if err := dir.Upload(bg, s.u, s.list); err != nil {
+		if err := dir.Upload(bg, UploadRequest{User: s.u, Peers: s.list}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -249,7 +277,7 @@ func TestReconcileOrderIndependent(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, s := range stream {
-			if err := m.Upload(bg, s.u, s.list); err != nil {
+			if err := m.Upload(bg, UploadRequest{User: s.u, Peers: s.list}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -287,7 +315,7 @@ func TestBufferedUploadCancelWhileFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.Upload(bg, 0, []RankedPeer{{Peer: 1, Rank: 1}}); err != nil {
+	if err := m.Upload(bg, UploadRequest{User: 0, Peers: []RankedPeer{{Peer: 1, Rank: 1}}}); err != nil {
 		t.Fatal(err)
 	}
 	// The single slot is now taken; hold the manager lock so the next
@@ -295,7 +323,7 @@ func TestBufferedUploadCancelWhileFull(t *testing.T) {
 	m.lock()
 	ctx, cancel := context.WithTimeout(bg, 20*time.Millisecond)
 	defer cancel()
-	err = m.Upload(ctx, 1, []RankedPeer{{Peer: 2, Rank: 1}})
+	err = m.Upload(ctx, UploadRequest{User: 1, Peers: []RankedPeer{{Peer: 2, Rank: 1}}})
 	m.unlock()
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("upload on a full buffer under a held lock = %v, want DeadlineExceeded", err)
@@ -304,12 +332,12 @@ func TestBufferedUploadCancelWhileFull(t *testing.T) {
 	// buffer has room (parity with the direct path's lockCtx check).
 	dead, cancelDead := context.WithCancel(bg)
 	cancelDead()
-	if err := m.Upload(dead, 2, []RankedPeer{{Peer: 3, Rank: 1}}); !errors.Is(err, context.Canceled) {
+	if err := m.Upload(dead, UploadRequest{User: 2, Peers: []RankedPeer{{Peer: 3, Rank: 1}}}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("upload with dead context = %v, want Canceled", err)
 	}
 	// The first upload survived both rejections and the lock is free
 	// again: the retry succeeds and both uploads reconcile.
-	if err := m.Upload(bg, 1, []RankedPeer{{Peer: 2, Rank: 1}}); err != nil {
+	if err := m.Upload(bg, UploadRequest{User: 1, Peers: []RankedPeer{{Peer: 2, Rank: 1}}}); err != nil {
 		t.Fatalf("retry after cancel = %v", err)
 	}
 	if err := m.Reconcile(bg); err != nil {
@@ -329,7 +357,7 @@ func TestCloseDrainsBufferedUploads(t *testing.T) {
 		t.Fatal(err)
 	}
 	for u := int32(0); u < 10; u++ {
-		if err := m.Upload(bg, u, []RankedPeer{{Peer: (u + 1) % 16, Rank: 1}}); err != nil {
+		if err := m.Upload(bg, UploadRequest{User: u, Peers: []RankedPeer{{Peer: (u + 1) % 16, Rank: 1}}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -344,7 +372,7 @@ func TestCloseDrainsBufferedUploads(t *testing.T) {
 	if st.Uploads != 10 || st.UploadsSeen != 10 {
 		t.Errorf("after close: %d stored / %d seen uploads, want 10/10 — buffered uploads were dropped", st.Uploads, st.UploadsSeen)
 	}
-	if err := m.Upload(bg, 11, []RankedPeer{{Peer: 1, Rank: 1}}); !errors.Is(err, ErrClosed) {
+	if err := m.Upload(bg, UploadRequest{User: 11, Peers: []RankedPeer{{Peer: 1, Rank: 1}}}); !errors.Is(err, ErrClosed) {
 		t.Errorf("upload after close = %v, want ErrClosed", err)
 	}
 	if err := m.Reconcile(bg); !errors.Is(err, ErrClosed) {
@@ -362,7 +390,7 @@ func TestBufferedBackpressureReconciles(t *testing.T) {
 	}
 	defer m.Close()
 	for u := int32(0); u < 64; u++ {
-		if err := m.Upload(bg, u, []RankedPeer{{Peer: (u + 1) % 64, Rank: 1}}); err != nil {
+		if err := m.Upload(bg, UploadRequest{User: u, Peers: []RankedPeer{{Peer: (u + 1) % 64, Rank: 1}}}); err != nil {
 			t.Fatalf("upload %d: %v", u, err)
 		}
 	}
@@ -386,10 +414,10 @@ func TestMaxStalenessTrigger(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.Upload(bg, 0, []RankedPeer{{Peer: 1, Rank: 1}}); err != nil {
+	if err := m.Upload(bg, UploadRequest{User: 0, Peers: []RankedPeer{{Peer: 1, Rank: 1}}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Upload(bg, 1, []RankedPeer{{Peer: 0, Rank: 1}}); err != nil {
+	if err := m.Upload(bg, UploadRequest{User: 1, Peers: []RankedPeer{{Peer: 0, Rank: 1}}}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -449,7 +477,7 @@ func TestConcurrentBufferedChurn(t *testing.T) {
 	defer m.Close()
 	lists := multiRing(rings, sz)
 	for u, peers := range lists {
-		if err := m.Upload(bg, u, peers); err != nil {
+		if err := m.Upload(bg, UploadRequest{User: u, Peers: peers}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -471,7 +499,7 @@ func TestConcurrentBufferedChurn(t *testing.T) {
 				u := int32(rng.Intn(n))
 				peers := append([]RankedPeer(nil), lists[u]...)
 				peers[0].Rank = int32(1 + rng.Intn(4))
-				if err := m.Upload(bg, u, peers); err != nil && !errors.Is(err, ErrClosed) {
+				if err := m.Upload(bg, UploadRequest{User: u, Peers: peers}); err != nil && !errors.Is(err, ErrClosed) {
 					t.Errorf("upload: %v", err)
 					return
 				}
@@ -511,7 +539,7 @@ func TestConcurrentBufferedChurn(t *testing.T) {
 				default:
 				}
 				host := int32(rng.Intn(n))
-				c, _, _, err := m.Cloak(bg, host)
+				cres, err := m.Cloak(bg, host)
 				if err != nil {
 					if strings.Contains(err.Error(), "smaller than k") {
 						continue
@@ -519,6 +547,7 @@ func TestConcurrentBufferedChurn(t *testing.T) {
 					t.Errorf("cloak(%d): %v", host, err)
 					return
 				}
+				c := cres.Cluster
 				if c.Size() < 3 || !c.Contains(host) {
 					t.Errorf("bad cluster %v for host %d", c.Members, host)
 					return

@@ -1,0 +1,230 @@
+package epoch
+
+import (
+	"strings"
+	"testing"
+
+	"math/rand"
+
+	"nonexposure/internal/core"
+)
+
+// TestProfileDifferential is the acceptance gate for personalized
+// privacy profiles, in two halves.
+//
+// Default half: a pipeline whose uploads carry only clustering-neutral
+// profiles (zero, or a personal floor at or below the service k) must
+// publish generations bit-identical to a pipeline fed the same lists
+// with no profiles at all — same clusters, same IDs — and the
+// no-profile pipeline's transcript must carry no profile suffix while
+// the profiled one only ever appends to those same lines. Profiles that
+// do not raise any floor cannot perturb the clustering.
+//
+// Heterogeneous half: across 100 seeded churn scenarios with profile
+// churn (floors raised up to 3x the service k, lowered, withdrawn),
+// every published generation's clusters must satisfy max(k_i) over
+// their members as demanded by the profiles stored at trigger time, and
+// the generation's per-cluster meta must agree with an independent
+// recomputation of those floors.
+func TestProfileDifferential(t *testing.T) {
+	t.Run("DefaultBitIdentical", testProfileDefaultBitIdentical)
+	t.Run("HeterogeneousMaxKi", testProfileHeterogeneousMaxKi)
+}
+
+func testProfileDefaultBitIdentical(t *testing.T) {
+	const rings, sz, ticks = 5, 8, 4
+	const n = rings * sz
+	plain, err := New(n, WithK(3), WithHistoryLimit(ticks+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	neutral, err := New(n, WithK(3), WithHistoryLimit(ticks+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer neutral.Close()
+
+	sc := newChurnScenario(77, rings, sz)
+	rng := rand.New(rand.NewSource(78))
+	feed := func(users []int32) {
+		for _, u := range users {
+			if err := plain.Upload(bg, UploadRequest{User: u, Peers: sc.lists[u]}); err != nil {
+				t.Fatal(err)
+			}
+			// Clustering-neutral profile: a floor at or below the
+			// service k (or zero), drawn per upload.
+			prof := core.Profile{K: int32(rng.Intn(4))}
+			if err := neutral.Upload(bg, UploadRequest{User: u, Peers: sc.lists[u], Profile: prof}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := plain.Rotate(bg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := neutral.Rotate(bg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	feed(all)
+	for tick := 0; tick < ticks; tick++ {
+		feed(sc.tick())
+	}
+	if err := plain.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := neutral.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+
+	ph, nh := plain.History(), neutral.History()
+	if len(ph) != len(nh) {
+		t.Fatalf("%d plain generations vs %d neutral", len(ph), len(nh))
+	}
+	for i := range ph {
+		// Meta/profile accounting legitimately differ (the neutral run
+		// stores profiles), so compare the clustering itself.
+		pc, nc := ph[i].Anon.Registry().Clusters(), nh[i].Anon.Registry().Clusters()
+		if len(pc) != len(nc) {
+			t.Fatalf("epoch %d: %d clusters vs %d", ph[i].Epoch, len(pc), len(nc))
+		}
+		for j := range pc {
+			if pc[j].ID != nc[j].ID || pc[j].T != nc[j].T || len(pc[j].Members) != len(nc[j].Members) {
+				t.Fatalf("epoch %d cluster %d differs: %+v vs %+v", ph[i].Epoch, j, pc[j], nc[j])
+			}
+			for m := range pc[j].Members {
+				if pc[j].Members[m] != nc[j].Members[m] {
+					t.Fatalf("epoch %d cluster %d member %d: %d vs %d",
+						ph[i].Epoch, j, m, pc[j].Members[m], nc[j].Members[m])
+				}
+			}
+		}
+		if ph[i].Edges != nh[i].Edges || ph[i].Skipped != nh[i].Skipped {
+			t.Fatalf("epoch %d bookkeeping differs", ph[i].Epoch)
+		}
+	}
+
+	// Transcript contract: no-profile lines carry no profile suffix;
+	// profiled lines are the same lines with an additive suffix only.
+	pt, nt := plain.Transcript(), neutral.Transcript()
+	if len(pt) != len(nt) {
+		t.Fatalf("transcript lengths differ: %d vs %d", len(pt), len(nt))
+	}
+	for i := range pt {
+		if strings.Contains(pt[i], "profiled=") {
+			t.Fatalf("plain transcript line %d carries a profile suffix: %s", i, pt[i])
+		}
+		if !strings.HasPrefix(nt[i], pt[i]) {
+			t.Fatalf("neutral transcript line %d is not an additive extension:\nplain:   %s\nneutral: %s",
+				i, pt[i], nt[i])
+		}
+	}
+}
+
+func testProfileHeterogeneousMaxKi(t *testing.T) {
+	const seeds = 100
+	const rings, sz, ticks = 5, 8, 3
+	const n = rings * sz
+	const k = 3
+	raisedSomewhere := false
+	for seed := int64(0); seed < seeds; seed++ {
+		m, err := New(n, WithK(k), WithHistoryLimit(ticks+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := newChurnScenario(seed+500, rings, sz)
+		rng := rand.New(rand.NewSource(seed + 501))
+		profs := make(map[int32]core.Profile)
+		var snaps []map[int32]core.Profile
+
+		churnProfile := func(u int32) {
+			switch rng.Intn(4) {
+			case 0:
+				profs[u] = core.Profile{K: int32(k + 1 + rng.Intn(2*k))}
+			case 1:
+				profs[u] = core.Profile{K: int32(rng.Intn(k + 1))}
+			case 2:
+				delete(profs, u)
+			}
+		}
+		feed := func(users []int32) {
+			for _, u := range users {
+				churnProfile(u)
+				if err := m.Upload(bg, UploadRequest{User: u, Peers: sc.lists[u], Profile: profs[u]}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Snapshot the stored profiles the trigger will see.
+			snap := make(map[int32]core.Profile, len(profs))
+			for u, p := range profs {
+				if !p.IsDefault() {
+					snap[u] = p
+				}
+			}
+			snaps = append(snaps, snap)
+			if _, err := m.Rotate(bg); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		feed(all)
+		for tick := 0; tick < ticks; tick++ {
+			feed(sc.tick())
+		}
+		if err := m.Sync(bg); err != nil {
+			t.Fatal(err)
+		}
+
+		hist := m.History()
+		if len(hist) != len(snaps) {
+			t.Fatalf("seed %d: %d generations vs %d profile snapshots", seed, len(hist), len(snaps))
+		}
+		for i, gen := range hist {
+			if gen.BuildErr != nil {
+				t.Fatalf("seed %d epoch %d: build failed: %v", seed, gen.Epoch, gen.BuildErr)
+			}
+			snap := snaps[i]
+			clusters := gen.Anon.Registry().Clusters()
+			for _, c := range clusters {
+				need := k
+				for _, v := range c.Members {
+					if p, ok := snap[v]; ok && int(p.K) > need {
+						need = int(p.K)
+					}
+				}
+				if need > k {
+					raisedSomewhere = true
+				}
+				if c.Size() < need {
+					t.Fatalf("seed %d epoch %d: cluster %d has %d members < max(k_i)=%d",
+						seed, gen.Epoch, c.ID, c.Size(), need)
+				}
+				if int(c.ID) < len(gen.Meta) {
+					if got := gen.Meta[c.ID].EffK; got != need {
+						t.Fatalf("seed %d epoch %d: cluster %d meta EffK=%d, recomputed %d",
+							seed, gen.Epoch, c.ID, got, need)
+					}
+				} else if len(gen.Meta) > 0 {
+					t.Fatalf("seed %d epoch %d: cluster %d has no meta entry (meta len %d)",
+						seed, gen.Epoch, c.ID, len(gen.Meta))
+				}
+			}
+			if len(snap) != gen.Profiled {
+				t.Fatalf("seed %d epoch %d: gen.Profiled=%d, snapshot has %d non-default profiles",
+					seed, gen.Epoch, gen.Profiled, len(snap))
+			}
+		}
+		m.Close()
+	}
+	if !raisedSomewhere {
+		t.Fatal("no cluster ever carried a raised floor across 100 scenarios — the profile churn never engaged")
+	}
+}

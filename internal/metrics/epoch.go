@@ -60,6 +60,12 @@ type EpochMetrics struct {
 	pendingBuffered atomic.Int64  // buffered uploads not yet reconciled
 	reconcileDur    LatencyHistogram
 
+	// Profile gauges (both zero while every user runs the default
+	// profile): the latest published generation's profiled-user and
+	// degraded-user counts.
+	profiled atomic.Int64
+	degraded atomic.Int64
+
 	stageMu sync.Mutex
 	stages  map[string]*stageAgg
 }
@@ -129,6 +135,19 @@ func (m *EpochMetrics) ObserveShards(total, rebuilt int) {
 	if rebuilt > 0 {
 		m.shardsRebuilt.Add(uint64(rebuilt))
 	}
+}
+
+// ObserveProfiles records one successful build's profile accounting:
+// how many users carried a non-default privacy profile in its snapshot
+// and how many were served degraded (cluster area over their own
+// MaxArea bound). Gauges, not counters — they describe the latest
+// generation. Safe on a nil receiver.
+func (m *EpochMetrics) ObserveProfiles(profiled, degraded int) {
+	if m == nil {
+		return
+	}
+	m.profiled.Store(int64(profiled))
+	m.degraded.Store(int64(degraded))
 }
 
 // ObserveSwap records that a freshly built generation was published.
@@ -234,6 +253,10 @@ type EpochSnapshot struct {
 	PendingBuffered int64
 	ReconcileP50    time.Duration
 	ReconcileP95    time.Duration
+	// Profiled and Degraded are the latest generation's profile gauges
+	// (both zero while every user runs the default profile).
+	Profiled int64
+	Degraded int64
 	// BuildHist is the raw rebuild-duration histogram for exporters.
 	BuildHist HistogramSnapshot
 	// ReconcileHist is the raw reconcile-drain-duration histogram.
@@ -268,6 +291,8 @@ func (m *EpochMetrics) Snapshot() EpochSnapshot {
 		PendingBuffered: m.pendingBuffered.Load(),
 		ReconcileP50:    quantileOf(rhist.Counts, rhist.Total, 0.50),
 		ReconcileP95:    quantileOf(rhist.Counts, rhist.Total, 0.95),
+		Profiled:        m.profiled.Load(),
+		Degraded:        m.degraded.Load(),
 		BuildHist:       hist,
 		ReconcileHist:   rhist,
 	}
@@ -303,6 +328,9 @@ func (s EpochSnapshot) String() string {
 	if s.Buffered > 0 {
 		out += fmt.Sprintf(" ingest=%d coalesced=%d reconciles=%d pending_buf=%d reconcile_p95=%v",
 			s.Buffered, s.Coalesced, s.Reconciles, s.PendingBuffered, s.ReconcileP95)
+	}
+	if s.Profiled > 0 {
+		out += fmt.Sprintf(" profiled=%d degraded=%d", s.Profiled, s.Degraded)
 	}
 	for _, st := range s.BuildStages {
 		out += fmt.Sprintf(" %s=%v/%v", st.Stage, st.Mean, st.Max)

@@ -105,6 +105,14 @@ func (c *Client) Stats() (Response, error) {
 	return c.roundTrip(Request{Op: OpStats})
 }
 
+// UploadProfile submits this user's ranked peer list together with a
+// personalized privacy profile over the v1 protocol. A zero ProfileSpec
+// reverts the user to the service defaults.
+func (c *Client) UploadProfile(user int32, peers []PeerRank, prof ProfileSpec) error {
+	_, err := c.roundTripV1(Request{Op: OpUpload, User: user, Peers: peers, Profile: &prof})
+	return err
+}
+
 // CloakV1 requests the k-anonymity cluster for user over the v1
 // protocol; the payload reports which epoch served the answer, and its
 // Cost field is present even when zero.

@@ -51,13 +51,18 @@ type PeerRank = epoch.RankedPeer
 
 // Request is one protocol request. V selects the response format (0 =
 // legacy flat Response, 1 = tagged Envelope). Fields are used per Op:
-// Upload: User + Peers; Cloak: User; Freeze/Rotate/Epoch/Stats/Ping:
-// none.
+// Upload: User + Peers + optional Profile (v1 only — v0 predates
+// profiles and ignores the field); Cloak: User;
+// Freeze/Rotate/Epoch/Stats/Ping: none.
 type Request struct {
 	V     int        `json:"v,omitempty"`
 	Op    Op         `json:"op"`
 	User  int32      `json:"user,omitempty"`
 	Peers []PeerRank `json:"peers,omitempty"`
+	// Profile carries the uploading user's personalized privacy demands;
+	// nil means "keep the service defaults", an explicit zero object
+	// reverts a previously uploaded profile.
+	Profile *ProfileSpec `json:"profile,omitempty"`
 }
 
 // Response is the legacy (v0) flat protocol response. Error is empty on

@@ -3,6 +3,7 @@ package service
 import (
 	"time"
 
+	"nonexposure/internal/core"
 	"nonexposure/internal/epoch"
 	"nonexposure/internal/metrics"
 )
@@ -27,6 +28,36 @@ type Envelope struct {
 	Epoch *EpochPayload `json:"epoch,omitempty"`
 }
 
+// ProfileSpec is the optional "profile" object a v1 upload may carry:
+// the user's personalized privacy demands. Absent fields (and an absent
+// object) mean the service defaults; sending an explicit zero object
+// reverts a previously uploaded profile to the defaults. Durations ride
+// the wire as integer milliseconds.
+type ProfileSpec struct {
+	// K is the user's personal anonymity floor; the effective level is
+	// max(service k, K), so profiles strengthen, never weaken.
+	K int32 `json:"k,omitempty"`
+	// MaxArea is the largest cloak area the user finds useful (0 =
+	// unbounded); exceeding it marks cloak responses degraded.
+	MaxArea float64 `json:"max_area,omitempty"`
+	// MaxStalenessMs bounds how long this user's uploads may wait
+	// without a rebuild (0 = the service-wide policy).
+	MaxStalenessMs int64 `json:"max_staleness_ms,omitempty"`
+}
+
+// Core converts the wire profile to the pipeline's profile type;
+// nil-safe (a nil spec is the default profile).
+func (p *ProfileSpec) Core() core.Profile {
+	if p == nil {
+		return core.Profile{}
+	}
+	return core.Profile{
+		K:            p.K,
+		MaxArea:      p.MaxArea,
+		MaxStaleness: time.Duration(p.MaxStalenessMs) * time.Millisecond,
+	}
+}
+
 // CloakPayload answers OpCloak. Cost and Epoch are always present: a
 // zero cost is a real answer (served from the generation cache), not an
 // absent field.
@@ -34,6 +65,13 @@ type CloakPayload struct {
 	Cluster []int32 `json:"cluster"`
 	Cost    int     `json:"cost"`
 	Epoch   uint64  `json:"epoch"`
+	// EffectiveK is the anonymity level the cluster actually satisfies:
+	// the service-wide k unless some member's profile demanded more.
+	EffectiveK int `json:"effective_k"`
+	// Degraded reports that the requesting user's own MaxArea bound was
+	// exceeded — the cluster is still a valid anonymity set, it is just
+	// larger than the user finds useful.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // EpochPayload answers OpEpoch and OpRotate: the state of the live
@@ -61,6 +99,15 @@ type EpochPayload struct {
 	ShardsRebuilt int `json:"shards_rebuilt"`
 	ShardsTotal   int `json:"shards_total"`
 
+	// Profiled counts users whose stored privacy profile is non-default;
+	// KMax and Degraded are the serving generation's profile accounting
+	// (largest effective k any cluster satisfies, and users served with
+	// their MaxArea bound exceeded). All omitted while every user runs
+	// the default profile.
+	Profiled int `json:"profiled,omitempty"`
+	KMax     int `json:"k_max,omitempty"`
+	Degraded int `json:"degraded,omitempty"`
+
 	LastBuildUs float64 `json:"last_build_us"`
 }
 
@@ -77,6 +124,9 @@ type StatsPayload struct {
 	// buffers but not yet reconciled into the rebuild input (always 0
 	// without -ingest-buffers).
 	PendingBuffered int `json:"pending_buffered"`
+	// Profiled counts users whose stored privacy profile is non-default
+	// (omitted while every user runs the defaults).
+	Profiled int `json:"profiled,omitempty"`
 
 	Requests  uint64            `json:"requests"`
 	ReqErrors uint64            `json:"req_errors"`
@@ -113,6 +163,9 @@ func epochPayload(st epoch.Status) *EpochPayload {
 		Skipped:       st.Skipped,
 		ShardsRebuilt: st.ShardsRebuilt,
 		ShardsTotal:   st.ShardsTotal,
+		Profiled:      st.Profiled,
+		KMax:          st.KMax,
+		Degraded:      st.Degraded,
 		LastBuildUs:   float64(st.LastBuildDuration) / float64(time.Microsecond),
 	}
 }
@@ -127,6 +180,7 @@ func statsPayload(st epoch.Status, snap metrics.RequestSnapshot) *StatsPayload {
 		Clusters:        st.Clusters,
 		Edges:           st.Edges,
 		PendingBuffered: st.PendingBuffered,
+		Profiled:        st.Profiled,
 		Requests:        snap.Total,
 		ReqErrors:       snap.Errors,
 		LatP50us:        float64(snap.P50) / float64(time.Microsecond),

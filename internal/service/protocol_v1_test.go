@@ -237,3 +237,94 @@ func TestV0RequestsUnchanged(t *testing.T) {
 		t.Errorf("v1 ping envelope = %+v", env)
 	}
 }
+
+// TestV1ProfileOverTCP drives the personalized-profile extension over
+// the wire: a v1 upload carries a profile object, cloak answers report
+// the effective anonymity level and the degraded flag, the epoch and
+// stats payloads count profiled users, and an explicit zero profile
+// reverts to the service defaults. The server is given a fixed-area
+// estimator through WithEpochOptions, so the MaxArea comparison is
+// exercised without the service ever seeing coordinates.
+func TestV1ProfileOverTCP(t *testing.T) {
+	const n = 12
+	srv, err := New(WithNumUsers(n), WithK(3),
+		WithEpochOptions(epoch.WithAreaEstimator(func([]int32) (float64, bool) { return 4.0, true })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	peers := ringPeers(n)
+	for user := int32(0); user < n; user++ {
+		if user == 0 {
+			// User 0 demands k_i=5 and a MaxArea below the estimator's
+			// constant 4.0, so its cloak must come back degraded.
+			err = c.UploadProfile(user, peers[user], ProfileSpec{K: 5, MaxArea: 1.0})
+		} else {
+			err = c.Upload(user, peers[user])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := c.CloakV1(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.EffectiveK < 5 {
+		t.Errorf("effective_k = %d, want >= 5", cl.EffectiveK)
+	}
+	if len(cl.Cluster) < 5 {
+		t.Errorf("cluster size %d < demanded k_i=5", len(cl.Cluster))
+	}
+	if !cl.Degraded {
+		t.Error("cloak not degraded despite area 4.0 > MaxArea 1.0")
+	}
+
+	ep, err := c.EpochStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Profiled != 1 || ep.KMax < 5 || ep.Degraded < 1 {
+		t.Errorf("epoch payload profile accounting = profiled=%d k_max=%d degraded=%d",
+			ep.Profiled, ep.KMax, ep.Degraded)
+	}
+	st, err := c.StatsV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Profiled != 1 {
+		t.Errorf("stats profiled = %d, want 1", st.Profiled)
+	}
+
+	// An explicit zero profile reverts user 0 to the service defaults.
+	if err := c.UploadProfile(0, peers[0], ProfileSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.StatsV1(); err != nil || st.Profiled != 0 {
+		t.Errorf("after revert: stats profiled = %d err=%v, want 0/nil", st.Profiled, err)
+	}
+	cl, err = c.CloakV1(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.EffectiveK != 3 || cl.Degraded {
+		t.Errorf("after revert: effective_k=%d degraded=%v, want 3/false", cl.EffectiveK, cl.Degraded)
+	}
+}

@@ -32,13 +32,15 @@ const (
 // concurrent connections; every request is folded into the server's
 // request metrics.
 type Server struct {
-	numUsers      int
-	k             int
-	workers       int
-	policy        epoch.Policy
-	idleTimeout   time.Duration
-	fullRebuild   bool
-	ingestBuffers int
+	numUsers    int
+	k           int
+	workers     int
+	idleTimeout time.Duration
+	// epochOpts is passed through to epoch.New after the mirrored
+	// service options, so pipeline knobs (rebuild policy, incremental
+	// mode, ingest buffers, area estimator, ...) need no per-field
+	// service option; see WithEpochOptions.
+	epochOpts []epoch.Option
 
 	mgr        *epoch.Manager
 	reqMetrics *metrics.RequestMetrics
@@ -73,10 +75,25 @@ func WithK(k int) Option { return func(s *Server) { s.k = k } }
 // selects GOMAXPROCS).
 func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
 
+// WithEpochOptions passes epoch pipeline options straight through to
+// the underlying epoch.New call (default none). They are applied after
+// the options the server derives from its own configuration (k,
+// workers, metrics, tracing), so an explicit epoch option always wins.
+// This is the one extension point for pipeline knobs — rebuild policy,
+// incremental mode, ingest buffers, area estimator — so new epoch
+// options never need a mirrored service option.
+func WithEpochOptions(opts ...epoch.Option) Option {
+	return func(s *Server) { s.epochOpts = append(s.epochOpts, opts...) }
+}
+
 // WithRebuildPolicy sets the automatic epoch rebuild policy. The default
 // is manual: only freeze/rotate requests trigger rebuilds, which is the
 // legacy freeze-once behavior.
-func WithRebuildPolicy(p epoch.Policy) Option { return func(s *Server) { s.policy = p } }
+//
+// Deprecated: use WithEpochOptions(epoch.WithPolicy(p)) (removal: 2026-09).
+func WithRebuildPolicy(p epoch.Policy) Option {
+	return WithEpochOptions(epoch.WithPolicy(p))
+}
 
 // WithMetrics attaches epoch pipeline metrics (nil is fine; request
 // metrics are always collected regardless).
@@ -88,19 +105,20 @@ func WithMetrics(em *metrics.EpochMetrics) Option { return func(s *Server) { s.e
 func WithIdleTimeout(d time.Duration) Option { return func(s *Server) { s.idleTimeout = d } }
 
 // WithFullRebuild forces every epoch rebuild to run from scratch
-// instead of the default incremental sharded path (which re-clusters
-// only the connected components touched since the previous build). The
-// published generations are bit-identical either way; this is an
-// escape hatch for debugging and A/B measurement.
-func WithFullRebuild(on bool) Option { return func(s *Server) { s.fullRebuild = on } }
+// instead of the default incremental sharded path.
+//
+// Deprecated: use WithEpochOptions(epoch.WithIncremental(!on)) (removal: 2026-09).
+func WithFullRebuild(on bool) Option {
+	return WithEpochOptions(epoch.WithIncremental(!on))
+}
 
 // WithIngestBuffers enables contention-aware buffered upload ingestion
-// with n per-shard buffers (sharded by user id). Uploads then absorb
-// into shard-local buffers instead of serializing on the epoch
-// manager's lock, reconciling in batches at rebuild-trigger evaluation
-// points; the v1 stats payload reports the unreconciled backlog as
-// pending_buffered. n <= 0 (the default) keeps direct ingestion.
-func WithIngestBuffers(n int) Option { return func(s *Server) { s.ingestBuffers = n } }
+// with n per-shard buffers (sharded by user id).
+//
+// Deprecated: use WithEpochOptions(epoch.WithIngestBuffers(n)) (removal: 2026-09).
+func WithIngestBuffers(n int) Option {
+	return WithEpochOptions(epoch.WithIngestBuffers(n))
+}
 
 // WithTraceRecorder enables request tracing: every handled request gets
 // a root span threaded down through the epoch pipeline, anonymizer, and
@@ -121,14 +139,13 @@ func New(opts ...Option) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
-	mgr, err := epoch.New(s.numUsers,
+	epochOpts := append([]epoch.Option{
 		epoch.WithK(s.k),
 		epoch.WithWorkers(s.workers),
-		epoch.WithPolicy(s.policy),
-		epoch.WithIncremental(!s.fullRebuild),
-		epoch.WithIngestBuffers(s.ingestBuffers),
 		epoch.WithMetrics(s.em),
-		epoch.WithTraceRecorder(s.tracer))
+		epoch.WithTraceRecorder(s.tracer),
+	}, s.epochOpts...)
+	mgr, err := epoch.New(s.numUsers, epochOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
@@ -343,8 +360,9 @@ func (s *Server) dispatchV0(ctx context.Context, req Request) Response {
 	case OpPing:
 		return Response{OK: true}
 	case OpUpload:
+		// v0 predates profiles; uploads carry the default profile.
 		usp := trace.FromContext(ctx).Child("epoch.upload")
-		err := s.mgr.Upload(ctx, req.User, req.Peers)
+		err := s.mgr.Upload(ctx, epoch.UploadRequest{User: req.User, Peers: req.Peers})
 		usp.End()
 		if err != nil {
 			return Response{Error: err.Error()}
@@ -363,11 +381,11 @@ func (s *Server) dispatchV0(ctx context.Context, req Request) Response {
 		}
 		return Response{OK: true, Epoch: ep}
 	case OpCloak:
-		cluster, cost, ep, err := s.mgr.Cloak(ctx, req.User)
+		res, err := s.mgr.Cloak(ctx, req.User)
 		if err != nil {
 			return Response{Error: err.Error()}
 		}
-		return Response{OK: true, Cluster: cluster.Members, Cost: cost, Epoch: ep}
+		return Response{OK: true, Cluster: res.Cluster.Members, Cost: res.Cost, Epoch: res.Epoch}
 	case OpEpoch:
 		st := s.mgr.Status()
 		return Response{OK: true, Epoch: st.Epoch, Frozen: st.Published,
@@ -408,7 +426,11 @@ func (s *Server) dispatchV1(ctx context.Context, req Request) Envelope {
 		return ok
 	case OpUpload:
 		usp := trace.FromContext(ctx).Child("epoch.upload")
-		err := s.mgr.Upload(ctx, req.User, req.Peers)
+		err := s.mgr.Upload(ctx, epoch.UploadRequest{
+			User:    req.User,
+			Peers:   req.Peers,
+			Profile: req.Profile.Core(),
+		})
 		usp.End()
 		if err != nil {
 			return errEnvelope(err.Error())
@@ -434,11 +456,17 @@ func (s *Server) dispatchV1(ctx context.Context, req Request) Envelope {
 		ok.Epoch = p
 		return ok
 	case OpCloak:
-		cluster, cost, ep, err := s.mgr.Cloak(ctx, req.User)
+		res, err := s.mgr.Cloak(ctx, req.User)
 		if err != nil {
 			return errEnvelope(err.Error())
 		}
-		ok.Cloak = &CloakPayload{Cluster: cluster.Members, Cost: cost, Epoch: ep}
+		ok.Cloak = &CloakPayload{
+			Cluster:    res.Cluster.Members,
+			Cost:       res.Cost,
+			Epoch:      res.Epoch,
+			EffectiveK: res.EffectiveK,
+			Degraded:   res.Degraded,
+		}
 		return ok
 	case OpEpoch:
 		ok.Epoch = epochPayload(s.mgr.Status())

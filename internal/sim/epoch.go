@@ -28,6 +28,12 @@ type EpochScenario struct {
 	Ticks int
 	// Frac is the fraction of users that re-upload per tick.
 	Frac float64
+	// Profiles holds the per-user privacy profiles uploaded alongside
+	// every ranking (nil/missing = the default profile). Heterogeneous
+	// scenarios raise some users' personal k above the service K;
+	// Violations then checks every cluster against the max over its
+	// members.
+	Profiles map[int32]core.Profile
 }
 
 // GenerateEpochScenario derives a scenario from a seed, scaled small
@@ -42,6 +48,24 @@ func GenerateEpochScenario(seed int64) EpochScenario {
 		Ticks:    2 + rng.Intn(4),
 		Frac:     0.1 + 0.4*rng.Float64(),
 	}
+}
+
+// GenerateProfiledEpochScenario derives a heterogeneous-profile
+// scenario from a seed: a seeded fraction of users demands a personal
+// anonymity floor above the service K (up to 3K), so clusters must
+// satisfy max(k_i) over their members rather than the uniform K.
+func GenerateProfiledEpochScenario(seed int64) EpochScenario {
+	sc := GenerateEpochScenario(seed)
+	sc.Name = fmt.Sprintf("profiled-%d", seed)
+	rng := rand.New(rand.NewSource(seed + 3))
+	frac := 0.1 + 0.3*rng.Float64()
+	sc.Profiles = make(map[int32]core.Profile)
+	for u := 0; u < sc.NumUsers; u++ {
+		if rng.Float64() < frac {
+			sc.Profiles[int32(u)] = core.Profile{K: int32(sc.K + 1 + rng.Intn(2*sc.K))}
+		}
+	}
+	return sc
 }
 
 // EpochReport is the outcome of one scenario: every published
@@ -75,7 +99,7 @@ func RunEpochScenario(sc EpochScenario) (*EpochReport, error) {
 			for _, e := range g.Neighbors(v) {
 				peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
 			}
-			if err := mgr.Upload(ctx, v, peers); err != nil {
+			if err := mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers, Profile: sc.Profiles[v]}); err != nil {
 				return err
 			}
 		}
@@ -150,12 +174,13 @@ func (r *EpochReport) Violations() []string {
 			out = append(out, fmt.Sprintf("epoch %d: reciprocity: %v", gen.Epoch, err))
 		}
 		for _, c := range reg.Clusters() {
-			if c.Size() < r.Scenario.K {
-				out = append(out, fmt.Sprintf("epoch %d: cluster %d has %d members < k=%d",
-					gen.Epoch, c.ID, c.Size(), r.Scenario.K))
+			need := r.Scenario.floorOf(c.Members)
+			if c.Size() < need {
+				out = append(out, fmt.Sprintf("epoch %d: cluster %d has %d members < max(k_i)=%d",
+					gen.Epoch, c.ID, c.Size(), need))
 			}
 		}
-		if msg := checkEpochCoverage(gen.Graph, reg, r.Scenario.K, gen.Skipped); msg != "" {
+		if msg := checkEpochCoverage(gen.Graph, reg, r.Scenario, gen.Skipped); msg != "" {
 			out = append(out, fmt.Sprintf("epoch %d: %s", gen.Epoch, msg))
 		}
 		if msg := checkEpochIsolation(gen.Graph, reg, r.Scenario.K); msg != "" {
@@ -165,12 +190,26 @@ func (r *EpochReport) Violations() []string {
 	return out
 }
 
+// floorOf is the anonymity floor a member set must satisfy: the service
+// K raised by any member's personal profile demand.
+func (sc EpochScenario) floorOf(members []int32) int {
+	need := sc.K
+	for _, v := range members {
+		if p, ok := sc.Profiles[v]; ok && int(p.K) > need {
+			need = int(p.K)
+		}
+	}
+	return need
+}
+
 // checkEpochCoverage verifies the unassigned set is exactly the union
-// of components smaller than k.
-func checkEpochCoverage(g *wpg.Graph, reg *core.Registry, k, skipped int) string {
+// of undersized components — those smaller than the max anonymity floor
+// demanded by any of their members (the uniform k when no profiles are
+// in play).
+func checkEpochCoverage(g *wpg.Graph, reg *core.Registry, sc EpochScenario, skipped int) string {
 	unassigned := 0
 	for _, comp := range g.Components() {
-		small := len(comp) < k
+		small := len(comp) < sc.floorOf(comp)
 		for _, v := range comp {
 			switch {
 			case small && reg.Assigned(v):

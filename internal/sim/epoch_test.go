@@ -26,6 +26,36 @@ func TestEpochScenariosHoldInvariants(t *testing.T) {
 	}
 }
 
+// TestProfiledEpochScenariosSatisfyMaxKi is the acceptance sweep for
+// heterogeneous privacy profiles end to end: 100 seeded mobile-churn
+// scenarios where a seeded fraction of users demands a personal
+// anonymity floor above the service K. Every published generation must
+// hold every invariant with the k-anonymity check raised to max(k_i)
+// over each cluster's members — zero violations tolerated.
+func TestProfiledEpochScenariosSatisfyMaxKi(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-scenario sweep skipped in -short mode")
+	}
+	profiledSomewhere := false
+	for seed := int64(1); seed <= 100; seed++ {
+		sc := GenerateProfiledEpochScenario(seed)
+		if len(sc.Profiles) > 0 {
+			profiledSomewhere = true
+		}
+		rep, err := RunEpochScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if v := rep.Violations(); len(v) > 0 {
+			t.Errorf("%s violated:\n  %s\n  transcript:\n  %s",
+				sc.Name, strings.Join(v, "\n  "), strings.Join(rep.Transcript, "\n  "))
+		}
+	}
+	if !profiledSomewhere {
+		t.Fatal("no scenario assigned a single raised profile — the generator never engaged")
+	}
+}
+
 // TestEpochScenarioDeterministic: the same seed must reproduce the
 // byte-identical epoch transcript — the property that makes violations
 // in the churn harness re-runnable.

@@ -57,7 +57,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   bench run [-grid tiny|default|contention] [-pops a,b] [-ks a,b] [-churns a,b]
-            [-workers a,b] [-ingest a,b] [-reps n] [-ticks n] [-requests n]
+            [-workers a,b] [-ingest a,b] [-profiles a,b] [-reps n] [-ticks n] [-requests n]
             [-theta f] [-seed n] [-rev r] [-out dir]
   bench validate <report.json>
   bench diff [-threshold f] [-sigmas f] <baseline.json> <current.json>`)
@@ -67,12 +67,13 @@ func usage() {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		gridName = fs.String("grid", "default", "base grid: default|tiny|contention")
+		gridName = fs.String("grid", "default", "base grid: default|tiny|contention|profiles")
 		pops     = fs.String("pops", "", "comma-separated population axis override")
 		ks       = fs.String("ks", "", "comma-separated k axis override")
 		churns   = fs.String("churns", "", "comma-separated churn-fraction axis override")
 		workers  = fs.String("workers", "", "comma-separated worker axis override")
 		ingest   = fs.String("ingest", "", "comma-separated ingest-buffer axis override (0 = direct)")
+		profiles = fs.String("profiles", "", "comma-separated profile-mix axis override (empty value = all defaults)")
 		reps     = fs.Int("reps", 0, "repetitions per cell (0 = grid default)")
 		ticks    = fs.Int("ticks", 0, "churn ticks per rep (0 = grid default)")
 		requests = fs.Int("requests", 0, "requests per rep (0 = grid default)")
@@ -96,8 +97,10 @@ func cmdRun(args []string) error {
 		g = bench.TinyGrid()
 	case "contention":
 		g = bench.ContentionGrid()
+	case "profiles":
+		g = bench.ProfilesGrid()
 	default:
-		return fmt.Errorf("-grid must be default, tiny, or contention, got %q", *gridName)
+		return fmt.Errorf("-grid must be default, tiny, contention, or profiles, got %q", *gridName)
 	}
 	var err error
 	if g.Populations, err = overrideInts(g.Populations, *pops); err != nil {
@@ -114,6 +117,9 @@ func cmdRun(args []string) error {
 	}
 	if g.IngestBuffers, err = overrideInts(g.IngestBuffers, *ingest); err != nil {
 		return fmt.Errorf("-ingest: %w", err)
+	}
+	if *profiles != "" {
+		g.Profiles = strings.Split(*profiles, ",")
 	}
 	if *reps > 0 {
 		g.Reps = *reps

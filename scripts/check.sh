@@ -15,11 +15,12 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-# The deprecated pre-option constructors are gone; nothing may
-# reintroduce a deprecation marker — delete the API instead.
-echo "==> no '// Deprecated:' markers"
-if grep -rn "Deprecated:" --include='*.go' .; then
-    echo "deprecated markers found (remove the API instead of deprecating it)" >&2
+# Deprecation markers are only allowed on the three dated
+# WithEpochOptions shims scheduled for removal in 2026-09; anything
+# else must delete the API instead of deprecating it.
+echo "==> no undated '// Deprecated:' markers"
+if grep -rn "Deprecated:" --include='*.go' . | grep -v "removal: 2026-09"; then
+    echo "undated deprecation markers found (remove the API, or date it 'removal: 2026-09')" >&2
     exit 1
 fi
 
@@ -29,6 +30,14 @@ fi
 echo "==> no transitional '*NoCtx' wrappers"
 if grep -rn "NoCtx" --include='*.go' .; then
     echo "NoCtx wrappers found (pass a context instead of adding shims)" >&2
+    exit 1
+fi
+
+# The epoch upload API takes an UploadRequest struct; the old
+# positional (ctx, user, peers) signature is gone and must stay gone.
+echo "==> no positional epoch Upload calls"
+if grep -rnE '\.Upload\((ctx|bg|context\.)' --include='*.go' . | grep -v 'UploadRequest{'; then
+    echo "positional Upload calls found (use UploadRequest{User:, Peers:, Profile:})" >&2
     exit 1
 fi
 
@@ -75,6 +84,18 @@ go test -bench='^BenchmarkEpochIncrementalRebuild$' -benchtime=1x -run '^$' .
 # that the sharded ingest layer publishes byte-identical generations.
 echo "==> go test -run=TestBufferedMatchesDirectDifferential (ingest equivalence)"
 go test -run='^TestBufferedMatchesDirectDifferential$' -count=1 ./internal/epoch
+
+# The personalized-profile contract, by name: default profiles are
+# bit-identical to no profiles, heterogeneous floors satisfy max(k_i).
+echo "==> go test -run=TestProfileDifferential (profile equivalence)"
+go test -run='^TestProfileDifferential$' -count=1 ./internal/epoch
+
+# Utility-frontier smoke: one small profiles run through the cloaksim
+# CLI; a missing tier row means the mix, the estimator wiring, or the
+# LBS candidate counting broke.
+echo "==> cloaksim -profiles smoke"
+go run ./cmd/cloaksim -profiles -n 500 -k 5 | grep '2k+area' > /dev/null \
+    || { echo "cloaksim -profiles emitted no 2k+area tier row" >&2; exit 1; }
 echo "==> go test -bench=BenchmarkUploadThroughputZipf -benchtime=1x (smoke)"
 go test -bench='^BenchmarkUploadThroughputZipf$' -benchtime=1x -run '^$' .
 
@@ -104,7 +125,9 @@ rm -rf "$benchdir"
 if command -v curl >/dev/null 2>&1; then
     echo "==> cloakd admin smoke (/metrics, /healthz)"
     tmpdir=$(mktemp -d)
-    trap 'kill "$cloakd_pid" 2>/dev/null; rm -rf "$tmpdir"' EXIT
+    # `|| true`: the smoke already killed cloakd on success, and a
+    # failed re-kill under set -e would turn a green run into exit 1.
+    trap 'kill "$cloakd_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
     go build -o "$tmpdir/cloakd" ./cmd/cloakd
     "$tmpdir/cloakd" -addr 127.0.0.1:0 -admin 127.0.0.1:0 -n 100 -k 5 \
         > "$tmpdir/cloakd.log" 2>&1 &
