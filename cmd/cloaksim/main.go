@@ -420,7 +420,8 @@ func runProfiles(cfg simConfig) error {
 		for _, e := range g.Neighbors(v) {
 			peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
 		}
-		if err := mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers, Profile: profs[v]}); err != nil {
+		prof := profs[v] // zero for unprofiled users: the explicit default
+		if err := mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers, Profile: &prof}); err != nil {
 			return err
 		}
 	}

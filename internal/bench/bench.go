@@ -485,7 +485,15 @@ func runRep(p CellParams, cfg CellConfig) (repOut, error) {
 		for _, e := range g.Neighbors(v) {
 			peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
 		}
-		return mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers, Profile: profs[v]})
+		// Profiled cells restate each user's profile on every upload (zero
+		// for unprofiled users); profile-free cells send none at all, which
+		// keeps their request stream identical to the pre-profile one.
+		var prof *core.Profile
+		if profs != nil {
+			p := profs[v]
+			prof = &p
+		}
+		return mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers, Profile: prof})
 	}
 	// With ingest buffers on, uploads fan out across Workers concurrent
 	// clients — the contention the buffered path exists to absorb. Each

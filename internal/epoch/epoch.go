@@ -59,17 +59,19 @@ type RankedPeer struct {
 	Rank int32 `json:"rank"`
 }
 
-// UploadRequest is the upload API: one user's ranked peer list plus the
-// user's privacy profile. The zero Profile means "service defaults"; a
-// non-default profile sticks with the user across re-uploads until a
-// later upload replaces it (uploading the zero Profile reverts to the
-// defaults). A profile change counts as a content change for the
-// rebuild policy and the dirty-set tracker even when the peer list is
-// unchanged — the clustering the user needs has changed.
+// UploadRequest is the upload API: one user's ranked peer list plus an
+// optional privacy profile. Profile semantics are sticky per user with
+// last-write-wins, and the pointer distinguishes "absent" from
+// "explicit zero": a nil Profile leaves any stored profile untouched, a
+// non-nil Profile replaces it, and the explicit zero profile
+// (&core.Profile{}) reverts the user to the service defaults. A profile
+// change counts as a content change for the rebuild policy and the
+// dirty-set tracker even when the peer list is unchanged — the
+// clustering the user needs has changed; a nil Profile never does.
 type UploadRequest struct {
 	User    int32
 	Peers   []RankedPeer
-	Profile core.Profile
+	Profile *core.Profile
 }
 
 // validate rejects requests the pipeline could never honor.
@@ -85,8 +87,10 @@ func (r UploadRequest) validate(numUsers int) error {
 			return fmt.Errorf("epoch: rank %d < 1 for peer %d", pr.Rank, pr.Peer)
 		}
 	}
-	if err := r.Profile.Validate(numUsers); err != nil {
-		return fmt.Errorf("epoch: %w", err)
+	if r.Profile != nil {
+		if err := r.Profile.Validate(numUsers); err != nil {
+			return fmt.Errorf("epoch: %w", err)
+		}
 	}
 	return nil
 }
@@ -298,10 +302,15 @@ type Manager struct {
 	// reconcileAt is the pending count at which an uploader reconciles
 	// (0 = never count-driven), and closedFlag mirrors closed for the
 	// buffered fast path, which must not take the manager lock.
-	shards        []ingestShard
-	pendingBuf    atomic.Int64
-	reconcileAt   atomic.Int64
-	closedFlag    atomic.Bool
+	shards      []ingestShard
+	pendingBuf  atomic.Int64
+	reconcileAt atomic.Int64
+	closedFlag  atomic.Bool
+	// pendingStale is the smallest MaxStaleness carried by any buffered,
+	// not-yet-reconciled profile (nanoseconds; 0 = none). It keeps
+	// effectiveStaleLocked honest while such a profile is invisible in
+	// the profiles map; reconcileLocked clears it once the buffers drain.
+	pendingStale  atomic.Int64
 	stalenessStop chan struct{}
 
 	// All fields below are guarded by sem.
@@ -472,10 +481,13 @@ func New(numUsers int, opts ...Option) (*Manager, error) {
 	return m, nil
 }
 
-// startStalenessLocked launches the staleness timer goroutine once.
-// Callers hold the manager lock (or are inside New). The timer also
-// starts lazily when the first profile carrying a MaxStaleness bound
-// arrives on a manager whose policy alone never needed it.
+// startStalenessLocked launches the staleness timer goroutine if it is
+// not already running. Callers hold the manager lock (or are inside
+// New). The timer also starts lazily when the first profile carrying a
+// MaxStaleness bound arrives — via setProfileLocked on the direct path,
+// via uploadBuffered on the buffered one — on a manager whose policy
+// alone never needed it, and stops itself once the effective bound
+// drops back to zero.
 func (m *Manager) startStalenessLocked() {
 	if m.stalenessStop != nil || m.closed {
 		return
@@ -485,15 +497,19 @@ func (m *Manager) startStalenessLocked() {
 }
 
 // effectiveStaleLocked resolves the pipeline's staleness bound: the
-// minimum over the policy's MaxStaleness and every stored profile's (0
-// entries mean unset). Callers hold the manager lock. O(profiled
-// users), which the non-default-only profiles map keeps small.
+// minimum over the policy's MaxStaleness, every stored profile's, and
+// the buffered-profile hint (0 entries mean unset). Callers hold the
+// manager lock. O(profiled users), which the non-default-only profiles
+// map keeps small.
 func (m *Manager) effectiveStaleLocked() time.Duration {
 	bound := m.policy.MaxStaleness
 	for _, p := range m.profiles {
 		if p.MaxStaleness > 0 && (bound == 0 || p.MaxStaleness < bound) {
 			bound = p.MaxStaleness
 		}
+	}
+	if h := time.Duration(m.pendingStale.Load()); h > 0 && (bound == 0 || h < bound) {
+		bound = h
 	}
 	return bound
 }
@@ -554,19 +570,26 @@ func (m *Manager) Incremental() bool { return m.incremental }
 
 // Upload folds one user's ranked peer list and privacy profile into the
 // next epoch's input and fires the rebuild policy if its threshold is
-// reached. A re-upload identical to the user's stored ranking AND
-// stored profile counts toward EveryUploads but not toward ChangedFrac;
-// a profile change alone is a change (the clustering the user needs
-// moved, so the user and both peer lists join the dirty closure).
-// Cancellation is honored while waiting for the manager lock; an
-// accepted upload is never rolled back. Returns ErrClosed after Close.
+// reached. A re-upload identical to the user's stored ranking that
+// carries no profile (or restates the stored one) counts toward
+// EveryUploads but not toward ChangedFrac; a profile change alone is a
+// change (the clustering the user needs moved, so the user and both
+// peer lists join the dirty closure). Cancellation is honored while
+// waiting for the manager lock; an accepted upload is never rolled
+// back. Returns ErrClosed after Close.
 func (m *Manager) Upload(ctx context.Context, req UploadRequest) error {
 	if err := req.validate(m.numUsers); err != nil {
 		return err
 	}
 	cp := append([]RankedPeer(nil), req.Peers...)
+	// Copy the profile too: the caller may reuse the pointed-to value.
+	var prof *core.Profile
+	if req.Profile != nil {
+		v := *req.Profile
+		prof = &v
+	}
 	if len(m.shards) > 0 {
-		return m.uploadBuffered(ctx, req.User, cp, req.Profile)
+		return m.uploadBuffered(ctx, req.User, cp, prof)
 	}
 	if err := m.lockCtx(ctx); err != nil {
 		return err
@@ -576,7 +599,8 @@ func (m *Manager) Upload(ctx context.Context, req UploadRequest) error {
 		return ErrClosed
 	}
 	user := req.User
-	if prevList := m.uploads[user]; !equalRanks(prevList, cp) || m.profileOfLocked(user) != req.Profile {
+	if prevList := m.uploads[user]; !equalRanks(prevList, cp) ||
+		(prof != nil && m.profileOfLocked(user) != *prof) {
 		m.changed[user] = struct{}{}
 		// Cluster-dirty closure: the user's old and new peers are the
 		// only other vertices whose incident edges can change, so they
@@ -592,7 +616,9 @@ func (m *Manager) Upload(ctx context.Context, req UploadRequest) error {
 		}
 	}
 	m.uploads[user] = cp
-	m.setProfileLocked(user, req.Profile)
+	if prof != nil {
+		m.setProfileLocked(user, *prof)
+	}
 	m.seq++
 	m.uploadsSince++
 	if reason := m.policyFiredLocked(); reason != "" {

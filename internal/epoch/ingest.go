@@ -84,10 +84,21 @@ type bufEntry struct {
 	// as the content, first is needed to evaluate the stored→first
 	// transition at reconcile time.
 	first, last []RankedPeer
-	// firstProf and lastProf bracket the profile chain the same way: an
-	// upload's content is the (list, profile) pair, so a transition that
-	// changes either marks the chain changed.
-	firstProf, lastProf core.Profile
+	// firstProf is the profile the chain's first upload carried (nil =
+	// absent, so the stored→first transition has no profile component);
+	// effProf is the last profile any upload in the chain set (nil = the
+	// chain never set one and the stored profile survives the drain).
+	firstProf, effProf *core.Profile
+	// firstSet resolves the one transition insert time cannot: the first
+	// profile-bearing upload of a chain that started profile-less
+	// compares against the stored profile, which lives under the manager
+	// lock. firstSetDirty carries the peers of the two lists around that
+	// link; both are folded into the dirty closure at reconcile iff the
+	// stored comparison reports a change. nil when the chain's first
+	// upload carried a profile (the stored→first evaluation covers it)
+	// or no upload set one at all.
+	firstSet      *core.Profile
+	firstSetDirty map[int32]struct{}
 	// count is the raw upload count (every link of the chain).
 	count int
 	// changed records whether any internal transition (first→…→last)
@@ -107,11 +118,22 @@ func (e *bufEntry) addDirtyPeers(peers []RankedPeer) {
 	}
 }
 
+func (e *bufEntry) addFirstSetDirty(lists ...[]RankedPeer) {
+	if e.firstSetDirty == nil {
+		e.firstSetDirty = make(map[int32]struct{})
+	}
+	for _, l := range lists {
+		for _, pr := range l {
+			e.firstSetDirty[pr.Peer] = struct{}{}
+		}
+	}
+}
+
 // uploadBuffered is Upload's buffered path: absorb the (validated,
 // copied) list and profile into the user's shard without touching the
-// manager lock, then reconcile if a reconcile point was reached. cp is
-// owned by the callee.
-func (m *Manager) uploadBuffered(ctx context.Context, user int32, cp []RankedPeer, prof core.Profile) error {
+// manager lock, then reconcile if a reconcile point was reached. cp and
+// prof are owned by the callee (nil prof = keep any stored profile).
+func (m *Manager) uploadBuffered(ctx context.Context, user int32, cp []RankedPeer, prof *core.Profile) error {
 	// A context that is already dead fails deterministically, exactly
 	// like the direct path's lockCtx.
 	if err := ctx.Err(); err != nil {
@@ -156,23 +178,50 @@ func (m *Manager) uploadBuffered(ctx context.Context, user int32, cp []RankedPee
 		return ErrClosed
 	}
 	if e := sh.entries[user]; e != nil {
-		if !equalRanks(e.last, cp) || e.lastProf != prof {
+		listChanged := !equalRanks(e.last, cp)
+		profChanged := prof != nil && e.effProf != nil && *e.effProf != *prof
+		if listChanged || profChanged {
 			e.changed = true
 			e.addDirtyPeers(e.last)
 			e.addDirtyPeers(cp)
 		}
+		if prof != nil && e.effProf == nil {
+			// First profile of a chain that started without one: whether
+			// this link is a change depends on the stored profile, so the
+			// comparison (and this link's dirty lists) defer to reconcile.
+			e.firstSet = prof
+			e.addFirstSetDirty(e.last, cp)
+		}
+		if prof != nil {
+			e.effProf = prof
+		}
 		e.last = cp
-		e.lastProf = prof
 		e.count++
 		coalesced = true
 	} else {
-		sh.entries[user] = &bufEntry{first: cp, last: cp, firstProf: prof, lastProf: prof, count: 1}
+		sh.entries[user] = &bufEntry{first: cp, last: cp, firstProf: prof, effProf: prof, count: 1}
+	}
+	if prof != nil && prof.MaxStaleness > 0 {
+		m.noteStaleHint(prof.MaxStaleness)
 	}
 	sh.count++
 	pending = m.pendingBuf.Add(1)
 	sh.mu.Unlock()
 	m.em.ObserveBufferedUpload(coalesced)
 	m.em.SetPendingBuffered(pending)
+	if prof != nil && prof.MaxStaleness > 0 {
+		// Arm the staleness timer: the profile sits in a shard buffer
+		// until some reconcile point fires, and with no count threshold
+		// and no policy staleness only this timer guarantees one. Taking
+		// the manager lock here (rare: only staleness-bearing profiles
+		// pay it) serializes against the loop's self-stop, so the bound
+		// is either seen by the running loop or enforced by a fresh one.
+		m.lock()
+		if !m.closed {
+			m.startStalenessLocked()
+		}
+		m.unlock()
+	}
 	if at := m.reconcileAt.Load(); at > 0 && pending >= at {
 		// Upload-count threshold reached: reconcile so the policy can
 		// fire on exactly this upload. The upload is already accepted —
@@ -224,6 +273,12 @@ func (m *Manager) reconcileLocked(ctx context.Context) int {
 	}
 	sp := trace.FromContext(ctx).Child("epoch.reconcile")
 	defer sp.End()
+	// Drained profiles land in m.profiles below, where the staleness
+	// bound sees them directly; clear the hint before draining so a
+	// concurrent insert's re-set is never lost (a hint that lingers past
+	// its drain is harmless — it only polls faster until the next
+	// reconcile clears it).
+	m.pendingStale.Store(0)
 	start := time.Now()
 	total, users := 0, 0
 	for i := range m.shards {
@@ -266,7 +321,8 @@ func (m *Manager) reconcileLocked(ctx context.Context) int {
 // stored content.
 func (m *Manager) applyEntryLocked(user int32, e *bufEntry) {
 	stored := m.uploads[user]
-	if !equalRanks(stored, e.first) || m.profileOfLocked(user) != e.firstProf {
+	storedProf := m.profileOfLocked(user)
+	if !equalRanks(stored, e.first) || (e.firstProf != nil && storedProf != *e.firstProf) {
 		m.changed[user] = struct{}{}
 		m.dirty[user] = struct{}{}
 		for _, pr := range stored {
@@ -274,6 +330,16 @@ func (m *Manager) applyEntryLocked(user int32, e *bufEntry) {
 		}
 		for _, pr := range e.first {
 			m.dirty[pr.Peer] = struct{}{}
+		}
+	}
+	if e.firstSet != nil && storedProf != *e.firstSet {
+		// The chain's first profile set happened mid-chain and really was
+		// a change against the stored profile: replay its deferred dirty
+		// closure, exactly as the direct path would have at that link.
+		m.changed[user] = struct{}{}
+		m.dirty[user] = struct{}{}
+		for p := range e.firstSetDirty {
+			m.dirty[p] = struct{}{}
 		}
 	}
 	if e.changed {
@@ -284,7 +350,9 @@ func (m *Manager) applyEntryLocked(user int32, e *bufEntry) {
 		}
 	}
 	m.uploads[user] = e.last
-	m.setProfileLocked(user, e.lastProf)
+	if e.effProf != nil {
+		m.setProfileLocked(user, *e.effProf)
+	}
 	m.seq += uint64(e.count)
 	m.uploadsSince += e.count
 }
@@ -308,14 +376,35 @@ func (m *Manager) updateReconcileAtLocked() {
 	m.reconcileAt.Store(at)
 }
 
+// noteStaleHint records that a buffered, not-yet-reconciled profile
+// carries a MaxStaleness bound. Monotone min into pendingStale;
+// reconcileLocked clears it once the buffers drain (the profile is then
+// visible in the profiles map, which effectiveStaleLocked scans).
+func (m *Manager) noteStaleHint(d time.Duration) {
+	for {
+		cur := m.pendingStale.Load()
+		if cur != 0 && time.Duration(cur) <= d {
+			return
+		}
+		if m.pendingStale.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
 // stalenessLoop is the max-staleness timer: it periodically reconciles
 // the buffers and triggers a rebuild when uploads have been waiting
 // longer than the effective bound allows without any other trigger
 // firing. The bound is re-resolved every iteration — the minimum over
-// the policy's MaxStaleness and every stored profile's — so a newly
-// uploaded tighter profile takes effect on the next tick. A bound of 0
-// (policy unset and every staleness-bearing profile withdrawn) idles
-// the loop at a coarse poll. It exits when the manager closes.
+// the policy's MaxStaleness, every stored profile's, and the buffered
+// hint — so a newly uploaded tighter profile takes effect on the next
+// tick. When the bound drops to 0 (policy unset and every
+// staleness-bearing profile withdrawn) the loop stops instead of
+// polling an idle manager forever; setProfileLocked and uploadBuffered
+// restart it lazily, and both run under the manager lock, so a bound
+// appearing while the loop decides to stop is either visible to it or
+// restarts a fresh loop after it exits. It also exits when the manager
+// closes.
 func (m *Manager) stalenessLoop() {
 	for {
 		m.lock()
@@ -324,26 +413,27 @@ func (m *Manager) stalenessLoop() {
 			return
 		}
 		bound := m.effectiveStaleLocked()
-		if bound > 0 {
-			m.reconcileLocked(context.Background())
-			reason := m.policyFiredLocked()
-			if reason == "" && m.uploadsSince > 0 && time.Since(m.lastTrigger) >= bound {
-				reason = TriggerStale
-			}
-			if reason != "" {
-				m.triggerLocked(reason)
-			}
+		if bound == 0 {
+			m.stalenessStop = nil
+			m.unlock()
+			return
 		}
+		m.reconcileLocked(context.Background())
+		reason := m.policyFiredLocked()
+		if reason == "" && m.uploadsSince > 0 && time.Since(m.lastTrigger) >= bound {
+			reason = TriggerStale
+		}
+		if reason != "" {
+			m.triggerLocked(reason)
+		}
+		stop := m.stalenessStop
 		m.unlock()
 		interval := bound / 2
 		if interval < time.Millisecond {
 			interval = time.Millisecond
 		}
-		if bound == 0 {
-			interval = 100 * time.Millisecond
-		}
 		select {
-		case <-m.stalenessStop:
+		case <-stop:
 			return
 		case <-time.After(interval):
 		}

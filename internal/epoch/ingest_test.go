@@ -19,11 +19,13 @@ import (
 // interleaved rotates, coalesced re-uploads of the same user inside one
 // buffer epoch, A→B→A list chains that end where they started, and
 // profile transitions (k_i raised then lowered, MaxArea set and
-// withdrawn) folded into the same chains — a buffered pipeline must
-// publish generations bit-identical to a direct pipeline fed the same
-// upload sequence: same graphs, same clusters with the same IDs, same
-// profile accounting, and the exact same transcript (trigger reasons,
-// upload counts, shard accounting and all).
+// withdrawn, restated as a no-op, omitted entirely so the sticky stored
+// profile survives, and first set mid-chain after a profile-less link)
+// folded into the same chains — a buffered pipeline must publish
+// generations bit-identical to a direct pipeline fed the same upload
+// sequence: same graphs, same clusters with the same IDs, same profile
+// accounting, and the exact same transcript (trigger reasons, upload
+// counts, shard accounting and all).
 func TestBufferedMatchesDirectDifferential(t *testing.T) {
 	const (
 		seeds = 100
@@ -48,7 +50,7 @@ func TestBufferedMatchesDirectDifferential(t *testing.T) {
 		sc := newChurnScenario(seed, rings, sz)
 		rng := rand.New(rand.NewSource(seed + 9000))
 		profs := make(map[int32]core.Profile)
-		upload := func(u int32, list []RankedPeer, prof core.Profile) {
+		upload := func(u int32, list []RankedPeer, prof *core.Profile) {
 			t.Helper()
 			if err := buf.Upload(bg, UploadRequest{User: u, Peers: list, Profile: prof}); err != nil {
 				t.Fatal(err)
@@ -63,7 +65,12 @@ func TestBufferedMatchesDirectDifferential(t *testing.T) {
 				// A quarter of uploads also transition the user's
 				// profile: k_i raised above the service k, lowered
 				// beneath it (stored but clustering-neutral), or
-				// withdrawn back to the defaults.
+				// withdrawn back to the defaults (the explicit zero
+				// profile). A further eighth restate the current
+				// profile — a set that changes nothing. All other
+				// uploads omit the profile entirely and must leave the
+				// stored one untouched.
+				var prof *core.Profile
 				if rng.Intn(4) == 0 {
 					switch rng.Intn(3) {
 					case 0:
@@ -73,10 +80,18 @@ func TestBufferedMatchesDirectDifferential(t *testing.T) {
 					default:
 						delete(profs, u)
 					}
+					p := profs[u]
+					prof = &p
+				} else if rng.Intn(2) == 0 {
+					p := profs[u]
+					prof = &p
 				}
 				// A third of the time, detour through an intermediate
 				// list first so the buffer coalesces a chain whose
 				// internal transition must still dirty both endpoints.
+				// The profile rides either link, so chains whose first
+				// upload is profile-less and a later one sets (the
+				// deferred stored-comparison case) are exercised too.
 				if rng.Intn(3) == 0 {
 					detour := append([]RankedPeer(nil), sc.lists[u]...)
 					if len(detour) > 0 {
@@ -84,9 +99,16 @@ func TestBufferedMatchesDirectDifferential(t *testing.T) {
 					} else {
 						detour = []RankedPeer{{Peer: (u + 1) % n, Rank: 9}}
 					}
-					upload(u, detour, profs[u])
+					if rng.Intn(2) == 0 {
+						upload(u, detour, prof)
+						upload(u, sc.lists[u], nil)
+					} else {
+						upload(u, detour, nil)
+						upload(u, sc.lists[u], prof)
+					}
+					continue
 				}
-				upload(u, sc.lists[u], profs[u])
+				upload(u, sc.lists[u], prof)
 			}
 			// Occasionally send an untouched user on an A→B→A round
 			// trip: net-unchanged content that both paths must still
@@ -95,8 +117,8 @@ func TestBufferedMatchesDirectDifferential(t *testing.T) {
 				u := int32(rng.Intn(n))
 				detour := append([]RankedPeer(nil), sc.lists[u]...)
 				detour = append(detour, RankedPeer{Peer: (u + int32(sz)) % n, Rank: 8})
-				upload(u, detour, profs[u])
-				upload(u, sc.lists[u], profs[u])
+				upload(u, detour, nil)
+				upload(u, sc.lists[u], nil)
 			}
 			// And an A→B→A profile round trip with unchanged lists: a
 			// MaxArea bound set then withdrawn inside one buffer epoch
@@ -105,8 +127,9 @@ func TestBufferedMatchesDirectDifferential(t *testing.T) {
 				u := int32(rng.Intn(n))
 				wide := profs[u]
 				wide.MaxArea = 0.5
-				upload(u, sc.lists[u], wide)
-				upload(u, sc.lists[u], profs[u])
+				back := profs[u]
+				upload(u, sc.lists[u], &wide)
+				upload(u, sc.lists[u], &back)
 			}
 			if _, err := buf.Rotate(bg); err != nil {
 				t.Fatal(err)
@@ -196,6 +219,64 @@ func TestBufferedCountPolicyTriggerParity(t *testing.T) {
 	if strings.Join(bt, "\n") != strings.Join(dt, "\n") {
 		t.Fatalf("count-policy transcripts differ:\nbuffered:\n%s\ndirect:\n%s",
 			strings.Join(bt, "\n"), strings.Join(dt, "\n"))
+	}
+}
+
+// TestBufferedProfileStalenessEnforced pins the buffered-ingest
+// staleness guarantee: a MaxStaleness-bearing profile that lands in an
+// ingest buffer on a manager with no policy staleness and no count
+// threshold must still get its bound enforced — the upload itself arms
+// the staleness timer and leaves a pending-bound hint, so a rebuild
+// triggers without any other reconcile point ever firing. Once the
+// profile is withdrawn the timer goroutine stops instead of polling the
+// idle manager forever (it restarts lazily on the next bound).
+func TestBufferedProfileStalenessEnforced(t *testing.T) {
+	m, err := New(8, WithK(2), WithIngestBuffers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	prof := core.Profile{K: 3, MaxStaleness: 10 * time.Millisecond}
+	if err := m.Upload(bg, UploadRequest{User: 0, Peers: []RankedPeer{{Peer: 1, Rank: 1}}, Profile: &prof}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Upload(bg, UploadRequest{User: 1, Peers: []RankedPeer{{Peer: 0, Rank: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Status().Builds == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("staleness-bearing profile sat in the ingest buffer: no rebuild within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	found := false
+	for _, line := range m.Transcript() {
+		if strings.Contains(line, "trigger=stale") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no stale-triggered epoch in transcript:\n%s", strings.Join(m.Transcript(), "\n"))
+	}
+
+	// Withdraw the profile: the effective bound drops to 0 and the timer
+	// goroutine must stop (stalenessStop reset to nil under the lock).
+	if err := m.Upload(bg, UploadRequest{User: 0, Peers: []RankedPeer{{Peer: 1, Rank: 1}}, Profile: &core.Profile{}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		m.lock()
+		stopped := m.stalenessStop == nil
+		m.unlock()
+		if stopped {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("staleness loop still running 5s after the last bound was withdrawn")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -59,9 +59,10 @@ type Request struct {
 	Op    Op         `json:"op"`
 	User  int32      `json:"user,omitempty"`
 	Peers []PeerRank `json:"peers,omitempty"`
-	// Profile carries the uploading user's personalized privacy demands;
-	// nil means "keep the service defaults", an explicit zero object
-	// reverts a previously uploaded profile.
+	// Profile carries the uploading user's personalized privacy demands.
+	// Sticky per user with last-write-wins: omitting the object keeps any
+	// stored profile untouched, an explicit zero object ("profile":{})
+	// reverts a previously uploaded profile to the service defaults.
 	Profile *ProfileSpec `json:"profile,omitempty"`
 }
 

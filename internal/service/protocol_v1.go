@@ -45,13 +45,15 @@ type ProfileSpec struct {
 	MaxStalenessMs int64 `json:"max_staleness_ms,omitempty"`
 }
 
-// Core converts the wire profile to the pipeline's profile type;
-// nil-safe (a nil spec is the default profile).
-func (p *ProfileSpec) Core() core.Profile {
+// Core converts the wire profile to the pipeline's pointer semantics:
+// nil for an absent object (keep any stored profile untouched), the
+// explicit zero &core.Profile{} for the empty object (revert to the
+// service defaults).
+func (p *ProfileSpec) Core() *core.Profile {
 	if p == nil {
-		return core.Profile{}
+		return nil
 	}
-	return core.Profile{
+	return &core.Profile{
 		K:            p.K,
 		MaxArea:      p.MaxArea,
 		MaxStaleness: time.Duration(p.MaxStalenessMs) * time.Millisecond,

@@ -328,3 +328,86 @@ func TestV1ProfileOverTCP(t *testing.T) {
 		t.Errorf("after revert: effective_k=%d degraded=%v, want 3/false", cl.EffectiveK, cl.Degraded)
 	}
 }
+
+// TestV1ProfileStickyOverWire pins PROTOCOL.md's sticky-profile
+// contract at the wire layer: after an upload stores a profile, a v0
+// upload and a v1 upload that omit the profile object both leave it
+// untouched, and only the explicit empty object ("profile":{}) reverts
+// the user to the service defaults. This is the regression test for the
+// revert-on-omit bug where any profile-less re-upload silently lowered
+// a user's demanded anonymity floor back to the service default.
+func TestV1ProfileStickyOverWire(t *testing.T) {
+	const n = 12
+	srv, err := New(WithNumUsers(n), WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	peers := ringPeers(n)
+	for user := int32(0); user < n; user++ {
+		if err := c.Upload(user, peers[user]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.UploadProfile(0, peers[0], ProfileSpec{K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	assertFloor := func(step string, wantK int, wantProfiled int) {
+		t.Helper()
+		cl, err := c.CloakV1(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.EffectiveK != wantK {
+			t.Errorf("%s: effective_k = %d, want %d", step, cl.EffectiveK, wantK)
+		}
+		st, err := c.StatsV1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Profiled != wantProfiled {
+			t.Errorf("%s: stats profiled = %d, want %d", step, st.Profiled, wantProfiled)
+		}
+	}
+	assertFloor("after profiled upload", 5, 1)
+
+	// A v0 re-upload omits the profile: the stored floor must survive.
+	if err := c.Upload(0, peers[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	assertFloor("after v0 re-upload", 5, 1)
+
+	// A v1 re-upload without a profile object keeps it too.
+	if _, err := c.roundTripV1(Request{Op: OpUpload, User: 0, Peers: peers[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	assertFloor("after v1 profile-less re-upload", 5, 1)
+
+	// Only the explicit empty object reverts.
+	if err := c.UploadProfile(0, peers[0], ProfileSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	assertFloor("after explicit {} revert", 3, 0)
+}

@@ -360,7 +360,8 @@ func (s *Server) dispatchV0(ctx context.Context, req Request) Response {
 	case OpPing:
 		return Response{OK: true}
 	case OpUpload:
-		// v0 predates profiles; uploads carry the default profile.
+		// v0 predates profiles; a nil Profile leaves any stored profile
+		// untouched, as client.go's plain Upload promises.
 		usp := trace.FromContext(ctx).Child("epoch.upload")
 		err := s.mgr.Upload(ctx, epoch.UploadRequest{User: req.User, Peers: req.Peers})
 		usp.End()

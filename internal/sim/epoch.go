@@ -99,7 +99,8 @@ func RunEpochScenario(sc EpochScenario) (*EpochReport, error) {
 			for _, e := range g.Neighbors(v) {
 				peers = append(peers, epoch.RankedPeer{Peer: e.To, Rank: e.W})
 			}
-			if err := mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers, Profile: sc.Profiles[v]}); err != nil {
+			prof := sc.Profiles[v] // zero for unprofiled users
+			if err := mgr.Upload(ctx, epoch.UploadRequest{User: v, Peers: peers, Profile: &prof}); err != nil {
 				return err
 			}
 		}
