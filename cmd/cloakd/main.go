@@ -11,12 +11,21 @@
 // Prometheus /metrics, JSON /healthz and /epochz, /tracez span trees
 // (enable with -trace), and /debug/pprof/.
 //
+// With -coordinator, cloakd runs as the front of a sharded cluster
+// instead of a single anonymizer: it spawns -shards in-process shards
+// (or routes to externally started cloakd processes named by
+// -shard-addrs), partitions users across them, and speaks the same wire
+// protocol on -addr, so clients cannot tell a cluster from one server.
+// See "Cluster tier" in DESIGN.md.
+//
 // Usage:
 //
 //	cloakd -addr 127.0.0.1:7464 -n 104770 -k 10
 //	cloakd -addr 127.0.0.1:7464 -n 50000 -rebuild-uploads 10000
 //	cloakd -addr 127.0.0.1:7464 -admin 127.0.0.1:6060 -trace 64
 //	cloakd -demo -n 5000 -k 10
+//	cloakd -coordinator -shards 4 -n 104770 -k 10 -admin 127.0.0.1:6060
+//	cloakd -coordinator -shard-addrs 10.0.0.1:7464,10.0.0.2:7464 -n 104770
 package main
 
 import (
@@ -29,9 +38,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"nonexposure/internal/admin"
+	"nonexposure/internal/cluster"
 	"nonexposure/internal/dataset"
 	"nonexposure/internal/epoch"
 	"nonexposure/internal/metrics"
@@ -56,6 +67,9 @@ type config struct {
 	fullRebuild   bool
 	demo          bool
 	seed          int64
+	coordinator   bool
+	shards        int
+	shardAddrs    string
 }
 
 // validate rejects flag combinations before any socket is opened, so a
@@ -86,6 +100,19 @@ func (c config) validate() error {
 	if c.traceCap < 0 {
 		return fmt.Errorf("-trace must be >= 0, got %d", c.traceCap)
 	}
+	if c.coordinator {
+		if c.demo {
+			return fmt.Errorf("-coordinator and -demo are mutually exclusive")
+		}
+		if c.shardAddrs == "" && c.shards < 1 {
+			return fmt.Errorf("-shards must be >= 1 with -coordinator, got %d", c.shards)
+		}
+		if c.frac != 0 || c.maxStale != 0 || c.ingestBuffers != 0 || c.fullRebuild || c.traceCap != 0 {
+			return fmt.Errorf("-coordinator only routes; rebuild tuning flags (-rebuild-frac, -max-staleness, -ingest-buffers, -full-rebuild, -trace) belong on the shard processes")
+		}
+	} else if c.shardAddrs != "" {
+		return fmt.Errorf("-shard-addrs requires -coordinator")
+	}
 	return nil
 }
 
@@ -104,6 +131,9 @@ func main() {
 	flag.BoolVar(&cfg.fullRebuild, "full-rebuild", false, "rebuild every epoch from scratch instead of the incremental sharded path")
 	flag.BoolVar(&cfg.demo, "demo", false, "run a self-contained demo population against the server and exit")
 	flag.Int64Var(&cfg.seed, "seed", 42, "demo dataset seed")
+	flag.BoolVar(&cfg.coordinator, "coordinator", false, "run as a cluster coordinator routing to shards instead of a single anonymizer")
+	flag.IntVar(&cfg.shards, "shards", 2, "in-process shard count with -coordinator (ignored when -shard-addrs is given)")
+	flag.StringVar(&cfg.shardAddrs, "shard-addrs", "", "comma-separated addresses of externally started cloakd shards to route to (with -coordinator)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cloakd:", err)
@@ -114,6 +144,9 @@ func main() {
 func run(cfg config) error {
 	if err := cfg.validate(); err != nil {
 		return err
+	}
+	if cfg.coordinator {
+		return runCoordinator(cfg)
 	}
 	policy := epoch.Policy{EveryUploads: cfg.everyN, ChangedFrac: cfg.frac, MaxStaleness: cfg.maxStale}
 	em := metrics.NewEpochMetrics()
@@ -182,6 +215,94 @@ func run(cfg config) error {
 		report()
 	}()
 	return runDemo(bound.String(), cfg.n, cfg.k, cfg.seed)
+}
+
+// runCoordinator is the -coordinator serving path: spawn (or connect
+// to) the shards, front them with a routing coordinator speaking the
+// standard wire protocol, and serve until interrupted. The admin
+// listener exposes the cloakd_cluster_* series instead of the
+// single-process pipeline metrics — per-shard pipeline metrics live on
+// the shards' own admin endpoints.
+func runCoordinator(cfg config) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var (
+		addrs  []string
+		shards []*cluster.Shard
+		err    error
+	)
+	if cfg.shardAddrs != "" {
+		for _, a := range strings.Split(cfg.shardAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	} else {
+		shards, err = cluster.SpawnInProcess(ctx, cfg.shards, cluster.ShardConfig{
+			NumUsers: cfg.n, K: cfg.k, Workers: cfg.workers, Admin: cfg.adminAddr != "",
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.CloseShards(shards) //nolint:errcheck // also closed explicitly below
+		addrs = cluster.Addrs(shards)
+		for i, s := range shards {
+			if s.AdminAddr != "" {
+				fmt.Printf("cloakd: shard %d on %s (admin %s)\n", i, s.Addr, s.AdminAddr)
+			} else {
+				fmt.Printf("cloakd: shard %d on %s\n", i, s.Addr)
+			}
+		}
+	}
+
+	cm := metrics.NewClusterMetrics()
+	opts := []cluster.Option{cluster.WithClusterMetrics(cm)}
+	if cfg.everyN > 0 {
+		opts = append(opts, cluster.WithEveryUploads(cfg.everyN))
+	}
+	coord, err := cluster.New(cfg.n, cfg.k, addrs, opts...)
+	if err != nil {
+		return err
+	}
+	bound, err := coord.Listen(ctx, cfg.addr)
+	if err != nil {
+		coord.Close()
+		return err
+	}
+	fmt.Printf("cloakd: coordinator listening on %s (%d shards, population %d, k=%d)\n",
+		bound, coord.Shards(), cfg.n, cfg.k)
+
+	var adminSrv *http.Server
+	if cfg.adminAddr != "" {
+		l, err := net.Listen("tcp", cfg.adminAddr)
+		if err != nil {
+			coord.Close()
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		adminSrv = &http.Server{Handler: admin.NewCluster(coord)}
+		go func() {
+			if err := adminSrv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "cloakd: admin server:", err)
+			}
+		}()
+		fmt.Printf("cloakd: admin listening on %s\n", l.Addr())
+	}
+
+	<-ctx.Done()
+	fmt.Println("cloakd: shutting down")
+	if adminSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		adminSrv.Shutdown(sctx) //nolint:errcheck // best effort on the way out
+		cancel()
+	}
+	closeErr := coord.Close()
+	if err := cluster.CloseShards(shards); err != nil && closeErr == nil {
+		closeErr = err
+	}
+	fmt.Printf("cloakd: final request metrics: %s\n", coord.Metrics().Snapshot())
+	fmt.Printf("cloakd: final cluster metrics: %s\n", cm.Snapshot())
+	return closeErr
 }
 
 // runDemo simulates the device side: measure proximity, upload, freeze,

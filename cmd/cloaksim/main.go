@@ -42,10 +42,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -54,12 +57,14 @@ import (
 	"nonexposure/cloak"
 	"nonexposure/internal/anonymizer"
 	"nonexposure/internal/bench"
+	"nonexposure/internal/cluster"
 	"nonexposure/internal/dataset"
 	"nonexposure/internal/epoch"
 	"nonexposure/internal/geo"
 	"nonexposure/internal/lbs"
 	"nonexposure/internal/metrics"
 	"nonexposure/internal/mobility"
+	"nonexposure/internal/service"
 	"nonexposure/internal/sim"
 	"nonexposure/internal/trace"
 	"nonexposure/internal/workload"
@@ -89,6 +94,9 @@ type simConfig struct {
 	theta         float64
 	ingestBuffers int
 	profiles      bool
+	cluster       bool
+	shards        int
+	cloakdBin     string
 }
 
 // validate rejects bad flag combinations up front, before any dataset
@@ -96,6 +104,14 @@ type simConfig struct {
 func (c simConfig) validate() error {
 	if c.profiles && c.cell {
 		return fmt.Errorf("-profiles and -cell are mutually exclusive (use -cell with a profiles grid via scripts/bench instead)")
+	}
+	if c.cluster {
+		if c.profiles || c.cell || c.faults > 0 {
+			return fmt.Errorf("-cluster cannot be combined with -profiles, -cell, or -faults")
+		}
+		if c.shards < 1 {
+			return fmt.Errorf("-shards must be >= 1 with -cluster, got %d", c.shards)
+		}
 	}
 	if c.profiles && (c.load > 0 || c.churn > 0 || c.faults > 0) {
 		return fmt.Errorf("-profiles cannot be combined with -load, -churn, or -faults")
@@ -175,10 +191,15 @@ func main() {
 	flag.Float64Var(&cfg.theta, "theta", 0.8, "Zipf skew of the request mix for -cell and -load")
 	flag.IntVar(&cfg.ingestBuffers, "ingest-buffers", 0, "buffered upload ingestion shards for -churn and -cell (0 = direct)")
 	flag.BoolVar(&cfg.profiles, "profiles", false, "utility-frontier mode: run the mixed privacy-profile tier mix through the epoch pipeline and report per-tier cloak area vs candidate-set size")
+	flag.BoolVar(&cfg.cluster, "cluster", false, "cluster mode: bring up a sharded cloakd cluster behind a routing coordinator and run the churn+load workload against it")
+	flag.IntVar(&cfg.shards, "shards", 2, "shard count for -cluster")
+	flag.StringVar(&cfg.cloakdBin, "cloakd-bin", "", "path to a cloakd binary for -cluster: spawn shards as separate OS processes (empty = in-process shards)")
 	flag.Parse()
 	err := cfg.validate()
 	if err == nil {
 		switch {
+		case cfg.cluster:
+			err = runCluster(cfg)
 		case cfg.profiles:
 			err = runProfiles(cfg)
 		case cfg.cell:
@@ -304,7 +325,7 @@ func runChurn(n, k int, seed int64, delta float64, ticks int, frac float64, work
 					return
 				default:
 				}
-				host = (host*48271 + 1) % int32(n)
+				host = int32((int64(host)*48271 + 1) % int64(n))
 				t0 := time.Now()
 				res, err := mgr.Cloak(context.Background(), host)
 				ep := res.Epoch
@@ -763,4 +784,266 @@ func run(n, k, host int, seed int64, mode, bound string, delta float64, overNet 
 		}
 	}
 	return nil
+}
+
+// runCluster is the multi-process acceptance workload: it brings up
+// -shards cloakd shards (in this process, or as child processes when
+// -cloakd-bin is given), fronts them with a routing coordinator, and
+// drives the same churn+load shape as -churn — except every upload and
+// cloak crosses the real v1 wire protocol and shard routing. After the
+// churn it sweeps the full population so "unserved" is an exact count,
+// not a sample: a user is unserved only if the cluster returned a hard
+// error (legitimately sub-k components don't count — a single cloakd
+// rejects those too). It finishes by scraping each shard's /metrics and
+// printing the coordinator's routing counters.
+func runCluster(cfg simConfig) error {
+	n, k, seed := cfg.n, cfg.k, cfg.seed
+	nShards := cfg.shards
+	workers := cfg.workers
+	if workers < 1 {
+		workers = 1
+	}
+	ticks := cfg.churn
+	if ticks == 0 {
+		ticks = 2
+	}
+	frac := cfg.churnFrac
+	delta := cfg.delta
+	if delta == 0 {
+		delta = 2e-3 * math.Sqrt(104770.0/float64(n))
+	}
+	pts := dataset.CaliforniaLike(n, seed)
+	keys, err := cluster.HilbertKeys(pts, cluster.DefaultKeyOrder)
+	if err != nil {
+		return err
+	}
+	model, err := mobility.NewLocalWander(pts, delta, delta/4, delta/2, seed)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mode := "in-process"
+	var shards []*cluster.Shard
+	if cfg.cloakdBin != "" {
+		mode = "child-process"
+		shards, err = cluster.SpawnProcesses(ctx, cfg.cloakdBin, nShards,
+			cluster.ShardConfig{NumUsers: n, K: k, Workers: workers})
+	} else {
+		shards, err = cluster.SpawnInProcess(ctx, nShards,
+			cluster.ShardConfig{NumUsers: n, K: k, Workers: workers, Admin: true})
+	}
+	if err != nil {
+		return err
+	}
+	defer cluster.CloseShards(shards)
+
+	cm := metrics.NewClusterMetrics()
+	coord, err := cluster.New(n, k, cluster.Addrs(shards),
+		cluster.WithKeys(keys), cluster.WithClusterMetrics(cm))
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	fmt.Printf("cluster: %d %s shards, population %d, k=%d, delta %.3g\n",
+		nShards, mode, n, k, delta)
+
+	uploadFrom := func(g *wpg.Graph, users []int32) error {
+		for _, v := range users {
+			var peers []service.PeerRank
+			for _, e := range g.Neighbors(v) {
+				peers = append(peers, service.PeerRank{Peer: e.To, Rank: e.W})
+			}
+			if err := coord.Upload(ctx, cluster.UploadRequest{User: v, Peers: peers}); err != nil {
+				return fmt.Errorf("upload user %d: %w", v, err)
+			}
+		}
+		return nil
+	}
+
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	t0 := time.Now()
+	g := wpg.Build(model.Positions(), wpg.BuildParams{Delta: delta, MaxPeers: 10})
+	if err := uploadFrom(g, all); err != nil {
+		return err
+	}
+	st, err := coord.Rotate(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: epoch %d live in %v (%d components, %d edges, %d border replays)\n",
+		st.Epoch, time.Since(t0).Round(time.Millisecond), st.Components, st.Edges, st.Moves)
+
+	// Concurrent cloak hammer for the whole churn phase, like -churn but
+	// through the coordinator.
+	var (
+		wg                   sync.WaitGroup
+		served, unclust, bad atomic.Int64
+	)
+	reqm := metrics.NewRequestMetrics()
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			host := int32(w * 2654435761 % n)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				host = int32((int64(host)*48271 + 1) % int64(n))
+				t0 := time.Now()
+				_, err := coord.Cloak(context.Background(), host)
+				reqm.Observe("cloak", time.Since(t0), err == nil)
+				switch {
+				case err == nil:
+					served.Add(1)
+				case strings.Contains(err.Error(), "smaller than k"):
+					unclust.Add(1)
+				default:
+					bad.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	perTick := int(frac * float64(n))
+	if perTick < 1 {
+		perTick = 1
+	}
+	for tick := 1; tick <= ticks; tick++ {
+		model.Step(1)
+		g := wpg.Build(model.Positions(), wpg.BuildParams{Delta: delta, MaxPeers: 10})
+		moved := rng.Perm(n)[:perTick]
+		users := make([]int32, perTick)
+		for i, u := range moved {
+			users[i] = int32(u)
+		}
+		if err := uploadFrom(g, users); err != nil {
+			close(stop)
+			wg.Wait()
+			return err
+		}
+		st, err := coord.Rotate(ctx)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return err
+		}
+		fmt.Printf("cluster: tick %d rotated to epoch %d (%d users re-homed)\n",
+			tick, st.Epoch, st.Moves)
+	}
+	close(stop)
+	wg.Wait()
+
+	total := served.Load() + unclust.Load() + bad.Load()
+	snap := reqm.Snapshot()
+	fmt.Printf("cluster: churn load %d cloaks from %d workers: %d served, %d unclusterable, %d hard failures\n",
+		total, workers, served.Load(), unclust.Load(), bad.Load())
+	fmt.Printf("cluster: cloak latency p50=%v p95=%v p99=%v\n", snap.P50, snap.P95, snap.P99)
+
+	// Full-population sweep: every user must be either served or
+	// legitimately sub-k. Anything else counts as unserved.
+	var swServed, swUnclust, swBad atomic.Int64
+	var swg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		swg.Add(1)
+		go func(lo, hi int32) {
+			defer swg.Done()
+			for u := lo; u < hi; u++ {
+				_, err := coord.Cloak(context.Background(), u)
+				switch {
+				case err == nil:
+					swServed.Add(1)
+				case strings.Contains(err.Error(), "smaller than k"):
+					swUnclust.Add(1)
+				default:
+					swBad.Add(1)
+				}
+			}
+		}(int32(lo), int32(hi))
+	}
+	swg.Wait()
+	fmt.Printf("cluster: sweep of all %d users: %d served, %d unclusterable, unserved=%d\n",
+		n, swServed.Load(), swUnclust.Load(), swBad.Load())
+
+	// Per-shard view, over each shard's own admin endpoint.
+	for i, s := range shards {
+		if s.AdminAddr == "" {
+			continue
+		}
+		reqs, errs, swaps, err := scrapeShard(s.AdminAddr)
+		if err != nil {
+			fmt.Printf("cluster: shard %d /metrics: %v\n", i, err)
+			continue
+		}
+		fmt.Printf("cluster: shard %d (%s): %d requests, %d errors, %d epoch swaps\n",
+			i, s.Addr, reqs, errs, swaps)
+	}
+	cs := cm.Snapshot()
+	fmt.Printf("cluster: coordinator %s\n", cs)
+	for _, op := range cs.Routed {
+		fmt.Printf("cluster: routed %s=%d\n", op.Op, op.Count)
+	}
+
+	if err := coord.Close(); err != nil {
+		return err
+	}
+	if err := cluster.CloseShards(shards); err != nil {
+		return err
+	}
+	fmt.Println("cluster: clean shutdown")
+	if nBad := bad.Load() + swBad.Load(); nBad > 0 {
+		return fmt.Errorf("%d cloaks failed hard", nBad)
+	}
+	return nil
+}
+
+// scrapeShard fetches one shard's Prometheus /metrics page and folds it
+// to the three numbers the cluster report prints: total requests, total
+// request errors, and completed epoch swaps.
+func scrapeShard(adminAddr string) (reqs, errs, swaps uint64, err error) {
+	resp, err := http.Get("http://" + adminAddr + "/metrics")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, perr := strconv.ParseUint(fields[1], 10, 64)
+		if perr != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(fields[0], "cloakd_requests_total{"):
+			reqs += v
+		case strings.HasPrefix(fields[0], "cloakd_request_errors_total{"):
+			errs += v
+		case fields[0] == "cloakd_epoch_swaps_total":
+			swaps = v
+		}
+	}
+	return reqs, errs, swaps, nil
 }

@@ -1,0 +1,569 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nonexposure/internal/graph"
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/service"
+)
+
+// Coordinator fronts N cloakd shards behind the single-process protocol:
+// clients upload rankings and request cloaks exactly as against one
+// cloakd, and the coordinator routes each operation to the shard that
+// owns the user.
+//
+// Ownership has two layers. The static layer is the Hilbert key
+// partition: every user has a key-owner shard from cutting the (key, id)
+// order into population-balanced runs, and fresh uploads land there —
+// locality-preserving, so most proximity edges stay shard-local. The
+// dynamic layer repairs the edges that don't: at every Rotate the
+// coordinator recomputes the WPG's connected components over all stored
+// uploads (mutual-edge rule, Def. 3.2) and homes each component on the
+// key-owner shard of its minimum-(key, id) member. Members stored
+// elsewhere are replayed to the home shard and tombstoned (empty peer
+// list) at their former one. Theorem 4.4 — clustering never crosses a
+// component boundary — then gives exact equivalence: every shard sees
+// each of its homed components in full, so per-shard clustering produces
+// bit-identical clusters to a single process, and no border user is ever
+// dropped or served a sub-k cluster.
+type Coordinator struct {
+	numUsers int
+	k        int
+	every    int
+	poolSize int
+	dialOpts []service.DialOption
+	cm       *metrics.ClusterMetrics
+	rm       *metrics.RequestMetrics
+
+	keys     []uint64
+	keyOwner []int32
+	pools    []*shardPool
+
+	// mu guards the routing state. Rotate holds it across the replay
+	// phase so a concurrent upload can never interleave between a
+	// member's replay and its tombstone.
+	mu             sync.RWMutex
+	uploads        map[int32][]service.PeerRank
+	profiles       map[int32]service.ProfileSpec
+	serving        []int32 // current home shard; -1 = never uploaded
+	uploadsSince   int
+	componentCount int // components seen by the last rehome
+
+	rotateMu sync.Mutex
+	epoch    uint64 // completed cluster rotations, under rotateMu
+
+	closeOnce sync.Once
+	closeErr  error
+	lnClose   func() error
+	wg        sync.WaitGroup
+}
+
+// Option configures a Coordinator.
+type Option func(*Coordinator)
+
+// WithKeys supplies per-user locality keys (Hilbert ranks from
+// HilbertKeys). len(keys) must equal the population size. Without keys
+// the coordinator falls back to a uniform split by user id — correct,
+// but every proximity edge is then a coin flip away from crossing a
+// shard boundary.
+func WithKeys(keys []uint64) Option {
+	return func(c *Coordinator) { c.keys = keys }
+}
+
+// WithClusterMetrics attaches coordinator metrics (nil is fine).
+func WithClusterMetrics(cm *metrics.ClusterMetrics) Option {
+	return func(c *Coordinator) { c.cm = cm }
+}
+
+// WithPoolSize sets the query-connection pool size per shard (default
+// 4; the ordered upload connection is separate and always single).
+func WithPoolSize(n int) Option {
+	return func(c *Coordinator) { c.poolSize = n }
+}
+
+// WithEveryUploads auto-rotates the cluster after every n accepted
+// uploads (0 = manual, the default). The rotation runs asynchronously
+// and is skipped while another is in flight, mirroring the single-process
+// EveryUploads policy's best-effort cadence.
+func WithEveryUploads(n int) Option {
+	return func(c *Coordinator) { c.every = n }
+}
+
+// WithDialOptions forwards Dial options to every shard connection (op
+// timeouts, most usefully).
+func WithDialOptions(opts ...service.DialOption) Option {
+	return func(c *Coordinator) { c.dialOpts = opts }
+}
+
+// New builds a coordinator over the shards at addrs. The shards must be
+// cloakd processes (or in-process service.Servers) configured with the
+// same population size and k.
+func New(numUsers, k int, addrs []string, opts ...Option) (*Coordinator, error) {
+	if numUsers <= 0 {
+		return nil, fmt.Errorf("cluster: population must be positive, got %d", numUsers)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one shard address")
+	}
+	c := &Coordinator{
+		numUsers: numUsers,
+		k:        k,
+		poolSize: 4,
+		rm:       metrics.NewRequestMetrics(),
+		uploads:  make(map[int32][]service.PeerRank),
+		profiles: make(map[int32]service.ProfileSpec),
+		serving:  make([]int32, numUsers),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.keys == nil {
+		// Position-free default: uniform by id.
+		c.keys = make([]uint64, numUsers)
+		for i := range c.keys {
+			c.keys[i] = uint64(i)
+		}
+	}
+	if len(c.keys) != numUsers {
+		return nil, fmt.Errorf("cluster: %d keys for %d users", len(c.keys), numUsers)
+	}
+	if c.every < 0 {
+		return nil, fmt.Errorf("cluster: EveryUploads must be >= 0, got %d", c.every)
+	}
+	c.keyOwner = keyOwners(c.keys, len(addrs))
+	for i := range c.serving {
+		c.serving[i] = -1
+	}
+	if len(c.dialOpts) == 0 {
+		c.dialOpts = []service.DialOption{service.WithOpTimeout(service.DefaultOpTimeout)}
+	}
+	c.pools = make([]*shardPool, len(addrs))
+	for i, addr := range addrs {
+		c.pools[i] = newShardPool(addr, c.poolSize, c.dialOpts)
+	}
+	c.cm.SetShards(len(addrs))
+	return c, nil
+}
+
+// Shards returns the number of shards.
+func (c *Coordinator) Shards() int { return len(c.pools) }
+
+// Metrics returns the coordinator's own request metrics (its front-end
+// op accounting, separate from any shard's).
+func (c *Coordinator) Metrics() *metrics.RequestMetrics { return c.rm }
+
+// ClusterMetrics returns the attached cluster metrics snapshot source
+// (nil unless WithClusterMetrics was given).
+func (c *Coordinator) ClusterMetrics() *metrics.ClusterMetrics { return c.cm }
+
+func (c *Coordinator) validateUser(user int32) error {
+	if user < 0 || int(user) >= c.numUsers {
+		return fmt.Errorf("cluster: user %d outside population [0,%d)", user, c.numUsers)
+	}
+	return nil
+}
+
+// shardForLocked returns the shard currently answering for user: the
+// component home if the user has uploaded, the static key owner
+// otherwise.
+func (c *Coordinator) shardForLocked(user int32) int32 {
+	if s := c.serving[user]; s >= 0 {
+		return s
+	}
+	return c.keyOwner[user]
+}
+
+// UploadRequest carries one proximity upload through the routing layer,
+// mirroring epoch.UploadRequest's struct shape. Peers may be empty (the
+// user then forms no edges) and Profile follows the sticky wire
+// semantics: nil keeps any stored profile, an explicit zero spec reverts
+// to the defaults.
+type UploadRequest struct {
+	User    int32
+	Peers   []service.PeerRank
+	Profile *service.ProfileSpec
+}
+
+// Upload stores the user's ranked peer list and forwards it to the
+// user's current home shard.
+func (c *Coordinator) Upload(ctx context.Context, req UploadRequest) error {
+	user, peers, prof := req.User, req.Peers, req.Profile
+	if err := c.validateUser(user); err != nil {
+		return err
+	}
+	for _, pr := range peers {
+		if err := c.validateUser(pr.Peer); err != nil {
+			return fmt.Errorf("cluster: peer: %w", err)
+		}
+		if pr.Rank < 1 {
+			return fmt.Errorf("cluster: rank %d for peer %d must be >= 1", pr.Rank, pr.Peer)
+		}
+	}
+	stored := append([]service.PeerRank(nil), peers...)
+
+	c.mu.Lock()
+	c.uploads[user] = stored
+	if prof != nil {
+		c.profiles[user] = *prof
+	}
+	if c.serving[user] < 0 {
+		c.serving[user] = c.keyOwner[user]
+	}
+	shard := c.serving[user]
+	c.uploadsSince++
+	autoRotate := c.every > 0 && c.uploadsSince >= c.every
+	if autoRotate {
+		c.uploadsSince = 0
+	}
+	err := c.forward(shard, user, stored, prof)
+	c.mu.Unlock()
+
+	if autoRotate {
+		go func() {
+			if c.rotateMu.TryLock() {
+				c.rotateMu.Unlock()
+				_, _ = c.Rotate(context.Background())
+			}
+		}()
+	}
+	return err
+}
+
+// forward sends one upload over shard's ordered connection. Caller holds
+// c.mu, which keeps the stored state and the wire order in lockstep.
+func (c *Coordinator) forward(shard int32, user int32, peers []service.PeerRank, prof *service.ProfileSpec) error {
+	c.cm.ObserveRouted(string(service.OpUpload))
+	return c.pools[shard].ordered(func(cl *service.Client) error {
+		if prof != nil {
+			return cl.UploadProfile(user, peers, *prof)
+		}
+		return cl.Upload(user, peers)
+	})
+}
+
+// Cloak routes the cloaking request to the user's home shard and relays
+// its answer. The payload's Epoch is the serving shard's local epoch.
+func (c *Coordinator) Cloak(ctx context.Context, user int32) (*service.CloakPayload, error) {
+	if err := c.validateUser(user); err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	shard := c.shardForLocked(user)
+	c.mu.RUnlock()
+	c.cm.ObserveRouted(string(service.OpCloak))
+	var payload *service.CloakPayload
+	err := c.pools[shard].query(func(cl *service.Client) error {
+		p, err := cl.CloakV1(user)
+		payload = p
+		return err
+	})
+	if err != nil {
+		return nil, relayErr(service.OpCloak, err)
+	}
+	return payload, nil
+}
+
+// RotateStats summarizes one cluster-wide rotation.
+type RotateStats struct {
+	Epoch      uint64 // completed cluster rotations
+	Components int    // WPG connected components with >= 1 upload
+	Moves      int    // users re-homed (border replays sent)
+	Edges      int    // mutual edges across all shards after the rotate
+}
+
+// Rotate re-homes components and rotates every shard, synchronously: on
+// return each shard serves an epoch covering all uploads accepted before
+// the call. One rotation runs at a time; concurrent calls serialize.
+func (c *Coordinator) Rotate(ctx context.Context) (RotateStats, error) {
+	c.rotateMu.Lock()
+	defer c.rotateMu.Unlock()
+
+	c.mu.Lock()
+	moves := c.rehomeLocked()
+	// Replay while still holding c.mu: a concurrent Upload for a moved
+	// user must observe the new home (and order after the replay on the
+	// new shard's ordered connection), never race the tombstone.
+	var replayErrs []error
+	for _, mv := range moves {
+		prof := c.profileForLocked(mv.user)
+		if err := c.forward(mv.to, mv.user, c.uploads[mv.user], prof); err != nil {
+			replayErrs = append(replayErrs, fmt.Errorf("replay user %d to shard %d: %w", mv.user, mv.to, err))
+			continue
+		}
+		if err := c.forward(mv.from, mv.user, nil, nil); err != nil {
+			replayErrs = append(replayErrs, fmt.Errorf("tombstone user %d on shard %d: %w", mv.user, mv.from, err))
+		}
+	}
+	components := c.componentCount
+	c.uploadsSince = 0
+	c.mu.Unlock()
+
+	c.cm.ObserveBorderReplays(len(moves))
+	c.cm.ObserveReroutes(len(moves))
+	if len(replayErrs) > 0 {
+		return RotateStats{}, fmt.Errorf("cluster: rotate: %w", replayErrs[0])
+	}
+
+	// Freeze the shards in parallel. A shard whose input didn't change
+	// answers "no new uploads"; it keeps serving its previous epoch,
+	// which covers the same uploads — not an error, just lag.
+	edges := make([]int, len(c.pools))
+	errs := make([]error, len(c.pools))
+	var wg sync.WaitGroup
+	for i := range c.pools {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.cm.ObserveRouted(string(service.OpFreeze))
+			errs[i] = c.pools[i].query(func(cl *service.Client) error {
+				n, err := cl.Freeze()
+				edges[i] = n
+				return err
+			})
+			if errs[i] != nil && strings.Contains(errs[i].Error(), "no new uploads") {
+				errs[i] = nil
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return RotateStats{}, fmt.Errorf("cluster: rotate shard %d: %w", i, err)
+		}
+	}
+
+	c.epoch++
+	c.cm.ObserveRotation()
+	stats := RotateStats{Epoch: c.epoch, Components: components, Moves: len(moves)}
+	for _, n := range edges {
+		stats.Edges += n
+	}
+	c.refreshShardEpochs()
+	return stats, nil
+}
+
+// profileForLocked returns the stored profile spec for replays (nil if
+// the user never sent one — the home shard then applies defaults, which
+// is also what a fresh shard would do).
+func (c *Coordinator) profileForLocked(user int32) *service.ProfileSpec {
+	if p, ok := c.profiles[user]; ok {
+		return &p
+	}
+	return nil
+}
+
+type move struct {
+	user     int32
+	from, to int32
+}
+
+// rehomeLocked recomputes WPG connected components over the stored
+// uploads and re-homes every uploaded user onto its component's home
+// shard. Components are formed by the mutual-edge rule: an edge (u,v)
+// exists iff u ranks v and v ranks u. The home is the key-owner shard of
+// the component's minimum-(key, id) member — deterministic, and biased
+// toward where most of the component's uploads already live when keys
+// are locality-preserving. Returns the users that moved, sorted by id.
+func (c *Coordinator) rehomeLocked() []move {
+	uf := graph.NewUnionFind(c.numUsers)
+	for u, peers := range c.uploads {
+		for _, pr := range peers {
+			v := pr.Peer
+			if v <= u {
+				continue // each unordered pair once; v==u never forms an edge
+			}
+			if c.ranksLocked(v, u) {
+				uf.Union(u, v)
+			}
+		}
+	}
+
+	// Home per component root: minimum (key, id) member among uploaders.
+	type best struct {
+		key uint64
+		id  int32
+	}
+	homes := make(map[int32]best)
+	for u := range c.uploads {
+		r := uf.Find(u)
+		b, ok := homes[r]
+		if !ok || c.keys[u] < b.key || (c.keys[u] == b.key && u < b.id) {
+			homes[r] = best{key: c.keys[u], id: u}
+		}
+	}
+	c.componentCount = len(homes)
+
+	var moves []move
+	for u := range c.uploads {
+		home := c.keyOwner[homes[uf.Find(u)].id]
+		if c.serving[u] != home {
+			moves = append(moves, move{user: u, from: c.serving[u], to: home})
+			c.serving[u] = home
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].user < moves[j].user })
+	return moves
+}
+
+// ranksLocked reports whether u's stored upload ranks v.
+func (c *Coordinator) ranksLocked(u, v int32) bool {
+	for _, pr := range c.uploads[u] {
+		if pr.Peer == v {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshShardEpochs polls every shard's epoch status into the per-shard
+// epoch gauges (best effort; a failed poll leaves the old value).
+func (c *Coordinator) refreshShardEpochs() {
+	for i := range c.pools {
+		c.cm.ObserveRouted(string(service.OpEpoch))
+		_ = c.pools[i].query(func(cl *service.Client) error {
+			p, err := cl.EpochStatus()
+			if err == nil {
+				c.cm.SetShardEpoch(i, p.Epoch)
+			}
+			return err
+		})
+	}
+}
+
+// EpochStatus aggregates the shards' pipeline states into one payload:
+// Epoch is the coordinator's rotation count, Published requires every
+// shard to have published, and the counters are sums.
+func (c *Coordinator) EpochStatus(ctx context.Context) (*service.EpochPayload, error) {
+	agg := &service.EpochPayload{Published: true, Policy: c.policyString()}
+	for i := range c.pools {
+		c.cm.ObserveRouted(string(service.OpEpoch))
+		var p *service.EpochPayload
+		err := c.pools[i].query(func(cl *service.Client) error {
+			var err error
+			p, err = cl.EpochStatus()
+			return err
+		})
+		if err != nil {
+			return nil, relayErr(service.OpEpoch, err)
+		}
+		c.cm.SetShardEpoch(i, p.Epoch)
+		agg.Published = agg.Published && p.Published
+		agg.Pending += p.Pending
+		agg.Builds += p.Builds
+		agg.Swaps += p.Swaps
+		agg.UploadsSeen += p.UploadsSeen
+		agg.Edges += p.Edges
+		agg.Clusters += p.Clusters
+		agg.Skipped += p.Skipped
+		agg.ShardsRebuilt += p.ShardsRebuilt
+		agg.ShardsTotal += p.ShardsTotal
+		agg.Profiled += p.Profiled
+		agg.Degraded += p.Degraded
+		if p.KMax > agg.KMax {
+			agg.KMax = p.KMax
+		}
+		if p.LastBuildUs > agg.LastBuildUs {
+			agg.LastBuildUs = p.LastBuildUs
+		}
+	}
+	c.rotateMu.Lock()
+	agg.Epoch = c.epoch
+	c.rotateMu.Unlock()
+	c.mu.RLock()
+	agg.SinceTrigger = c.uploadsSince
+	c.mu.RUnlock()
+	return agg, nil
+}
+
+// Stats aggregates shard stats plus the coordinator's own request
+// accounting into the v1 stats shape.
+func (c *Coordinator) Stats(ctx context.Context) (*service.StatsPayload, error) {
+	p := &service.StatsPayload{Users: c.numUsers, Frozen: true}
+	for i := range c.pools {
+		c.cm.ObserveRouted(string(service.OpStats))
+		var sp *service.StatsPayload
+		err := c.pools[i].query(func(cl *service.Client) error {
+			var err error
+			sp, err = cl.StatsV1()
+			return err
+		})
+		if err != nil {
+			return nil, relayErr(service.OpStats, err)
+		}
+		p.Frozen = p.Frozen && sp.Frozen
+		p.Clusters += sp.Clusters
+		p.Edges += sp.Edges
+		p.PendingBuffered += sp.PendingBuffered
+		p.Profiled += sp.Profiled
+	}
+	c.mu.RLock()
+	p.Uploads = len(c.uploads)
+	c.mu.RUnlock()
+	c.rotateMu.Lock()
+	p.Epoch = c.epoch
+	c.rotateMu.Unlock()
+	snap := c.rm.Snapshot()
+	p.Requests = snap.Total
+	p.ReqErrors = snap.Errors
+	p.LatP50us = float64(snap.P50) / float64(time.Microsecond)
+	p.LatP95us = float64(snap.P95) / float64(time.Microsecond)
+	p.LatP99us = float64(snap.P99) / float64(time.Microsecond)
+	if len(snap.Ops) > 0 {
+		p.OpCounts = make(map[string]uint64, len(snap.Ops))
+		for _, op := range snap.Ops {
+			p.OpCounts[op.Op] = op.Count
+		}
+	}
+	return p, nil
+}
+
+func (c *Coordinator) policyString() string {
+	if c.every > 0 {
+		return fmt.Sprintf("coordinator|uploads>=%d", c.every)
+	}
+	return "coordinator|manual"
+}
+
+// Ping checks every shard.
+func (c *Coordinator) Ping(ctx context.Context) error {
+	for i := range c.pools {
+		c.cm.ObserveRouted(string(service.OpPing))
+		if err := c.pools[i].query(func(cl *service.Client) error { return cl.Ping() }); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close shuts the protocol listener (if serving) and every shard
+// connection. It does not stop the shards themselves — their owner
+// (spawner or operator) does that.
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() {
+		if c.lnClose != nil {
+			c.closeErr = c.lnClose()
+		}
+		c.wg.Wait()
+		for _, p := range c.pools {
+			p.close()
+		}
+	})
+	return c.closeErr
+}
+
+// relayErr strips the client-side "service: <op>: " prefix so the
+// coordinator relays the shard's own message instead of double-wrapping
+// it.
+func relayErr(op service.Op, err error) error {
+	msg := strings.TrimPrefix(err.Error(), fmt.Sprintf("service: %s: ", op))
+	return fmt.Errorf("%s", msg)
+}

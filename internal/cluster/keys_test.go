@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"testing"
+
+	"nonexposure/internal/dataset"
+)
+
+func TestKeyOwnersBalancedAndMonotonic(t *testing.T) {
+	pts := dataset.CaliforniaLike(1000, 3)
+	keys, err := HilbertKeys(pts, DefaultKeyOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nShards := range []int{1, 2, 3, 4, 8} {
+		owners := keyOwners(keys, nShards)
+		counts := make([]int, nShards)
+		for _, o := range owners {
+			if o < 0 || int(o) >= nShards {
+				t.Fatalf("owner %d outside [0,%d)", o, nShards)
+			}
+			counts[o]++
+		}
+		lo, hi := len(owners), 0
+		for _, c := range counts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("nShards=%d: population imbalance %v", nShards, counts)
+		}
+		// Monotonic in key order: a user with a strictly smaller key never
+		// lands on a higher shard.
+		for i := range keys {
+			for j := range keys {
+				if keys[i] < keys[j] && owners[i] > owners[j] {
+					t.Fatalf("nShards=%d: key %d (shard %d) < key %d (shard %d) but owner order inverted",
+						nShards, keys[i], owners[i], keys[j], owners[j])
+				}
+			}
+			if nShards > 4 {
+				break // the full quadratic check only once is plenty
+			}
+		}
+	}
+}
+
+func TestHilbertKeysRejectsBadOrder(t *testing.T) {
+	if _, err := HilbertKeys(nil, 0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := HilbertKeys(nil, 17); err == nil {
+		t.Error("order 17 accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"nonexposure/internal/service"
+)
+
+// shardPool manages the coordinator's connections to one shard. Two
+// paths with different consistency needs:
+//
+//   - the ordered path: a single dedicated connection carrying every
+//     state-changing forward (uploads, border replays, tombstones) so a
+//     user's writes reach the shard in coordinator order — two pooled
+//     connections could reorder an upload and the tombstone that
+//     supersedes it;
+//   - the query path: a small pool of connections for reads and rotates
+//     (cloak, epoch, stats, freeze), which tolerate any interleaving.
+type shardPool struct {
+	addr string
+	opts []service.DialOption
+
+	ordMu sync.Mutex
+	ord   *service.Client
+
+	qMu     sync.Mutex
+	idle    []*service.Client
+	created int
+	size    int
+
+	closed bool
+}
+
+func newShardPool(addr string, size int, opts []service.DialOption) *shardPool {
+	if size < 1 {
+		size = 1
+	}
+	return &shardPool{addr: addr, size: size, opts: opts}
+}
+
+// connBroken reports whether err poisoned the connection it happened on
+// (timeouts leave an unread response in flight; EOF and friends mean the
+// peer is gone). Application-level errors — the shard answered
+// ok:false — keep the connection perfectly reusable.
+func connBroken(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// ordered runs fn on the dedicated ordered connection, dialing it lazily
+// and redialing once if the previous call left it broken.
+func (p *shardPool) ordered(fn func(*service.Client) error) error {
+	p.ordMu.Lock()
+	defer p.ordMu.Unlock()
+	if p.closed {
+		return fmt.Errorf("cluster: shard pool %s closed", p.addr)
+	}
+	for attempt := 0; ; attempt++ {
+		if p.ord == nil {
+			c, err := service.Dial(p.addr, p.opts...)
+			if err != nil {
+				return err
+			}
+			p.ord = c
+		}
+		err := fn(p.ord)
+		if connBroken(err) {
+			p.ord.Close()
+			p.ord = nil
+			if attempt == 0 {
+				continue
+			}
+		}
+		return err
+	}
+}
+
+// query runs fn on a pooled connection, dialing up to size of them on
+// demand. A connection that breaks mid-call is dropped instead of
+// returned.
+func (p *shardPool) query(fn func(*service.Client) error) error {
+	c, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	err = fn(c)
+	if connBroken(err) {
+		p.discard(c)
+	} else {
+		p.release(c)
+	}
+	return err
+}
+
+func (p *shardPool) acquire() (*service.Client, error) {
+	p.qMu.Lock()
+	if p.closed {
+		p.qMu.Unlock()
+		return nil, fmt.Errorf("cluster: shard pool %s closed", p.addr)
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.qMu.Unlock()
+		return c, nil
+	}
+	p.created++
+	p.qMu.Unlock()
+	// Dial outside the lock; the pool intentionally overshoots size
+	// under a thundering herd rather than serializing dials — release
+	// trims back down to size.
+	c, err := service.Dial(p.addr, p.opts...)
+	if err != nil {
+		p.qMu.Lock()
+		p.created--
+		p.qMu.Unlock()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *shardPool) release(c *service.Client) {
+	p.qMu.Lock()
+	if !p.closed && len(p.idle) < p.size {
+		p.idle = append(p.idle, c)
+		p.qMu.Unlock()
+		return
+	}
+	p.created--
+	p.qMu.Unlock()
+	c.Close()
+}
+
+func (p *shardPool) discard(c *service.Client) {
+	p.qMu.Lock()
+	p.created--
+	p.qMu.Unlock()
+	c.Close()
+}
+
+func (p *shardPool) close() {
+	// closed is read under either mutex, so set it under both (the only
+	// place both are held; ordMu-then-qMu is the fixed order).
+	p.ordMu.Lock()
+	p.qMu.Lock()
+	p.closed = true
+	if p.ord != nil {
+		p.ord.Close()
+		p.ord = nil
+	}
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+	p.qMu.Unlock()
+	p.ordMu.Unlock()
+}

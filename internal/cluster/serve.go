@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"nonexposure/internal/service"
+)
+
+// Listen starts the coordinator's protocol listener on addr and returns
+// the bound address. It speaks the same line-delimited JSON protocol as
+// a single cloakd (v0 and v1), so existing clients work unchanged
+// against a cluster.
+func (c *Coordinator) Listen(ctx context.Context, addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	c.lnClose = ln.Close
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			ln.Close()
+		}()
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.serveConn(ctx, conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+func (c *Coordinator) serveConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), service.MaxLineBytes)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		req, err := service.ParseRequest(line)
+		if err != nil {
+			_ = enc.Encode(service.Response{Error: err.Error()})
+			continue
+		}
+		start := time.Now()
+		resp, ok := c.handle(ctx, req)
+		c.rm.Observe(string(req.Op), time.Since(start), ok)
+		if enc.Encode(resp) != nil {
+			return
+		}
+	}
+}
+
+// handle answers one request in the shape its protocol version expects.
+func (c *Coordinator) handle(ctx context.Context, req service.Request) (any, bool) {
+	v1 := req.V >= service.ProtocolVersion
+	fail := func(err error) (any, bool) {
+		if v1 {
+			return service.Envelope{V: service.ProtocolVersion, Error: err.Error()}, false
+		}
+		return service.Response{Error: err.Error()}, false
+	}
+	switch req.Op {
+	case service.OpPing:
+		if v1 {
+			return service.Envelope{V: service.ProtocolVersion, OK: true}, true
+		}
+		return service.Response{OK: true}, true
+
+	case service.OpUpload:
+		var prof *service.ProfileSpec
+		if v1 {
+			prof = req.Profile
+		}
+		if err := c.Upload(ctx, UploadRequest{User: req.User, Peers: req.Peers, Profile: prof}); err != nil {
+			return fail(err)
+		}
+		if v1 {
+			return service.Envelope{V: service.ProtocolVersion, OK: true}, true
+		}
+		return service.Response{OK: true}, true
+
+	case service.OpCloak:
+		p, err := c.Cloak(ctx, req.User)
+		if err != nil {
+			return fail(err)
+		}
+		if v1 {
+			return service.Envelope{V: service.ProtocolVersion, OK: true, Cloak: p}, true
+		}
+		return service.Response{OK: true, Cluster: p.Cluster, Cost: p.Cost, Epoch: p.Epoch}, true
+
+	case service.OpFreeze, service.OpRotate:
+		st, err := c.Rotate(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		if v1 {
+			ep, err := c.EpochStatus(ctx)
+			if err != nil {
+				return fail(err)
+			}
+			return service.Envelope{V: service.ProtocolVersion, OK: true, Epoch: ep}, true
+		}
+		return service.Response{OK: true, EdgeCount: st.Edges, Epoch: st.Epoch}, true
+
+	case service.OpEpoch:
+		ep, err := c.EpochStatus(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		if v1 {
+			return service.Envelope{V: service.ProtocolVersion, OK: true, Epoch: ep}, true
+		}
+		return service.Response{OK: true, Epoch: ep.Epoch, Frozen: ep.Published, EdgeCount: ep.Edges, Clusters: ep.Clusters}, true
+
+	case service.OpStats:
+		sp, err := c.Stats(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		if v1 {
+			return service.Envelope{V: service.ProtocolVersion, OK: true, Stats: sp}, true
+		}
+		return service.Response{
+			OK: true, Users: sp.Users, Uploads: sp.Uploads, Frozen: sp.Frozen,
+			Epoch: sp.Epoch, Clusters: sp.Clusters, EdgeCount: sp.Edges,
+			Requests: sp.Requests, ReqErrors: sp.ReqErrors,
+			LatP50us: sp.LatP50us, LatP95us: sp.LatP95us, LatP99us: sp.LatP99us,
+			OpCounts: sp.OpCounts,
+		}, true
+
+	default:
+		return fail(fmt.Errorf("cluster: unknown op %q", req.Op))
+	}
+}

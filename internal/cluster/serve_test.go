@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/service"
+)
+
+// TestCoordinatorWireProtocol drives the coordinator through its TCP
+// front-end with a stock service.Client: a cluster must be a drop-in
+// replacement for one cloakd on both protocol versions.
+func TestCoordinatorWireProtocol(t *testing.T) {
+	n, k := 30, 2
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	cm := metrics.NewClusterMetrics()
+	coord := startCluster(t, n, k, 2, keys, cm)
+	addr, err := coord.Listen(bg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := service.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	// A straddling triangle (14,15,16) plus a shard-local pair (2,3).
+	mutual := func(u int32, vs ...int32) {
+		var peers []service.PeerRank
+		for i, v := range vs {
+			peers = append(peers, service.PeerRank{Peer: v, Rank: int32(i + 1)})
+		}
+		if err := c.Upload(u, peers); err != nil {
+			t.Fatalf("upload %d: %v", u, err)
+		}
+	}
+	mutual(14, 15, 16)
+	mutual(15, 14, 16)
+	mutual(16, 14, 15)
+	mutual(2, 3)
+	mutual(3, 2)
+
+	edges, err := c.Freeze()
+	if err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	if edges != 4 {
+		t.Fatalf("freeze reported %d edges, want 4 (triangle 3 + pair 1)", edges)
+	}
+
+	// v0 cloak.
+	cluster, _, err := c.Cloak(15)
+	if err != nil {
+		t.Fatalf("cloak: %v", err)
+	}
+	if len(cluster) != 3 {
+		t.Fatalf("cloak(15) = %v, want the triangle", cluster)
+	}
+	// v1 cloak for a user in no component.
+	if _, err := c.CloakV1(9); err == nil {
+		t.Fatal("cloak of an unknown user succeeded")
+	}
+
+	// v1 epoch + stats aggregates.
+	ep, err := c.EpochStatus()
+	if err != nil {
+		t.Fatalf("epoch: %v", err)
+	}
+	if ep.Epoch != 1 || !ep.Published {
+		t.Fatalf("epoch payload = %+v, want cluster epoch 1 published", ep)
+	}
+	st, err := c.StatsV1()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Users != n || st.Uploads != 5 || !st.Frozen {
+		t.Fatalf("stats payload = %+v, want users=%d uploads=5 frozen", st, n)
+	}
+	// v1 rotate with nothing new: shards answer "no new uploads", the
+	// coordinator still advances its rotation count.
+	ep2, err := c.Rotate()
+	if err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	if ep2.Epoch != 2 {
+		t.Fatalf("rotate epoch = %d, want 2", ep2.Epoch)
+	}
+
+	snap := cm.Snapshot()
+	if snap.Shards != 2 || snap.RoutedTotal == 0 || snap.Rotations != 2 {
+		t.Fatalf("cluster metrics %s: want 2 shards, routed ops, 2 rotations", snap)
+	}
+	if snap.BorderReplays == 0 {
+		t.Fatal("the straddling triangle produced no border replays")
+	}
+}

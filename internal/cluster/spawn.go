@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nonexposure/internal/admin"
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/service"
+)
+
+// Shard is one running cloakd shard as seen by a spawner: its protocol
+// address, its admin address (empty if none), and a way to stop it.
+type Shard struct {
+	Addr      string
+	AdminAddr string
+	closeFn   func() error
+}
+
+// Close stops the shard (idempotent for in-process shards; kills the
+// child for process shards).
+func (s *Shard) Close() error {
+	if s.closeFn == nil {
+		return nil
+	}
+	return s.closeFn()
+}
+
+// CloseShards closes every shard, returning the first error.
+func CloseShards(shards []*Shard) error {
+	var first error
+	for _, s := range shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Addrs extracts the protocol addresses in shard order.
+func Addrs(shards []*Shard) []string {
+	addrs := make([]string, len(shards))
+	for i, s := range shards {
+		addrs[i] = s.Addr
+	}
+	return addrs
+}
+
+// ShardConfig configures spawned shards. Every shard is created with the
+// full population size: user ids are global, and a shard must accept any
+// id the coordinator homes on it.
+type ShardConfig struct {
+	NumUsers int
+	K        int
+	Workers  int
+	// Admin starts a loopback admin HTTP listener per shard (/metrics
+	// etc.). Process shards always get one — the child binary serves it —
+	// so this only gates in-process shards.
+	Admin bool
+}
+
+// SpawnInProcess starts n full service.Servers inside this process, each
+// on an ephemeral loopback port. This is the cheap mode for tests and
+// single-machine experiments; the wire protocol between coordinator and
+// shard is identical to the multi-process mode.
+func SpawnInProcess(ctx context.Context, n int, cfg ShardConfig) ([]*Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: shard count must be >= 1, got %d", n)
+	}
+	shards := make([]*Shard, 0, n)
+	fail := func(err error) ([]*Shard, error) {
+		_ = CloseShards(shards)
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		em := metrics.NewEpochMetrics()
+		srv, err := service.New(
+			service.WithNumUsers(cfg.NumUsers),
+			service.WithK(cfg.K),
+			service.WithWorkers(cfg.Workers),
+			service.WithMetrics(em),
+		)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: shard %d: %w", i, err))
+		}
+		addr, err := srv.Listen(ctx, "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return fail(fmt.Errorf("cluster: shard %d: %w", i, err))
+		}
+		sh := &Shard{Addr: addr.String()}
+		var adminSrv *http.Server
+		if cfg.Admin {
+			aln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				srv.Close()
+				return fail(fmt.Errorf("cluster: shard %d admin: %w", i, err))
+			}
+			adminSrv = &http.Server{Handler: admin.New(srv)}
+			go func() {
+				if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					fmt.Fprintf(os.Stderr, "cluster: shard admin server: %v\n", err)
+				}
+			}()
+			sh.AdminAddr = aln.Addr().String()
+		}
+		var once sync.Once
+		sh.closeFn = func() error {
+			var err error
+			once.Do(func() {
+				if adminSrv != nil {
+					sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					_ = adminSrv.Shutdown(sctx)
+					cancel()
+				}
+				err = srv.Close()
+			})
+			return err
+		}
+		shards = append(shards, sh)
+	}
+	return shards, nil
+}
+
+// SpawnProcesses launches n cloakd child processes from the binary at
+// bin, each bound to ephemeral loopback protocol and admin ports, and
+// parses the bound addresses from their startup lines. This is the real
+// multi-process mode: each shard is its own OS process with its own
+// heap, GC, and admin endpoint.
+func SpawnProcesses(ctx context.Context, bin string, n int, cfg ShardConfig) ([]*Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: shard count must be >= 1, got %d", n)
+	}
+	shards := make([]*Shard, 0, n)
+	fail := func(err error) ([]*Shard, error) {
+		_ = CloseShards(shards)
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.CommandContext(ctx, bin,
+			"-addr", "127.0.0.1:0",
+			"-admin", "127.0.0.1:0",
+			"-n", strconv.Itoa(cfg.NumUsers),
+			"-k", strconv.Itoa(cfg.K),
+			"-workers", strconv.Itoa(cfg.Workers),
+		)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(fmt.Errorf("cluster: shard %d: %w", i, err))
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("cluster: shard %d: start %s: %w", i, bin, err))
+		}
+		sh := &Shard{}
+		var once sync.Once
+		sh.closeFn = func() error {
+			var err error
+			once.Do(func() {
+				// cloakd shuts down cleanly on interrupt; escalate to kill
+				// if it ignores us.
+				_ = cmd.Process.Signal(os.Interrupt)
+				done := make(chan error, 1)
+				go func() { done <- cmd.Wait() }()
+				select {
+				case err = <-done:
+				case <-time.After(5 * time.Second):
+					_ = cmd.Process.Kill()
+					err = <-done
+				}
+			})
+			return err
+		}
+		shards = append(shards, sh)
+
+		// The child prints its bound addresses before serving; read until
+		// both are known, then keep draining stdout in the background so
+		// the child never blocks on a full pipe.
+		scanner := bufio.NewScanner(stdout)
+		deadline := time.Now().Add(10 * time.Second)
+		for (sh.Addr == "" || sh.AdminAddr == "") && scanner.Scan() {
+			line := scanner.Text()
+			if addr, ok := parseListeningLine(line, "anonymizer listening on "); ok {
+				sh.Addr = addr
+			} else if addr, ok := parseListeningLine(line, "admin listening on "); ok {
+				sh.AdminAddr = addr
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+		}
+		if sh.Addr == "" || sh.AdminAddr == "" {
+			sh.Close()
+			return fail(fmt.Errorf("cluster: shard %d: %s never reported its listen addresses", i, bin))
+		}
+		go func() {
+			for scanner.Scan() {
+			}
+		}()
+	}
+	return shards, nil
+}
+
+// parseListeningLine extracts the address from a cloakd startup line of
+// the form "cloakd: <what> listening on ADDR ...".
+func parseListeningLine(line, marker string) (string, bool) {
+	idx := strings.Index(line, marker)
+	if idx < 0 {
+		return "", false
+	}
+	rest := line[idx+len(marker):]
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}

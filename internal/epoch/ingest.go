@@ -406,6 +406,14 @@ func (m *Manager) noteStaleHint(d time.Duration) {
 // restarts a fresh loop after it exits. It also exits when the manager
 // closes.
 func (m *Manager) stalenessLoop() {
+	// One reused timer for the life of the loop. time.After would
+	// allocate a fresh timer (and its runtime bookkeeping) every
+	// iteration, which an idle manager with a short bound turns into
+	// steady garbage; Reset on a drained timer is free.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for {
 		m.lock()
 		if m.closed {
@@ -432,10 +440,14 @@ func (m *Manager) stalenessLoop() {
 		if interval < time.Millisecond {
 			interval = time.Millisecond
 		}
+		timer.Reset(interval)
 		select {
 		case <-stop:
+			if !timer.Stop() {
+				<-timer.C
+			}
 			return
-		case <-time.After(interval):
+		case <-timer.C:
 		}
 	}
 }

@@ -520,6 +520,52 @@ func TestMaxStalenessTrigger(t *testing.T) {
 	}
 }
 
+// TestStalenessLoopRepeatedFirings pins the staleness loop's behavior
+// across many timer cycles: each fresh batch of uploads becomes a build
+// attributed to the stale trigger, round after round. A timer-reuse bug
+// (failing to re-arm, or leaving a stale expiry in the channel) would
+// either hang a later round or mis-fire an early one.
+func TestStalenessLoopRepeatedFirings(t *testing.T) {
+	m, err := New(8, WithK(2),
+		WithPolicy(Policy{MaxStaleness: 5 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	waitBuilds := func(n uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if st := m.Status(); st.Builds >= n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("staleness timer never reached build %d", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for round := uint64(1); round <= 3; round++ {
+		// Vary the edge set so each round has genuinely new input.
+		a, b := int32(2*(round%2)), int32(2*(round%2)+1)
+		if err := m.Upload(bg, UploadRequest{User: a, Peers: []RankedPeer{{Peer: b, Rank: 1}}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Upload(bg, UploadRequest{User: b, Peers: []RankedPeer{{Peer: a, Rank: 1}}}); err != nil {
+			t.Fatal(err)
+		}
+		waitBuilds(round)
+	}
+	if err := m.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range m.Transcript() {
+		if !strings.Contains(line, "trigger="+TriggerStale) {
+			t.Fatalf("transcript line %d = %q; every build should carry the %s trigger", i, line, TriggerStale)
+		}
+	}
+}
+
 // TestPolicyStringStaleness covers the policy rendering with the new
 // staleness clause and the constructor validation around it.
 func TestPolicyStringStaleness(t *testing.T) {

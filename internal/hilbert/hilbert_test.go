@@ -164,3 +164,101 @@ func absDiff(a, b uint64) uint64 {
 	}
 	return b - a
 }
+
+// TestRankCellRoundTripAllOrders is the property test behind the shard
+// keys: for every supported order — including 16, where side hits the
+// uint32-representable boundary 1<<16 — Cell(Rank(x,y)) == (x,y) and
+// Rank(Cell(r)) == r, on the grid corners plus a deterministic random
+// sample.
+func TestRankCellRoundTripAllOrders(t *testing.T) {
+	for order := uint(1); order <= 16; order++ {
+		c, err := New(order)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		side := c.Side()
+		if side != 1<<order {
+			t.Fatalf("order %d: Side() = %d, want %d", order, side, 1<<order)
+		}
+		rng := rand.New(rand.NewSource(int64(order) * 977))
+		cells := [][2]uint32{
+			{0, 0}, {side - 1, 0}, {0, side - 1}, {side - 1, side - 1},
+			{side / 2, side / 2},
+		}
+		for i := 0; i < 64; i++ {
+			cells = append(cells, [2]uint32{rng.Uint32() % side, rng.Uint32() % side})
+		}
+		for _, cell := range cells {
+			r, err := c.Rank(cell[0], cell[1])
+			if err != nil {
+				t.Fatalf("order %d: Rank(%d,%d): %v", order, cell[0], cell[1], err)
+			}
+			x, y, err := c.Cell(r)
+			if err != nil {
+				t.Fatalf("order %d: Cell(%d): %v", order, r, err)
+			}
+			if x != cell[0] || y != cell[1] {
+				t.Fatalf("order %d: Cell(Rank(%d,%d)) = (%d,%d)", order, cell[0], cell[1], x, y)
+			}
+		}
+		maxRank := uint64(side) * uint64(side)
+		ranks := []uint64{0, 1, maxRank / 2, maxRank - 2, maxRank - 1}
+		for i := 0; i < 64; i++ {
+			ranks = append(ranks, rng.Uint64()%maxRank)
+		}
+		for _, r := range ranks {
+			x, y, err := c.Cell(r)
+			if err != nil {
+				t.Fatalf("order %d: Cell(%d): %v", order, r, err)
+			}
+			got, err := c.Rank(x, y)
+			if err != nil {
+				t.Fatalf("order %d: Rank(Cell(%d)): %v", order, r, err)
+			}
+			if got != r {
+				t.Fatalf("order %d: Rank(Cell(%d)) = %d", order, r, got)
+			}
+		}
+		// Out-of-range inputs at the boundary must keep erroring.
+		if _, err := c.Rank(side, 0); err == nil {
+			t.Fatalf("order %d: Rank(%d,0) accepted out-of-grid x", order, side)
+		}
+		if _, _, err := c.Cell(maxRank); err == nil {
+			t.Fatalf("order %d: Cell(%d) accepted out-of-curve rank", order, maxRank)
+		}
+	}
+}
+
+// TestRankAdjacencyAllOrders asserts the locality property that makes
+// Hilbert ranks usable as shard keys: cells at consecutive ranks are
+// 4-adjacent on the grid (Manhattan distance exactly 1), so a contiguous
+// rank range is a spatially connected region.
+func TestRankAdjacencyAllOrders(t *testing.T) {
+	for _, order := range []uint{1, 2, 4, 8, 12, 16} {
+		c, err := New(order)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		maxRank := uint64(c.Side()) * uint64(c.Side())
+		rng := rand.New(rand.NewSource(int64(order) * 1301))
+		ranks := []uint64{0, maxRank - 2}
+		for i := 0; i < 256; i++ {
+			ranks = append(ranks, rng.Uint64()%(maxRank-1))
+		}
+		for _, r := range ranks {
+			x0, y0, err := c.Cell(r)
+			if err != nil {
+				t.Fatalf("order %d: Cell(%d): %v", order, r, err)
+			}
+			x1, y1, err := c.Cell(r + 1)
+			if err != nil {
+				t.Fatalf("order %d: Cell(%d): %v", order, r+1, err)
+			}
+			dist := absDiff(uint64(x0), uint64(x1)) + absDiff(uint64(y0), uint64(y1))
+			if dist != 1 {
+				t.Fatalf("order %d: ranks %d,%d map to cells (%d,%d),(%d,%d) at distance %d",
+					order, r, r+1, x0, y0, x1, y1, dist)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ClusterMetrics instruments the coordinator tier: how many shards it
+// fronts, how many operations it routed to them (by op), how many
+// uploads it replayed across shard boundaries to keep border components
+// whole, and how far each shard's published epoch lags the freshest one.
+// All methods are nil-safe so the coordinator hot path never branches on
+// "metrics attached?".
+type ClusterMetrics struct {
+	shards        atomic.Int64
+	borderReplays atomic.Uint64
+	reroutes      atomic.Uint64
+	rotations     atomic.Uint64
+
+	mu          sync.Mutex
+	routed      map[string]uint64
+	shardEpochs []uint64
+}
+
+// NewClusterMetrics returns an empty metrics set.
+func NewClusterMetrics() *ClusterMetrics {
+	return &ClusterMetrics{routed: make(map[string]uint64)}
+}
+
+// SetShards records the shard count and sizes the per-shard epoch
+// gauges.
+func (m *ClusterMetrics) SetShards(n int) {
+	if m == nil {
+		return
+	}
+	m.shards.Store(int64(n))
+	m.mu.Lock()
+	if len(m.shardEpochs) != n {
+		m.shardEpochs = make([]uint64, n)
+	}
+	m.mu.Unlock()
+}
+
+// ObserveRouted counts one operation forwarded to a shard.
+func (m *ClusterMetrics) ObserveRouted(op string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.routed[op]++
+	m.mu.Unlock()
+}
+
+// ObserveBorderReplays counts uploads replayed to a different shard
+// because their WPG component straddled a shard boundary.
+func (m *ClusterMetrics) ObserveBorderReplays(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.borderReplays.Add(uint64(n))
+}
+
+// ObserveReroutes counts users whose home shard changed at a rotation
+// (each also costs one tombstone upload to the former shard).
+func (m *ClusterMetrics) ObserveReroutes(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.reroutes.Add(uint64(n))
+}
+
+// ObserveRotation counts one completed cluster-wide rotation.
+func (m *ClusterMetrics) ObserveRotation() {
+	if m == nil {
+		return
+	}
+	m.rotations.Add(1)
+}
+
+// SetShardEpoch records shard's most recently observed published epoch.
+func (m *ClusterMetrics) SetShardEpoch(shard int, epoch uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if shard >= 0 && shard < len(m.shardEpochs) {
+		m.shardEpochs[shard] = epoch
+	}
+	m.mu.Unlock()
+}
+
+// RoutedOp is one per-operation routed counter.
+type RoutedOp struct {
+	Op    string
+	Count uint64
+}
+
+// ClusterSnapshot is a point-in-time copy of the coordinator metrics.
+// EpochLag[i] is the distance from shard i's last observed epoch to the
+// freshest shard's — a shard that skipped rotations (no new uploads)
+// shows a growing lag until traffic returns to it.
+type ClusterSnapshot struct {
+	Shards        int
+	Routed        []RoutedOp
+	RoutedTotal   uint64
+	BorderReplays uint64
+	Reroutes      uint64
+	Rotations     uint64
+	ShardEpochs   []uint64
+	EpochLag      []uint64
+}
+
+// Snapshot copies the current counters. Routed is sorted by op name for
+// deterministic rendering.
+func (m *ClusterMetrics) Snapshot() ClusterSnapshot {
+	if m == nil {
+		return ClusterSnapshot{}
+	}
+	snap := ClusterSnapshot{
+		Shards:        int(m.shards.Load()),
+		BorderReplays: m.borderReplays.Load(),
+		Reroutes:      m.reroutes.Load(),
+		Rotations:     m.rotations.Load(),
+	}
+	m.mu.Lock()
+	for op, n := range m.routed {
+		snap.Routed = append(snap.Routed, RoutedOp{Op: op, Count: n})
+		snap.RoutedTotal += n
+	}
+	snap.ShardEpochs = append([]uint64(nil), m.shardEpochs...)
+	m.mu.Unlock()
+	sort.Slice(snap.Routed, func(i, j int) bool { return snap.Routed[i].Op < snap.Routed[j].Op })
+	var max uint64
+	for _, e := range snap.ShardEpochs {
+		if e > max {
+			max = e
+		}
+	}
+	snap.EpochLag = make([]uint64, len(snap.ShardEpochs))
+	for i, e := range snap.ShardEpochs {
+		snap.EpochLag[i] = max - e
+	}
+	return snap
+}
+
+// String renders a one-line operator summary.
+func (s ClusterSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards=%d routed=%d border_replays=%d reroutes=%d rotations=%d",
+		s.Shards, s.RoutedTotal, s.BorderReplays, s.Reroutes, s.Rotations)
+	if len(s.ShardEpochs) > 0 {
+		b.WriteString(" epochs=[")
+		for i, e := range s.ShardEpochs {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", e)
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}

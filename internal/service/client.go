@@ -12,28 +12,76 @@ import (
 // legacy methods (Upload, Freeze, Cloak, Stats) speak v0; the *V1
 // methods and Rotate/EpochStatus speak the v1 envelope protocol.
 type Client struct {
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	conn      net.Conn
+	dec       *json.Decoder
+	enc       *json.Encoder
+	opTimeout time.Duration
+}
+
+// DefaultOpTimeout bounds one request/response round trip when Dial is
+// given no WithOpTimeout option. A hung or partitioned server then
+// surfaces as a timeout error instead of blocking the caller forever.
+const DefaultOpTimeout = 5 * time.Second
+
+// DefaultDialTimeout bounds connection establishment.
+const DefaultDialTimeout = 5 * time.Second
+
+// DialOption configures a Client at Dial time.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+}
+
+// WithOpTimeout bounds each request/response round trip. One absolute
+// deadline covers both the request write and the response read. d <= 0
+// disables the deadline entirely (the pre-deadline behavior: a silent
+// server blocks the caller).
+func WithOpTimeout(d time.Duration) DialOption {
+	return func(cfg *dialConfig) { cfg.opTimeout = d }
+}
+
+// WithDialTimeout bounds connection establishment.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(cfg *dialConfig) { cfg.dialTimeout = d }
 }
 
 // Dial connects to the anonymizer at addr.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{dialTimeout: DefaultDialTimeout, opTimeout: DefaultOpTimeout}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
 	}
 	return &Client{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
+		conn:      conn,
+		dec:       json.NewDecoder(bufio.NewReader(conn)),
+		enc:       json.NewEncoder(conn),
+		opTimeout: cfg.opTimeout,
 	}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// arm sets the absolute I/O deadline for the round trip about to start.
+// Setting it per operation (rather than once at Dial) makes the bound
+// per-request: a connection that serves many requests never accumulates
+// deadline debt, and a long-lived idle connection never expires.
+func (c *Client) arm() {
+	if c.opTimeout > 0 {
+		// SetDeadline only errors on a closed connection; the Encode that
+		// follows reports that case with more context.
+		_ = c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	}
+}
+
 func (c *Client) roundTrip(req Request) (Response, error) {
+	c.arm()
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("service: send %s: %w", req.Op, err)
 	}
@@ -51,6 +99,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 // server answering a malformed line replies in the v0 shape; that still
 // decodes here (V stays 0, Error carries the reason).
 func (c *Client) roundTripV1(req Request) (Envelope, error) {
+	c.arm()
 	req.V = ProtocolVersion
 	if err := c.enc.Encode(req); err != nil {
 		return Envelope{}, fmt.Errorf("service: send %s: %w", req.Op, err)

@@ -10,9 +10,14 @@
 //	go run ./scripts/bench run -pops 1000,8000 -reps 5
 //	go run ./scripts/bench validate BENCH_abc1234.json
 //	go run ./scripts/bench diff BENCH_old.json BENCH_new.json
+//	go run ./scripts/bench diff . BENCH_new.json   # newest checked-in baseline
 //
 // diff exits nonzero when any cell's metric regressed more than the
-// threshold (default 15%) beyond the measurement noise.
+// threshold (default 15%) beyond the measurement noise. A directory
+// argument resolves to the newest BENCH_<rev>.json inside it, ordered
+// by each rev's git commit time (file mtime for revs git doesn't know),
+// so callers don't have to re-discover the baseline name after every
+// retention sweep.
 package main
 
 import (
@@ -60,7 +65,7 @@ func usage() {
             [-workers a,b] [-ingest a,b] [-profiles a,b] [-reps n] [-ticks n] [-requests n]
             [-theta f] [-seed n] [-rev r] [-out dir]
   bench validate <report.json>
-  bench diff [-threshold f] [-sigmas f] <baseline.json> <current.json>`)
+  bench diff [-threshold f] [-sigmas f] <baseline.json|dir> <current.json|dir>`)
 }
 
 // cmdRun executes a grid and writes BENCH_<rev>.json into -out.
@@ -188,13 +193,21 @@ func cmdDiff(args []string) error {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("diff takes exactly two report paths: baseline current")
+		return fmt.Errorf("diff takes exactly two report paths: baseline current (either may be a directory holding BENCH_<rev>.json files)")
 	}
-	base, err := bench.ReadFile(fs.Arg(0))
+	basePath, err := resolveReport(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	cur, err := bench.ReadFile(fs.Arg(1))
+	curPath, err := resolveReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	base, err := bench.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := bench.ReadFile(curPath)
 	if err != nil {
 		return err
 	}
@@ -218,6 +231,62 @@ func cmdDiff(args []string) error {
 	fmt.Printf("ok: %s vs %s — %d improved, %d suspects, %d warnings\n",
 		base.Rev, cur.Rev, len(res.Improved), len(res.Suspects), len(res.Warnings))
 	return nil
+}
+
+// resolveReport maps a directory argument to the newest BENCH_<rev>.json
+// inside it; a file path passes through untouched. "Newest" means the
+// rev's git commit time — so a stale baseline regenerated yesterday
+// doesn't outrank the baseline of a newer commit — with file mtime as
+// the fallback for revs git cannot resolve (custom -rev labels, shallow
+// clones).
+func resolveReport(path string) (string, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if !st.IsDir() {
+		return path, nil
+	}
+	matches, err := filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baselines in %s", path)
+	}
+	best, bestTime := "", int64(0)
+	for _, m := range matches {
+		rev := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		t, ok := gitCommitTime(rev)
+		if !ok {
+			fi, err := os.Stat(m)
+			if err != nil {
+				continue
+			}
+			t = fi.ModTime().Unix()
+		}
+		if best == "" || t > bestTime || (t == bestTime && m > best) {
+			best, bestTime = m, t
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no readable BENCH_*.json baselines in %s", path)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %s resolves to %s\n", path, best)
+	return best, nil
+}
+
+// gitCommitTime returns rev's commit unix time, if git can resolve it.
+func gitCommitTime(rev string) (int64, bool) {
+	out, err := exec.Command("git", "log", "-1", "--format=%ct", rev).Output()
+	if err != nil {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(string(out)), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
 }
 
 func gitShortRev() (string, error) {

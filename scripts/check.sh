@@ -118,7 +118,22 @@ benchdir=$(mktemp -d)
 go run ./scripts/bench run -grid tiny -reps 1 -rev smoke -out "$benchdir" > /dev/null
 go run ./scripts/bench validate "$benchdir/BENCH_smoke.json" > /dev/null
 go run ./scripts/bench diff "$benchdir/BENCH_smoke.json" "$benchdir/BENCH_smoke.json" > /dev/null
+# A directory argument must resolve to the newest baseline inside it.
+go run ./scripts/bench diff "$benchdir" "$benchdir/BENCH_smoke.json" > /dev/null 2>&1
 rm -rf "$benchdir"
+
+# Cluster smoke: a 2-shard coordinator serving a few hundred users over
+# the real wire protocol — initial build, one churn tick under
+# concurrent load, then a full-population sweep. The greps assert every
+# user was served or legitimately sub-k (unserved=0) and that the
+# coordinator and both shards shut down cleanly; hard cloak failures
+# already exit nonzero on their own.
+echo "==> cloaksim -cluster smoke (2 shards)"
+cluster_out=$(go run ./cmd/cloaksim -cluster -shards 2 -n 300 -k 4 -churn 1 -workers 4)
+echo "$cluster_out" | grep -q 'unserved=0' \
+    || { echo "cluster smoke: sweep reported unserved users:" >&2; echo "$cluster_out" >&2; exit 1; }
+echo "$cluster_out" | grep -q 'clean shutdown' \
+    || { echo "cluster smoke: shutdown did not complete:" >&2; echo "$cluster_out" >&2; exit 1; }
 
 # Admin endpoint smoke: start cloakd with an ephemeral admin port, curl
 # /metrics and /healthz, and shut it down. Skipped when curl is absent.
