@@ -70,6 +70,7 @@ type config struct {
 	coordinator   bool
 	shards        int
 	shardAddrs    string
+	failoverAfter time.Duration
 }
 
 // validate rejects flag combinations before any socket is opened, so a
@@ -113,6 +114,12 @@ func (c config) validate() error {
 	} else if c.shardAddrs != "" {
 		return fmt.Errorf("-shard-addrs requires -coordinator")
 	}
+	if c.failoverAfter < 0 {
+		return fmt.Errorf("-failover-after must be >= 0, got %v", c.failoverAfter)
+	}
+	if c.failoverAfter > 0 && !c.coordinator {
+		return fmt.Errorf("-failover-after requires -coordinator")
+	}
 	return nil
 }
 
@@ -134,6 +141,7 @@ func main() {
 	flag.BoolVar(&cfg.coordinator, "coordinator", false, "run as a cluster coordinator routing to shards instead of a single anonymizer")
 	flag.IntVar(&cfg.shards, "shards", 2, "in-process shard count with -coordinator (ignored when -shard-addrs is given)")
 	flag.StringVar(&cfg.shardAddrs, "shard-addrs", "", "comma-separated addresses of externally started cloakd shards to route to (with -coordinator)")
+	flag.DurationVar(&cfg.failoverAfter, "failover-after", 0, "declare a failing shard dead after this long and re-home its users onto survivors at the next rotation (0 = fail-over disabled; with -coordinator)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cloakd:", err)
@@ -257,11 +265,19 @@ func runCoordinator(cfg config) error {
 	}
 
 	cm := metrics.NewClusterMetrics()
-	opts := []cluster.Option{cluster.WithClusterMetrics(cm)}
+	opts := []cluster.Option{
+		cluster.WithNumUsers(cfg.n),
+		cluster.WithK(cfg.k),
+		cluster.WithShardAddrs(addrs...),
+		cluster.WithClusterMetrics(cm),
+	}
 	if cfg.everyN > 0 {
 		opts = append(opts, cluster.WithEveryUploads(cfg.everyN))
 	}
-	coord, err := cluster.New(cfg.n, cfg.k, addrs, opts...)
+	if cfg.failoverAfter > 0 {
+		opts = append(opts, cluster.WithFailover(cluster.Failover{DeadAfter: cfg.failoverAfter}))
+	}
+	coord, err := cluster.New(opts...)
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,11 @@ func TestConfigValidate(t *testing.T) {
 		{"max-staleness on", func(c *config) { c.maxStale = 30 * time.Second }, ""},
 		{"negative ingest-buffers", func(c *config) { c.ingestBuffers = -1 }, "-ingest-buffers must be >= 0"},
 		{"ingest-buffers on", func(c *config) { c.ingestBuffers = 8 }, ""},
+		{"coordinator with failover", func(c *config) { c.coordinator = true; c.shards = 2; c.failoverAfter = time.Second }, ""},
+		{"negative failover-after", func(c *config) { c.coordinator = true; c.shards = 2; c.failoverAfter = -time.Second },
+			"-failover-after must be >= 0"},
+		{"failover-after without coordinator", func(c *config) { c.failoverAfter = time.Second },
+			"-failover-after requires -coordinator"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

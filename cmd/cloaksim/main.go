@@ -97,6 +97,8 @@ type simConfig struct {
 	cluster       bool
 	shards        int
 	cloakdBin     string
+	killShard     int
+	failoverAfter time.Duration
 }
 
 // validate rejects bad flag combinations up front, before any dataset
@@ -111,6 +113,26 @@ func (c simConfig) validate() error {
 		}
 		if c.shards < 1 {
 			return fmt.Errorf("-shards must be >= 1 with -cluster, got %d", c.shards)
+		}
+	}
+	if c.failoverAfter < 0 {
+		return fmt.Errorf("-failover-after must be >= 0, got %v", c.failoverAfter)
+	}
+	if c.failoverAfter > 0 && !c.cluster {
+		return fmt.Errorf("-failover-after requires -cluster")
+	}
+	if c.killShard >= 0 {
+		if !c.cluster {
+			return fmt.Errorf("-kill-shard requires -cluster")
+		}
+		if c.shards < 2 {
+			return fmt.Errorf("-kill-shard needs -shards >= 2 so survivors remain, got %d", c.shards)
+		}
+		if c.killShard >= c.shards {
+			return fmt.Errorf("-kill-shard %d out of range [0,%d)", c.killShard, c.shards)
+		}
+		if c.failoverAfter <= 0 {
+			return fmt.Errorf("-kill-shard requires -failover-after > 0 (the run must recover)")
 		}
 	}
 	if c.profiles && (c.load > 0 || c.churn > 0 || c.faults > 0) {
@@ -194,6 +216,8 @@ func main() {
 	flag.BoolVar(&cfg.cluster, "cluster", false, "cluster mode: bring up a sharded cloakd cluster behind a routing coordinator and run the churn+load workload against it")
 	flag.IntVar(&cfg.shards, "shards", 2, "shard count for -cluster")
 	flag.StringVar(&cfg.cloakdBin, "cloakd-bin", "", "path to a cloakd binary for -cluster: spawn shards as separate OS processes (empty = in-process shards)")
+	flag.IntVar(&cfg.killShard, "kill-shard", -1, "with -cluster: kill this shard after the first epoch and require fail-over to recover every user (-1 = off)")
+	flag.DurationVar(&cfg.failoverAfter, "failover-after", 0, "with -cluster: declare a failing shard dead after this long and re-home its users onto survivors (0 = fail-over disabled)")
 	flag.Parse()
 	err := cfg.validate()
 	if err == nil {
@@ -840,8 +864,17 @@ func runCluster(cfg simConfig) error {
 	defer cluster.CloseShards(shards)
 
 	cm := metrics.NewClusterMetrics()
-	coord, err := cluster.New(n, k, cluster.Addrs(shards),
-		cluster.WithKeys(keys), cluster.WithClusterMetrics(cm))
+	copts := []cluster.Option{
+		cluster.WithNumUsers(n),
+		cluster.WithK(k),
+		cluster.WithShardAddrs(cluster.Addrs(shards)...),
+		cluster.WithKeys(keys),
+		cluster.WithClusterMetrics(cm),
+	}
+	if cfg.failoverAfter > 0 {
+		copts = append(copts, cluster.WithFailover(cluster.Failover{DeadAfter: cfg.failoverAfter}))
+	}
+	coord, err := cluster.New(copts...)
 	if err != nil {
 		return err
 	}
@@ -877,6 +910,15 @@ func runCluster(cfg simConfig) error {
 	}
 	fmt.Printf("cluster: epoch %d live in %v (%d components, %d edges, %d border replays)\n",
 		st.Epoch, time.Since(t0).Round(time.Millisecond), st.Components, st.Edges, st.Moves)
+
+	// Crash drill: kill one shard after the first epoch is live. The rest
+	// of the run must degrade to retries, never hard failures, and end
+	// with every user served by the survivors.
+	failedOver := 0
+	if cfg.killShard >= 0 {
+		fmt.Printf("cluster: killing shard %d (%s)\n", cfg.killShard, shards[cfg.killShard].Addr)
+		_ = shards[cfg.killShard].Kill()
+	}
 
 	// Concurrent cloak hammer for the whole churn phase, like -churn but
 	// through the coordinator.
@@ -937,8 +979,31 @@ func runCluster(cfg simConfig) error {
 			wg.Wait()
 			return err
 		}
+		failedOver += st.FailedOver
 		fmt.Printf("cluster: tick %d rotated to epoch %d (%d users re-homed)\n",
 			tick, st.Epoch, st.Moves)
+	}
+
+	// After a kill, keep rotating (cloak load still running) until a
+	// rotation declares the shard dead and re-homes its users.
+	if cfg.killShard >= 0 {
+		deadline := time.Now().Add(30 * time.Second)
+		for failedOver == 0 && time.Now().Before(deadline) {
+			time.Sleep(250 * time.Millisecond)
+			st, err := coord.Rotate(ctx)
+			if err != nil {
+				close(stop)
+				wg.Wait()
+				return err
+			}
+			failedOver += st.FailedOver
+		}
+		if failedOver == 0 {
+			close(stop)
+			wg.Wait()
+			return fmt.Errorf("shard %d was killed but never failed over", cfg.killShard)
+		}
+		fmt.Printf("cluster: failed over %d users off dead shard %d\n", failedOver, cfg.killShard)
 	}
 	close(stop)
 	wg.Wait()
@@ -985,6 +1050,10 @@ func runCluster(cfg simConfig) error {
 	// Per-shard view, over each shard's own admin endpoint.
 	for i, s := range shards {
 		if s.AdminAddr == "" {
+			continue
+		}
+		if i == cfg.killShard {
+			fmt.Printf("cluster: shard %d (%s): killed, no scrape\n", i, s.Addr)
 			continue
 		}
 		reqs, errs, swaps, err := scrapeShard(s.AdminAddr)

@@ -7,7 +7,7 @@ import (
 )
 
 func TestSimConfigValidate(t *testing.T) {
-	valid := simConfig{n: 5000, k: 10, workers: 16, churnFrac: 0.2, nearby: 3}
+	valid := simConfig{n: 5000, k: 10, workers: 16, churnFrac: 0.2, nearby: 3, killShard: -1}
 	tests := []struct {
 		name    string
 		mutate  func(*simConfig)
@@ -49,6 +49,20 @@ func TestSimConfigValidate(t *testing.T) {
 			"-profiles cannot be combined"},
 		{"profiles with ingest-buffers", func(c *simConfig) { c.profiles = true; c.ingestBuffers = -1 },
 			"-ingest-buffers must be >= 0"},
+		{"cluster with failover", func(c *simConfig) { c.cluster = true; c.shards = 2; c.failoverAfter = 1e9 }, ""},
+		{"negative failover-after", func(c *simConfig) { c.cluster = true; c.shards = 2; c.failoverAfter = -1 },
+			"-failover-after must be >= 0"},
+		{"failover-after without cluster", func(c *simConfig) { c.failoverAfter = 1e9 },
+			"-failover-after requires -cluster"},
+		{"kill-shard drill", func(c *simConfig) { c.cluster = true; c.shards = 2; c.killShard = 1; c.failoverAfter = 1e9 }, ""},
+		{"kill-shard without cluster", func(c *simConfig) { c.killShard = 0 },
+			"-kill-shard requires -cluster"},
+		{"kill-shard lone shard", func(c *simConfig) { c.cluster = true; c.shards = 1; c.killShard = 0; c.failoverAfter = 1e9 },
+			"-kill-shard needs -shards >= 2"},
+		{"kill-shard out of range", func(c *simConfig) { c.cluster = true; c.shards = 2; c.killShard = 2; c.failoverAfter = 1e9 },
+			"out of range"},
+		{"kill-shard without failover", func(c *simConfig) { c.cluster = true; c.shards = 2; c.killShard = 1 },
+			"-kill-shard requires -failover-after > 0"},
 		{"cell bad churnfrac", func(c *simConfig) {
 			c.cell = true
 			c.reps = 1

@@ -106,4 +106,22 @@ func WriteClusterMetrics(w io.Writer, req metrics.RequestSnapshot, cl metrics.Cl
 	for i, lag := range cl.EpochLag {
 		fmt.Fprintf(w, "cloakd_cluster_shard_epoch_lag{shard=\"%d\"} %d\n", i, lag)
 	}
+
+	// Batched ordered forwarding and shard fail-over.
+	writeScalar(w, "cloakd_cluster_upload_batches_total", "counter",
+		"upload_batch round trips sent to shards by the ordered senders.", float64(cl.Batches))
+	writeScalar(w, "cloakd_cluster_upload_batched_ops_total", "counter",
+		"Individual uploads carried inside those batches.", float64(cl.BatchedOps))
+	fmt.Fprintln(w, "# HELP cloakd_cluster_shard_state Health state per shard: 0 up, 1 failing, 2 dead.")
+	fmt.Fprintln(w, "# TYPE cloakd_cluster_shard_state gauge")
+	for i, s := range cl.ShardStates {
+		fmt.Fprintf(w, "cloakd_cluster_shard_state{shard=\"%d\"} %d\n", i, s)
+	}
+	fmt.Fprintln(w, "# HELP cloakd_cluster_shard_retries_total Forward attempts retried after a transport failure, per shard.")
+	fmt.Fprintln(w, "# TYPE cloakd_cluster_shard_retries_total counter")
+	for i, r := range cl.ShardRetries {
+		fmt.Fprintf(w, "cloakd_cluster_shard_retries_total{shard=\"%d\"} %d\n", i, r)
+	}
+	writeScalar(w, "cloakd_cluster_failovers_total", "counter",
+		"Shards declared dead and failed over to survivors.", float64(cl.Failovers))
 }

@@ -103,6 +103,11 @@ func TestWriteClusterMetricsGolden(t *testing.T) {
 		Rotations:     1,
 		ShardEpochs:   []uint64{4, 3},
 		EpochLag:      []uint64{0, 1},
+		Batches:       3,
+		BatchedOps:    4,
+		ShardStates:   []int32{0, 2},
+		ShardRetries:  []uint64{0, 7},
+		Failovers:     1,
 	}
 	var b strings.Builder
 	WriteClusterMetrics(&b, req, cl)
@@ -146,6 +151,23 @@ cloakd_cluster_shard_epoch{shard="1"} 3
 # TYPE cloakd_cluster_shard_epoch_lag gauge
 cloakd_cluster_shard_epoch_lag{shard="0"} 0
 cloakd_cluster_shard_epoch_lag{shard="1"} 1
+# HELP cloakd_cluster_upload_batches_total upload_batch round trips sent to shards by the ordered senders.
+# TYPE cloakd_cluster_upload_batches_total counter
+cloakd_cluster_upload_batches_total 3
+# HELP cloakd_cluster_upload_batched_ops_total Individual uploads carried inside those batches.
+# TYPE cloakd_cluster_upload_batched_ops_total counter
+cloakd_cluster_upload_batched_ops_total 4
+# HELP cloakd_cluster_shard_state Health state per shard: 0 up, 1 failing, 2 dead.
+# TYPE cloakd_cluster_shard_state gauge
+cloakd_cluster_shard_state{shard="0"} 0
+cloakd_cluster_shard_state{shard="1"} 2
+# HELP cloakd_cluster_shard_retries_total Forward attempts retried after a transport failure, per shard.
+# TYPE cloakd_cluster_shard_retries_total counter
+cloakd_cluster_shard_retries_total{shard="0"} 0
+cloakd_cluster_shard_retries_total{shard="1"} 7
+# HELP cloakd_cluster_failovers_total Shards declared dead and failed over to survivors.
+# TYPE cloakd_cluster_failovers_total counter
+cloakd_cluster_failovers_total 1
 `
 	if got := b.String(); got != want {
 		t.Errorf("WriteClusterMetrics drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)

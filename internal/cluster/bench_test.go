@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"nonexposure/internal/service"
+)
+
+// BenchmarkCoordinatorUploadBatch measures the ordered write path at 4
+// shards, synthetic ring peer lists (no graph build in the loop):
+//
+//   - serialized: Flush after every Upload — one upload_batch round
+//     trip per upload, the cost shape of the old lock-held forward.
+//   - pipelined: stream Uploads and Flush once — the sender coalesces
+//     queued writes into large batches.
+//
+// ns/op is per upload in both, so the ratio is the pipelining speedup.
+func BenchmarkCoordinatorUploadBatch(b *testing.B) {
+	const n, k, nShards = 4000, 4, 4
+	shards, err := SpawnInProcess(bg, nShards, ShardConfig{NumUsers: n, K: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { CloseShards(shards) })
+
+	lists := make([][]service.PeerRank, n)
+	for u := 0; u < n; u++ {
+		lists[u] = []service.PeerRank{
+			{Peer: int32((u + 1) % n), Rank: 1},
+			{Peer: int32((u - 1 + n) % n), Rank: 2},
+		}
+	}
+	newCoord := func(b *testing.B, opts ...Option) *Coordinator {
+		b.Helper()
+		coord, err := New(append([]Option{WithNumUsers(n), WithK(k), WithShardAddrs(Addrs(shards)...)}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { coord.Close() })
+		return coord
+	}
+	upload := func(b *testing.B, coord *Coordinator, i int) {
+		u := int32(i % n)
+		if err := coord.Upload(bg, UploadRequest{User: u, Peers: lists[u]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("serialized", func(b *testing.B) {
+		coord := newCoord(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			upload(b, coord, i)
+			if err := coord.Flush(bg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, batch := range []int{32, DefaultMaxBatch} {
+		b.Run(fmt.Sprintf("pipelined/max%d", batch), func(b *testing.B) {
+			coord := newCoord(b, WithMaxBatch(batch))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				upload(b, coord, i)
+			}
+			if err := coord.Flush(bg); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

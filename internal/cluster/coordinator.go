@@ -32,22 +32,43 @@ import (
 // each of its homed components in full, so per-shard clustering produces
 // bit-identical clusters to a single process, and no border user is ever
 // dropped or served a sub-k cluster.
+//
+// State-changing forwards are batched and pipelined: Upload appends to
+// the owning shard's ordered queue under a short critical section and
+// returns; a per-shard sender goroutine drains the queue in coordinator
+// order over the shard's dedicated ordered connection using the v1
+// upload_batch op. The coordinator's own store — which holds every
+// upload and profile anyway, for re-homing — is the source of truth;
+// Rotate flushes the queues before freezing, so a rotation still covers
+// every upload accepted before the call. With WithFailover, a shard
+// that stays unreachable past a deadline is declared dead at the next
+// rotation and its users' stored uploads are re-homed onto the
+// survivors (recovery is a replay).
 type Coordinator struct {
-	numUsers int
-	k        int
-	every    int
-	poolSize int
-	dialOpts []service.DialOption
-	cm       *metrics.ClusterMetrics
-	rm       *metrics.RequestMetrics
+	numUsers    int
+	k           int
+	every       int
+	poolSize    int
+	maxBatch    int
+	queueCap    int
+	spawnShards int
+	addrs       []string
+	fo          Failover
+	dialOpts    []service.DialOption
+	cm          *metrics.ClusterMetrics
+	rm          *metrics.RequestMetrics
 
 	keys     []uint64
 	keyOwner []int32
 	pools    []*shardPool
+	senders  []*orderedSender
+	health   []*shardHealth
+	owned    []*Shard // in-process shards spawned via WithShards
 
 	// mu guards the routing state. Rotate holds it across the replay
 	// phase so a concurrent upload can never interleave between a
-	// member's replay and its tombstone.
+	// member's replay and its tombstone — enqueueing under mu keeps the
+	// per-shard queue order identical to the store order.
 	mu             sync.RWMutex
 	uploads        map[int32][]service.PeerRank
 	profiles       map[int32]service.ProfileSpec
@@ -66,6 +87,58 @@ type Coordinator struct {
 
 // Option configures a Coordinator.
 type Option func(*Coordinator)
+
+// WithNumUsers sets the population size (required: routing validates
+// user ids against it, and the shards must be configured to match).
+func WithNumUsers(n int) Option {
+	return func(c *Coordinator) { c.numUsers = n }
+}
+
+// WithK sets the anonymity level (default 10, matching service.New).
+// Only used to configure shards spawned via WithShards; a coordinator
+// over external shards trusts them to agree on k.
+func WithK(k int) Option {
+	return func(c *Coordinator) { c.k = k }
+}
+
+// WithShardAddrs routes to already-running shards at addrs. The shards
+// must be cloakd processes (or in-process service.Servers) configured
+// with the same population size and k. Mutually exclusive with
+// WithShards.
+func WithShardAddrs(addrs ...string) Option {
+	return func(c *Coordinator) { c.addrs = append([]string(nil), addrs...) }
+}
+
+// WithShards spawns n in-process shards owned by the coordinator (and
+// closed with it). The cheap mode for tests and single-machine
+// experiments; mutually exclusive with WithShardAddrs.
+func WithShards(n int) Option {
+	return func(c *Coordinator) { c.spawnShards = n }
+}
+
+// WithFailover enables shard fail-over: per-shard health tracking,
+// retry with exponential backoff + jitter on the ordered connection,
+// and — when a shard stays dead past fo.DeadAfter — re-homing its
+// users' stored uploads onto the surviving shards at the next rotation.
+// The zero Failover disables it (a dead shard then fails its users'
+// operations until it returns).
+func WithFailover(fo Failover) Option {
+	return func(c *Coordinator) { c.fo = fo }
+}
+
+// WithMaxBatch caps how many queued forwards one upload_batch round
+// trip may carry (default DefaultMaxBatch; hard ceiling keeps a batch
+// under the protocol's line limit).
+func WithMaxBatch(n int) Option {
+	return func(c *Coordinator) { c.maxBatch = n }
+}
+
+// WithQueueCapacity sets the per-shard ordered-queue soft capacity:
+// Upload blocks (honoring its context) while the owning shard's queue
+// is above it (default DefaultQueueCapacity).
+func WithQueueCapacity(n int) Option {
+	return func(c *Coordinator) { c.queueCap = n }
+}
 
 // WithKeys supplies per-user locality keys (Hilbert ranks from
 // HilbertKeys). len(keys) must equal the population size. Without keys
@@ -101,57 +174,97 @@ func WithDialOptions(opts ...service.DialOption) Option {
 	return func(c *Coordinator) { c.dialOpts = opts }
 }
 
-// New builds a coordinator over the shards at addrs. The shards must be
-// cloakd processes (or in-process service.Servers) configured with the
-// same population size and k.
-func New(numUsers, k int, addrs []string, opts ...Option) (*Coordinator, error) {
-	if numUsers <= 0 {
-		return nil, fmt.Errorf("cluster: population must be positive, got %d", numUsers)
-	}
-	if k < 1 {
-		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
-	}
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("cluster: need at least one shard address")
-	}
+// New builds a coordinator configured by options. WithNumUsers and
+// exactly one of WithShardAddrs / WithShards are required.
+func New(opts ...Option) (*Coordinator, error) {
 	c := &Coordinator{
-		numUsers: numUsers,
-		k:        k,
+		k:        10,
 		poolSize: 4,
+		maxBatch: DefaultMaxBatch,
+		queueCap: DefaultQueueCapacity,
 		rm:       metrics.NewRequestMetrics(),
 		uploads:  make(map[int32][]service.PeerRank),
 		profiles: make(map[int32]service.ProfileSpec),
-		serving:  make([]int32, numUsers),
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
-	if c.keys == nil {
-		// Position-free default: uniform by id.
-		c.keys = make([]uint64, numUsers)
-		for i := range c.keys {
-			c.keys[i] = uint64(i)
-		}
+	if c.numUsers <= 0 {
+		return nil, fmt.Errorf("cluster: population must be positive, got %d (WithNumUsers is required)", c.numUsers)
 	}
-	if len(c.keys) != numUsers {
-		return nil, fmt.Errorf("cluster: %d keys for %d users", len(c.keys), numUsers)
+	if c.k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", c.k)
 	}
 	if c.every < 0 {
 		return nil, fmt.Errorf("cluster: EveryUploads must be >= 0, got %d", c.every)
 	}
-	c.keyOwner = keyOwners(c.keys, len(addrs))
+	if c.maxBatch < 1 {
+		return nil, fmt.Errorf("cluster: max batch must be >= 1, got %d", c.maxBatch)
+	}
+	if c.maxBatch > maxBatchCeiling {
+		c.maxBatch = maxBatchCeiling
+	}
+	if c.queueCap < 1 {
+		return nil, fmt.Errorf("cluster: queue capacity must be >= 1, got %d", c.queueCap)
+	}
+	if err := c.fo.validate(); err != nil {
+		return nil, err
+	}
+	c.fo = c.fo.withDefaults()
+	if len(c.addrs) > 0 && c.spawnShards > 0 {
+		return nil, fmt.Errorf("cluster: WithShardAddrs and WithShards are mutually exclusive")
+	}
+	if len(c.addrs) == 0 && c.spawnShards == 0 {
+		return nil, fmt.Errorf("cluster: need at least one shard (WithShardAddrs or WithShards)")
+	}
+	if c.spawnShards > 0 {
+		shards, err := SpawnInProcess(context.Background(), c.spawnShards, ShardConfig{NumUsers: c.numUsers, K: c.k})
+		if err != nil {
+			return nil, err
+		}
+		c.owned = shards
+		c.addrs = Addrs(shards)
+	}
+	fail := func(err error) (*Coordinator, error) {
+		_ = CloseShards(c.owned)
+		return nil, err
+	}
+	if c.keys == nil {
+		// Position-free default: uniform by id.
+		c.keys = make([]uint64, c.numUsers)
+		for i := range c.keys {
+			c.keys[i] = uint64(i)
+		}
+	}
+	if len(c.keys) != c.numUsers {
+		return fail(fmt.Errorf("cluster: %d keys for %d users", len(c.keys), c.numUsers))
+	}
+	c.keyOwner = keyOwners(c.keys, len(c.addrs))
+	c.serving = make([]int32, c.numUsers)
 	for i := range c.serving {
 		c.serving[i] = -1
 	}
 	if len(c.dialOpts) == 0 {
 		c.dialOpts = []service.DialOption{service.WithOpTimeout(service.DefaultOpTimeout)}
 	}
-	c.pools = make([]*shardPool, len(addrs))
-	for i, addr := range addrs {
+	c.cm.SetShards(len(c.addrs))
+	c.pools = make([]*shardPool, len(c.addrs))
+	c.health = make([]*shardHealth, len(c.addrs))
+	c.senders = make([]*orderedSender, len(c.addrs))
+	for i, addr := range c.addrs {
 		c.pools[i] = newShardPool(addr, c.poolSize, c.dialOpts)
+		c.health[i] = newShardHealth(i, c.cm)
+		c.senders[i] = newOrderedSender(i, c.pools[i], c.health[i], c.cm, c.fo, c.maxBatch, c.queueCap)
 	}
-	c.cm.SetShards(len(addrs))
 	return c, nil
+}
+
+// NewWithAddrs builds a coordinator over the shards at addrs with
+// positional population and anonymity arguments.
+//
+// Deprecated: use New with WithNumUsers/WithK/WithShardAddrs (removal: 2026-09).
+func NewWithAddrs(numUsers, k int, addrs []string, opts ...Option) (*Coordinator, error) {
+	return New(append([]Option{WithNumUsers(numUsers), WithK(k), WithShardAddrs(addrs...)}, opts...)...)
 }
 
 // Shards returns the number of shards.
@@ -173,13 +286,28 @@ func (c *Coordinator) validateUser(user int32) error {
 }
 
 // shardForLocked returns the shard currently answering for user: the
-// component home if the user has uploaded, the static key owner
-// otherwise.
+// component home if the user has uploaded, the static key owner (or its
+// alive stand-in) otherwise.
 func (c *Coordinator) shardForLocked(user int32) int32 {
 	if s := c.serving[user]; s >= 0 {
 		return s
 	}
-	return c.keyOwner[user]
+	return c.aliveOwnerLocked(user)
+}
+
+// aliveOwnerLocked is the user's static key-owner shard, or — when that
+// shard is dead — the next alive shard in ring order. Deterministic, so
+// routing and re-homing always agree on the stand-in.
+func (c *Coordinator) aliveOwnerLocked(user int32) int32 {
+	o := c.keyOwner[user]
+	n := int32(len(c.pools))
+	for d := int32(0); d < n; d++ {
+		cand := (o + d) % n
+		if !c.health[cand].isDead() {
+			return cand
+		}
+	}
+	return o
 }
 
 // UploadRequest carries one proximity upload through the routing layer,
@@ -193,8 +321,14 @@ type UploadRequest struct {
 	Profile *service.ProfileSpec
 }
 
-// Upload stores the user's ranked peer list and forwards it to the
-// user's current home shard.
+// Upload stores the user's ranked peer list and enqueues it for the
+// user's current home shard. Validation is synchronous; delivery is
+// asynchronous — the shard applies the upload when its ordered sender
+// drains the queue, and Rotate flushes every queue before freezing, so
+// a rotation always covers every upload accepted before it. A nil
+// return means "accepted and durably stored at the coordinator", not
+// "applied by the shard". Blocks (honoring ctx) only when the owning
+// shard's queue is over capacity.
 func (c *Coordinator) Upload(ctx context.Context, req UploadRequest) error {
 	user, peers, prof := req.User, req.Peers, req.Profile
 	if err := c.validateUser(user); err != nil {
@@ -209,14 +343,19 @@ func (c *Coordinator) Upload(ctx context.Context, req UploadRequest) error {
 		}
 	}
 	stored := append([]service.PeerRank(nil), peers...)
+	var storedProf *service.ProfileSpec
+	if prof != nil {
+		v := *prof
+		storedProf = &v
+	}
 
 	c.mu.Lock()
 	c.uploads[user] = stored
-	if prof != nil {
-		c.profiles[user] = *prof
+	if storedProf != nil {
+		c.profiles[user] = *storedProf
 	}
 	if c.serving[user] < 0 {
-		c.serving[user] = c.keyOwner[user]
+		c.serving[user] = c.aliveOwnerLocked(user)
 	}
 	shard := c.serving[user]
 	c.uploadsSince++
@@ -224,8 +363,12 @@ func (c *Coordinator) Upload(ctx context.Context, req UploadRequest) error {
 	if autoRotate {
 		c.uploadsSince = 0
 	}
-	err := c.forward(shard, user, stored, prof)
+	c.cm.ObserveRouted(string(service.OpUpload))
+	err := c.senders[shard].enqueue(batchItem{user: user, peers: stored, prof: storedProf})
 	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
 
 	if autoRotate {
 		go func() {
@@ -235,41 +378,70 @@ func (c *Coordinator) Upload(ctx context.Context, req UploadRequest) error {
 			}
 		}()
 	}
-	return err
+	return c.senders[shard].waitCap(ctx)
 }
 
-// forward sends one upload over shard's ordered connection. Caller holds
-// c.mu, which keeps the stored state and the wire order in lockstep.
-func (c *Coordinator) forward(shard int32, user int32, peers []service.PeerRank, prof *service.ProfileSpec) error {
-	c.cm.ObserveRouted(string(service.OpUpload))
-	return c.pools[shard].ordered(func(cl *service.Client) error {
-		if prof != nil {
-			return cl.UploadProfile(user, peers, *prof)
+// Flush blocks until every forward enqueued before the call has been
+// acknowledged by its shard (dead shards are skipped — their users'
+// uploads are replayed at the next rotation). ctx bounds the wait.
+func (c *Coordinator) Flush(ctx context.Context) error {
+	var first error
+	for i := range c.senders {
+		if c.health[i].isDead() {
+			continue
 		}
-		return cl.Upload(user, peers)
-	})
+		if err := c.senders[i].flush(ctx); err != nil && first == nil {
+			first = fmt.Errorf("cluster: flush shard %d: %w", i, err)
+		}
+	}
+	return first
 }
 
 // Cloak routes the cloaking request to the user's home shard and relays
 // its answer. The payload's Epoch is the serving shard's local epoch.
+// With failover enabled, a broken connection is retried with backoff
+// for up to Failover.QueryBudget — re-resolving the home shard each
+// attempt, since a rotation may re-home the user mid-retry.
 func (c *Coordinator) Cloak(ctx context.Context, user int32) (*service.CloakPayload, error) {
 	if err := c.validateUser(user); err != nil {
 		return nil, err
 	}
-	c.mu.RLock()
-	shard := c.shardForLocked(user)
-	c.mu.RUnlock()
-	c.cm.ObserveRouted(string(service.OpCloak))
-	var payload *service.CloakPayload
-	err := c.pools[shard].query(func(cl *service.Client) error {
-		p, err := cl.CloakV1(user)
-		payload = p
-		return err
-	})
-	if err != nil {
-		return nil, relayErr(service.OpCloak, err)
+	var deadline time.Time
+	if c.fo.enabled() {
+		deadline = time.Now().Add(c.fo.QueryBudget)
 	}
-	return payload, nil
+	for attempt := 1; ; attempt++ {
+		c.mu.RLock()
+		shard := c.shardForLocked(user)
+		c.mu.RUnlock()
+		c.cm.ObserveRouted(string(service.OpCloak))
+		var payload *service.CloakPayload
+		err := c.pools[shard].query(func(cl *service.Client) error {
+			p, err := cl.CloakV1(user)
+			payload = p
+			return err
+		})
+		if err == nil {
+			c.health[shard].markSuccess()
+			return payload, nil
+		}
+		if !connBroken(err) {
+			// The shard answered; this is the real response.
+			return nil, relayErr(service.OpCloak, err)
+		}
+		c.health[shard].markFailure()
+		if !c.fo.enabled() || time.Now().After(deadline) {
+			return nil, relayErr(service.OpCloak, err)
+		}
+		c.cm.ObserveShardRetry(int(shard))
+		t := time.NewTimer(backoffFor(c.fo, attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // RotateStats summarizes one cluster-wide rotation.
@@ -278,29 +450,53 @@ type RotateStats struct {
 	Components int    // WPG connected components with >= 1 upload
 	Moves      int    // users re-homed (border replays sent)
 	Edges      int    // mutual edges across all shards after the rotate
+	FailedOver int    // users re-homed off shards declared dead
+	DeadShards int    // shards currently dead
 }
 
-// Rotate re-homes components and rotates every shard, synchronously: on
-// return each shard serves an epoch covering all uploads accepted before
-// the call. One rotation runs at a time; concurrent calls serialize.
+// Rotate re-homes components and rotates every live shard,
+// synchronously: on return each live shard serves an epoch covering all
+// uploads accepted before the call. One rotation runs at a time;
+// concurrent calls serialize.
+//
+// With failover enabled the rotation is also the recovery point: dead
+// shards are probed (a successful ping revives one, and re-homing
+// replays its users back), shards failing longer than DeadAfter are
+// declared dead (their queues dropped, their users re-homed onto
+// survivors from the coordinator's store), and a live shard that fails
+// to flush or freeze is marked failing and skipped instead of failing
+// the rotation.
 func (c *Coordinator) Rotate(ctx context.Context) (RotateStats, error) {
 	c.rotateMu.Lock()
 	defer c.rotateMu.Unlock()
 
+	c.probeDeadShards()
+
+	now := time.Now()
 	c.mu.Lock()
+	c.declareDeadLocked(now)
 	moves := c.rehomeLocked()
-	// Replay while still holding c.mu: a concurrent Upload for a moved
-	// user must observe the new home (and order after the replay on the
-	// new shard's ordered connection), never race the tombstone.
-	var replayErrs []error
+	// Replays and tombstones flush through the same ordered queues as
+	// uploads, while still holding c.mu: a concurrent Upload for a moved
+	// user must observe the new home (and order after the replay in the
+	// new shard's queue), never race the tombstone.
+	failedOver := 0
+	var enqErr error
 	for _, mv := range moves {
-		prof := c.profileForLocked(mv.user)
-		if err := c.forward(mv.to, mv.user, c.uploads[mv.user], prof); err != nil {
-			replayErrs = append(replayErrs, fmt.Errorf("replay user %d to shard %d: %w", mv.user, mv.to, err))
-			continue
+		if mv.from >= 0 && c.health[mv.from].isDead() {
+			failedOver++
 		}
-		if err := c.forward(mv.from, mv.user, nil, nil); err != nil {
-			replayErrs = append(replayErrs, fmt.Errorf("tombstone user %d on shard %d: %w", mv.user, mv.from, err))
+		if !c.health[mv.to].isDead() {
+			c.cm.ObserveRouted(string(service.OpUpload))
+			if err := c.senders[mv.to].enqueue(batchItem{user: mv.user, peers: c.uploads[mv.user], prof: c.profileForLocked(mv.user)}); err != nil && enqErr == nil {
+				enqErr = err
+			}
+		}
+		if mv.from >= 0 && !c.health[mv.from].isDead() {
+			c.cm.ObserveRouted(string(service.OpUpload))
+			if err := c.senders[mv.from].enqueue(batchItem{user: mv.user}); err != nil && enqErr == nil {
+				enqErr = err
+			}
 		}
 	}
 	components := c.componentCount
@@ -309,17 +505,51 @@ func (c *Coordinator) Rotate(ctx context.Context) (RotateStats, error) {
 
 	c.cm.ObserveBorderReplays(len(moves))
 	c.cm.ObserveReroutes(len(moves))
-	if len(replayErrs) > 0 {
-		return RotateStats{}, fmt.Errorf("cluster: rotate: %w", replayErrs[0])
+	if enqErr != nil {
+		return RotateStats{}, fmt.Errorf("cluster: rotate: %w", enqErr)
 	}
 
-	// Freeze the shards in parallel. A shard whose input didn't change
-	// answers "no new uploads"; it keeps serving its previous epoch,
-	// which covers the same uploads — not an error, just lag.
+	// Flush every live shard's queue in parallel, bounded: a shard that
+	// cannot drain in time is marked failing and skipped (failover) or
+	// fails the rotation (no failover — the pre-batching behavior).
+	skip := make([]bool, len(c.pools))
+	ferrs := make([]error, len(c.pools))
+	var wg sync.WaitGroup
+	for i := range c.senders {
+		if c.health[i].isDead() {
+			skip[i] = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fctx, cancel := context.WithTimeout(ctx, c.flushTimeout())
+			defer cancel()
+			ferrs[i] = c.senders[i].flush(fctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range ferrs {
+		if err == nil || skip[i] {
+			continue
+		}
+		if c.fo.enabled() {
+			c.health[i].markFailure()
+			skip[i] = true
+			continue
+		}
+		return RotateStats{}, fmt.Errorf("cluster: rotate: flush shard %d: %w", i, err)
+	}
+
+	// Freeze the surviving shards in parallel. A shard whose input didn't
+	// change answers "no new uploads"; it keeps serving its previous
+	// epoch, which covers the same uploads — not an error, just lag.
 	edges := make([]int, len(c.pools))
 	errs := make([]error, len(c.pools))
-	var wg sync.WaitGroup
 	for i := range c.pools {
+		if skip[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -336,19 +566,86 @@ func (c *Coordinator) Rotate(ctx context.Context) (RotateStats, error) {
 	}
 	wg.Wait()
 	for i, err := range errs {
-		if err != nil {
-			return RotateStats{}, fmt.Errorf("cluster: rotate shard %d: %w", i, err)
+		if err == nil {
+			continue
 		}
+		if c.fo.enabled() && connBroken(err) {
+			c.health[i].markFailure()
+			continue
+		}
+		return RotateStats{}, fmt.Errorf("cluster: rotate shard %d: %w", i, err)
 	}
 
 	c.epoch++
 	c.cm.ObserveRotation()
-	stats := RotateStats{Epoch: c.epoch, Components: components, Moves: len(moves)}
+	stats := RotateStats{Epoch: c.epoch, Components: components, Moves: len(moves), FailedOver: failedOver}
+	for i := range c.health {
+		if c.health[i].isDead() {
+			stats.DeadShards++
+		}
+	}
 	for _, n := range edges {
 		stats.Edges += n
 	}
 	c.refreshShardEpochs()
 	return stats, nil
+}
+
+// flushTimeout bounds one rotation's wait for a shard queue to drain.
+func (c *Coordinator) flushTimeout() time.Duration {
+	if c.fo.enabled() {
+		return c.fo.FlushTimeout
+	}
+	return 30 * time.Second
+}
+
+// probeDeadShards pings every dead shard once (outside any lock); a
+// shard that answers is revived, and the calling rotation re-homes
+// components back onto it — replaying their stored uploads, so the
+// restarted shard re-enters service consistent with the store.
+func (c *Coordinator) probeDeadShards() {
+	if !c.fo.enabled() {
+		return
+	}
+	for i := range c.health {
+		if !c.health[i].isDead() {
+			continue
+		}
+		if c.pools[i].query(func(cl *service.Client) error { return cl.Ping() }) == nil {
+			c.health[i].markRecovered()
+		}
+	}
+}
+
+// declareDeadLocked declares shards failing longer than DeadAfter dead,
+// dropping their queues (the re-home replays supersede them). At least
+// one shard always stays alive. Callers hold c.mu.
+func (c *Coordinator) declareDeadLocked(now time.Time) {
+	if !c.fo.enabled() {
+		return
+	}
+	for i := range c.health {
+		if c.aliveShards() <= 1 {
+			return
+		}
+		if c.health[i].isDead() || c.health[i].failingFor(now) < c.fo.DeadAfter {
+			continue
+		}
+		c.health[i].declareDead()
+		c.senders[i].dropQueue()
+		c.cm.ObserveFailover()
+	}
+}
+
+// aliveShards counts shards not currently declared dead.
+func (c *Coordinator) aliveShards() int {
+	n := 0
+	for i := range c.health {
+		if !c.health[i].isDead() {
+			n++
+		}
+	}
+	return n
 }
 
 // profileForLocked returns the stored profile spec for replays (nil if
@@ -372,7 +669,9 @@ type move struct {
 // exists iff u ranks v and v ranks u. The home is the key-owner shard of
 // the component's minimum-(key, id) member — deterministic, and biased
 // toward where most of the component's uploads already live when keys
-// are locality-preserving. Returns the users that moved, sorted by id.
+// are locality-preserving. Dead shards are never homes: their
+// components land on the next alive shard in ring order. Returns the
+// users that moved, sorted by id.
 func (c *Coordinator) rehomeLocked() []move {
 	uf := graph.NewUnionFind(c.numUsers)
 	for u, peers := range c.uploads {
@@ -404,7 +703,7 @@ func (c *Coordinator) rehomeLocked() []move {
 
 	var moves []move
 	for u := range c.uploads {
-		home := c.keyOwner[homes[uf.Find(u)].id]
+		home := c.aliveOwnerLocked(homes[uf.Find(u)].id)
 		if c.serving[u] != home {
 			moves = append(moves, move{user: u, from: c.serving[u], to: home})
 			c.serving[u] = home
@@ -424,27 +723,45 @@ func (c *Coordinator) ranksLocked(u, v int32) bool {
 	return false
 }
 
-// refreshShardEpochs polls every shard's epoch status into the per-shard
-// epoch gauges (best effort; a failed poll leaves the old value).
+// refreshShardEpochs polls the live shards' epoch statuses into the
+// per-shard epoch gauges (best effort; a failed poll leaves the old
+// value). Polls fan out with a bounded worker set so one slow shard
+// never stalls the scrape behind it.
 func (c *Coordinator) refreshShardEpochs() {
+	const maxConcurrentPolls = 8
+	sem := make(chan struct{}, maxConcurrentPolls)
+	var wg sync.WaitGroup
 	for i := range c.pools {
-		c.cm.ObserveRouted(string(service.OpEpoch))
-		_ = c.pools[i].query(func(cl *service.Client) error {
-			p, err := cl.EpochStatus()
-			if err == nil {
-				c.cm.SetShardEpoch(i, p.Epoch)
-			}
-			return err
-		})
+		if c.health[i].isDead() {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.cm.ObserveRouted(string(service.OpEpoch))
+			_ = c.pools[i].query(func(cl *service.Client) error {
+				p, err := cl.EpochStatus()
+				if err == nil {
+					c.cm.SetShardEpoch(i, p.Epoch)
+				}
+				return err
+			})
+		}(i)
 	}
+	wg.Wait()
 }
 
-// EpochStatus aggregates the shards' pipeline states into one payload:
-// Epoch is the coordinator's rotation count, Published requires every
-// shard to have published, and the counters are sums.
+// EpochStatus aggregates the live shards' pipeline states into one
+// payload: Epoch is the coordinator's rotation count, Published requires
+// every live shard to have published, and the counters are sums.
 func (c *Coordinator) EpochStatus(ctx context.Context) (*service.EpochPayload, error) {
 	agg := &service.EpochPayload{Published: true, Policy: c.policyString()}
 	for i := range c.pools {
+		if c.health[i].isDead() {
+			continue
+		}
 		c.cm.ObserveRouted(string(service.OpEpoch))
 		var p *service.EpochPayload
 		err := c.pools[i].query(func(cl *service.Client) error {
@@ -484,11 +801,14 @@ func (c *Coordinator) EpochStatus(ctx context.Context) (*service.EpochPayload, e
 	return agg, nil
 }
 
-// Stats aggregates shard stats plus the coordinator's own request
+// Stats aggregates live-shard stats plus the coordinator's own request
 // accounting into the v1 stats shape.
 func (c *Coordinator) Stats(ctx context.Context) (*service.StatsPayload, error) {
 	p := &service.StatsPayload{Users: c.numUsers, Frozen: true}
 	for i := range c.pools {
+		if c.health[i].isDead() {
+			continue
+		}
 		c.cm.ObserveRouted(string(service.OpStats))
 		var sp *service.StatsPayload
 		err := c.pools[i].query(func(cl *service.Client) error {
@@ -533,9 +853,12 @@ func (c *Coordinator) policyString() string {
 	return "coordinator|manual"
 }
 
-// Ping checks every shard.
+// Ping checks every live shard.
 func (c *Coordinator) Ping(ctx context.Context) error {
 	for i := range c.pools {
+		if c.health[i].isDead() {
+			continue
+		}
 		c.cm.ObserveRouted(string(service.OpPing))
 		if err := c.pools[i].query(func(cl *service.Client) error { return cl.Ping() }); err != nil {
 			return fmt.Errorf("cluster: shard %d: %w", i, err)
@@ -544,17 +867,25 @@ func (c *Coordinator) Ping(ctx context.Context) error {
 	return nil
 }
 
-// Close shuts the protocol listener (if serving) and every shard
-// connection. It does not stop the shards themselves — their owner
-// (spawner or operator) does that.
+// Close shuts the protocol listener (if serving), the ordered senders,
+// and every shard connection. Shards spawned via WithShards are closed
+// too; external shards are their owner's to stop.
 func (c *Coordinator) Close() error {
 	c.closeOnce.Do(func() {
 		if c.lnClose != nil {
 			c.closeErr = c.lnClose()
 		}
 		c.wg.Wait()
+		// Pools first: closing the ordered connection unblocks a sender
+		// mid-round-trip, then the senders' goroutines exit.
 		for _, p := range c.pools {
 			p.close()
+		}
+		for _, s := range c.senders {
+			s.close()
+		}
+		if err := CloseShards(c.owned); err != nil && c.closeErr == nil {
+			c.closeErr = err
 		}
 	})
 	return c.closeErr

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"nonexposure/internal/dataset"
 	"nonexposure/internal/geo"
@@ -55,14 +56,17 @@ func startReference(t *testing.T, n, k int) *service.Client {
 	return c
 }
 
-func startCluster(t *testing.T, n, k, nShards int, keys []uint64, cm *metrics.ClusterMetrics) *Coordinator {
+func startCluster(t *testing.T, n, k, nShards int, keys []uint64, cm *metrics.ClusterMetrics, opts ...Option) *Coordinator {
 	t.Helper()
 	shards, err := SpawnInProcess(bg, nShards, ShardConfig{NumUsers: n, K: k})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { CloseShards(shards) })
-	coord, err := New(n, k, Addrs(shards), WithKeys(keys), WithClusterMetrics(cm))
+	coord, err := New(append([]Option{
+		WithNumUsers(n), WithK(k), WithShardAddrs(Addrs(shards)...),
+		WithKeys(keys), WithClusterMetrics(cm),
+	}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +152,10 @@ func TestTwoShardClusterMatchesSingleProcess(t *testing.T) {
 	}
 	ref := startReference(t, n, k)
 	cm := metrics.NewClusterMetrics()
-	coord := startCluster(t, n, k, 2, keys, cm)
+	// A tiny batch cap forces every rotation's replays and every upload
+	// round to split across many upload_batch round trips, so the
+	// differential exercises batch boundaries, not just batch contents.
+	coord := startCluster(t, n, k, 2, keys, cm, WithMaxBatch(3))
 
 	lists := proximityLists(pts)
 	uploadBoth := func(u int32) {
@@ -206,7 +213,11 @@ func TestTwoShardClusterMatchesSingleProcess(t *testing.T) {
 	// Churn round 2: only a third of the users re-upload; the rest keep
 	// their stale lists, so components mix fresh and stale members and
 	// re-homing must replay lists the coordinator stored in earlier
-	// rounds.
+	// rounds. Every fifth re-uploader first re-sends its round-1 list and
+	// immediately overwrites it with the fresh one — back-to-back writes
+	// for the same user, where any reordering in the batching path would
+	// leave the stale list winning and diverge from the reference.
+	prev := lists
 	for i := range moved {
 		if i%3 == 0 {
 			moved[i].X += (rng.Float64() - 0.5) * 0.02
@@ -215,9 +226,18 @@ func TestTwoShardClusterMatchesSingleProcess(t *testing.T) {
 	}
 	lists = proximityLists(moved)
 	for u := int32(0); u < int32(n); u++ {
-		if u%3 == 0 {
-			uploadBoth(u)
+		if u%3 != 0 {
+			continue
 		}
+		if u%5 == 0 {
+			if err := ref.Upload(u, prev[u]); err != nil {
+				t.Fatalf("reference stale upload %d: %v", u, err)
+			}
+			if err := coord.Upload(bg, UploadRequest{User: u, Peers: prev[u]}); err != nil {
+				t.Fatalf("cluster stale upload %d: %v", u, err)
+			}
+		}
+		uploadBoth(u)
 	}
 	rotateBoth()
 	compareAllUsers(t, n, k, ref, coord)
@@ -311,20 +331,37 @@ func TestClusterProfilesSurviveRehoming(t *testing.T) {
 
 // TestCoordinatorValidation covers constructor and per-op validation.
 func TestCoordinatorValidation(t *testing.T) {
-	if _, err := New(0, 2, []string{"x"}); err == nil {
+	if _, err := New(WithNumUsers(0), WithK(2), WithShardAddrs("x")); err == nil {
 		t.Error("population 0 accepted")
 	}
-	if _, err := New(10, 0, []string{"x"}); err == nil {
+	if _, err := New(WithK(2), WithShardAddrs("x")); err == nil {
+		t.Error("missing WithNumUsers accepted")
+	}
+	if _, err := New(WithNumUsers(10), WithK(0), WithShardAddrs("x")); err == nil {
 		t.Error("k 0 accepted")
 	}
-	if _, err := New(10, 2, nil); err == nil {
+	if _, err := New(WithNumUsers(10), WithK(2)); err == nil {
 		t.Error("no shards accepted")
 	}
-	if _, err := New(10, 2, []string{"x"}, WithKeys(make([]uint64, 3))); err == nil {
+	if _, err := New(WithNumUsers(10), WithK(2), WithShardAddrs("x"), WithShards(2)); err == nil {
+		t.Error("WithShardAddrs+WithShards accepted")
+	}
+	if _, err := New(WithNumUsers(10), WithK(2), WithShardAddrs("x"), WithKeys(make([]uint64, 3))); err == nil {
 		t.Error("key/population mismatch accepted")
 	}
+	if _, err := New(WithNumUsers(10), WithK(2), WithShardAddrs("x"), WithMaxBatch(0)); err == nil {
+		t.Error("max batch 0 accepted")
+	}
+	if _, err := New(WithNumUsers(10), WithK(2), WithShardAddrs("x"), WithQueueCapacity(0)); err == nil {
+		t.Error("queue capacity 0 accepted")
+	}
+	if _, err := New(WithNumUsers(10), WithK(2), WithShardAddrs("x"), WithFailover(Failover{DeadAfter: -time.Second})); err == nil {
+		t.Error("negative failover deadline accepted")
+	}
 	keys := make([]uint64, 10)
-	coord, err := New(10, 2, []string{"127.0.0.1:1"}, WithKeys(keys))
+	// The deprecated positional constructor must keep working until its
+	// dated removal.
+	coord, err := NewWithAddrs(10, 2, []string{"127.0.0.1:1"}, WithKeys(keys))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"nonexposure/internal/dataset"
+	"nonexposure/internal/metrics"
+	"nonexposure/internal/service"
+)
+
+// TestShardFailoverAndRecovery is the kill/restart acceptance scenario:
+// a 3-shard cluster loses a shard, a rotation declares it dead and
+// re-homes its users onto the survivors — after which every user gets
+// exactly the single-process answer again — and a restarted (empty)
+// process on the same address is revived by a later rotation's probe,
+// with replays restoring its state from the coordinator's store.
+func TestShardFailoverAndRecovery(t *testing.T) {
+	n, k := 600, 4
+	pts := dataset.CaliforniaLike(n, 7)
+	keys, err := HilbertKeys(pts, DefaultKeyOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := startReference(t, n, k)
+	shards, err := SpawnInProcess(bg, 3, ShardConfig{NumUsers: n, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { CloseShards(shards) })
+	cm := metrics.NewClusterMetrics()
+	coord, err := New(
+		WithNumUsers(n), WithK(k), WithShardAddrs(Addrs(shards)...),
+		WithKeys(keys), WithClusterMetrics(cm), WithMaxBatch(8),
+		WithFailover(Failover{
+			DeadAfter:    300 * time.Millisecond,
+			RetryBase:    10 * time.Millisecond,
+			FlushTimeout: 500 * time.Millisecond,
+			QueryBudget:  10 * time.Second,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+
+	lists := proximityLists(pts)
+	for u := int32(0); u < int32(n); u++ {
+		if err := ref.Upload(u, lists[u]); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Upload(bg, UploadRequest{User: u, Peers: lists[u]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ref.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Rotate(bg); err != nil {
+		t.Fatal(err)
+	}
+	compareAllUsers(t, n, k, ref, coord)
+
+	// Kill shard 1 and find one of its users; re-sending that user's
+	// stored list starts the sender's failure clock immediately.
+	const victim = 1
+	_ = shards[victim].Kill()
+	var vu int32 = -1
+	coord.mu.RLock()
+	for u := int32(0); u < int32(n); u++ {
+		if coord.serving[u] == victim {
+			vu = u
+			break
+		}
+	}
+	coord.mu.RUnlock()
+	if vu < 0 {
+		t.Fatal("no user served by the victim shard; scenario is vacuous")
+	}
+	if err := coord.Upload(bg, UploadRequest{User: vu, Peers: lists[vu]}); err != nil {
+		t.Fatalf("upload to a failing shard must still be accepted, got %v", err)
+	}
+
+	// Rotate until a rotation declares the shard dead and fails over.
+	deadline := time.Now().Add(15 * time.Second)
+	var st RotateStats
+	for {
+		st, err = coord.Rotate(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FailedOver > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shard never declared dead")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.DeadShards != 1 {
+		t.Fatalf("DeadShards = %d after failover, want 1", st.DeadShards)
+	}
+
+	// Every user — including the dead shard's — is served identically to
+	// the single process again: failover cost availability for a few
+	// rotations, never correctness.
+	compareAllUsers(t, n, k, ref, coord)
+
+	// An upload for a failed-over user routes to its new home.
+	if err := coord.Upload(bg, UploadRequest{User: vu, Peers: lists[vu]}); err != nil {
+		t.Fatalf("post-failover upload: %v", err)
+	}
+	if err := coord.Flush(bg); err != nil {
+		t.Fatalf("post-failover flush: %v", err)
+	}
+
+	snap := cm.Snapshot()
+	if snap.Failovers < 1 {
+		t.Errorf("Failovers = %d, want >= 1", snap.Failovers)
+	}
+	if snap.ShardStates[victim] != ShardDead {
+		t.Errorf("ShardStates[%d] = %d, want %d (dead)", victim, snap.ShardStates[victim], ShardDead)
+	}
+	if snap.ShardRetries[victim] == 0 {
+		t.Error("ShardRetries[victim] = 0, want retries recorded before death")
+	}
+
+	// Restart: a fresh, empty shard on the dead shard's address. A later
+	// rotation's probe revives it and re-homing replays its components
+	// back from the coordinator's store.
+	srv2, err := service.New(service.WithNumUsers(n), service.WithK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	if _, err := srv2.Listen(bg, shards[victim].Addr); err != nil {
+		t.Fatalf("rebind the dead shard's address: %v", err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		st, err = coord.Rotate(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DeadShards == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted shard never revived")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.Moves == 0 {
+		t.Error("revival re-homed nobody back onto the restarted shard")
+	}
+	compareAllUsers(t, n, k, ref, coord)
+}
+
+// TestRotateFailsWithoutFailover pins the pre-failover contract: with
+// the zero Failover config a dead shard is an error, not a silent
+// degradation — the rotation surfaces it.
+func TestRotateFailsWithoutFailover(t *testing.T) {
+	n, k := 30, 2
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	shards, err := SpawnInProcess(bg, 2, ShardConfig{NumUsers: n, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { CloseShards(shards) })
+	coord, err := New(WithNumUsers(n), WithK(k), WithShardAddrs(Addrs(shards)...), WithKeys(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+
+	// Users 20 and 21 key-own to shard 1; kill it and upload them.
+	_ = shards[1].Kill()
+	for _, u := range []int32{20, 21} {
+		if err := coord.Upload(bg, UploadRequest{User: u, Peers: []service.PeerRank{{Peer: 20 + (21 - u), Rank: 1}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := coord.Rotate(bg); err == nil {
+		t.Fatal("rotate succeeded against a dead shard with failover disabled")
+	}
+}

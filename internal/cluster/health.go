@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nonexposure/internal/metrics"
+)
+
+// Shard health states, exported through the cloakd_cluster_shard_state
+// gauge.
+const (
+	// ShardUp: the last forward/query on this shard succeeded.
+	ShardUp = 0
+	// ShardFailing: at least one forward/query hit a broken connection
+	// and no success has been seen since; the ordered sender is retrying
+	// with backoff.
+	ShardFailing = 1
+	// ShardDead: the shard stayed failing past Failover.DeadAfter and a
+	// rotation re-homed its users onto survivors. Only a successful
+	// probe at a later rotation revives it.
+	ShardDead = 2
+)
+
+// Failover configures shard fail-over. The zero value disables it
+// entirely (the pre-failover behavior: a dead shard fails its users'
+// operations until it returns). Setting DeadAfter > 0 enables it.
+type Failover struct {
+	// DeadAfter is how long a shard may stay failing before a rotation
+	// declares it dead and re-homes its users' stored uploads onto the
+	// surviving shards. Required (> 0) to enable fail-over.
+	DeadAfter time.Duration
+	// RetryBase/RetryMax bound the ordered sender's exponential backoff
+	// between redial attempts (defaults 25ms / 1s). Each sleep gets up
+	// to 50% random jitter so senders never thundering-herd a
+	// recovering shard.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// FlushTimeout bounds how long a rotation waits for one shard's
+	// queue to drain before treating the shard as failing and rotating
+	// without it (default max(DeadAfter, 2s)).
+	FlushTimeout time.Duration
+	// QueryBudget bounds how long a cloak retries against a failing
+	// shard before giving up (default 15s). Re-homing moves the user at
+	// the next rotation, so a budget past DeadAfter turns shard death
+	// into latency instead of errors.
+	QueryBudget time.Duration
+}
+
+func (f Failover) enabled() bool { return f.DeadAfter > 0 }
+
+func (f Failover) validate() error {
+	if f.DeadAfter < 0 || f.RetryBase < 0 || f.RetryMax < 0 || f.FlushTimeout < 0 || f.QueryBudget < 0 {
+		return fmt.Errorf("cluster: failover durations must be >= 0")
+	}
+	return nil
+}
+
+// withDefaults fills the optional knobs. Called once at construction.
+func (f Failover) withDefaults() Failover {
+	if f.RetryBase <= 0 {
+		f.RetryBase = 25 * time.Millisecond
+	}
+	if f.RetryMax <= 0 {
+		f.RetryMax = time.Second
+	}
+	if f.RetryMax < f.RetryBase {
+		f.RetryMax = f.RetryBase
+	}
+	if f.FlushTimeout <= 0 {
+		f.FlushTimeout = 2 * time.Second
+		if f.DeadAfter > f.FlushTimeout {
+			f.FlushTimeout = f.DeadAfter
+		}
+	}
+	if f.QueryBudget <= 0 {
+		f.QueryBudget = 15 * time.Second
+	}
+	return f
+}
+
+// shardHealth tracks one shard's liveness as seen by the coordinator.
+// The state transitions are driven by forward/query outcomes (up ↔
+// failing) and by rotations (failing → dead after DeadAfter, dead → up
+// on a successful probe). The hot-path reads (markSuccess on every
+// query, isDead on every route) are single atomic loads.
+type shardHealth struct {
+	shard int
+	cm    *metrics.ClusterMetrics
+
+	state atomic.Int32 // ShardUp / ShardFailing / ShardDead
+
+	mu           sync.Mutex
+	failingSince time.Time
+}
+
+func newShardHealth(shard int, cm *metrics.ClusterMetrics) *shardHealth {
+	return &shardHealth{shard: shard, cm: cm}
+}
+
+func (h *shardHealth) isDead() bool { return h.state.Load() == ShardDead }
+
+// markFailure records a broken-connection error. The first failure
+// after a healthy period starts the DeadAfter clock; a dead shard stays
+// dead (only a probe revives it).
+func (h *shardHealth) markFailure() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state.Load() == ShardDead {
+		return
+	}
+	if h.failingSince.IsZero() {
+		h.failingSince = time.Now()
+	}
+	h.state.Store(ShardFailing)
+	h.cm.SetShardState(h.shard, ShardFailing)
+}
+
+// markSuccess clears the failing state. A dead shard is NOT revived
+// here: its users were re-homed, so only a rotation (which can re-home
+// them back) may flip it via markRecovered.
+func (h *shardHealth) markSuccess() {
+	if h.state.Load() == ShardUp {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state.Load() == ShardDead {
+		return
+	}
+	h.failingSince = time.Time{}
+	h.state.Store(ShardUp)
+	h.cm.SetShardState(h.shard, ShardUp)
+}
+
+// failingFor reports how long the shard has been failing (0 when up or
+// already dead).
+func (h *shardHealth) failingFor(now time.Time) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state.Load() != ShardFailing || h.failingSince.IsZero() {
+		return 0
+	}
+	return now.Sub(h.failingSince)
+}
+
+// declareDead marks the shard dead. Called under the coordinator's
+// routing lock at rotation time, right before its users are re-homed.
+func (h *shardHealth) declareDead() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.state.Store(ShardDead)
+	h.cm.SetShardState(h.shard, ShardDead)
+}
+
+// markRecovered revives a dead shard after a successful probe. The
+// calling rotation re-homes components back onto it (replaying their
+// stored uploads), so the shard re-enters service consistent.
+func (h *shardHealth) markRecovered() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failingSince = time.Time{}
+	h.state.Store(ShardUp)
+	h.cm.SetShardState(h.shard, ShardUp)
+}

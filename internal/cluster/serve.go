@@ -99,6 +99,19 @@ func (c *Coordinator) handle(ctx context.Context, req service.Request) (any, boo
 		}
 		return service.Response{OK: true}, true
 
+	case service.OpUploadBatch:
+		if !v1 {
+			return service.Response{Error: `upload_batch requires "v":1`}, false
+		}
+		for i, e := range req.Uploads {
+			if err := c.Upload(ctx, UploadRequest{User: e.User, Peers: e.Peers, Profile: e.Profile}); err != nil {
+				env := service.Envelope{V: service.ProtocolVersion, Error: err.Error()}
+				env.Batch = &service.BatchPayload{Accepted: i}
+				return env, false
+			}
+		}
+		return service.Envelope{V: service.ProtocolVersion, OK: true, Batch: &service.BatchPayload{Accepted: len(req.Uploads)}}, true
+
 	case service.OpCloak:
 		p, err := c.Cloak(ctx, req.User)
 		if err != nil {

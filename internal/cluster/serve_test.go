@@ -100,4 +100,34 @@ func TestCoordinatorWireProtocol(t *testing.T) {
 	if snap.BorderReplays == 0 {
 		t.Fatal("the straddling triangle produced no border replays")
 	}
+	if snap.Batches == 0 || snap.BatchedOps == 0 {
+		t.Fatalf("cluster metrics %s: ordered forwards never batched", snap)
+	}
+
+	// The coordinator front-end also accepts upload_batch (v1 only) and
+	// relays the per-entry routing, including mid-batch rejection.
+	accepted, err := c.UploadBatch([]service.UploadEntry{
+		{User: 20, Peers: []service.PeerRank{{Peer: 21, Rank: 1}}},
+		{User: 21, Peers: []service.PeerRank{{Peer: 20, Rank: 1}}},
+	})
+	if err != nil || accepted != 2 {
+		t.Fatalf("front-end batch = %d, %v", accepted, err)
+	}
+	accepted, err = c.UploadBatch([]service.UploadEntry{
+		{User: 22, Peers: []service.PeerRank{{Peer: 20, Rank: 1}}},
+		{User: 99}, // out of range at the coordinator
+	})
+	if err == nil || accepted != 1 {
+		t.Fatalf("front-end partial batch = %d, %v; want 1 with an error", accepted, err)
+	}
+	if _, err := c.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.CloakV1(20)
+	if err != nil {
+		t.Fatalf("cloak after front-end batch: %v", err)
+	}
+	if len(cl.Cluster) != 2 {
+		t.Fatalf("cloak(20) = %v, want the batched pair", cl.Cluster)
+	}
 }

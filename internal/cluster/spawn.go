@@ -25,6 +25,7 @@ type Shard struct {
 	Addr      string
 	AdminAddr string
 	closeFn   func() error
+	killFn    func() error
 }
 
 // Close stops the shard (idempotent for in-process shards; kills the
@@ -34,6 +35,17 @@ func (s *Shard) Close() error {
 		return nil
 	}
 	return s.closeFn()
+}
+
+// Kill stops the shard abruptly — SIGKILL for process shards, so no
+// graceful shutdown runs — and reaps it, for crash-recovery tests and
+// drills. Returns the process's exit error ("signal: killed"), which
+// callers usually ignore; a later Close is a no-op.
+func (s *Shard) Kill() error {
+	if s.killFn != nil {
+		return s.killFn()
+	}
+	return s.Close()
 }
 
 // CloseShards closes every shard, returning the first error.
@@ -178,6 +190,14 @@ func SpawnProcesses(ctx context.Context, bin string, n int, cfg ShardConfig) ([]
 					_ = cmd.Process.Kill()
 					err = <-done
 				}
+			})
+			return err
+		}
+		sh.killFn = func() error {
+			var err error
+			once.Do(func() {
+				_ = cmd.Process.Kill()
+				err = cmd.Wait()
 			})
 			return err
 		}

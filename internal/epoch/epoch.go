@@ -598,7 +598,14 @@ func (m *Manager) Upload(ctx context.Context, req UploadRequest) error {
 	if m.closed {
 		return ErrClosed
 	}
-	user := req.User
+	m.applyUploadLocked(req.User, cp, prof)
+	return nil
+}
+
+// applyUploadLocked folds one validated, already-copied upload into the
+// pending state and evaluates the rebuild policy. Callers hold the
+// manager lock.
+func (m *Manager) applyUploadLocked(user int32, cp []RankedPeer, prof *core.Profile) {
 	if prevList := m.uploads[user]; !equalRanks(prevList, cp) ||
 		(prof != nil && m.profileOfLocked(user) != *prof) {
 		m.changed[user] = struct{}{}
@@ -624,7 +631,47 @@ func (m *Manager) Upload(ctx context.Context, req UploadRequest) error {
 	if reason := m.policyFiredLocked(); reason != "" {
 		m.triggerLocked(reason)
 	}
-	return nil
+}
+
+// UploadBatch applies reqs strictly in slice order and stops at the
+// first invalid entry, returning how many were applied (on error, also
+// the index of the rejected request; later entries were not attempted).
+// The result is indistinguishable from calling Upload serially — the
+// rebuild policy is evaluated after every entry, so a mid-batch trigger
+// snapshots exactly the prefix a serial caller would have triggered
+// on — but the direct path takes the manager lock once for the whole
+// batch instead of once per upload. With ingest buffers configured the
+// entries ride the buffered path one by one, which never takes the
+// manager lock at all.
+func (m *Manager) UploadBatch(ctx context.Context, reqs []UploadRequest) (int, error) {
+	if len(m.shards) > 0 {
+		for i := range reqs {
+			if err := m.Upload(ctx, reqs[i]); err != nil {
+				return i, err
+			}
+		}
+		return len(reqs), nil
+	}
+	if err := m.lockCtx(ctx); err != nil {
+		return 0, err
+	}
+	defer m.unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	for i, req := range reqs {
+		if err := req.validate(m.numUsers); err != nil {
+			return i, err
+		}
+		cp := append([]RankedPeer(nil), req.Peers...)
+		var prof *core.Profile
+		if req.Profile != nil {
+			v := *req.Profile
+			prof = &v
+		}
+		m.applyUploadLocked(req.User, cp, prof)
+	}
+	return len(reqs), nil
 }
 
 func (m *Manager) policyFiredLocked() string {

@@ -19,10 +19,15 @@ type ClusterMetrics struct {
 	borderReplays atomic.Uint64
 	reroutes      atomic.Uint64
 	rotations     atomic.Uint64
+	batches       atomic.Uint64
+	batchedOps    atomic.Uint64
+	failovers     atomic.Uint64
 
-	mu          sync.Mutex
-	routed      map[string]uint64
-	shardEpochs []uint64
+	mu           sync.Mutex
+	routed       map[string]uint64
+	shardEpochs  []uint64
+	shardStates  []int32
+	shardRetries []uint64
 }
 
 // NewClusterMetrics returns an empty metrics set.
@@ -40,6 +45,57 @@ func (m *ClusterMetrics) SetShards(n int) {
 	m.mu.Lock()
 	if len(m.shardEpochs) != n {
 		m.shardEpochs = make([]uint64, n)
+	}
+	if len(m.shardStates) != n {
+		m.shardStates = make([]int32, n)
+	}
+	if len(m.shardRetries) != n {
+		m.shardRetries = make([]uint64, n)
+	}
+	m.mu.Unlock()
+}
+
+// ObserveBatch counts one ordered upload_batch forward carrying n
+// state-changing operations.
+func (m *ClusterMetrics) ObserveBatch(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.batches.Add(1)
+	m.batchedOps.Add(uint64(n))
+}
+
+// ObserveShardRetry counts one retry of shard's ordered connection
+// after a broken-connection error.
+func (m *ClusterMetrics) ObserveShardRetry(shard int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if shard >= 0 && shard < len(m.shardRetries) {
+		m.shardRetries[shard]++
+	}
+	m.mu.Unlock()
+}
+
+// ObserveFailover counts one shard declared dead (its users re-homed
+// onto survivors at the declaring rotation).
+func (m *ClusterMetrics) ObserveFailover() {
+	if m == nil {
+		return
+	}
+	m.failovers.Add(1)
+}
+
+// SetShardState records shard's health state (ShardUp/Failing/Dead as
+// defined in internal/cluster, exported as a per-shard gauge).
+func (m *ClusterMetrics) SetShardState(shard int, state int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if shard >= 0 && shard < len(m.shardStates) {
+		m.shardStates[shard] = int32(state)
 	}
 	m.mu.Unlock()
 }
@@ -111,6 +167,16 @@ type ClusterSnapshot struct {
 	Rotations     uint64
 	ShardEpochs   []uint64
 	EpochLag      []uint64
+	// Batches/BatchedOps count ordered upload_batch forwards and the
+	// operations they carried (BatchedOps/Batches = mean batch size).
+	Batches    uint64
+	BatchedOps uint64
+	// ShardStates[i] is shard i's health (0 up, 1 failing, 2 dead);
+	// ShardRetries[i] counts its ordered-connection retries. Failovers
+	// counts shards declared dead over the coordinator's lifetime.
+	ShardStates  []int32
+	ShardRetries []uint64
+	Failovers    uint64
 }
 
 // Snapshot copies the current counters. Routed is sorted by op name for
@@ -124,6 +190,9 @@ func (m *ClusterMetrics) Snapshot() ClusterSnapshot {
 		BorderReplays: m.borderReplays.Load(),
 		Reroutes:      m.reroutes.Load(),
 		Rotations:     m.rotations.Load(),
+		Batches:       m.batches.Load(),
+		BatchedOps:    m.batchedOps.Load(),
+		Failovers:     m.failovers.Load(),
 	}
 	m.mu.Lock()
 	for op, n := range m.routed {
@@ -131,6 +200,8 @@ func (m *ClusterMetrics) Snapshot() ClusterSnapshot {
 		snap.RoutedTotal += n
 	}
 	snap.ShardEpochs = append([]uint64(nil), m.shardEpochs...)
+	snap.ShardStates = append([]int32(nil), m.shardStates...)
+	snap.ShardRetries = append([]uint64(nil), m.shardRetries...)
 	m.mu.Unlock()
 	sort.Slice(snap.Routed, func(i, j int) bool { return snap.Routed[i].Op < snap.Routed[j].Op })
 	var max uint64
@@ -149,8 +220,8 @@ func (m *ClusterMetrics) Snapshot() ClusterSnapshot {
 // String renders a one-line operator summary.
 func (s ClusterSnapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "shards=%d routed=%d border_replays=%d reroutes=%d rotations=%d",
-		s.Shards, s.RoutedTotal, s.BorderReplays, s.Reroutes, s.Rotations)
+	fmt.Fprintf(&b, "shards=%d routed=%d border_replays=%d reroutes=%d rotations=%d batches=%d failovers=%d",
+		s.Shards, s.RoutedTotal, s.BorderReplays, s.Reroutes, s.Rotations, s.Batches, s.Failovers)
 	if len(s.ShardEpochs) > 0 {
 		b.WriteString(" epochs=[")
 		for i, e := range s.ShardEpochs {

@@ -162,6 +162,32 @@ func (c *Client) UploadProfile(user int32, peers []PeerRank, prof ProfileSpec) e
 	return err
 }
 
+// UploadBatch submits several uploads in one v1 round trip. Entries
+// apply strictly in slice order and stop at the first failure, so the
+// batch is behaviorally identical to the same sequence of single
+// uploads on this connection — just one round trip instead of many.
+// Per-entry profiles keep UploadProfile's sticky pointer semantics: a
+// nil Profile leaves any stored profile untouched, an explicit zero
+// spec reverts that user to the service defaults.
+//
+// The returned count is the number of entries durably applied. On an
+// application error it is also the index of the rejected entry
+// (everything after it was not attempted); on a transport error it is 0
+// and the caller cannot know how much of the batch landed.
+func (c *Client) UploadBatch(entries []UploadEntry) (int, error) {
+	env, err := c.roundTripV1(Request{Op: OpUploadBatch, Uploads: entries})
+	if err != nil {
+		if env.Batch != nil {
+			return env.Batch.Accepted, err
+		}
+		return 0, err
+	}
+	if env.Batch == nil {
+		return 0, fmt.Errorf("service: upload_batch: v1 response missing payload")
+	}
+	return env.Batch.Accepted, nil
+}
+
 // CloakV1 requests the k-anonymity cluster for user over the v1
 // protocol; the payload reports which epoch served the answer, and its
 // Cost field is present even when zero.

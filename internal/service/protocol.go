@@ -42,6 +42,11 @@ const (
 	OpRotate Op = "rotate"
 	// OpEpoch reports the re-clustering pipeline state.
 	OpEpoch Op = "epoch"
+	// OpUploadBatch submits several uploads in one request (v1 only).
+	// Entries apply strictly in array order and stop at the first
+	// failure, so a batch is behaviorally identical to the same sequence
+	// of single uploads on one connection.
+	OpUploadBatch Op = "upload_batch"
 )
 
 // PeerRank is one entry of a device's proximity measurement: the peer's
@@ -63,6 +68,20 @@ type Request struct {
 	// Sticky per user with last-write-wins: omitting the object keeps any
 	// stored profile untouched, an explicit zero object ("profile":{})
 	// reverts a previously uploaded profile to the service defaults.
+	Profile *ProfileSpec `json:"profile,omitempty"`
+	// Uploads carries an OpUploadBatch request's entries, applied in
+	// array order.
+	Uploads []UploadEntry `json:"uploads,omitempty"`
+}
+
+// UploadEntry is one upload inside an OpUploadBatch request. Each entry
+// carries exactly what a single upload request would: the user, the
+// ranked peer list, and the optional profile with the same sticky
+// semantics (nil keeps any stored profile, an explicit zero object
+// reverts to the service defaults).
+type UploadEntry struct {
+	User    int32        `json:"user"`
+	Peers   []PeerRank   `json:"peers,omitempty"`
 	Profile *ProfileSpec `json:"profile,omitempty"`
 }
 

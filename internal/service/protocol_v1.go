@@ -26,6 +26,16 @@ type Envelope struct {
 	Cloak *CloakPayload `json:"cloak,omitempty"`
 	Stats *StatsPayload `json:"stats,omitempty"`
 	Epoch *EpochPayload `json:"epoch,omitempty"`
+	Batch *BatchPayload `json:"batch,omitempty"`
+}
+
+// BatchPayload answers OpUploadBatch. Entries apply strictly in request
+// order and stop at the first failure, so on an error envelope Accepted
+// doubles as the index of the entry that was rejected: entries
+// [0, Accepted) are durably applied, entry Accepted failed, and
+// everything after it was not attempted.
+type BatchPayload struct {
+	Accepted int `json:"accepted"`
 }
 
 // ProfileSpec is the optional "profile" object a v1 upload may carry:

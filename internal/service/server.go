@@ -369,6 +369,9 @@ func (s *Server) dispatchV0(ctx context.Context, req Request) Response {
 			return Response{Error: err.Error()}
 		}
 		return Response{OK: true}
+	case OpUploadBatch:
+		// The batch shape only exists in v1; v0 clients predate it.
+		return Response{Error: `upload_batch requires "v":1`}
 	case OpFreeze:
 		gen, err := s.rotateAndWait(ctx)
 		if err != nil {
@@ -436,6 +439,21 @@ func (s *Server) dispatchV1(ctx context.Context, req Request) Envelope {
 		if err != nil {
 			return errEnvelope(err.Error())
 		}
+		return ok
+	case OpUploadBatch:
+		reqs := make([]epoch.UploadRequest, len(req.Uploads))
+		for i, e := range req.Uploads {
+			reqs[i] = epoch.UploadRequest{User: e.User, Peers: e.Peers, Profile: e.Profile.Core()}
+		}
+		usp := trace.FromContext(ctx).Child("epoch.upload_batch")
+		n, err := s.mgr.UploadBatch(ctx, reqs)
+		usp.End()
+		if err != nil {
+			env := errEnvelope(err.Error())
+			env.Batch = &BatchPayload{Accepted: n}
+			return env
+		}
+		ok.Batch = &BatchPayload{Accepted: n}
 		return ok
 	case OpFreeze:
 		gen, err := s.rotateAndWait(ctx)

@@ -15,9 +15,10 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-# Deprecation markers are only allowed on the three dated
-# WithEpochOptions shims scheduled for removal in 2026-09; anything
-# else must delete the API instead of deprecating it.
+# Deprecation markers are only allowed on the dated shims scheduled
+# for removal in 2026-09 (the three WithEpochOptions shims and the
+# cluster.NewWithAddrs constructor); anything else must delete the API
+# instead of deprecating it.
 echo "==> no undated '// Deprecated:' markers"
 if grep -rn "Deprecated:" --include='*.go' . | grep -v "removal: 2026-09"; then
     echo "undated deprecation markers found (remove the API, or date it 'removal: 2026-09')" >&2
@@ -35,8 +36,11 @@ fi
 
 # The epoch upload API takes an UploadRequest struct; the old
 # positional (ctx, user, peers) signature is gone and must stay gone.
+# Positional calls have a third argument; struct-based calls pass
+# (ctx, req) — whether the literal is inline or held in a variable —
+# and never match.
 echo "==> no positional epoch Upload calls"
-if grep -rnE '\.Upload\((ctx|bg|context\.)' --include='*.go' . | grep -v 'UploadRequest{'; then
+if grep -rnE '\.Upload\((ctx|bg|context\.[A-Za-z()]+), *[][A-Za-z0-9_.]+, *[^ ]' --include='*.go' . | grep -v 'UploadRequest{'; then
     echo "positional Upload calls found (use UploadRequest{User:, Peers:, Profile:})" >&2
     exit 1
 fi
@@ -99,6 +103,12 @@ go run ./cmd/cloaksim -profiles -n 500 -k 5 | grep '2k+area' > /dev/null \
 echo "==> go test -bench=BenchmarkUploadThroughputZipf -benchtime=1x (smoke)"
 go test -bench='^BenchmarkUploadThroughputZipf$' -benchtime=1x -run '^$' .
 
+# The batched-forwarding benchmark, by name: its serialized arm is the
+# baseline the >=2x pipelining claim in EXPERIMENTS.md is measured
+# against, so a broken setup must fail loudly.
+echo "==> go test -bench=BenchmarkCoordinatorUploadBatch -benchtime=1x (smoke)"
+go test -bench='^BenchmarkCoordinatorUploadBatch$' -benchtime=1x -run '^$' ./internal/cluster
+
 # Short fuzz smoke passes: ten seconds of coverage-guided input per
 # target on top of the checked-in seed corpora ('-run ^$' skips the unit
 # tests, which already ran above).
@@ -134,6 +144,23 @@ echo "$cluster_out" | grep -q 'unserved=0' \
     || { echo "cluster smoke: sweep reported unserved users:" >&2; echo "$cluster_out" >&2; exit 1; }
 echo "$cluster_out" | grep -q 'clean shutdown' \
     || { echo "cluster smoke: shutdown did not complete:" >&2; echo "$cluster_out" >&2; exit 1; }
+
+# Shard-kill smoke: the same cluster, but with the shards as separate
+# cloakd OS processes, loses shard 1 to SIGKILL after the first epoch.
+# The run must degrade (retries, not errors), fail the dead shard over
+# to the survivor, and still serve the whole population.
+echo "==> cloaksim -cluster shard-kill smoke (SIGKILL 1 of 2 cloakd processes)"
+killdir=$(mktemp -d)
+go build -o "$killdir/cloakd" ./cmd/cloakd
+kill_out=$(go run ./cmd/cloaksim -cluster -shards 2 -n 300 -k 4 -churn 1 -workers 4 \
+    -cloakd-bin "$killdir/cloakd" -kill-shard 1 -failover-after 300ms)
+rm -rf "$killdir"
+echo "$kill_out" | grep -q 'failed over' \
+    || { echo "kill smoke: dead shard never failed over:" >&2; echo "$kill_out" >&2; exit 1; }
+echo "$kill_out" | grep -q 'unserved=0' \
+    || { echo "kill smoke: sweep reported unserved users:" >&2; echo "$kill_out" >&2; exit 1; }
+echo "$kill_out" | grep -q 'clean shutdown' \
+    || { echo "kill smoke: shutdown did not complete:" >&2; echo "$kill_out" >&2; exit 1; }
 
 # Admin endpoint smoke: start cloakd with an ephemeral admin port, curl
 # /metrics and /healthz, and shut it down. Skipped when curl is absent.
